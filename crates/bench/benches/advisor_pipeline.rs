@@ -1,0 +1,66 @@
+//! End-to-end advisor pipeline: measurement build + scenario solve.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+use mv_units::Money;
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("advisor_build");
+    group.sample_size(10);
+    for rows in [2_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let domain = sales_domain(rows, 5, 1.0, 42);
+                let advisor = Advisor::build(domain, AdvisorConfig::default()).unwrap();
+                black_box(advisor.problem().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let domain = sales_domain(5_000, 10, 1.0, 42);
+    let advisor = Advisor::build(domain, AdvisorConfig::default()).unwrap();
+    let budget = advisor.problem().baseline().cost() + Money::from_dollars(1);
+    let mut group = c.benchmark_group("advisor_solve");
+    for solver in [
+        SolverKind::PaperKnapsack,
+        SolverKind::Greedy,
+        SolverKind::BranchAndBound,
+        SolverKind::Exhaustive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.name()),
+            &advisor,
+            |b, advisor| {
+                b.iter(|| {
+                    black_box(
+                        advisor
+                            .solve(Scenario::budget(budget), solver)
+                            .objective(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_build, bench_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Engine hash-aggregation throughput: rows × group-count sweep.
+//!
+//! The substrate's core operator; its scan-boundedness is the property the
+//! simulated-time model relies on, so this bench doubles as a sanity check
+//! that time grows linearly with rows and sub-linearly with groups.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_engine::{datagen, AggQuery, AggSpec, SalesConfig};
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+fn bench_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby");
+    for rows in [10_000usize, 40_000] {
+        let table = datagen::generate_sales(&SalesConfig::with_rows(rows));
+        // Coarse (few groups) vs fine (many groups) keys.
+        for (label, cols) in [
+            ("year_country", &["year", "country"][..]),
+            ("day_department", &["year", "month", "day", "country", "region", "department"][..]),
+        ] {
+            let query = AggQuery::new("q", cols, vec![AggSpec::sum("profit")]);
+            group.bench_with_input(
+                BenchmarkId::new(label, rows),
+                &table,
+                |b, table| {
+                    b.iter(|| {
+                        let (out, _) = query.execute(black_box(table)).unwrap();
+                        black_box(out.num_rows())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregate_mix(c: &mut Criterion) {
+    let table = datagen::generate_sales(&SalesConfig::with_rows(20_000));
+    let all_aggs = AggQuery::new(
+        "q",
+        &["year", "country"],
+        vec![
+            AggSpec::sum("profit"),
+            AggSpec::count(),
+            AggSpec::min("profit"),
+            AggSpec::max("profit"),
+            AggSpec::avg("profit"),
+        ],
+    );
+    c.bench_function("groupby/five_aggregates_20k", |b| {
+        b.iter(|| {
+            let (out, _) = all_aggs.execute(black_box(&table)).unwrap();
+            black_box(out.num_rows())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_groupby, bench_aggregate_mix
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Solver runtime scaling with the candidate count.
+//!
+//! The paper's knapsack DP is polynomial; exhaustive search is exponential.
+//! This bench quantifies the gap that justifies the paper's solver choice.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_select::{fixtures, Scenario, SolverKind};
+use mv_units::Money;
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+fn bench_solvers_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack_scaling");
+    for n in [6usize, 10, 14] {
+        let problem = fixtures::random_problem(7, 5, n);
+        let budget = problem.baseline().cost() + Money::from_cents(80);
+        let scenario = Scenario::budget(budget);
+        for solver in [
+            SolverKind::PaperKnapsack,
+            SolverKind::Greedy,
+            SolverKind::BranchAndBound,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), n),
+                &problem,
+                |b, problem| {
+                    b.iter(|| black_box(mv_select::solve(problem, scenario, solver).objective()))
+                },
+            );
+        }
+        // Exhaustive only at sizes where 2^n stays tractable in a bench.
+        if n <= 10 {
+            group.bench_with_input(
+                BenchmarkId::new("exhaustive", n),
+                &problem,
+                |b, problem| {
+                    b.iter(|| {
+                        black_box(
+                            mv_select::solve(problem, scenario, SolverKind::Exhaustive)
+                                .objective(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_budget_resolution(c: &mut Criterion) {
+    // DP table size grows with the budget (capacity in cents).
+    let problem = fixtures::random_problem(11, 5, 12);
+    let mut group = c.benchmark_group("knapsack_budget_resolution");
+    for extra_cents in [50i64, 500, 5_000] {
+        let scenario = Scenario::budget(problem.baseline().cost() + Money::from_cents(extra_cents));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(extra_cents),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    black_box(mv_select::solve_knapsack(problem, scenario).objective())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_solvers_scaling, bench_budget_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Lattice operations: enumeration, estimation and HRU candidate
+//! generation over growing dimension counts.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_lattice::{candidates, Dimension, Lattice, SizeEstimator};
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+fn lattice_with_dims(n: usize) -> Lattice {
+    let dims = (0..n)
+        .map(|_| Dimension::paper_time(11))
+        .enumerate()
+        .map(|(i, d)| {
+            // Rename so duplicated dimensions stay distinct.
+            Dimension::new(
+                format!("d{i}"),
+                d.levels()
+                    .iter()
+                    .map(|l| {
+                        mv_lattice::Level::new(
+                            format!("{}_{i}", l.name),
+                            &l.columns
+                                .iter()
+                                .map(|c| format!("{c}_{i}"))
+                                .collect::<Vec<_>>()
+                                .iter()
+                                .map(String::as_str)
+                                .collect::<Vec<_>>(),
+                            l.cardinality,
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("renamed dimension is valid")
+        })
+        .collect();
+    Lattice::new(dims).expect("non-empty")
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_enumeration");
+    for dims in [2usize, 3, 4] {
+        let lattice = lattice_with_dims(dims);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dims),
+            &lattice,
+            |b, lattice| b.iter(|| black_box(lattice.all_cuboids().len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let lattice = lattice_with_dims(3);
+    let est = SizeEstimator::new(1_000_000);
+    c.bench_function("lattice_estimate_all_64_cuboids", |b| {
+        b.iter(|| {
+            let total: f64 = lattice
+                .all_cuboids()
+                .iter()
+                .map(|cu| est.expected_rows(black_box(&lattice), cu))
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_hru(c: &mut Criterion) {
+    let lattice = Lattice::paper_running_example();
+    let est = SizeEstimator::new(1_000_000);
+    let workload = mv_lattice::paper_workload(&lattice);
+    c.bench_function("hru_greedy_k8_paper_lattice", |b| {
+        b.iter(|| black_box(candidates::hru_greedy(&lattice, &est, &workload, 8).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_enumeration, bench_estimation, bench_hru
+}
+criterion_main!(benches);

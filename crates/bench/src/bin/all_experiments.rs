@@ -1,0 +1,47 @@
+//! Runs every experiment and writes the CSV series to `results/`
+//! (relative to the working directory), printing a summary of
+//! paper-vs-measured rates. This is the one-command regeneration entry
+//! point referenced by EXPERIMENTS.md.
+
+use std::fs;
+use std::path::Path;
+
+use mv_bench::experiments::{scenario_mv1, scenario_mv2, scenario_mv3, ScenarioRow};
+use mv_bench::{paper, render_comparison, render_scenario_csv};
+use mvcloud::SolverKind;
+
+fn write_csv(dir: &Path, name: &str, rows: &[ScenarioRow]) {
+    let path = dir.join(name);
+    fs::write(&path, render_scenario_csv(rows)).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results directory");
+
+    println!("== Running all scenario experiments (paper Tables 6-8, Figure 5) ==\n");
+
+    let mv1 = scenario_mv1(SolverKind::PaperKnapsack);
+    write_csv(dir, "table6_fig5a_mv1.csv", &mv1);
+    let paper6: Vec<(usize, f64)> = paper::TABLE6.iter().map(|(q, _, r)| (*q, *r)).collect();
+    println!("{}\n", render_comparison(&mv1, &paper6, "IP rate"));
+
+    let mv2 = scenario_mv2(SolverKind::PaperKnapsack);
+    write_csv(dir, "table7_fig5b_mv2.csv", &mv2);
+    let paper7: Vec<(usize, f64)> = paper::TABLE7.iter().map(|(q, _, r)| (*q, *r)).collect();
+    println!("{}\n", render_comparison(&mv2, &paper7, "IC rate"));
+
+    for (alpha, fname) in [(0.3, "table8_fig5c_mv3_a03.csv"), (0.7, "table8_fig5d_mv3_a07.csv")] {
+        let rows = scenario_mv3(alpha, SolverKind::PaperKnapsack);
+        write_csv(dir, fname, &rows);
+        let paper8: Vec<(usize, f64)> = paper::TABLE8
+            .iter()
+            .map(|(q, low, high)| (*q, if alpha < 0.5 { *low } else { *high }))
+            .collect();
+        println!("alpha = {alpha}:");
+        println!("{}\n", render_comparison(&rows, &paper8, "tradeoff rate"));
+    }
+
+    println!("done; see results/*.csv and EXPERIMENTS.md");
+}

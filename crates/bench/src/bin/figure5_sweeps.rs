@@ -1,0 +1,62 @@
+//! Continuous sweeps behind Figure 5: budget → time (5a), deadline → cost
+//! (5b), and α → (time, cost) (5c/d), written as CSV series for plotting.
+//!
+//! The paper reports three discrete points per scenario; these sweeps show
+//! the full curves the advisor moves along.
+
+use std::fs;
+use std::path::Path;
+
+use mv_bench::experiments::build_advisor;
+use mvcloud::whatif::{alpha_sweep, budget_sweep, deadline_sweep, sweep_csv};
+use mvcloud::{SizingMode, SolverKind};
+use mv_units::Money;
+
+fn main() {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results directory");
+
+    // MV1 regime: ad-hoc workload, yearly storage.
+    let mv1 = build_advisor(10, 1.0, 12.0, 0.0, SizingMode::MeasuredScaled);
+    let budget = budget_sweep(&mv1, Money::from_dollars(5), 20, SolverKind::PaperKnapsack);
+    let csv = sweep_csv(&budget, "budget_usd");
+    fs::write(dir.join("fig5a_budget_sweep.csv"), &csv).expect("write");
+    println!("budget sweep (MV1 regime): {} points", budget.len());
+    for p in budget.iter().step_by(5) {
+        println!(
+            "  budget ${:>7.2} -> {:>7.4} h, {} views",
+            p.x, p.time_hours, p.views
+        );
+    }
+
+    // MV2/MV3 regime: recurring workload.
+    let rec = build_advisor(10, 50.0, 1.0, 0.02, SizingMode::Extrapolated);
+    let deadline = deadline_sweep(
+        &rec,
+        &[0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0],
+        SolverKind::PaperKnapsack,
+    );
+    fs::write(
+        dir.join("fig5b_deadline_sweep.csv"),
+        sweep_csv(&deadline, "deadline_hours"),
+    )
+    .expect("write");
+    println!("\ndeadline sweep (MV2 regime): {} points", deadline.len());
+    for p in &deadline {
+        println!(
+            "  limit {:>7.2} h -> cost ${:>8.2}, feasible {}",
+            p.x, p.cost_dollars, p.feasible
+        );
+    }
+
+    let alpha = alpha_sweep(&rec, 10, SolverKind::PaperKnapsack);
+    fs::write(dir.join("fig5cd_alpha_sweep.csv"), sweep_csv(&alpha, "alpha")).expect("write");
+    println!("\nalpha sweep (MV3 regime): {} points", alpha.len());
+    for p in &alpha {
+        println!(
+            "  alpha {:>4.1} -> {:>7.4} h, ${:>8.2}, {} views",
+            p.x, p.time_hours, p.cost_dollars, p.views
+        );
+    }
+    println!("\nwrote results/fig5a_budget_sweep.csv, fig5b_deadline_sweep.csv, fig5cd_alpha_sweep.csv");
+}

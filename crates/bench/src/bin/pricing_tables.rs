@@ -1,0 +1,78 @@
+//! Regenerates **Tables 2, 3 and 4**: the provider pricing sheets.
+
+use mvcloud::pricing::presets;
+use mvcloud::report::render_table;
+
+fn main() {
+    let aws = presets::aws_2012();
+
+    println!("== Table 2: EC2 computing prices ==");
+    let rows: Vec<Vec<String>> = aws
+        .compute
+        .catalog
+        .all()
+        .iter()
+        .map(|i| {
+            vec![
+                i.name.clone(),
+                format!("{} per hour", i.hourly),
+                format!("{:.1} GB RAM", i.ram.value()),
+                format!("{} ECU", i.compute_units),
+                format!("{:.0} GB local", i.local_storage.value()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}\n",
+        render_table(
+            &["instance", "price", "memory", "compute", "storage"],
+            &rows
+        )
+    );
+
+    println!("== Table 3: bandwidth prices (outbound; inbound free) ==");
+    let rows: Vec<Vec<String>> = aws
+        .transfer
+        .outbound
+        .tiers()
+        .iter()
+        .map(|t| {
+            vec![
+                match t.upto {
+                    Some(upto) => format!("up to {upto}"),
+                    None => "beyond".to_string(),
+                },
+                format!("{} per GB", t.rate),
+            ]
+        })
+        .collect();
+    println!("{}\n", render_table(&["volume", "price"], &rows));
+
+    println!("== Table 4: storage prices (per month) ==");
+    let rows: Vec<Vec<String>> = aws
+        .storage
+        .monthly
+        .tiers()
+        .iter()
+        .map(|t| {
+            vec![
+                match t.upto {
+                    Some(upto) => format!("up to {upto}"),
+                    None => "beyond".to_string(),
+                },
+                format!("{} per GB", t.rate),
+            ]
+        })
+        .collect();
+    println!("{}\n", render_table(&["volume", "price"], &rows));
+
+    println!("== Extension: all provider presets (future work #1) ==");
+    for p in presets::all() {
+        println!(
+            "  {:<18} {} instance types, inbound free: {}",
+            p.name,
+            p.compute.catalog.all().len(),
+            p.transfer.inbound_is_free(),
+        );
+    }
+}

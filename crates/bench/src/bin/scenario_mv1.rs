@@ -1,0 +1,22 @@
+//! Regenerates **Table 6 / Figure 5(a)**: scenario MV1 (budget limit).
+//!
+//! Prints the measured with/without series, the improvement rates, and the
+//! paper-vs-measured comparison.
+
+use mv_bench::experiments::scenario_mv1;
+use mv_bench::{paper, render_comparison, render_scenario_csv, render_scenario_table};
+use mvcloud::SolverKind;
+
+fn main() {
+    println!("== Scenario MV1: minimize processing time under a budget ==");
+    println!("   (paper Table 6 / Figure 5a; budgets grow with workload size)\n");
+    let rows = scenario_mv1(SolverKind::PaperKnapsack);
+    println!("{}\n", render_scenario_table(&rows, "IP rate"));
+
+    let paper_rates: Vec<(usize, f64)> =
+        paper::TABLE6.iter().map(|(q, _, r)| (*q, *r)).collect();
+    println!("{}\n", render_comparison(&rows, &paper_rates, "IP rate"));
+
+    println!("-- Figure 5(a) series (CSV) --");
+    println!("{}", render_scenario_csv(&rows));
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table 7 / Figure 5(b)**: scenario MV2 (response-time
+//! limit).
+
+use mv_bench::experiments::scenario_mv2;
+use mv_bench::{paper, render_comparison, render_scenario_csv, render_scenario_table};
+use mvcloud::SolverKind;
+
+fn main() {
+    println!("== Scenario MV2: minimize cost under a response-time limit ==");
+    println!("   (paper Table 7 / Figure 5b; limit = half the no-view time)\n");
+    let rows = scenario_mv2(SolverKind::PaperKnapsack);
+    println!("{}\n", render_scenario_table(&rows, "IC rate"));
+
+    let paper_rates: Vec<(usize, f64)> =
+        paper::TABLE7.iter().map(|(q, _, r)| (*q, *r)).collect();
+    println!("{}\n", render_comparison(&rows, &paper_rates, "IC rate"));
+
+    println!("-- Figure 5(b) series (CSV) --");
+    println!("{}", render_scenario_csv(&rows));
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 8 / Figures 5(c,d)**: scenario MV3 (tradeoff).
+//!
+//! Runs α = 0.3 (Figure 5c), α = 0.65 (Figure 5d's caption) and α = 0.7
+//! (Table 8's column) — the paper is inconsistent between the two, so both
+//! are reported.
+
+use mv_bench::experiments::scenario_mv3;
+use mv_bench::{paper, render_comparison, render_scenario_csv, render_scenario_table};
+use mvcloud::SolverKind;
+
+fn main() {
+    println!("== Scenario MV3: minimize alpha*T + (1-alpha)*C ==");
+    println!("   (paper Table 8 / Figures 5c-d)\n");
+    for alpha in [0.3, 0.65, 0.7] {
+        println!("-- alpha = {alpha} --");
+        let rows = scenario_mv3(alpha, SolverKind::PaperKnapsack);
+        println!("{}\n", render_scenario_table(&rows, "tradeoff rate"));
+        let paper_rates: Vec<(usize, f64)> = paper::TABLE8
+            .iter()
+            .map(|(q, low, high)| (*q, if alpha < 0.5 { *low } else { *high }))
+            .collect();
+        println!(
+            "{}\n",
+            render_comparison(&rows, &paper_rates, "tradeoff rate")
+        );
+        println!("-- CSV --");
+        println!("{}\n", render_scenario_csv(&rows));
+    }
+}

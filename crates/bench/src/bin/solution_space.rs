@@ -1,0 +1,86 @@
+//! Regenerates **Figures 2–4**: the (time, cost) solution space of each
+//! scenario with the chosen solution highlighted.
+//!
+//! The paper sketches these spaces conceptually; here they are computed
+//! exactly — every subset of an 8-candidate problem evaluated under the
+//! true cost models, the Pareto frontier marked, and each scenario's
+//! chosen selection drawn as `X`.
+
+use mv_bench::experiments::build_advisor;
+use mvcloud::select::pareto;
+use mvcloud::{Scenario, SizingMode, SolverKind};
+use mv_units::Money;
+
+fn mask_of(selection: &[bool]) -> u64 {
+    selection
+        .iter()
+        .enumerate()
+        .filter(|(_, on)| **on)
+        .map(|(k, _)| 1u64 << k)
+        .sum()
+}
+
+fn main() {
+    // A compact problem so the full 2^n space is visible: closure
+    // candidates over the 5-query workload.
+    let advisor = {
+        let mut a = build_advisor(5, 1.0, 12.0, 0.0, SizingMode::MeasuredScaled);
+        // Shrink to the closure strategy if too many candidates for a
+        // readable scatter.
+        if a.problem().len() > 10 {
+            let domain = mvcloud::sales_domain(
+                mv_bench::experiments::ENGINE_ROWS,
+                5,
+                1.0,
+                mv_bench::experiments::SEED,
+            );
+            let config = mvcloud::AdvisorConfig {
+                candidates: mvcloud::CandidateStrategy::WorkloadClosure,
+                sizing: SizingMode::MeasuredScaled,
+                months: mv_units::Months::new(12.0),
+                maintenance_delta_fraction: 0.0,
+                ..mvcloud::AdvisorConfig::default()
+            };
+            a = mvcloud::Advisor::build(domain, config).unwrap();
+        }
+        a
+    };
+    let problem = advisor.problem();
+    println!(
+        "solution space over {} candidates = {} subsets\n",
+        problem.len(),
+        1u64 << problem.len()
+    );
+    let points = pareto::solution_space(problem);
+    let frontier = points.iter().filter(|p| p.on_frontier).count();
+    println!("Pareto frontier: {frontier} of {} points\n", points.len());
+
+    let budget = problem.baseline().cost() + Money::from_cents(60);
+    let scenarios = [
+        ("Figure 2 — MV1 (budget limit)", Scenario::budget(budget)),
+        (
+            "Figure 3 — MV2 (response-time limit)",
+            Scenario::time_limit(mv_units::Hours::new(
+                problem.baseline().time.value() * 0.5,
+            )),
+        ),
+        (
+            "Figure 4 — MV3 (tradeoff, alpha=0.5)",
+            Scenario::tradeoff_normalized(0.5),
+        ),
+    ];
+    for (title, scenario) in scenarios {
+        let outcome = mvcloud::select::solve(problem, scenario, SolverKind::Exhaustive);
+        println!("== {title} ==");
+        println!(
+            "chosen: {} views, time {}, cost {}\n",
+            outcome.evaluation.num_selected(),
+            outcome.evaluation.time,
+            outcome.evaluation.cost()
+        );
+        println!(
+            "{}\n",
+            pareto::render_ascii(&points, mask_of(&outcome.evaluation.selection), 64, 18)
+        );
+    }
+}

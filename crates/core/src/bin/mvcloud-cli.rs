@@ -1,0 +1,230 @@
+//! `mvcloud-cli` — command-line front-end for the advisor.
+//!
+//! ```text
+//! mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]
+//!                    (--budget $X | --time-limit H | --alpha A)
+//!                    [--solver knapsack|exhaustive|greedy|bnb]
+//! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
+//! mvcloud-cli pricing
+//! mvcloud-cli excerpt
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the offline crate set
+//! has no CLI parser); flags are `--name value` pairs.
+
+use std::env;
+use std::process::ExitCode;
+
+use mvcloud::engine::{csv, datagen, parse_query, SalesConfig};
+use mvcloud::pricing::presets;
+use mvcloud::report::summarize;
+use mvcloud::units::{Hours, Money};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("sql") => cmd_sql(&args[1..]),
+        Some("pricing") => cmd_pricing(),
+        Some("excerpt") => cmd_excerpt(),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "mvcloud-cli — cost-aware view materialization advisor\n\
+         \n\
+         USAGE:\n\
+           mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]\n\
+                              (--budget X | --time-limit H | --alpha A) [--solver S]\n\
+           mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
+           mvcloud-cli pricing          list provider presets\n\
+           mvcloud-cli excerpt          print the paper's Table 1\n\
+         \n\
+         advise flags:\n\
+           --queries N      workload size, 1-10 paper queries    [default 5]\n\
+           --rows N         generated fact rows                  [default 10000]\n\
+           --provider P     aws-2012|cumulus|stratus|flat-rate   [default aws-2012]\n\
+           --instances K    number of identical instances        [default 2]\n\
+           --budget X       MV1: minimize time under $X total\n\
+           --time-limit H   MV2: minimize cost under H hours\n\
+           --alpha A        MV3: weighted tradeoff, A in [0,1]\n\
+           --solver S       knapsack|exhaustive|greedy|bnb       [default knapsack]"
+    );
+}
+
+/// Reads `--name value` pairs; unknown flags are an error.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    positional: Vec<&'a str>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
+    let mut pairs = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok(Flags { pairs, positional })
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let queries: usize = flags.parse_num("queries", 5)?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let instances: u32 = flags.parse_num("instances", 2)?;
+    let provider = flags.get("provider").unwrap_or("aws-2012");
+    let pricing = presets::all()
+        .into_iter()
+        .find(|p| p.name == provider)
+        .ok_or_else(|| format!("unknown provider {provider:?} (see `pricing`)"))?;
+    let instance = pricing
+        .compute
+        .catalog
+        .cheapest_with_units(1.0)
+        .ok_or("provider has no 1-unit instance")?
+        .name
+        .clone();
+
+    let solver = match flags.get("solver").unwrap_or("knapsack") {
+        "knapsack" => SolverKind::PaperKnapsack,
+        "exhaustive" => SolverKind::Exhaustive,
+        "greedy" => SolverKind::Greedy,
+        "bnb" => SolverKind::BranchAndBound,
+        other => return Err(format!("unknown solver {other:?}")),
+    };
+
+    let scenario = match (flags.get("budget"), flags.get("time-limit"), flags.get("alpha")) {
+        (Some(b), None, None) => Scenario::budget(
+            Money::from_dollars_str(b).map_err(|e| format!("--budget: {e}"))?,
+        ),
+        (None, Some(t), None) => Scenario::time_limit(Hours::new(
+            t.parse::<f64>().map_err(|_| "--time-limit: not a number")?,
+        )),
+        (None, None, Some(a)) => {
+            let alpha: f64 = a.parse().map_err(|_| "--alpha: not a number")?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err("--alpha must be in [0,1]".to_string());
+            }
+            Scenario::tradeoff_normalized(alpha)
+        }
+        _ => {
+            return Err(
+                "choose exactly one of --budget, --time-limit, --alpha".to_string()
+            )
+        }
+    };
+
+    if !(1..=10).contains(&queries) {
+        return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    let domain = sales_domain(rows, queries, 1.0, 42);
+    let advisor = Advisor::build(
+        domain,
+        AdvisorConfig {
+            pricing,
+            instance,
+            nb_instances: instances,
+            ..AdvisorConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let outcome = advisor.solve(scenario, solver);
+    let names: Vec<String> = advisor
+        .candidates()
+        .iter()
+        .map(|c| c.label.clone())
+        .collect();
+    println!("{}", summarize(&outcome, &names));
+    Ok(())
+}
+
+fn cmd_sql(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let statement = flags
+        .positional
+        .first()
+        .ok_or("sql requires a statement argument")?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let parsed = parse_query(statement).map_err(|e| e.to_string())?;
+    let table = match parsed.table.as_str() {
+        "sales" => datagen::generate_sales(&SalesConfig::with_rows(rows)),
+        "lineorder" => mvcloud::engine::ssb::generate_lineorder(&mvcloud::engine::SsbConfig {
+            rows,
+            seed: 7,
+        }),
+        other => {
+            return Err(format!(
+                "unknown table {other:?}: use 'sales' or 'lineorder'"
+            ))
+        }
+    };
+    let (result, stats) = parsed.query.execute(&table).map_err(|e| e.to_string())?;
+    if flags.get("format") == Some("csv") {
+        println!("{}", csv::table_to_csv(&result));
+    } else {
+        println!("{}", result.render(40));
+    }
+    eprintln!(
+        "({} rows in, {} groups out, {} bytes scanned)",
+        stats.rows_scanned, stats.groups, stats.bytes_scanned
+    );
+    Ok(())
+}
+
+fn cmd_pricing() -> Result<(), String> {
+    for p in presets::all() {
+        println!("{}", p.name);
+        for i in p.compute.catalog.all() {
+            println!("  {:<10} {} per hour, {} ECU", i.name, i.hourly, i.compute_units);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_excerpt() -> Result<(), String> {
+    println!("{}", datagen::paper_excerpt().render(4));
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Advisor error type.
+
+use std::fmt;
+
+use mv_engine::EngineError;
+use mv_lattice::LatticeError;
+
+/// Errors raised while building or running the advisor pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvisorError {
+    /// Engine-side failure (query planning, materialization, refresh).
+    Engine(EngineError),
+    /// Lattice-side failure (bad cuboid, unmappable workload).
+    Lattice(LatticeError),
+    /// The configured instance name is not in the pricing catalog.
+    UnknownInstance {
+        /// Requested configuration name.
+        name: String,
+    },
+    /// The domain's measure column is missing from the base table.
+    MissingMeasure {
+        /// The measure column name.
+        column: String,
+    },
+    /// The configuration requests zero queries or an empty workload.
+    EmptyWorkload,
+}
+
+impl fmt::Display for AdvisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdvisorError::Engine(e) => write!(f, "engine error: {e}"),
+            AdvisorError::Lattice(e) => write!(f, "lattice error: {e}"),
+            AdvisorError::UnknownInstance { name } => {
+                write!(f, "instance {name:?} is not in the pricing catalog")
+            }
+            AdvisorError::MissingMeasure { column } => {
+                write!(f, "measure column {column:?} is not in the base table")
+            }
+            AdvisorError::EmptyWorkload => write!(f, "the workload has no queries"),
+        }
+    }
+}
+
+impl std::error::Error for AdvisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdvisorError::Engine(e) => Some(e),
+            AdvisorError::Lattice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for AdvisorError {
+    fn from(e: EngineError) -> Self {
+        AdvisorError::Engine(e)
+    }
+}
+
+impl From<LatticeError> for AdvisorError {
+    fn from(e: LatticeError) -> Self {
+        AdvisorError::Lattice(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! # mvcloud — cost-aware view materialization in the cloud
+//!
+//! End-to-end reproduction of *"Cost Models for View Materialization in the
+//! Cloud"* (Nguyen, d'Orazio, Bimonte, Darmont — EDBT/ICDT DanaC 2012):
+//! given a dataset, a roll-up workload and a cloud pricing policy, decide
+//! which aggregation views to materialize under a budget (MV1), a response
+//! time limit (MV2), or a weighted tradeoff (MV3).
+//!
+//! The heavy lifting lives in the workspace crates, re-exported here:
+//!
+//! * [`units`] — fixed-point money, sizes, durations;
+//! * [`pricing`] — tiered CSP pricing, billing simulator, presets;
+//! * [`engine`] — the columnar aggregation engine (the "cluster");
+//! * [`lattice`] — cuboid lattice, size estimation, candidate generation;
+//! * [`cost`] — the paper's cost formulas;
+//! * [`select`] — MV1/MV2/MV3 scenarios and the four solvers.
+//!
+//! The [`Advisor`] wires them together:
+//!
+//! ```
+//! use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+//! use mvcloud::units::Money;
+//!
+//! let domain = sales_domain(1_000, 3, 1.0, 42);
+//! let advisor = Advisor::build(domain, AdvisorConfig::default()).unwrap();
+//! let outcome = advisor.solve(
+//!     Scenario::budget(Money::from_dollars(100)),
+//!     SolverKind::PaperKnapsack,
+//! );
+//! assert!(outcome.feasible());
+//! // Materializing views always shortens the workload here.
+//! assert!(outcome.evaluation.time < outcome.baseline.time);
+//! ```
+
+mod advisor;
+mod domain;
+mod error;
+pub mod report;
+pub mod whatif;
+
+pub use advisor::{Advisor, AdvisorConfig, CandidateStrategy, MeasuredCandidate, SizingMode};
+pub use domain::{sales_domain, ssb_domain, Domain};
+pub use error::AdvisorError;
+
+// Re-export the sub-crates under stable names.
+pub use mv_cost as cost;
+pub use mv_engine as engine;
+pub use mv_lattice as lattice;
+pub use mv_pricing as pricing;
+pub use mv_select as select;
+pub use mv_units as units;
+
+// The most-used types, flattened for ergonomic imports.
+pub use mv_cost::{CloudCostModel, CostBreakdown, CostContext, QueryCharge, ViewCharge};
+pub use mv_select::{Evaluation, Outcome, Scenario, SelectionProblem, SolverKind};

@@ -1,0 +1,151 @@
+//! Report rendering: paper-style result tables, CSV series, and the
+//! scenario summaries used by every experiment binary.
+
+use mv_select::Outcome;
+use mv_units::Money;
+
+/// Renders a markdown-ish aligned table from a header row and data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line
+    };
+    let mut out = fmt_row(
+        &header
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<String>>(),
+    );
+    out.push('\n');
+    out.push_str(&format!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    ));
+    for row in rows {
+        out.push('\n');
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// Renders rows as CSV (quotes fields containing separators).
+pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+    for row in rows {
+        out.push('\n');
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+    }
+    out
+}
+
+/// Formats a ratio as the paper's percentage style (`"60%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// One-paragraph scenario summary used by the experiment binaries.
+pub fn summarize(outcome: &Outcome, candidate_names: &[String]) -> String {
+    let sel = outcome.selected_names(candidate_names);
+    format!(
+        "{scenario} [{solver}] selected {n} view(s): {views}\n  time {bt} -> {t}  ({ip} faster)\n  cost {bc} -> {c}  ({ic})\n  feasible: {feas}",
+        scenario = outcome.scenario.label(),
+        solver = outcome.solver.name(),
+        n = sel.len(),
+        views = if sel.is_empty() {
+            "(none)".to_string()
+        } else {
+            sel.join(", ")
+        },
+        bt = outcome.baseline.time,
+        t = outcome.evaluation.time,
+        ip = pct(outcome.time_improvement()),
+        bc = outcome.baseline.cost(),
+        c = outcome.evaluation.cost(),
+        ic = if outcome.evaluation.cost() <= outcome.baseline.cost() {
+            format!("{} cheaper", pct(outcome.cost_improvement()))
+        } else {
+            format!("{} dearer", pct(-outcome.cost_improvement()))
+        },
+        feas = outcome.feasible(),
+    )
+}
+
+/// A cross-provider cost comparison row: provider name, total, and the
+/// breakdown triple.
+pub fn provider_row(name: &str, compute: Money, storage: Money, transfer: Money) -> Vec<String> {
+    vec![
+        name.to_string(),
+        (compute + storage + transfer).to_string(),
+        compute.to_string(),
+        storage.to_string(),
+        transfer.to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["queries", "rate"],
+            &[
+                vec!["3".to_string(), "25%".to_string()],
+                vec!["10".to_string(), "60%".to_string()],
+            ],
+        );
+        assert!(t.contains("| queries | rate |"));
+        assert!(t.contains("| 10      | 60%  |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let c = render_csv(
+            &["a", "b"],
+            &[vec!["1,5".to_string(), "x\"y".to_string()]],
+        );
+        assert_eq!(c, "a,b\n\"1,5\",\"x\"\"y\"");
+    }
+
+    #[test]
+    fn pct_rounds() {
+        assert_eq!(pct(0.256), "26%");
+        assert_eq!(pct(0.6), "60%");
+        assert_eq!(pct(0.0), "0%");
+    }
+
+    #[test]
+    fn provider_rows() {
+        let r = provider_row(
+            "aws",
+            Money::from_dollars(1),
+            Money::from_dollars(2),
+            Money::from_cents(50),
+        );
+        assert_eq!(r[0], "aws");
+        assert_eq!(r[1], "$3.50");
+    }
+}

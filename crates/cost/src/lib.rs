@@ -1,0 +1,36 @@
+//! The paper's monetary cost models.
+//!
+//! Section 3 of the paper prices cloud data management without views:
+//! transfer (Formulas 2–3), compute (Formula 4) and storage (Formula 5).
+//! Section 4 extends compute with view materialization and maintenance
+//! (Formulas 6–12). This crate implements both over the pricing substrate,
+//! exactly reproducing every worked example of the paper (see
+//! `tests/paper_examples.rs` for Examples 1–9 as golden tests).
+//!
+//! ```
+//! use mv_cost::{CloudCostModel, CostContext, QueryCharge};
+//! use mv_pricing::presets;
+//! use mv_units::{Gb, Hours, Months};
+//!
+//! let pricing = presets::aws_2012();
+//! let instance = pricing.compute.instance("small").unwrap().clone();
+//! let model = CloudCostModel::new(CostContext {
+//!     pricing,
+//!     instance,
+//!     nb_instances: 2,
+//!     months: Months::new(12.0),
+//!     dataset_size: Gb::new(500.0),
+//!     inserts: vec![],
+//!     workload: vec![QueryCharge::new("Q", Gb::new(10.0), Hours::new(50.0))],
+//! });
+//! // Example 2: $12 of compute without views.
+//! assert_eq!(model.without_views().compute().to_string(), "$12.00");
+//! ```
+
+mod breakdown;
+mod model;
+mod params;
+
+pub use breakdown::CostBreakdown;
+pub use model::{CloudCostModel, Selection};
+pub use params::{CostContext, QueryCharge, ViewCharge};

@@ -1,0 +1,338 @@
+//! The paper's cost models (Sections 3 and 4).
+//!
+//! [`CloudCostModel::without_views`] implements Section 3 — data management
+//! cost with no materialized views (Formulas 1–5). [`CloudCostModel::
+//! with_views`] implements Section 4 — the same three components, with
+//! compute split into processing/maintenance/materialization (Formulas
+//! 6–12) and storage covering the views for the whole period.
+//!
+//! Rounding convention: billable hours are rounded **per cost component**
+//! (processing, maintenance, materialization each round up independently),
+//! which is exactly how the paper's worked Examples 2, 4, 6 and 8 compute
+//! their dollar figures.
+
+use mv_pricing::StorageTimeline;
+use mv_units::{Hours, Money};
+
+use crate::{CostBreakdown, CostContext, ViewCharge};
+
+/// A selection of candidate views, as a bitmask aligned with a candidate
+/// slice. Kept as a plain bool-vec: the optimizer flips entries in place.
+pub type Selection = Vec<bool>;
+
+/// Evaluates the paper's cost formulas over a [`CostContext`].
+#[derive(Debug, Clone)]
+pub struct CloudCostModel {
+    ctx: CostContext,
+}
+
+impl CloudCostModel {
+    /// Wraps a context.
+    pub fn new(ctx: CostContext) -> Self {
+        CloudCostModel { ctx }
+    }
+
+    /// The wrapped context.
+    pub fn context(&self) -> &CostContext {
+        &self.ctx
+    }
+
+    // ------------------------------------------------------------------
+    // Section 3: no views.
+    // ------------------------------------------------------------------
+
+    /// Formula 3: `Ct = Σ s(R_i) × ct`, with the provider's tier schedule
+    /// applied to the period's aggregated outbound volume. (Formula 2's
+    /// input terms are zero under free-inbound providers; for providers
+    /// that do charge inbound, the initial upload is added.)
+    pub fn transfer_cost(&self) -> Money {
+        let out = self.ctx.pricing.transfer.outbound_cost(self.ctx.total_result_size());
+        if self.ctx.pricing.transfer.inbound_is_free() {
+            out
+        } else {
+            // General Formula 2: the dataset and inserted data enter once.
+            let inserted: mv_units::Gb = self.ctx.inserts.iter().map(|(_, g)| *g).sum();
+            out + self
+                .ctx
+                .pricing
+                .transfer
+                .inbound_cost(self.ctx.dataset_size + inserted)
+        }
+    }
+
+    /// Formula 4: `Cc = RoundUp(Σ t_i) × c(IC) × nbIC`.
+    pub fn compute_cost_without_views(&self) -> Money {
+        self.compute_component(self.ctx.base_processing_time())
+    }
+
+    /// Formula 5 over the dataset-only timeline.
+    pub fn storage_cost_without_views(&self) -> Money {
+        self.storage_cost_with_extra(mv_units::Gb::ZERO)
+    }
+
+    /// Section 3 total: `C = Cc + Cs + Ct`.
+    pub fn without_views(&self) -> CostBreakdown {
+        CostBreakdown {
+            transfer: self.transfer_cost(),
+            compute_processing: self.compute_cost_without_views(),
+            compute_maintenance: Money::ZERO,
+            compute_materialization: Money::ZERO,
+            storage: self.storage_cost_without_views(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Section 4: with views.
+    // ------------------------------------------------------------------
+
+    /// Formula 9: per-query best time under a selection — each query uses
+    /// the fastest selected view that can answer it, else its base time.
+    pub fn query_time_with_views(
+        &self,
+        index: usize,
+        views: &[ViewCharge],
+        selected: &Selection,
+    ) -> Hours {
+        let mut best = self.ctx.workload[index].base_time;
+        for (v, on) in views.iter().zip(selected) {
+            if !on {
+                continue;
+            }
+            if let Some(t) = v.query_times[index] {
+                best = best.min(t);
+            }
+        }
+        best
+    }
+
+    /// Formula 9 summed: `TprocessingQ = Σ t_iV` (frequency-weighted).
+    pub fn processing_time_with_views(
+        &self,
+        views: &[ViewCharge],
+        selected: &Selection,
+    ) -> Hours {
+        self.ctx
+            .workload
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.query_time_with_views(i, views, selected) * q.frequency)
+            .sum()
+    }
+
+    /// Formula 7: total materialization time of the selected views.
+    pub fn materialization_time(&self, views: &[ViewCharge], selected: &Selection) -> Hours {
+        views
+            .iter()
+            .zip(selected)
+            .filter(|(_, on)| **on)
+            .map(|(v, _)| v.materialization)
+            .sum()
+    }
+
+    /// Formula 11: total maintenance time of the selected views per period.
+    pub fn maintenance_time(&self, views: &[ViewCharge], selected: &Selection) -> Hours {
+        views
+            .iter()
+            .zip(selected)
+            .filter(|(_, on)| **on)
+            .map(|(v, _)| v.maintenance)
+            .sum()
+    }
+
+    /// Extra storage of the selected views.
+    pub fn views_size(&self, views: &[ViewCharge], selected: &Selection) -> mv_units::Gb {
+        views
+            .iter()
+            .zip(selected)
+            .filter(|(_, on)| **on)
+            .map(|(v, _)| v.size)
+            .sum()
+    }
+
+    /// Section 4 total (Formulas 6–12 plus unchanged Formula 3 transfer).
+    pub fn with_views(&self, views: &[ViewCharge], selected: &Selection) -> CostBreakdown {
+        assert_eq!(
+            views.len(),
+            selected.len(),
+            "selection mask must align with candidates"
+        );
+        CostBreakdown {
+            transfer: self.transfer_cost(),
+            compute_processing: self
+                .compute_component(self.processing_time_with_views(views, selected)),
+            compute_maintenance: self
+                .compute_component(self.maintenance_time(views, selected)),
+            compute_materialization: self
+                .compute_component(self.materialization_time(views, selected)),
+            storage: self.storage_cost_with_extra(self.views_size(views, selected)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared pieces.
+    // ------------------------------------------------------------------
+
+    /// One compute component: `RoundUp(time) × c(IC) × nbIC` under the
+    /// provider's rounding rule. Zero time bills zero (no idle charge).
+    fn compute_component(&self, time: Hours) -> Money {
+        if time == Hours::ZERO {
+            return Money::ZERO;
+        }
+        self.ctx
+            .pricing
+            .compute
+            .cost(time, &self.ctx.instance, self.ctx.nb_instances)
+    }
+
+    /// Formula 5: the interval-based storage cost of dataset + inserts,
+    /// plus `extra` (the selected views) stored for the whole period.
+    fn storage_cost_with_extra(&self, extra: mv_units::Gb) -> Money {
+        let mut timeline =
+            StorageTimeline::new(self.ctx.dataset_size + extra, self.ctx.months);
+        for (at, added) in &self.ctx.inserts {
+            timeline
+                .insert(*at, *added)
+                .expect("context inserts are chronological");
+        }
+        self.ctx.pricing.storage.period_cost(&timeline)
+    }
+
+    /// The storage timeline used by [`CloudCostModel::with_views`], exposed
+    /// for invoice reconciliation in integration tests.
+    pub fn storage_timeline(&self, extra_views: mv_units::Gb) -> StorageTimeline {
+        let mut timeline =
+            StorageTimeline::new(self.ctx.dataset_size + extra_views, self.ctx.months);
+        for (at, added) in &self.ctx.inserts {
+            timeline
+                .insert(*at, *added)
+                .expect("context inserts are chronological");
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryCharge;
+    use mv_pricing::presets;
+    use mv_units::{Gb, Months};
+
+    /// The running example as a costing context.
+    fn running_example() -> CloudCostModel {
+        let pricing = presets::aws_2012();
+        let instance = pricing.compute.instance("small").unwrap().clone();
+        CloudCostModel::new(CostContext {
+            pricing,
+            instance,
+            nb_instances: 2,
+            months: Months::new(12.0),
+            dataset_size: Gb::new(500.0),
+            inserts: vec![],
+            workload: vec![QueryCharge::new("Q", Gb::new(10.0), Hours::new(50.0))],
+        })
+    }
+
+    fn v1(workload_len: usize) -> ViewCharge {
+        ViewCharge::new(
+            "V1",
+            Gb::new(50.0),
+            Hours::new(1.0),
+            Hours::new(5.0),
+            workload_len,
+        )
+        .answers(0, Hours::new(40.0))
+    }
+
+    #[test]
+    fn section3_costs() {
+        let m = running_example();
+        let b = m.without_views();
+        assert_eq!(b.transfer, Money::from_dollars_str("1.08").unwrap());
+        assert_eq!(b.compute_processing, Money::from_dollars(12));
+        // 500 GB × 12 × $0.14 = $840.
+        assert_eq!(b.storage, Money::from_dollars(840));
+        assert_eq!(b.total(), Money::from_dollars_str("853.08").unwrap());
+    }
+
+    #[test]
+    fn section4_costs_with_v1() {
+        let m = running_example();
+        let views = vec![v1(1)];
+        let selected = vec![true];
+        assert_eq!(
+            m.processing_time_with_views(&views, &selected).value(),
+            40.0
+        );
+        let b = m.with_views(&views, &selected);
+        assert_eq!(
+            b.compute_processing,
+            Money::from_dollars_str("9.6").unwrap()
+        );
+        assert_eq!(
+            b.compute_maintenance,
+            Money::from_dollars_str("1.2").unwrap()
+        );
+        assert_eq!(
+            b.compute_materialization,
+            Money::from_dollars_str("0.24").unwrap()
+        );
+        // (500+50) GB × 12 × $0.14 = $924 (the paper's Example 9).
+        assert_eq!(b.storage, Money::from_dollars(924));
+        // Transfer unchanged (Section 4.1).
+        assert_eq!(b.transfer, Money::from_dollars_str("1.08").unwrap());
+    }
+
+    #[test]
+    fn deselected_views_charge_nothing() {
+        let m = running_example();
+        let views = vec![v1(1)];
+        let selected = vec![false];
+        let b = m.with_views(&views, &selected);
+        assert_eq!(b, m.without_views());
+    }
+
+    #[test]
+    fn best_view_wins_per_query() {
+        let m = running_example();
+        let views = vec![
+            v1(1),
+            ViewCharge::new("V2", Gb::new(5.0), Hours::new(0.5), Hours::new(1.0), 1)
+                .answers(0, Hours::new(20.0)),
+        ];
+        // Both selected: the faster V2 answers Q.
+        assert_eq!(
+            m.processing_time_with_views(&views, &vec![true, true]).value(),
+            20.0
+        );
+        // Only V1: 40 h.
+        assert_eq!(
+            m.processing_time_with_views(&views, &vec![true, false]).value(),
+            40.0
+        );
+        // A view that cannot answer leaves the base time.
+        assert_eq!(
+            m.processing_time_with_views(&views, &vec![false, false]).value(),
+            50.0
+        );
+    }
+
+    #[test]
+    fn inserts_change_storage_intervals() {
+        let mut ctx = running_example().ctx;
+        ctx.inserts = vec![(Months::new(6.0), Gb::new(100.0))];
+        let m = CloudCostModel::new(ctx);
+        // 500×6 + 600×6 GB-months at $0.14.
+        let expected = Money::from_dollars_str("0.14")
+            .unwrap()
+            .scale(500.0 * 6.0 + 600.0 * 6.0);
+        assert_eq!(m.storage_cost_without_views(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection mask must align")]
+    fn misaligned_selection_panics() {
+        let m = running_example();
+        m.with_views(&[v1(1)], &vec![true, false]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cost-model inputs (the paper's Table 5 parameters and Section 4 view
+//! attributes).
+
+use mv_pricing::{InstanceType, PricingPolicy};
+use mv_units::{Gb, Hours, Months};
+use serde::{Deserialize, Serialize};
+
+/// One workload query's chargeable characteristics: the paper's `Q_i`,
+/// `s(R_i)` and `t_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryCharge {
+    /// Query identifier.
+    pub name: String,
+    /// Result size `s(R_i)` transferred out per execution.
+    pub result_size: Gb,
+    /// Processing time on the base dataset (no views), `t_i`.
+    pub base_time: Hours,
+    /// Executions per billing period (1.0 = the paper's fixed workload).
+    pub frequency: f64,
+}
+
+impl QueryCharge {
+    /// A once-per-period query.
+    pub fn new(name: impl Into<String>, result_size: Gb, base_time: Hours) -> Self {
+        QueryCharge {
+            name: name.into(),
+            result_size,
+            base_time,
+            frequency: 1.0,
+        }
+    }
+}
+
+/// A candidate view's chargeable characteristics (Section 4): size,
+/// one-time materialization time, per-period maintenance time, and the
+/// improved per-query times `t_iV`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewCharge {
+    /// View identifier.
+    pub name: String,
+    /// Stored size `s(V_k)` (extra storage for the whole period).
+    pub size: Gb,
+    /// One-time build time `t_materialization(V_k)`.
+    pub materialization: Hours,
+    /// Refresh time per billing period `t_maintenance(V_k)`.
+    pub maintenance: Hours,
+    /// `query_times[i]` = `Some(t_iV)` if this view can answer workload
+    /// query `i` in that time; `None` when it cannot answer it. Indices
+    /// align with the workload's query order.
+    pub query_times: Vec<Option<Hours>>,
+}
+
+impl ViewCharge {
+    /// Convenience constructor; `query_times` defaults to "answers
+    /// nothing" and is filled per query with [`ViewCharge::answers`].
+    pub fn new(
+        name: impl Into<String>,
+        size: Gb,
+        materialization: Hours,
+        maintenance: Hours,
+        workload_len: usize,
+    ) -> Self {
+        ViewCharge {
+            name: name.into(),
+            size,
+            materialization,
+            maintenance,
+            query_times: vec![None; workload_len],
+        }
+    }
+
+    /// Declares that this view answers workload query `index` in `time`.
+    pub fn answers(mut self, index: usize, time: Hours) -> Self {
+        self.query_times[index] = Some(time);
+        self
+    }
+}
+
+/// The full costing context: everything the paper's formulas consume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostContext {
+    /// Provider pricing (Tables 2–4).
+    pub pricing: PricingPolicy,
+    /// The rented instance configuration `IC`.
+    pub instance: InstanceType,
+    /// Number of identical instances `nbIC`.
+    pub nb_instances: u32,
+    /// Billing horizon in months (storage period).
+    pub months: Months,
+    /// Initial dataset size `s(DS)`.
+    pub dataset_size: Gb,
+    /// Insert events: `(month, added size)` — Formula 5's interval edges.
+    pub inserts: Vec<(Months, Gb)>,
+    /// The query workload `Q` with per-query charges.
+    pub workload: Vec<QueryCharge>,
+}
+
+impl CostContext {
+    /// Total (frequency-weighted) base processing time — the paper's
+    /// "processing time of Q without views" (50 h in the running example).
+    pub fn base_processing_time(&self) -> Hours {
+        self.workload
+            .iter()
+            .map(|q| q.base_time * q.frequency)
+            .sum()
+    }
+
+    /// Total outbound result volume per period (transfer tiers apply to
+    /// this aggregate).
+    pub fn total_result_size(&self) -> Gb {
+        self.workload
+            .iter()
+            .map(|q| q.result_size * q.frequency)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_pricing::presets;
+
+    fn running_example() -> CostContext {
+        let pricing = presets::aws_2012();
+        let instance = pricing.compute.instance("small").unwrap().clone();
+        CostContext {
+            pricing,
+            instance,
+            nb_instances: 2,
+            months: Months::new(12.0),
+            dataset_size: Gb::new(500.0),
+            inserts: vec![],
+            workload: vec![QueryCharge::new("Q", Gb::new(10.0), Hours::new(50.0))],
+        }
+    }
+
+    #[test]
+    fn aggregates_respect_frequency() {
+        let mut ctx = running_example();
+        assert_eq!(ctx.base_processing_time().value(), 50.0);
+        assert_eq!(ctx.total_result_size().value(), 10.0);
+        ctx.workload[0].frequency = 2.0;
+        assert_eq!(ctx.base_processing_time().value(), 100.0);
+        assert_eq!(ctx.total_result_size().value(), 20.0);
+    }
+
+    #[test]
+    fn view_charge_builder() {
+        let v = ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 3)
+            .answers(1, Hours::new(0.1));
+        assert_eq!(v.query_times, vec![None, Some(Hours::new(0.1)), None]);
+    }
+}

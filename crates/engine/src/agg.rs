@@ -1,0 +1,286 @@
+//! Aggregate functions and accumulators.
+
+use serde::{Deserialize, Serialize};
+
+/// Public aggregate functions.
+///
+/// `Avg` is supported end-to-end but is never *stored* in a materialized
+/// view: the materializer canonicalizes it to `Sum` + `Count` so the view
+/// stays re-aggregable (the classical distributive/algebraic split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Sum of an integer column.
+    Sum,
+    /// Row count (no input column).
+    Count,
+    /// Minimum of an integer column.
+    Min,
+    /// Maximum of an integer column.
+    Max,
+    /// Integer average (floor of sum/count); algebraic, derived from
+    /// Sum+Count when answered from a view.
+    Avg,
+}
+
+impl AggFunc {
+    /// Short lowercase name, used for auto-generated output column names.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Whether re-aggregating partial results of this function with itself
+    /// is lossless (distributive functions).
+    pub fn is_distributive(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Min | AggFunc::Max)
+    }
+}
+
+/// A requested aggregate: function + input column + output name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column; `None` only for `Count`.
+    pub column: Option<String>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `SUM(column) AS sum_column`.
+    pub fn sum(column: impl Into<String>) -> Self {
+        let column = column.into();
+        AggSpec {
+            alias: format!("sum_{column}"),
+            func: AggFunc::Sum,
+            column: Some(column),
+        }
+    }
+
+    /// `COUNT(*) AS count_rows`.
+    pub fn count() -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            column: None,
+            alias: "count_rows".to_string(),
+        }
+    }
+
+    /// `MIN(column) AS min_column`.
+    pub fn min(column: impl Into<String>) -> Self {
+        let column = column.into();
+        AggSpec {
+            alias: format!("min_{column}"),
+            func: AggFunc::Min,
+            column: Some(column),
+        }
+    }
+
+    /// `MAX(column) AS max_column`.
+    pub fn max(column: impl Into<String>) -> Self {
+        let column = column.into();
+        AggSpec {
+            alias: format!("max_{column}"),
+            func: AggFunc::Max,
+            column: Some(column),
+        }
+    }
+
+    /// `AVG(column) AS avg_column`.
+    pub fn avg(column: impl Into<String>) -> Self {
+        let column = column.into();
+        AggSpec {
+            alias: format!("avg_{column}"),
+            func: AggFunc::Avg,
+            column: Some(column),
+        }
+    }
+
+    /// Renames the output column.
+    pub fn with_alias(mut self, alias: impl Into<String>) -> Self {
+        self.alias = alias.into();
+        self
+    }
+}
+
+/// Lowered aggregate expression used by the executor: input columns are
+/// resolved to indices and `Avg` may be expressed as a ratio of two partial
+/// columns when answering from a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AggExpr {
+    /// Sum of input column `col`.
+    Sum { col: usize },
+    /// Count of selected rows.
+    Count,
+    /// Min of input column `col`.
+    Min { col: usize },
+    /// Max of input column `col`.
+    Max { col: usize },
+    /// Floor(sum(col) / count) — native average over base rows.
+    Avg { col: usize },
+    /// Floor(sum(sum_col) / sum(count_col)) — average re-derived from a
+    /// view's stored partials.
+    RatioOfSums { sum_col: usize, count_col: usize },
+}
+
+/// Per-group accumulator state, one per lowered expression.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AggState {
+    SumCount { sum: i64, count: i64 },
+    MinMax { value: i64, seen: bool },
+}
+
+impl AggExpr {
+    pub(crate) fn init(self) -> AggState {
+        match self {
+            AggExpr::Sum { .. } | AggExpr::Count | AggExpr::Avg { .. } | AggExpr::RatioOfSums { .. } => {
+                AggState::SumCount { sum: 0, count: 0 }
+            }
+            AggExpr::Min { .. } | AggExpr::Max { .. } => AggState::MinMax {
+                value: 0,
+                seen: false,
+            },
+        }
+    }
+
+    /// Folds row `row`'s contribution into `state`; `get` reads an input
+    /// column's integer at that row.
+    #[inline]
+    pub(crate) fn update(
+        self,
+        state: &mut AggState,
+        get: &impl Fn(usize, usize) -> i64,
+        row: usize,
+    ) {
+        match (self, state) {
+            (AggExpr::Sum { col }, AggState::SumCount { sum, count }) => {
+                *sum += get(col, row);
+                *count += 1;
+            }
+            (AggExpr::Count, AggState::SumCount { sum, count }) => {
+                *sum += 1;
+                *count += 1;
+            }
+            (AggExpr::Avg { col }, AggState::SumCount { sum, count }) => {
+                *sum += get(col, row);
+                *count += 1;
+            }
+            (AggExpr::RatioOfSums { sum_col, count_col }, AggState::SumCount { sum, count }) => {
+                *sum += get(sum_col, row);
+                *count += get(count_col, row);
+            }
+            (AggExpr::Min { col }, AggState::MinMax { value, seen }) => {
+                let v = get(col, row);
+                if !*seen || v < *value {
+                    *value = v;
+                    *seen = true;
+                }
+            }
+            (AggExpr::Max { col }, AggState::MinMax { value, seen }) => {
+                let v = get(col, row);
+                if !*seen || v > *value {
+                    *value = v;
+                    *seen = true;
+                }
+            }
+            _ => unreachable!("accumulator state mismatch"),
+        }
+    }
+
+    /// Final output value of `state`.
+    pub(crate) fn finish(self, state: &AggState) -> i64 {
+        match (self, state) {
+            (AggExpr::Sum { .. }, AggState::SumCount { sum, .. }) => *sum,
+            (AggExpr::Count, AggState::SumCount { sum, .. }) => *sum,
+            (AggExpr::Avg { .. } | AggExpr::RatioOfSums { .. }, AggState::SumCount { sum, count }) => {
+                if *count == 0 {
+                    0
+                } else {
+                    sum.div_euclid(*count)
+                }
+            }
+            (AggExpr::Min { .. } | AggExpr::Max { .. }, AggState::MinMax { value, .. }) => *value,
+            _ => unreachable!("accumulator state mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constructors_name_outputs() {
+        assert_eq!(AggSpec::sum("profit").alias, "sum_profit");
+        assert_eq!(AggSpec::count().alias, "count_rows");
+        assert_eq!(AggSpec::min("profit").alias, "min_profit");
+        assert_eq!(AggSpec::max("profit").alias, "max_profit");
+        assert_eq!(AggSpec::avg("profit").alias, "avg_profit");
+        assert_eq!(AggSpec::sum("x").with_alias("total").alias, "total");
+    }
+
+    #[test]
+    fn distributivity_classification() {
+        assert!(AggFunc::Sum.is_distributive());
+        assert!(AggFunc::Min.is_distributive());
+        assert!(AggFunc::Max.is_distributive());
+        assert!(!AggFunc::Avg.is_distributive());
+        assert!(!AggFunc::Count.is_distributive()); // re-aggregates as SUM, not COUNT
+    }
+
+    fn run(expr: AggExpr, data: &[Vec<i64>]) -> i64 {
+        let mut state = expr.init();
+        let get = |col: usize, row: usize| data[col][row];
+        for row in 0..data[0].len() {
+            expr.update(&mut state, &get, row);
+        }
+        expr.finish(&state)
+    }
+
+    #[test]
+    fn accumulators_compute() {
+        let col = vec![vec![5, -3, 10]];
+        assert_eq!(run(AggExpr::Sum { col: 0 }, &col), 12);
+        assert_eq!(run(AggExpr::Count, &col), 3);
+        assert_eq!(run(AggExpr::Min { col: 0 }, &col), -3);
+        assert_eq!(run(AggExpr::Max { col: 0 }, &col), 10);
+        assert_eq!(run(AggExpr::Avg { col: 0 }, &col), 4);
+    }
+
+    #[test]
+    fn ratio_of_sums_weights_correctly() {
+        // Two partial groups: (sum=10,count=2) and (sum=50,count=3).
+        let data = vec![vec![10, 50], vec![2, 3]];
+        assert_eq!(
+            run(
+                AggExpr::RatioOfSums {
+                    sum_col: 0,
+                    count_col: 1
+                },
+                &data
+            ),
+            12 // floor(60 / 5)
+        );
+    }
+
+    #[test]
+    fn avg_floors_toward_negative_infinity() {
+        let col = vec![vec![-3, -4]];
+        // floor(-7/2) = -4 (div_euclid), matching SQL's floor semantics
+        // for our integer-cents convention.
+        assert_eq!(run(AggExpr::Avg { col: 0 }, &col), -4);
+    }
+
+    #[test]
+    fn empty_input_yields_zero() {
+        let col: Vec<Vec<i64>> = vec![vec![]];
+        assert_eq!(run(AggExpr::Sum { col: 0 }, &col), 0);
+        assert_eq!(run(AggExpr::Avg { col: 0 }, &col), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Columnar storage.
+
+use crate::{DataType, Dictionary, EngineError, Value};
+
+/// One column of data.
+///
+/// String columns own their dictionary; tables produced by the engine are
+/// self-contained (no shared interning across tables), which keeps
+/// materialized views independent of their base table — exactly like a
+/// physical table in the paper's cloud store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// Dictionary-encoded strings.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Code → string mapping.
+        dict: Dictionary,
+    },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Str => Column::Str {
+                codes: Vec::new(),
+                dict: Dictionary::new(),
+            },
+        }
+    }
+
+    /// This column's logical type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// `true` when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row` as a boundary [`Value`].
+    pub fn value_at(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Str { codes, dict } => Value::Str(dict.decode(codes[row]).to_string()),
+        }
+    }
+
+    /// A group-by key fragment for `row`: the raw integer for `Int`
+    /// columns, the dictionary code for `Str` columns. Only comparable
+    /// within one column, which is all hash aggregation needs.
+    #[inline]
+    pub fn key_at(&self, row: usize) -> i64 {
+        match self {
+            Column::Int(v) => v[row],
+            Column::Str { codes, .. } => codes[row] as i64,
+        }
+    }
+
+    /// Appends a boundary value, interning strings.
+    pub fn push_value(&mut self, value: &Value) -> Result<(), EngineError> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(i)) => {
+                v.push(*i);
+                Ok(())
+            }
+            (Column::Str { codes, dict }, Value::Str(s)) => {
+                codes.push(dict.intern(s));
+                Ok(())
+            }
+            (col, v) => Err(EngineError::TypeMismatch {
+                column: String::new(),
+                expected: col.dtype().name(),
+                actual: v.type_name(),
+            }),
+        }
+    }
+
+    /// Appends an integer. Panics if this is not an `Int` column — used on
+    /// hot paths where the type was already checked.
+    #[inline]
+    pub fn push_int(&mut self, v: i64) {
+        match self {
+            Column::Int(vals) => vals.push(v),
+            Column::Str { .. } => panic!("push_int on a string column"),
+        }
+    }
+
+    /// Appends a string, interning it. Panics on an `Int` column.
+    #[inline]
+    pub fn push_str(&mut self, s: &str) {
+        match self {
+            Column::Str { codes, dict } => codes.push(dict.intern(s)),
+            Column::Int(_) => panic!("push_str on an int column"),
+        }
+    }
+
+    /// Mutable integer data for in-place accumulator merges
+    /// (crate-internal; see `Table::column_mut`).
+    pub(crate) fn int_values_mut(&mut self) -> &mut Vec<i64> {
+        match self {
+            Column::Int(v) => v,
+            Column::Str { .. } => panic!("int_values_mut on a string column"),
+        }
+    }
+
+    /// Borrows the integer data. Errors on string columns.
+    pub fn as_int(&self) -> Result<&[i64], EngineError> {
+        match self {
+            Column::Int(v) => Ok(v),
+            Column::Str { .. } => Err(EngineError::TypeMismatch {
+                column: String::new(),
+                expected: "int",
+                actual: "str",
+            }),
+        }
+    }
+
+    /// Borrows the codes and dictionary of a string column.
+    pub fn as_str(&self) -> Result<(&[u32], &Dictionary), EngineError> {
+        match self {
+            Column::Str { codes, dict } => Ok((codes, dict)),
+            Column::Int(_) => Err(EngineError::TypeMismatch {
+                column: String::new(),
+                expected: "str",
+                actual: "int",
+            }),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Column::Int(v) => 8 * v.len() as u64,
+            Column::Str { codes, dict } => 4 * codes.len() as u64 + dict.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_roundtrip() {
+        let mut c = Column::empty(DataType::Int);
+        c.push_int(2000);
+        c.push_value(&Value::Int(1999)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value_at(0), Value::Int(2000));
+        assert_eq!(c.key_at(1), 1999);
+        assert_eq!(c.as_int().unwrap(), &[2000, 1999]);
+    }
+
+    #[test]
+    fn str_column_roundtrip() {
+        let mut c = Column::empty(DataType::Str);
+        c.push_str("France");
+        c.push_str("Italy");
+        c.push_str("France");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_at(2), Value::from("France"));
+        // Repeated strings share a code.
+        assert_eq!(c.key_at(0), c.key_at(2));
+        assert_ne!(c.key_at(0), c.key_at(1));
+        let (codes, dict) = c.as_str().unwrap();
+        assert_eq!(codes.len(), 3);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let mut c = Column::empty(DataType::Int);
+        assert!(c.push_value(&Value::from("x")).is_err());
+        assert!(c.as_str().is_err());
+        let s = Column::empty(DataType::Str);
+        assert!(s.as_int().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "push_int on a string column")]
+    fn push_int_on_str_panics() {
+        Column::empty(DataType::Str).push_int(1);
+    }
+
+    #[test]
+    fn heap_accounting() {
+        let mut c = Column::empty(DataType::Int);
+        for i in 0..10 {
+            c.push_int(i);
+        }
+        assert_eq!(c.heap_bytes(), 80);
+        assert!(Column::empty(DataType::Str).heap_bytes() == 0);
+    }
+}

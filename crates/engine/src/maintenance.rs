@@ -1,0 +1,285 @@
+//! View maintenance: full recomputation vs incremental refresh.
+//!
+//! The paper charges a maintenance time `t_maintenance(V_k)` per view per
+//! period but does not prescribe a method ("queries are posed during
+//! day-time and maintenance is performed during night-time"). Both classic
+//! strategies are implemented so the maintenance ablation (DESIGN.md §A3)
+//! can quantify the difference the choice makes to the cost models:
+//!
+//! * **Full** — rerun the view's defining query over the whole base table;
+//! * **Incremental** — aggregate only the day's insert delta and merge the
+//!   partial states into the stored table (valid for insert-only deltas;
+//!   `MIN`/`MAX` stay correct because inserts can only tighten them).
+
+use serde::{Deserialize, Serialize};
+
+use crate::fx::FxHashMap;
+use crate::{
+    AggFunc, Column, EngineError, ExecStats, MaterializedView, Table,
+};
+
+/// Maintenance strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefreshStrategy {
+    /// Recompute the view from the (already updated) base table.
+    Full,
+    /// Merge an aggregation of the insert delta into the stored table.
+    Incremental,
+}
+
+impl MaterializedView {
+    /// Fully recomputes this view from `base` (which must already contain
+    /// any new rows). Returns the work performed.
+    pub fn refresh_full(&mut self, base: &Table) -> Result<ExecStats, EngineError> {
+        let rebuilt = MaterializedView::materialize(self.def().clone(), base)?;
+        let stats = *rebuilt.build_stats();
+        *self = rebuilt;
+        Ok(stats)
+    }
+
+    /// Incrementally merges the insert-only `delta` (same schema as the
+    /// base table) into the stored table. Returns the work performed —
+    /// proportional to the delta, not the base, which is the whole point.
+    pub fn refresh_incremental(&mut self, delta: &Table) -> Result<ExecStats, EngineError> {
+        // Aggregate the delta at the view's granularity.
+        let (partial, mut stats) = self.def().as_query().execute(delta)?;
+
+        // The partial and the stored table share an identical schema
+        // (both produced by the same defining query).
+        if partial.schema() != self.data().schema() {
+            return Err(EngineError::SchemaMismatch);
+        }
+
+        let n_keys = self.def().group_by.len();
+        let measures = self.def().measures.clone();
+
+        // Index existing groups by key.
+        let mut index: FxHashMap<Box<[i64]>, usize> = FxHashMap::default();
+        {
+            let data = self.data();
+            let mut key = vec![0i64; n_keys];
+            for row in 0..data.num_rows() {
+                for (i, k) in key.iter_mut().enumerate() {
+                    *k = data.column(i).key_at(row);
+                }
+                index.insert(key.as_slice().into(), row);
+            }
+        }
+
+        // Merge each partial row. String key columns must be re-interned
+        // into the stored table's dictionaries, so keys are matched through
+        // decoded values rather than raw codes.
+        let data = self.data_mut();
+        let mut appended = 0u64;
+        for prow in 0..partial.num_rows() {
+            // Build the key in the *stored* table's code space.
+            let mut key = Vec::with_capacity(n_keys);
+            let mut translatable = true;
+            for i in 0..n_keys {
+                match (partial.column(i), data.column(i)) {
+                    (Column::Int(v), Column::Int(_)) => key.push(v[prow]),
+                    (Column::Str { codes, dict }, Column::Str { dict: tdict, .. }) => {
+                        match tdict.lookup(dict.decode(codes[prow])) {
+                            Some(code) => key.push(code as i64),
+                            None => {
+                                translatable = false;
+                                break;
+                            }
+                        }
+                    }
+                    _ => return Err(EngineError::SchemaMismatch),
+                }
+            }
+            let existing = if translatable {
+                index.get(key.as_slice()).copied()
+            } else {
+                None
+            };
+            match existing {
+                Some(row) => {
+                    // Merge measures in place.
+                    for (m, spec) in measures.iter().enumerate() {
+                        let col_idx = n_keys + m;
+                        let delta_v = partial.column(col_idx).as_int()?[prow];
+                        let values = data.column_mut(col_idx).int_values_mut();
+                        let cur = values[row];
+                        values[row] = match spec.func {
+                            AggFunc::Sum | AggFunc::Count => cur + delta_v,
+                            AggFunc::Min => cur.min(delta_v),
+                            AggFunc::Max => cur.max(delta_v),
+                            AggFunc::Avg => {
+                                unreachable!("canonical views never store Avg")
+                            }
+                        };
+                    }
+                }
+                None => {
+                    // New group: append the partial row wholesale.
+                    let values = partial.row(prow);
+                    data.push_row(&values)?;
+                    appended += 1;
+                }
+            }
+        }
+        stats.rows_out += appended;
+        Ok(stats)
+    }
+
+    /// Dispatches on `strategy`: `base_after` is the base table *after*
+    /// appending `delta`.
+    pub fn refresh(
+        &mut self,
+        strategy: RefreshStrategy,
+        base_after: &Table,
+        delta: &Table,
+    ) -> Result<ExecStats, EngineError> {
+        match strategy {
+            RefreshStrategy::Full => self.refresh_full(base_after),
+            RefreshStrategy::Incremental => self.refresh_incremental(delta),
+        }
+    }
+
+    fn data_mut(&mut self) -> &mut Table {
+        // Private accessor: `self.data` is private to view.rs, so route
+        // through a crate-internal helper defined there.
+        self.data_mut_internal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggQuery, AggSpec, DataType, TableBuilder, Value, ViewDefinition};
+
+    fn base() -> Table {
+        TableBuilder::new(&[
+            ("year", DataType::Int),
+            ("country", DataType::Str),
+            ("profit", DataType::Int),
+        ])
+        .unwrap()
+        .row(&[2000.into(), "France".into(), 35.into()])
+        .unwrap()
+        .row(&[2000.into(), "Italy".into(), 23.into()])
+        .unwrap()
+        .row(&[1999.into(), "Italy".into(), 50.into()])
+        .unwrap()
+        .build()
+    }
+
+    fn delta() -> Table {
+        TableBuilder::new(&[
+            ("year", DataType::Int),
+            ("country", DataType::Str),
+            ("profit", DataType::Int),
+        ])
+        .unwrap()
+        // Existing group.
+        .row(&[2000.into(), "France".into(), 5.into()])
+        .unwrap()
+        // New group with a new dictionary string.
+        .row(&[2001.into(), "Spain".into(), 7.into()])
+        .unwrap()
+        .build()
+    }
+
+    fn view() -> MaterializedView {
+        let def = ViewDefinition::canonical(
+            "v",
+            &["year", "country"],
+            &[
+                AggSpec::sum("profit"),
+                AggSpec::min("profit"),
+                AggSpec::max("profit"),
+            ],
+        );
+        MaterializedView::materialize(def, &base()).unwrap()
+    }
+
+    fn base_after() -> Table {
+        let mut b = base();
+        b.append(&delta()).unwrap();
+        b
+    }
+
+    #[test]
+    fn incremental_equals_full() {
+        let mut inc = view();
+        let mut full = view();
+        inc.refresh_incremental(&delta()).unwrap();
+        full.refresh_full(&base_after()).unwrap();
+        assert_eq!(
+            inc.data().to_sorted_rows(),
+            full.data().to_sorted_rows()
+        );
+    }
+
+    #[test]
+    fn incremental_work_proportional_to_delta() {
+        let mut v = view();
+        let stats = v.refresh_incremental(&delta()).unwrap();
+        // Scanned the 2-row delta, not the 5-row base.
+        assert_eq!(stats.rows_scanned, 2);
+        let mut v2 = view();
+        let full_stats = v2.refresh_full(&base_after()).unwrap();
+        assert_eq!(full_stats.rows_scanned, 5);
+    }
+
+    #[test]
+    fn refresh_dispatch() {
+        let mut a = view();
+        let mut b = view();
+        a.refresh(RefreshStrategy::Incremental, &base_after(), &delta())
+            .unwrap();
+        b.refresh(RefreshStrategy::Full, &base_after(), &delta())
+            .unwrap();
+        assert_eq!(a.data().to_sorted_rows(), b.data().to_sorted_rows());
+    }
+
+    #[test]
+    fn refreshed_view_answers_queries_correctly() {
+        let mut v = view();
+        v.refresh_incremental(&delta()).unwrap();
+        let q = AggQuery::new(
+            "q",
+            &["country"],
+            vec![
+                AggSpec::sum("profit"),
+                AggSpec::min("profit"),
+                AggSpec::max("profit"),
+                AggSpec::count(),
+                AggSpec::avg("profit"),
+            ],
+        );
+        let (from_view, _) = v.answer(&q).unwrap();
+        let (from_base, _) = q.execute(&base_after()).unwrap();
+        assert_eq!(from_view.to_sorted_rows(), from_base.to_sorted_rows());
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let mut v = view();
+        let before = v.data().to_sorted_rows();
+        let empty = TableBuilder::new(&[
+            ("year", DataType::Int),
+            ("country", DataType::Str),
+            ("profit", DataType::Int),
+        ])
+        .unwrap()
+        .build();
+        let stats = v.refresh_incremental(&empty).unwrap();
+        assert_eq!(stats.rows_scanned, 0);
+        assert_eq!(v.data().to_sorted_rows(), before);
+    }
+
+    #[test]
+    fn repeated_increments_accumulate() {
+        let mut v = view();
+        v.refresh_incremental(&delta()).unwrap();
+        v.refresh_incremental(&delta()).unwrap();
+        let q = AggQuery::new("q", &[], vec![AggSpec::sum("profit")]);
+        let (out, _) = v.answer(&q).unwrap();
+        // 108 base + 2×12 delta.
+        assert_eq!(out.row(0), vec![Value::Int(132)]);
+    }
+}

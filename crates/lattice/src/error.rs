@@ -1,0 +1,72 @@
+//! Lattice error type.
+
+use std::fmt;
+
+/// Errors raised while building dimensions, lattices and workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A dimension needs at least the apex plus one level.
+    TooFewLevels {
+        /// Offending dimension.
+        dimension: String,
+    },
+    /// Level 0 must be the apex (no columns, cardinality 1).
+    BadApex {
+        /// Offending dimension.
+        dimension: String,
+    },
+    /// A level's columns must extend the previous level's columns.
+    BrokenPrefixChain {
+        /// Offending dimension.
+        dimension: String,
+        /// Offending level.
+        level: String,
+    },
+    /// Cardinalities must be non-decreasing toward finer levels.
+    NonMonotonicCardinality {
+        /// Offending dimension.
+        dimension: String,
+        /// Offending level.
+        level: String,
+    },
+    /// A lattice needs at least one dimension.
+    NoDimensions,
+    /// A cuboid's level vector does not match the lattice's dimensions.
+    DimensionMismatch,
+    /// A set of group-by columns does not correspond to any cuboid.
+    NoSuchCuboid {
+        /// The unmatched column set.
+        columns: Vec<String>,
+    },
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::TooFewLevels { dimension } => {
+                write!(f, "dimension {dimension:?} needs at least two levels")
+            }
+            LatticeError::BadApex { dimension } => write!(
+                f,
+                "dimension {dimension:?}: level 0 must be ALL (no columns, cardinality 1)"
+            ),
+            LatticeError::BrokenPrefixChain { dimension, level } => write!(
+                f,
+                "dimension {dimension:?}: level {level:?} does not extend the previous level's columns"
+            ),
+            LatticeError::NonMonotonicCardinality { dimension, level } => write!(
+                f,
+                "dimension {dimension:?}: level {level:?} has smaller cardinality than its parent"
+            ),
+            LatticeError::NoDimensions => write!(f, "a lattice needs at least one dimension"),
+            LatticeError::DimensionMismatch => {
+                write!(f, "cuboid shape does not match the lattice's dimensions")
+            }
+            LatticeError::NoSuchCuboid { columns } => {
+                write!(f, "no cuboid has exactly the key columns {columns:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}

@@ -1,0 +1,181 @@
+//! Property-based invariants of the lattice substrate.
+
+use mv_lattice::{candidates, cardenas, Cuboid, Dimension, Lattice, Level, SizeEstimator};
+use proptest::prelude::*;
+
+/// Strategy producing a random valid lattice with 1–3 dimensions of 2–4
+/// levels each, prefix-chained columns and growing cardinalities.
+fn arb_lattice() -> impl Strategy<Value = Lattice> {
+    proptest::collection::vec(
+        (2usize..5, proptest::collection::vec(1u64..50, 3)),
+        1..4,
+    )
+    .prop_map(|dims| {
+        let built: Vec<Dimension> = dims
+            .into_iter()
+            .enumerate()
+            .map(|(d, (depth, mults))| {
+                let mut levels = vec![Dimension::all_level()];
+                let mut cols: Vec<String> = Vec::new();
+                let mut card = 1u64;
+                for l in 1..depth {
+                    cols.push(format!("d{d}_c{l}"));
+                    card = card.saturating_mul(mults[l - 1].max(2));
+                    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    levels.push(Level::new(format!("d{d}_l{l}"), &col_refs, card));
+                }
+                Dimension::new(format!("dim{d}"), levels).expect("constructed dims are valid")
+            })
+            .collect();
+        Lattice::new(built).expect("non-empty")
+    })
+}
+
+/// Picks a random cuboid of `lattice` given a seed vector.
+fn pick_cuboid(lattice: &Lattice, picks: &[u8]) -> Cuboid {
+    let levels = lattice
+        .dimensions()
+        .iter()
+        .zip(picks.iter().cycle())
+        .map(|(d, p)| p % d.depth() as u8)
+        .collect();
+    Cuboid::new(levels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `covers` is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn covers_is_partial_order(
+        lattice in arb_lattice(),
+        pa in proptest::collection::vec(0u8..8, 3),
+        pb in proptest::collection::vec(0u8..8, 3),
+        pc in proptest::collection::vec(0u8..8, 3),
+    ) {
+        let a = pick_cuboid(&lattice, &pa);
+        let b = pick_cuboid(&lattice, &pb);
+        let c = pick_cuboid(&lattice, &pc);
+        // Reflexive.
+        prop_assert!(a.covers(&a));
+        // Antisymmetric.
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Transitive.
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c));
+        }
+    }
+
+    /// LCA is the least upper bound: covers both arguments, and any other
+    /// cuboid covering both also covers the LCA... equivalently, is covered
+    /// BY any common cover.
+    #[test]
+    fn lca_is_least_upper_bound(
+        lattice in arb_lattice(),
+        pa in proptest::collection::vec(0u8..8, 3),
+        pb in proptest::collection::vec(0u8..8, 3),
+        pw in proptest::collection::vec(0u8..8, 3),
+    ) {
+        let a = pick_cuboid(&lattice, &pa);
+        let b = pick_cuboid(&lattice, &pb);
+        let lca = a.lca(&b);
+        prop_assert!(lca.covers(&a));
+        prop_assert!(lca.covers(&b));
+        let w = pick_cuboid(&lattice, &pw);
+        if w.covers(&a) && w.covers(&b) {
+            prop_assert!(w.covers(&lca));
+        }
+        // Meet is dual.
+        let meet = a.meet(&b);
+        prop_assert!(a.covers(&meet));
+        prop_assert!(b.covers(&meet));
+    }
+
+    /// The base covers everything; everything covers the apex; key-column
+    /// sets grow along the order.
+    #[test]
+    fn base_and_apex_are_extremes(
+        lattice in arb_lattice(),
+        p in proptest::collection::vec(0u8..8, 3),
+    ) {
+        let c = pick_cuboid(&lattice, &p);
+        prop_assert!(lattice.base().covers(&c));
+        prop_assert!(c.covers(&lattice.apex()));
+        // Coverage implies column-set containment (the engine's
+        // can_answer condition).
+        let cols = lattice.key_columns(&c);
+        let base_cols = lattice.key_columns(&lattice.base());
+        for col in &cols {
+            prop_assert!(base_cols.contains(col));
+        }
+    }
+
+    /// cuboid_for_columns inverts key_columns on every cuboid.
+    #[test]
+    fn columns_roundtrip(lattice in arb_lattice()) {
+        for c in lattice.all_cuboids() {
+            let cols = lattice.key_columns(&c);
+            prop_assert_eq!(lattice.cuboid_for_columns(&cols).unwrap(), c);
+        }
+    }
+
+    /// Cardenas estimate never exceeds min(n, v) and is monotone in n.
+    #[test]
+    fn cardenas_is_bounded_and_monotone(n in 0u64..2_000_000, v in 1u64..2_000_000) {
+        let e = cardenas(n, v);
+        prop_assert!(e <= n as f64 + 1e-6);
+        prop_assert!(e <= v as f64 + 1e-6);
+        prop_assert!(e >= 0.0);
+        let e2 = cardenas(n.saturating_add(1000), v);
+        prop_assert!(e2 + 1e-9 >= e);
+    }
+
+    /// Estimated rows respect the lattice order: a finer cuboid never has
+    /// fewer expected rows than one it covers.
+    #[test]
+    fn estimates_respect_order(
+        lattice in arb_lattice(),
+        rows in 1u64..5_000_000,
+        pa in proptest::collection::vec(0u8..8, 3),
+        pb in proptest::collection::vec(0u8..8, 3),
+    ) {
+        let est = SizeEstimator::new(rows);
+        let a = pick_cuboid(&lattice, &pa);
+        let b = pick_cuboid(&lattice, &pb);
+        if a.covers(&b) {
+            prop_assert!(
+                est.expected_rows(&lattice, &a) >= est.expected_rows(&lattice, &b) - 1e-6
+            );
+        }
+    }
+
+    /// HRU greedy returns at most k distinct non-base cuboids and never
+    /// increases workload cost.
+    #[test]
+    fn hru_greedy_invariants(
+        lattice in arb_lattice(),
+        rows in 100u64..1_000_000,
+        k in 0usize..6,
+        picks in proptest::collection::vec(proptest::collection::vec(0u8..8, 3), 1..6),
+    ) {
+        let est = SizeEstimator::new(rows);
+        let queries: Vec<mv_lattice::LatticeQuery> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| mv_lattice::LatticeQuery::once(
+                format!("q{i}"),
+                pick_cuboid(&lattice, p),
+            ))
+            .collect();
+        let workload = mv_lattice::LatticeWorkload::new(&lattice, queries).unwrap();
+        let sel = candidates::hru_greedy(&lattice, &est, &workload, k);
+        prop_assert!(sel.len() <= k);
+        let mut d = sel.clone();
+        d.sort();
+        d.dedup();
+        prop_assert_eq!(d.len(), sel.len());
+        prop_assert!(!sel.contains(&lattice.base()));
+    }
+}

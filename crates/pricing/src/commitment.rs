@@ -1,0 +1,141 @@
+//! Reserved-capacity pricing (extension).
+//!
+//! The paper prices compute purely on-demand. Real 2012 AWS also sold
+//! *reserved instances*: pay an upfront fee for a term, then a lower hourly
+//! rate. For steady workloads (the recurring dashboard regime of the
+//! evaluation) reservations change the view-materialization calculus: the
+//! cheaper the marginal hour, the less a view's compute saving is worth.
+//! This module models the plan, its effective cost, and the breakeven
+//! utilisation against on-demand — used by the elasticity example and the
+//! what-if analyses.
+
+use mv_units::{Hours, Money, Months};
+use serde::{Deserialize, Serialize};
+
+use crate::InstanceType;
+
+/// A reserved-capacity plan for one instance type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitmentPlan {
+    /// Plan name (e.g. `"small-1yr-medium"`).
+    pub name: String,
+    /// The instance configuration the reservation applies to.
+    pub instance: String,
+    /// One-time upfront fee for the whole term.
+    pub upfront: Money,
+    /// Discounted hourly rate while reserved.
+    pub hourly: Money,
+    /// Reservation term.
+    pub term: Months,
+}
+
+impl CommitmentPlan {
+    /// AWS 2012-style "medium utilization" 1-year reservation for the
+    /// small instance: $160 upfront, $0.06/h (vs $0.12 on demand).
+    pub fn aws_small_1yr() -> Self {
+        CommitmentPlan {
+            name: "small-1yr-medium".to_string(),
+            instance: "small".to_string(),
+            upfront: Money::from_dollars(160),
+            hourly: Money::from_dollars_str("0.06").expect("literal"),
+            term: Months::new(12.0),
+        }
+    }
+
+    /// Total cost of running `used` instance-hours over the term (per
+    /// instance): upfront is sunk, hours are billed at the reserved rate.
+    pub fn total_cost(&self, used: Hours) -> Money {
+        self.upfront + self.hourly.scale(used.value())
+    }
+
+    /// The *effective* hourly rate at a given utilisation (used hours over
+    /// the term), amortising the upfront. Returns `Money::MAX` at zero use.
+    pub fn effective_hourly(&self, used: Hours) -> Money {
+        if used == Hours::ZERO {
+            return Money::MAX;
+        }
+        Money::from_micros(
+            (self.total_cost(used).micros() as f64 / used.value()).round() as i128,
+        )
+    }
+
+    /// Hours of use per term above which this plan beats paying
+    /// `on_demand_hourly`. `None` when the reserved rate is not actually
+    /// cheaper (the plan can never pay off).
+    pub fn breakeven_hours(&self, on_demand_hourly: Money) -> Option<Hours> {
+        if self.hourly >= on_demand_hourly {
+            return None;
+        }
+        let saving_per_hour = (on_demand_hourly - self.hourly).micros() as f64;
+        Some(Hours::new(
+            self.upfront.micros() as f64 / saving_per_hour,
+        ))
+    }
+
+    /// Whether reserving beats on-demand for a workload using `used` hours
+    /// per term on `on_demand` pricing of the same instance type.
+    pub fn worthwhile(&self, used: Hours, on_demand: &InstanceType) -> bool {
+        self.total_cost(used) < on_demand.hourly.scale(used.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn on_demand_small() -> InstanceType {
+        presets::aws_2012()
+            .compute
+            .instance("small")
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn breakeven_matches_closed_form() {
+        let plan = CommitmentPlan::aws_small_1yr();
+        // $160 / ($0.12 − $0.06) = 2666.67 h.
+        let be = plan
+            .breakeven_hours(on_demand_small().hourly)
+            .expect("plan is cheaper per hour");
+        assert!((be.value() - 2666.6667).abs() < 0.01, "{be:?}");
+        // Just below breakeven: on-demand wins; just above: reservation.
+        assert!(!plan.worthwhile(Hours::new(2_600.0), &on_demand_small()));
+        assert!(plan.worthwhile(Hours::new(2_700.0), &on_demand_small()));
+    }
+
+    #[test]
+    fn effective_rate_amortises_upfront() {
+        let plan = CommitmentPlan::aws_small_1yr();
+        // Fully utilised year: 8760 h -> 160/8760 + 0.06 ≈ $0.0783/h.
+        let eff = plan.effective_hourly(Hours::new(8_760.0));
+        assert!(
+            (eff.to_dollars_f64() - 0.078264).abs() < 1e-4,
+            "{eff}"
+        );
+        // Light use: effective rate exceeds on-demand.
+        let light = plan.effective_hourly(Hours::new(100.0));
+        assert!(light > on_demand_small().hourly);
+        assert_eq!(plan.effective_hourly(Hours::ZERO), Money::MAX);
+    }
+
+    #[test]
+    fn never_pays_off_when_not_cheaper() {
+        let bad = CommitmentPlan {
+            hourly: Money::from_dollars_str("0.12").unwrap(),
+            ..CommitmentPlan::aws_small_1yr()
+        };
+        assert_eq!(bad.breakeven_hours(on_demand_small().hourly), None);
+    }
+
+    #[test]
+    fn total_cost_is_affine() {
+        let plan = CommitmentPlan::aws_small_1yr();
+        assert_eq!(plan.total_cost(Hours::ZERO), Money::from_dollars(160));
+        assert_eq!(
+            plan.total_cost(Hours::new(100.0)),
+            Money::from_dollars(166)
+        );
+    }
+}

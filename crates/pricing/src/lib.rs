@@ -1,0 +1,84 @@
+//! Cloud pricing substrate.
+//!
+//! The paper charges three things (its Section 2.2, Tables 2–4): compute
+//! instance-hours, data stored per month, and data transferred out. This
+//! crate models each as a first-class pricing component and groups them into
+//! a [`PricingPolicy`] — the object every cost formula takes as input.
+//!
+//! The concrete numbers from the paper's AWS tables live in
+//! [`presets::aws_2012`]; three further fictional providers exercise the
+//! paper's "include pricing models from several CSPs" future-work item.
+//!
+//! ```
+//! use mv_pricing::presets;
+//! use mv_units::{Gb, Hours};
+//!
+//! let aws = presets::aws_2012();
+//!
+//! // Example 1 of the paper: a 10 GB query result, first GB free,
+//! // remainder at $0.12/GB => $1.08.
+//! let ct = aws.transfer.outbound_cost(Gb::new(10.0));
+//! assert_eq!(ct.to_string(), "$1.08");
+//!
+//! // Example 2: 50 h on two "small" instances at $0.12/h => $12.00.
+//! let small = aws.compute.instance("small").unwrap();
+//! let cc = aws.compute.cost(Hours::new(50.0), small, 2);
+//! assert_eq!(cc.to_string(), "$12.00");
+//! ```
+
+mod billing;
+mod commitment;
+mod error;
+mod instance;
+pub mod presets;
+mod rounding;
+mod storage;
+mod tier;
+mod transfer;
+
+pub use billing::{
+    running_example_intro_ledger, Invoice, InvoiceLine, LineItem, UsageKind, UsageLedger,
+};
+pub use commitment::CommitmentPlan;
+pub use error::PricingError;
+pub use instance::{ComputePricing, InstanceCatalog, InstanceType};
+pub use rounding::{BillingRounding, RoundingScope};
+pub use storage::{StorageInterval, StoragePricing, StorageTimeline};
+pub use tier::{Tier, TierMode, TierSchedule};
+pub use transfer::TransferPricing;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete provider pricing policy: the three billed components plus a
+/// display name.
+///
+/// This is the "CSP pricing model" parameter of every formula in the paper's
+/// Sections 3–4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PricingPolicy {
+    /// Human-readable provider name (e.g. `"aws-2012"`).
+    pub name: String,
+    /// Instance-hour pricing (paper Table 2).
+    pub compute: ComputePricing,
+    /// Bandwidth pricing (paper Table 3).
+    pub transfer: TransferPricing,
+    /// Storage pricing (paper Table 4).
+    pub storage: StoragePricing,
+}
+
+impl PricingPolicy {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        compute: ComputePricing,
+        transfer: TransferPricing,
+        storage: StoragePricing,
+    ) -> Self {
+        PricingPolicy {
+            name: name.into(),
+            compute,
+            transfer,
+            storage,
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Storage pricing over time (paper Table 4 and Formula 5).
+//!
+//! The paper assumes "the storage period in the cloud is divided into
+//! intervals; in each interval, the size of the stored data is fixed". A
+//! [`StorageTimeline`] records the size-changing events (initial upload,
+//! inserted batches, materialized views, deletions) and yields exactly those
+//! constant-size intervals; [`StoragePricing::period_cost`] then evaluates
+//! `Σ cs(DS) × (t_end − t_start) × s(DS)` over them.
+
+use mv_units::{Gb, Money, Months};
+use serde::{Deserialize, Serialize};
+
+use crate::{PricingError, TierSchedule};
+
+/// Monthly storage pricing: a $/GB-month tier schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoragePricing {
+    /// The `cs(DS)` schedule (paper Table 4).
+    pub monthly: TierSchedule,
+}
+
+impl StoragePricing {
+    /// Wraps a schedule.
+    pub fn new(monthly: TierSchedule) -> Self {
+        StoragePricing { monthly }
+    }
+
+    /// Cost of holding `size` for one month.
+    pub fn monthly_cost(&self, size: Gb) -> Money {
+        self.monthly.cost_for(size)
+    }
+
+    /// Cost of holding `size` for `duration` (fractional months allowed).
+    pub fn cost(&self, size: Gb, duration: Months) -> Money {
+        self.monthly_cost(size).scale(duration.value())
+    }
+
+    /// Formula 5: total cost of a timeline's intervals.
+    pub fn period_cost(&self, timeline: &StorageTimeline) -> Money {
+        timeline
+            .intervals()
+            .iter()
+            .map(|iv| self.cost(iv.size, iv.duration()))
+            .sum()
+    }
+}
+
+/// One interval of constant stored size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageInterval {
+    /// Interval start, in months from the beginning of the period.
+    pub start: Months,
+    /// Interval end.
+    pub end: Months,
+    /// Constant stored size during the interval.
+    pub size: Gb,
+}
+
+impl StorageInterval {
+    /// `t_end − t_start`.
+    pub fn duration(&self) -> Months {
+        self.end - self.start
+    }
+}
+
+/// A chronology of stored-size changes over a billing horizon.
+///
+/// Events must be recorded in chronological order; the timeline is closed by
+/// the horizon given at construction. The paper's Example 3 is the timeline
+/// `512 GB at month 0, +2048 GB at month 7, horizon 12 months`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageTimeline {
+    horizon: Months,
+    /// `(time, size-after-event)` pairs; first entry is at time 0.
+    points: Vec<(Months, Gb)>,
+}
+
+impl StorageTimeline {
+    /// Starts a timeline holding `initial` from month 0 through `horizon`.
+    pub fn new(initial: Gb, horizon: Months) -> Self {
+        StorageTimeline {
+            horizon,
+            points: vec![(Months::ZERO, initial)],
+        }
+    }
+
+    /// Records `added` gigabytes uploaded at month `at`.
+    pub fn insert(&mut self, at: Months, added: Gb) -> Result<(), PricingError> {
+        let current = self.size_at_end();
+        self.push_point(at, current + added)
+    }
+
+    /// Records `removed` gigabytes deleted at month `at`.
+    pub fn remove(&mut self, at: Months, removed: Gb) -> Result<(), PricingError> {
+        let current = self.size_at_end();
+        if removed.value() > current.value() + 1e-9 {
+            return Err(PricingError::StorageUnderflow);
+        }
+        self.push_point(at, current.saturating_sub(removed))
+    }
+
+    fn push_point(&mut self, at: Months, size: Gb) -> Result<(), PricingError> {
+        let last = self.points.last().expect("timeline never empty").0;
+        if at.value() < last.value() {
+            return Err(PricingError::OutOfOrderEvent);
+        }
+        if at.value() == last.value() {
+            // Coalesce same-instant events.
+            self.points.last_mut().expect("timeline never empty").1 = size;
+        } else {
+            self.points.push((at, size));
+        }
+        Ok(())
+    }
+
+    /// The billing horizon.
+    pub fn horizon(&self) -> Months {
+        self.horizon
+    }
+
+    /// Stored size after the last recorded event.
+    pub fn size_at_end(&self) -> Gb {
+        self.points.last().expect("timeline never empty").1
+    }
+
+    /// Stored size at month `at`.
+    pub fn size_at(&self, at: Months) -> Gb {
+        self.points
+            .iter()
+            .rev()
+            .find(|(t, _)| t.value() <= at.value())
+            .map(|(_, s)| *s)
+            .unwrap_or(Gb::ZERO)
+    }
+
+    /// The constant-size intervals covering `[0, horizon]`. Events at or
+    /// after the horizon are ignored; zero-length intervals are skipped.
+    pub fn intervals(&self) -> Vec<StorageInterval> {
+        let mut out = Vec::with_capacity(self.points.len());
+        for (i, (start, size)) in self.points.iter().enumerate() {
+            if start.value() >= self.horizon.value() {
+                break;
+            }
+            let end = self
+                .points
+                .get(i + 1)
+                .map(|(t, _)| t.min(self.horizon))
+                .unwrap_or(self.horizon);
+            if end.value() > start.value() {
+                out.push(StorageInterval {
+                    start: *start,
+                    end,
+                    size: *size,
+                });
+            }
+        }
+        out
+    }
+
+    /// GB-months integral of the whole timeline (used by reports).
+    pub fn gb_months(&self) -> f64 {
+        self.intervals()
+            .iter()
+            .map(|iv| iv.size.value() * iv.duration().value())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tier, TierMode};
+    use mv_units::GB_PER_TB;
+
+    fn paper_storage() -> StoragePricing {
+        StoragePricing::new(
+            TierSchedule::new(
+                vec![
+                    Tier::upto_gb(GB_PER_TB, Money::from_dollars_str("0.14").unwrap()),
+                    Tier::upto_gb(50.0 * GB_PER_TB, Money::from_dollars_str("0.125").unwrap()),
+                    Tier::rest(Money::from_dollars_str("0.11").unwrap()),
+                ],
+                TierMode::FlatByVolume,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn example3_two_intervals() {
+        // 512 GB for 12 months, +2048 GB inserted at the start of month 8
+        // (i.e. after 7 elapsed months).
+        let mut tl = StorageTimeline::new(Gb::new(512.0), Months::new(12.0));
+        tl.insert(Months::new(7.0), Gb::from_tb(2.0)).unwrap();
+
+        let ivs = tl.intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].size.value(), 512.0);
+        assert_eq!(ivs[0].duration().value(), 7.0);
+        assert_eq!(ivs[1].size.value(), 2560.0);
+        assert_eq!(ivs[1].duration().value(), 5.0);
+
+        // 512×0.14×7 + 2560×0.125×5 = 501.76 + 1600 = 2101.76.
+        // (The paper prints $2131.76 — a typo; its own formula gives this.)
+        let cost = paper_storage().period_cost(&tl);
+        assert_eq!(cost, Money::from_dollars_str("2101.76").unwrap());
+    }
+
+    #[test]
+    fn example9_single_interval() {
+        // 550 GB for 12 months at $0.14 = $924.
+        let tl = StorageTimeline::new(Gb::new(550.0), Months::new(12.0));
+        assert_eq!(
+            paper_storage().period_cost(&tl),
+            Money::from_dollars(924)
+        );
+    }
+
+    #[test]
+    fn events_past_horizon_ignored() {
+        let mut tl = StorageTimeline::new(Gb::new(100.0), Months::new(6.0));
+        tl.insert(Months::new(9.0), Gb::new(100.0)).unwrap();
+        assert_eq!(tl.intervals().len(), 1);
+        assert_eq!(tl.gb_months(), 600.0);
+    }
+
+    #[test]
+    fn same_instant_events_coalesce() {
+        let mut tl = StorageTimeline::new(Gb::new(100.0), Months::new(12.0));
+        tl.insert(Months::new(3.0), Gb::new(10.0)).unwrap();
+        tl.insert(Months::new(3.0), Gb::new(10.0)).unwrap();
+        let ivs = tl.intervals();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[1].size.value(), 120.0);
+    }
+
+    #[test]
+    fn removal_and_underflow() {
+        let mut tl = StorageTimeline::new(Gb::new(100.0), Months::new(12.0));
+        tl.remove(Months::new(6.0), Gb::new(40.0)).unwrap();
+        assert_eq!(tl.size_at(Months::new(7.0)).value(), 60.0);
+        assert_eq!(
+            tl.remove(Months::new(8.0), Gb::new(100.0)),
+            Err(PricingError::StorageUnderflow)
+        );
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut tl = StorageTimeline::new(Gb::new(100.0), Months::new(12.0));
+        tl.insert(Months::new(6.0), Gb::new(1.0)).unwrap();
+        assert_eq!(
+            tl.insert(Months::new(3.0), Gb::new(1.0)),
+            Err(PricingError::OutOfOrderEvent)
+        );
+    }
+
+    #[test]
+    fn size_queries() {
+        let mut tl = StorageTimeline::new(Gb::new(100.0), Months::new(12.0));
+        tl.insert(Months::new(4.0), Gb::new(50.0)).unwrap();
+        assert_eq!(tl.size_at(Months::ZERO).value(), 100.0);
+        assert_eq!(tl.size_at(Months::new(3.9)).value(), 100.0);
+        assert_eq!(tl.size_at(Months::new(4.0)).value(), 150.0);
+        assert_eq!(tl.size_at_end().value(), 150.0);
+    }
+
+    #[test]
+    fn fractional_month_cost() {
+        let pricing = paper_storage();
+        // Half a month of 100 GB at $0.14/GB-month.
+        assert_eq!(
+            pricing.cost(Gb::new(100.0), Months::new(0.5)),
+            Money::from_dollars_str("7").unwrap()
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Volume-tiered rate schedules.
+//!
+//! Both the bandwidth table (Table 3) and the storage table (Table 4) of the
+//! paper are *tier schedules*: a sequence of volume brackets, each with a
+//! $/GB rate, "with an earned rate when volume increases". The paper's own
+//! arithmetic applies them in two different ways, so the mode is explicit:
+//!
+//! * [`TierMode::Graduated`] — each bracket's rate applies only to the bytes
+//!   that fall inside it (marginal pricing). The paper's Example 1 computes
+//!   `(10 − 1) × 0.12`: the first free gigabyte is carved out, the remainder
+//!   is billed at tier 2's rate.
+//! * [`TierMode::FlatByVolume`] — the bracket the *total* volume lands in
+//!   prices every gigabyte. The paper's Example 3 charges all
+//!   `512 + 2048 = 2560` GB at tier 2's `$0.125` once the total crosses
+//!   1 TB.
+
+use mv_units::{Gb, Money};
+use serde::{Deserialize, Serialize};
+
+use crate::PricingError;
+
+/// How a schedule's brackets combine into a total price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierMode {
+    /// Marginal pricing: each bracket bills only its own bytes.
+    Graduated,
+    /// The bracket containing the total volume prices all bytes.
+    FlatByVolume,
+}
+
+/// One bracket of a schedule: volumes up to `upto` (exclusive upper bound,
+/// `None` = unbounded) cost `rate` dollars per GB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tier {
+    /// Exclusive upper volume bound of this bracket; `None` for the last tier.
+    pub upto: Option<Gb>,
+    /// Price per gigabyte inside this bracket.
+    pub rate: Money,
+}
+
+impl Tier {
+    /// Bracket covering volumes up to `upto_gb` gigabytes.
+    pub fn upto_gb(upto_gb: f64, rate: Money) -> Self {
+        Tier {
+            upto: Some(Gb::new(upto_gb)),
+            rate,
+        }
+    }
+
+    /// Final, unbounded bracket.
+    pub fn rest(rate: Money) -> Self {
+        Tier { upto: None, rate }
+    }
+}
+
+/// A validated sequence of brackets plus the combination mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSchedule {
+    tiers: Vec<Tier>,
+    mode: TierMode,
+}
+
+impl TierSchedule {
+    /// Builds a schedule, validating that thresholds strictly increase, that
+    /// only the final tier is unbounded, and that no rate is negative.
+    pub fn new(tiers: Vec<Tier>, mode: TierMode) -> Result<Self, PricingError> {
+        if tiers.is_empty() {
+            return Err(PricingError::EmptySchedule);
+        }
+        let mut prev = Gb::ZERO;
+        let last = tiers.len() - 1;
+        for (i, tier) in tiers.iter().enumerate() {
+            if tier.rate.is_negative() {
+                return Err(PricingError::NegativeRate { index: i });
+            }
+            match tier.upto {
+                Some(upto) => {
+                    if i == last {
+                        return Err(PricingError::BoundedFinalTier);
+                    }
+                    if upto.value() <= prev.value() {
+                        return Err(PricingError::NonMonotonicTiers { index: i });
+                    }
+                    prev = upto;
+                }
+                None => {
+                    if i != last {
+                        return Err(PricingError::UnboundedInnerTier { index: i });
+                    }
+                }
+            }
+        }
+        Ok(TierSchedule { tiers, mode })
+    }
+
+    /// A single-rate schedule: every gigabyte costs `rate`.
+    pub fn flat(rate: Money) -> Self {
+        TierSchedule {
+            tiers: vec![Tier::rest(rate)],
+            mode: TierMode::Graduated,
+        }
+    }
+
+    /// A schedule that charges nothing (the paper's inbound transfer).
+    pub fn free() -> Self {
+        TierSchedule::flat(Money::ZERO)
+    }
+
+    /// The combination mode.
+    pub fn mode(&self) -> TierMode {
+        self.mode
+    }
+
+    /// Returns a copy of this schedule with a different [`TierMode`]
+    /// (used by the tier-mode ablation bench).
+    pub fn with_mode(&self, mode: TierMode) -> Self {
+        TierSchedule {
+            tiers: self.tiers.clone(),
+            mode,
+        }
+    }
+
+    /// The brackets.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Total price of `volume` gigabytes under this schedule.
+    pub fn cost_for(&self, volume: Gb) -> Money {
+        if volume == Gb::ZERO {
+            return Money::ZERO;
+        }
+        match self.mode {
+            TierMode::Graduated => {
+                let mut remaining = volume;
+                let mut bracket_start = Gb::ZERO;
+                let mut total = Money::ZERO;
+                for tier in &self.tiers {
+                    let width = match tier.upto {
+                        Some(upto) => (upto - bracket_start).min(remaining),
+                        None => remaining,
+                    };
+                    total += tier.rate.scale(width.value());
+                    remaining = remaining.saturating_sub(width);
+                    if remaining == Gb::ZERO {
+                        break;
+                    }
+                    if let Some(upto) = tier.upto {
+                        bracket_start = upto;
+                    }
+                }
+                total
+            }
+            TierMode::FlatByVolume => self.marginal_rate(volume).scale(volume.value()),
+        }
+    }
+
+    /// The $/GB rate of the bracket that `volume` falls in. A volume exactly
+    /// on a threshold belongs to the *next* bracket (thresholds are exclusive
+    /// upper bounds), matching the paper's Example 3 where 2560 GB > 1 TB is
+    /// priced at the second tier.
+    pub fn marginal_rate(&self, volume: Gb) -> Money {
+        for tier in &self.tiers {
+            match tier.upto {
+                Some(upto) if volume.value() <= upto.value() && volume.value() > 0.0 => {
+                    // Strictly inside the bracket or exactly at the boundary?
+                    // Exactly at the boundary -> next bracket, except when
+                    // volume < upto.
+                    if volume.value() < upto.value() {
+                        return tier.rate;
+                    }
+                }
+                Some(_) => {}
+                None => return tier.rate,
+            }
+        }
+        // Unreachable: the last tier is always unbounded.
+        self.tiers.last().expect("validated non-empty").rate
+    }
+
+    /// Largest volume purchasable with `budget` under this schedule, within
+    /// `epsilon_gb` (bisection; the schedule's cost is monotone in volume).
+    /// Used by "how much data can I afford" what-if reports.
+    pub fn volume_for_budget(&self, budget: Money, epsilon_gb: f64) -> Gb {
+        if budget <= Money::ZERO {
+            return Gb::ZERO;
+        }
+        // Find an upper bracket by doubling.
+        let mut hi = 1.0f64;
+        while self.cost_for(Gb::new(hi)) <= budget {
+            hi *= 2.0;
+            if hi > 1e15 {
+                // Effectively free schedule: "infinite" volume.
+                return Gb::new(hi);
+            }
+        }
+        let mut lo = 0.0f64;
+        while hi - lo > epsilon_gb {
+            let mid = (lo + hi) / 2.0;
+            if self.cost_for(Gb::new(mid)) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Gb::new(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_units::GB_PER_TB;
+
+    fn dollars(s: &str) -> Money {
+        Money::from_dollars_str(s).unwrap()
+    }
+
+    /// The paper's bandwidth schedule (Table 3, outbound).
+    fn bandwidth() -> TierSchedule {
+        TierSchedule::new(
+            vec![
+                Tier::upto_gb(1.0, Money::ZERO),
+                Tier::upto_gb(10.0 * GB_PER_TB, dollars("0.12")),
+                Tier::upto_gb(50.0 * GB_PER_TB, dollars("0.09")),
+                Tier::upto_gb(150.0 * GB_PER_TB, dollars("0.07")),
+                Tier::rest(dollars("0.05")),
+            ],
+            TierMode::Graduated,
+        )
+        .unwrap()
+    }
+
+    /// The paper's storage schedule (Table 4).
+    fn storage() -> TierSchedule {
+        TierSchedule::new(
+            vec![
+                Tier::upto_gb(GB_PER_TB, dollars("0.14")),
+                Tier::upto_gb(50.0 * GB_PER_TB, dollars("0.125")),
+                Tier::upto_gb(500.0 * GB_PER_TB, dollars("0.11")),
+                Tier::rest(dollars("0.095")),
+            ],
+            TierMode::FlatByVolume,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_graduated_bandwidth() {
+        // (10 - 1) GB at $0.12 = $1.08.
+        assert_eq!(bandwidth().cost_for(Gb::new(10.0)), dollars("1.08"));
+        // Entirely inside the free tier.
+        assert_eq!(bandwidth().cost_for(Gb::new(0.5)), Money::ZERO);
+        assert_eq!(bandwidth().cost_for(Gb::new(1.0)), Money::ZERO);
+    }
+
+    #[test]
+    fn graduated_spans_brackets() {
+        // 11 TB: 1 GB free + (10 TB - 1 GB) at 0.12 + 1 TB at 0.09.
+        let vol = Gb::from_tb(11.0);
+        let expected = dollars("0.12").scale(10.0 * GB_PER_TB - 1.0)
+            + dollars("0.09").scale(GB_PER_TB);
+        assert_eq!(bandwidth().cost_for(vol), expected);
+    }
+
+    #[test]
+    fn example3_flat_by_volume_storage() {
+        // 512 GB total: first bracket, $0.14 each.
+        assert_eq!(
+            storage().cost_for(Gb::new(512.0)),
+            dollars("0.14").scale(512.0)
+        );
+        // 2560 GB total: second bracket prices everything at $0.125.
+        assert_eq!(
+            storage().cost_for(Gb::new(2560.0)),
+            dollars("0.125").scale(2560.0)
+        );
+    }
+
+    #[test]
+    fn marginal_rate_boundaries() {
+        let s = storage();
+        assert_eq!(s.marginal_rate(Gb::new(100.0)), dollars("0.14"));
+        // Exactly 1 TB belongs to the next bracket (exclusive upper bound).
+        assert_eq!(s.marginal_rate(Gb::from_tb(1.0)), dollars("0.125"));
+        assert_eq!(s.marginal_rate(Gb::from_tb(600.0)), dollars("0.095"));
+    }
+
+    #[test]
+    fn zero_volume_is_free() {
+        assert_eq!(bandwidth().cost_for(Gb::ZERO), Money::ZERO);
+        assert_eq!(storage().cost_for(Gb::ZERO), Money::ZERO);
+    }
+
+    #[test]
+    fn validation_rejects_bad_schedules() {
+        assert_eq!(
+            TierSchedule::new(vec![], TierMode::Graduated),
+            Err(PricingError::EmptySchedule)
+        );
+        assert_eq!(
+            TierSchedule::new(
+                vec![
+                    Tier::upto_gb(10.0, Money::ZERO),
+                    Tier::upto_gb(5.0, Money::ZERO),
+                    Tier::rest(Money::ZERO),
+                ],
+                TierMode::Graduated
+            ),
+            Err(PricingError::NonMonotonicTiers { index: 1 })
+        );
+        assert_eq!(
+            TierSchedule::new(
+                vec![Tier::rest(Money::ZERO), Tier::rest(Money::ZERO)],
+                TierMode::Graduated
+            ),
+            Err(PricingError::UnboundedInnerTier { index: 0 })
+        );
+        assert_eq!(
+            TierSchedule::new(vec![Tier::upto_gb(5.0, Money::ZERO)], TierMode::Graduated),
+            Err(PricingError::BoundedFinalTier)
+        );
+        assert_eq!(
+            TierSchedule::new(
+                vec![Tier::rest(Money::from_dollars(-1))],
+                TierMode::Graduated
+            ),
+            Err(PricingError::NegativeRate { index: 0 })
+        );
+    }
+
+    #[test]
+    fn volume_for_budget_inverts_cost() {
+        let s = bandwidth();
+        let budget = dollars("1.08");
+        let vol = s.volume_for_budget(budget, 1e-6);
+        assert!((vol.value() - 10.0).abs() < 1e-3, "got {vol:?}");
+        assert_eq!(s.volume_for_budget(Money::ZERO, 1e-6), Gb::ZERO);
+    }
+
+    #[test]
+    fn flat_and_free_helpers() {
+        let f = TierSchedule::flat(dollars("0.10"));
+        assert_eq!(f.cost_for(Gb::new(500.0)), dollars("50"));
+        assert_eq!(TierSchedule::free().cost_for(Gb::from_tb(100.0)), Money::ZERO);
+    }
+
+    #[test]
+    fn with_mode_switches_interpretation() {
+        let s = storage().with_mode(TierMode::Graduated);
+        // Graduated: first 1024 GB at 0.14, remaining 1536 GB at 0.125.
+        let expected = dollars("0.14").scale(1024.0) + dollars("0.125").scale(1536.0);
+        assert_eq!(s.cost_for(Gb::new(2560.0)), expected);
+    }
+}

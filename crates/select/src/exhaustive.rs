@@ -1,0 +1,91 @@
+//! Exhaustive subset enumeration — the ground-truth solver.
+//!
+//! The paper's experiment has ≤ 16 candidates (65 536 subsets), so exact
+//! enumeration is cheap; the repository uses it to validate every other
+//! solver on every experiment instance.
+
+use crate::{Outcome, Scenario, SelectionProblem, SolverKind};
+
+/// Maximum candidate count accepted (2^24 evaluations ≈ seconds).
+pub const MAX_CANDIDATES: usize = 24;
+
+/// Evaluates every subset and returns the scenario-best one.
+///
+/// # Panics
+/// Panics if the problem has more than [`MAX_CANDIDATES`] candidates.
+pub fn solve_exhaustive(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
+    let n = problem.len();
+    assert!(
+        n <= MAX_CANDIDATES,
+        "exhaustive search over {n} candidates would enumerate 2^{n} subsets"
+    );
+    let baseline = problem.baseline();
+    let mut best = baseline.clone();
+    for mask in 1u64..(1u64 << n) {
+        let selection: Vec<bool> = (0..n).map(|k| mask & (1 << k) != 0).collect();
+        let e = problem.evaluate(&selection);
+        if scenario.better(&e, &best, &baseline) {
+            best = e;
+        }
+    }
+    Outcome::new(best, baseline, scenario, SolverKind::Exhaustive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_like_problem;
+    use mv_units::{Hours, Money};
+
+    #[test]
+    fn unlimited_budget_minimizes_time() {
+        let p = paper_like_problem();
+        let o = solve_exhaustive(&p, Scenario::budget(Money::from_dollars(10_000)));
+        // With an unlimited budget the fastest selection must reach the
+        // best per-query times available.
+        let all = p.evaluate(&vec![true; p.len()]);
+        assert_eq!(o.evaluation.time, all.time);
+        assert!(o.feasible());
+    }
+
+    #[test]
+    fn zero_budget_reports_infeasible_or_cheapest() {
+        let p = paper_like_problem();
+        let o = solve_exhaustive(&p, Scenario::budget(Money::from_cents(1)));
+        // Nothing satisfies a 1-cent budget; the solver returns the
+        // least-violating selection and flags infeasibility.
+        assert!(!o.feasible());
+    }
+
+    #[test]
+    fn loose_time_limit_minimizes_cost() {
+        let p = paper_like_problem();
+        let o = solve_exhaustive(&p, Scenario::time_limit(Hours::new(1_000.0)));
+        assert!(o.feasible());
+        // Cost can only be <= every other subset's cost; spot-check two.
+        let base = p.baseline();
+        assert!(o.evaluation.cost() <= base.cost());
+        let all = p.evaluate(&vec![true; p.len()]);
+        assert!(o.evaluation.cost() <= all.cost());
+    }
+
+    #[test]
+    fn tradeoff_alpha_extremes() {
+        let p = paper_like_problem();
+        // alpha = 1: pure time minimization (normalized).
+        let o_time = solve_exhaustive(&p, Scenario::tradeoff_normalized(1.0));
+        let best_time = p.evaluate(&vec![true; p.len()]).time;
+        assert_eq!(o_time.evaluation.time, best_time);
+        // alpha = 0: pure cost minimization.
+        let o_cost = solve_exhaustive(&p, Scenario::tradeoff_normalized(0.0));
+        let o_mv2 = solve_exhaustive(&p, Scenario::time_limit(Hours::new(1e6)));
+        assert_eq!(o_cost.evaluation.cost(), o_mv2.evaluation.cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive search")]
+    fn too_many_candidates_panics() {
+        let p = crate::fixtures::random_problem(1, 2, 25);
+        solve_exhaustive(&p, Scenario::tradeoff(0.5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Problem fixtures shared by unit tests, property tests, benches and
+//! examples.
+
+use mv_cost::{CloudCostModel, CostContext, QueryCharge, ViewCharge};
+use mv_pricing::presets;
+use mv_units::{Gb, Hours, Months};
+
+use crate::SelectionProblem;
+
+/// A small deterministic problem shaped like the paper's experiment: a
+/// 10 GB dataset, a handful of roll-up queries and candidate views whose
+/// speedups overlap (so view interactions matter), priced on AWS-2012 with
+/// two small instances over one month.
+pub fn paper_like_problem() -> SelectionProblem {
+    let pricing = presets::aws_2012();
+    let instance = pricing.compute.instance("small").unwrap().clone();
+    let model = CloudCostModel::new(CostContext {
+        pricing,
+        instance,
+        nb_instances: 2,
+        months: Months::new(1.0),
+        dataset_size: Gb::new(10.0),
+        inserts: vec![],
+        workload: vec![
+            QueryCharge::new("Q1", Gb::new(0.4), Hours::new(0.21)),
+            QueryCharge::new("Q2", Gb::new(0.6), Hours::new(0.21)),
+            QueryCharge::new("Q3", Gb::new(0.2), Hours::new(0.21)),
+        ],
+    });
+    let candidates = vec![
+        // A coarse, cheap view serving Q1 only.
+        ViewCharge::new("v-year-country", Gb::new(0.01), Hours::new(0.22), Hours::new(0.02), 3)
+            .answers(0, Hours::new(0.011)),
+        // A mid view serving Q1 and Q2.
+        ViewCharge::new("v-month-country", Gb::new(0.05), Hours::new(0.23), Hours::new(0.03), 3)
+            .answers(0, Hours::new(0.012))
+            .answers(1, Hours::new(0.012)),
+        // A big view serving all three queries, slower per query.
+        ViewCharge::new("v-day-region", Gb::new(0.8), Hours::new(0.25), Hours::new(0.05), 3)
+            .answers(0, Hours::new(0.03))
+            .answers(1, Hours::new(0.03))
+            .answers(2, Hours::new(0.03)),
+        // A view whose storage outweighs its tiny benefit.
+        ViewCharge::new("v-bulky", Gb::new(6.0), Hours::new(0.26), Hours::new(0.08), 3)
+            .answers(2, Hours::new(0.2)),
+    ];
+    SelectionProblem::new(model, candidates)
+}
+
+/// Deterministic xorshift generator so fixtures need no external RNG.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+/// A random problem with `n_queries` queries and `n_candidates` candidate
+/// views. Each candidate answers a random subset of queries with a random
+/// speedup. Used by the solver-equivalence property tests: exhaustive
+/// search is the ground truth the other solvers are checked against.
+pub fn random_problem(seed: u64, n_queries: usize, n_candidates: usize) -> SelectionProblem {
+    let mut rng = XorShift(seed);
+    let pricing = presets::aws_2012();
+    let instance = pricing.compute.instance("small").unwrap().clone();
+    let workload: Vec<QueryCharge> = (0..n_queries)
+        .map(|i| {
+            QueryCharge::new(
+                format!("Q{i}"),
+                Gb::new(rng.range(0.05, 2.0)),
+                Hours::new(rng.range(0.05, 1.0)),
+            )
+        })
+        .collect();
+    let model = CloudCostModel::new(CostContext {
+        pricing,
+        instance,
+        nb_instances: 1 + (seed % 3) as u32,
+        months: Months::new(1.0),
+        dataset_size: Gb::new(rng.range(1.0, 50.0)),
+        inserts: vec![],
+        workload: workload.clone(),
+    });
+    let candidates: Vec<ViewCharge> = (0..n_candidates)
+        .map(|k| {
+            let mut v = ViewCharge::new(
+                format!("v{k}"),
+                Gb::new(rng.range(0.001, 8.0)),
+                Hours::new(rng.range(0.01, 0.4)),
+                Hours::new(rng.range(0.0, 0.2)),
+                n_queries,
+            );
+            for (i, q) in workload.iter().enumerate() {
+                if rng.next_f64() < 0.6 {
+                    // Speedup factor between 2x and 50x.
+                    let t = q.base_time.value() / rng.range(2.0, 50.0);
+                    v = v.answers(i, Hours::new(t));
+                }
+            }
+            v
+        })
+        .collect();
+    SelectionProblem::new(model, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = random_problem(9, 3, 4);
+        let b = random_problem(9, 3, 4);
+        assert_eq!(a.candidates(), b.candidates());
+        let c = random_problem(10, 3, 4);
+        assert_ne!(a.candidates(), c.candidates());
+    }
+
+    #[test]
+    fn paper_like_problem_shape() {
+        let p = paper_like_problem();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.model().context().workload.len(), 3);
+    }
+}

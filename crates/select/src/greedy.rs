@@ -1,0 +1,88 @@
+//! Greedy hill-climbing baseline.
+//!
+//! Starts from the empty selection and repeatedly flips on the single view
+//! that most improves the scenario ordering, stopping at a local optimum.
+//! Classic view-selection greedy (HRU-style) adapted to the paper's
+//! monetary objectives; used as a baseline in the solver ablation.
+
+use crate::{Outcome, Scenario, SelectionProblem, SolverKind};
+
+/// Solves `scenario` by add-only greedy search.
+pub fn solve_greedy(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
+    let baseline = problem.baseline();
+    let mut selection = vec![false; problem.len()];
+    let mut current = baseline.clone();
+    loop {
+        let mut best_flip: Option<(usize, crate::Evaluation)> = None;
+        for k in 0..problem.len() {
+            if selection[k] {
+                continue;
+            }
+            selection[k] = true;
+            let e = problem.evaluate(&selection);
+            selection[k] = false;
+            if scenario.better(&e, &current, &baseline) {
+                let replace = match &best_flip {
+                    None => true,
+                    Some((_, cur)) => scenario.better(&e, cur, &baseline),
+                };
+                if replace {
+                    best_flip = Some((k, e));
+                }
+            }
+        }
+        match best_flip {
+            Some((k, e)) => {
+                selection[k] = true;
+                current = e;
+            }
+            None => break,
+        }
+    }
+    Outcome::new(current, baseline, scenario, SolverKind::Greedy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::solve_exhaustive;
+    use crate::fixtures::{paper_like_problem, random_problem};
+    use mv_units::{Hours, Money};
+
+    #[test]
+    fn greedy_is_feasible_when_possible() {
+        let p = paper_like_problem();
+        let base = p.baseline();
+        let o = solve_greedy(&p, Scenario::budget(base.cost() + Money::from_dollars(1)));
+        assert!(o.feasible());
+        assert!(o.evaluation.time <= base.time);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_empty() {
+        for seed in 0..20 {
+            let p = random_problem(seed, 3, 5);
+            let s = Scenario::tradeoff_normalized(0.4);
+            let o = solve_greedy(&p, s);
+            let base_obj = s.objective(&o.baseline, &o.baseline);
+            assert!(o.objective() <= base_obj + 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_close_to_exhaustive_on_small_instances() {
+        let mut within_5pct = 0;
+        let total = 15;
+        for seed in 0..total {
+            let p = random_problem(seed + 100, 3, 5);
+            let s = Scenario::time_limit(Hours::new(0.5));
+            let g = solve_greedy(&p, s);
+            let x = solve_exhaustive(&p, s);
+            if !x.feasible() || g.objective() <= x.objective() * 1.05 + 1e-9 {
+                within_5pct += 1;
+            }
+        }
+        // Greedy is a heuristic; demand near-optimality on most instances.
+        assert!(within_5pct >= total - 3, "only {within_5pct}/{total}");
+    }
+}

@@ -1,0 +1,53 @@
+//! The view-selection optimizer (the paper's Section 5).
+//!
+//! Three objective functions over the cost models of `mv-cost`:
+//!
+//! * **MV1** — minimize workload processing time under a budget;
+//! * **MV2** — minimize monetary cost under a response-time limit;
+//! * **MV3** — minimize the α-weighted combination of both.
+//!
+//! Four solvers: the paper's dynamic-programming 0/1 knapsack
+//! ([`solve_knapsack`]), exhaustive enumeration ([`solve_exhaustive`],
+//! ground truth), greedy hill climbing ([`solve_greedy`]) and
+//! branch-and-bound ([`solve_bnb`]). All evaluate selections under the
+//! *true* interaction model — each query uses its fastest selected view —
+//! so solver quality can be compared honestly (DESIGN.md ablation A1).
+//!
+//! ```
+//! use mv_select::{fixtures, Scenario};
+//! use mv_units::Money;
+//!
+//! let problem = fixtures::paper_like_problem();
+//! let budget = problem.baseline().cost() + Money::from_cents(50);
+//! let outcome = mv_select::solve_knapsack(&problem, Scenario::budget(budget));
+//! assert!(outcome.feasible());
+//! assert!(outcome.evaluation.time <= outcome.baseline.time);
+//! ```
+
+mod bnb;
+mod exhaustive;
+pub mod fixtures;
+mod greedy;
+mod knapsack;
+pub mod pareto;
+mod problem;
+mod scenario;
+mod solution;
+
+pub use bnb::{solve_bnb, solve_bnb_counted, BnbStats};
+pub use exhaustive::{solve_exhaustive, MAX_CANDIDATES};
+pub use greedy::solve_greedy;
+pub use knapsack::solve_knapsack;
+pub use problem::{Evaluation, SelectionProblem};
+pub use scenario::Scenario;
+pub use solution::{Outcome, SolverKind};
+
+/// Dispatches to the solver named by `kind`.
+pub fn solve(problem: &SelectionProblem, scenario: Scenario, kind: SolverKind) -> Outcome {
+    match kind {
+        SolverKind::PaperKnapsack => solve_knapsack(problem, scenario),
+        SolverKind::Exhaustive => solve_exhaustive(problem, scenario),
+        SolverKind::Greedy => solve_greedy(problem, scenario),
+        SolverKind::BranchAndBound => solve_bnb(problem, scenario),
+    }
+}

@@ -1,0 +1,165 @@
+//! The view-selection problem instance.
+
+use mv_cost::{CloudCostModel, CostBreakdown, Selection, ViewCharge};
+use mv_units::{Hours, Money};
+
+/// A fully-evaluated selection: the true (non-linearized) processing time
+/// and cost breakdown under the paper's interaction model — each query is
+/// answered by the fastest selected view able to serve it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Which candidates are materialized.
+    pub selection: Selection,
+    /// `TprocessingQ` under the selection (Formula 9).
+    pub time: Hours,
+    /// Formula 1/6 cost decomposition.
+    pub breakdown: CostBreakdown,
+}
+
+impl Evaluation {
+    /// Total monetary cost `C`.
+    pub fn cost(&self) -> Money {
+        self.breakdown.total()
+    }
+
+    /// Number of selected views.
+    pub fn num_selected(&self) -> usize {
+        self.selection.iter().filter(|&&s| s).count()
+    }
+}
+
+/// A selection problem: the costing model plus the candidate views output
+/// by the generation step (the paper's `V_cand`).
+#[derive(Debug, Clone)]
+pub struct SelectionProblem {
+    model: CloudCostModel,
+    candidates: Vec<ViewCharge>,
+}
+
+impl SelectionProblem {
+    /// Builds a problem. Candidate `query_times` vectors must align with
+    /// the model's workload.
+    pub fn new(model: CloudCostModel, candidates: Vec<ViewCharge>) -> Self {
+        let m = model.context().workload.len();
+        for c in &candidates {
+            assert_eq!(
+                c.query_times.len(),
+                m,
+                "candidate {} has {} query times for a {}-query workload",
+                c.name,
+                c.query_times.len(),
+                m
+            );
+        }
+        SelectionProblem { model, candidates }
+    }
+
+    /// The costing model.
+    pub fn model(&self) -> &CloudCostModel {
+        &self.model
+    }
+
+    /// The candidate views.
+    pub fn candidates(&self) -> &[ViewCharge] {
+        &self.candidates
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Evaluates a selection under the true interaction model.
+    pub fn evaluate(&self, selection: &Selection) -> Evaluation {
+        assert_eq!(selection.len(), self.candidates.len());
+        Evaluation {
+            time: self
+                .model
+                .processing_time_with_views(&self.candidates, selection),
+            breakdown: self.model.with_views(&self.candidates, selection),
+            selection: selection.clone(),
+        }
+    }
+
+    /// The empty selection (the paper's "without materialized views"
+    /// baseline).
+    pub fn baseline(&self) -> Evaluation {
+        self.evaluate(&vec![false; self.candidates.len()])
+    }
+
+    /// Linearized per-view deltas used by the paper's knapsack formulation:
+    /// `(time saved, cost delta)` of adding view `k` to the *empty*
+    /// selection. Interactions (two views serving the same query) make the
+    /// sum of these deltas an optimistic estimate — the knapsack solver
+    /// repairs against [`SelectionProblem::evaluate`] afterwards.
+    pub fn linearized_deltas(&self) -> Vec<(Hours, Money)> {
+        let baseline = self.baseline();
+        (0..self.candidates.len())
+            .map(|k| {
+                let mut sel = vec![false; self.candidates.len()];
+                sel[k] = true;
+                let e = self.evaluate(&sel);
+                (
+                    baseline.time.saturating_sub(e.time),
+                    e.cost() - baseline.cost(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_like_problem;
+    use mv_units::Gb;
+
+    #[test]
+    fn baseline_has_no_views() {
+        let p = paper_like_problem();
+        let base = p.baseline();
+        assert_eq!(base.num_selected(), 0);
+        assert_eq!(base.time, p.model().context().base_processing_time());
+    }
+
+    #[test]
+    fn evaluate_uses_best_view_per_query() {
+        let p = paper_like_problem();
+        let all = vec![true; p.len()];
+        let e = p.evaluate(&all);
+        assert!(e.time < p.baseline().time);
+        assert_eq!(e.num_selected(), p.len());
+    }
+
+    #[test]
+    fn linearized_deltas_have_nonnegative_savings() {
+        let p = paper_like_problem();
+        for (saving, _) in p.linearized_deltas() {
+            assert!(saving >= Hours::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query times")]
+    fn misaligned_candidate_panics() {
+        let p = paper_like_problem();
+        let mut bad = p.candidates()[0].clone();
+        bad.query_times.push(None);
+        SelectionProblem::new(p.model().clone(), vec![bad]);
+    }
+
+    #[test]
+    fn evaluation_accessors() {
+        let p = paper_like_problem();
+        let e = p.baseline();
+        assert_eq!(e.cost(), e.breakdown.total());
+        assert!(e.cost() > mv_units::Money::ZERO);
+        assert!(p.candidates()[0].size > Gb::ZERO);
+        assert!(!p.is_empty());
+    }
+}

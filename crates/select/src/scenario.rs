@@ -1,0 +1,204 @@
+//! The paper's three objective functions (Section 5.1).
+
+use mv_units::{Hours, Money};
+use serde::{Deserialize, Serialize};
+
+use crate::Evaluation;
+
+/// An optimization scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// MV1 (Formula 13): minimize `TprocessingQ` subject to `C ≤ budget`.
+    Mv1 {
+        /// The financial budget `Bl`.
+        budget: Money,
+    },
+    /// MV2 (Formula 14): minimize `C` subject to `TprocessingQ ≤ limit`.
+    Mv2 {
+        /// The response-time limit `Tl`.
+        time_limit: Hours,
+    },
+    /// MV3 (Formula 15): minimize `α·T + (1−α)·C`, unconstrained.
+    Mv3 {
+        /// Weight on processing time (`1−α` weights cost).
+        alpha: f64,
+        /// When `true`, `T` and `C` are divided by their no-view baselines
+        /// before weighting, making the two terms commensurable. The paper
+        /// mixes raw hours and dollars (`false`); both are supported and
+        /// compared in the ablation benches.
+        normalize: bool,
+    },
+}
+
+impl Scenario {
+    /// MV1 constructor.
+    pub fn budget(budget: Money) -> Self {
+        Scenario::Mv1 { budget }
+    }
+
+    /// MV2 constructor.
+    pub fn time_limit(time_limit: Hours) -> Self {
+        Scenario::Mv2 { time_limit }
+    }
+
+    /// MV3 constructor (paper-style raw mixing).
+    pub fn tradeoff(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        Scenario::Mv3 {
+            alpha,
+            normalize: false,
+        }
+    }
+
+    /// MV3 constructor with baseline normalization.
+    pub fn tradeoff_normalized(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        Scenario::Mv3 {
+            alpha,
+            normalize: true,
+        }
+    }
+
+    /// Whether `e` satisfies the scenario's constraint.
+    pub fn feasible(&self, e: &Evaluation) -> bool {
+        match self {
+            Scenario::Mv1 { budget } => e.cost() <= *budget,
+            Scenario::Mv2 { time_limit } => e.time <= *time_limit,
+            Scenario::Mv3 { .. } => true,
+        }
+    }
+
+    /// Constraint violation magnitude, as a dimensionless number used only
+    /// to rank infeasible solutions (0 when feasible).
+    pub fn violation(&self, e: &Evaluation) -> f64 {
+        match self {
+            Scenario::Mv1 { budget } => {
+                (e.cost() - *budget).to_dollars_f64().max(0.0)
+            }
+            Scenario::Mv2 { time_limit } => {
+                (e.time.value() - time_limit.value()).max(0.0)
+            }
+            Scenario::Mv3 { .. } => 0.0,
+        }
+    }
+
+    /// The scenario's objective value for `e`, lower = better. `baseline`
+    /// supplies the normalization denominators for MV3.
+    pub fn objective(&self, e: &Evaluation, baseline: &Evaluation) -> f64 {
+        match self {
+            Scenario::Mv1 { .. } => e.time.value(),
+            Scenario::Mv2 { .. } => e.cost().to_dollars_f64(),
+            Scenario::Mv3 { alpha, normalize } => {
+                let (t, c) = if *normalize {
+                    (
+                        e.time.value() / baseline.time.value().max(f64::MIN_POSITIVE),
+                        e.cost().to_dollars_f64()
+                            / baseline.cost().to_dollars_f64().abs().max(f64::MIN_POSITIVE),
+                    )
+                } else {
+                    (e.time.value(), e.cost().to_dollars_f64())
+                };
+                alpha * t + (1.0 - alpha) * c
+            }
+        }
+    }
+
+    /// `true` when `a` is strictly better than `b`: feasibility first, then
+    /// smaller violation, then smaller objective, then (tie-break) smaller
+    /// cost and time.
+    pub fn better(&self, a: &Evaluation, b: &Evaluation, baseline: &Evaluation) -> bool {
+        let (fa, fb) = (self.feasible(a), self.feasible(b));
+        if fa != fb {
+            return fa;
+        }
+        if !fa {
+            let (va, vb) = (self.violation(a), self.violation(b));
+            if va != vb {
+                return va < vb;
+            }
+        }
+        let (oa, ob) = (self.objective(a, baseline), self.objective(b, baseline));
+        if oa != ob {
+            return oa < ob;
+        }
+        if a.cost() != b.cost() {
+            return a.cost() < b.cost();
+        }
+        a.time < b.time
+    }
+
+    /// Short label for reports (`"MV1"`, `"MV2"`, `"MV3"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Mv1 { .. } => "MV1",
+            Scenario::Mv2 { .. } => "MV2",
+            Scenario::Mv3 { .. } => "MV3",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_like_problem;
+
+    #[test]
+    fn feasibility_and_violation() {
+        let p = paper_like_problem();
+        let base = p.baseline();
+        let tight = Scenario::budget(base.cost() - Money::from_dollars(1));
+        assert!(!tight.feasible(&base));
+        assert!(tight.violation(&base) > 0.0);
+        let loose = Scenario::budget(base.cost() + Money::from_dollars(1));
+        assert!(loose.feasible(&base));
+        assert_eq!(loose.violation(&base), 0.0);
+
+        let t = Scenario::time_limit(base.time);
+        assert!(t.feasible(&base));
+        assert!(Scenario::tradeoff(0.5).feasible(&base));
+    }
+
+    #[test]
+    fn objective_directions() {
+        let p = paper_like_problem();
+        let base = p.baseline();
+        let all = p.evaluate(&vec![true; p.len()]);
+        // MV1 objective = time: all views is better.
+        assert!(
+            Scenario::budget(Money::MAX).objective(&all, &base)
+                < Scenario::budget(Money::MAX).objective(&base, &base)
+        );
+        // MV3 normalized baseline objective = alpha·1 + (1-alpha)·1 = 1.
+        let mv3 = Scenario::tradeoff_normalized(0.3);
+        assert!((mv3.objective(&base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_prefers_feasible_then_objective() {
+        let p = paper_like_problem();
+        let base = p.baseline();
+        let all = p.evaluate(&vec![true; p.len()]);
+        let s = Scenario::budget(Money::MAX);
+        assert!(s.better(&all, &base, &base)); // faster, both feasible
+        assert!(!s.better(&base, &all, &base));
+        // Infeasible vs feasible.
+        let tight = Scenario::budget(Money::ZERO);
+        // Both infeasible: smaller violation wins.
+        let cheaper = if all.cost() < base.cost() { &all } else { &base };
+        let dearer = if all.cost() < base.cost() { &base } else { &all };
+        assert!(tight.better(cheaper, dearer, &base));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn alpha_out_of_range_panics() {
+        Scenario::tradeoff(1.5);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scenario::budget(Money::ZERO).label(), "MV1");
+        assert_eq!(Scenario::time_limit(Hours::ZERO).label(), "MV2");
+        assert_eq!(Scenario::tradeoff(0.5).label(), "MV3");
+    }
+}

@@ -1,0 +1,72 @@
+//! The supply-chain sales scenario from the paper's introduction: business
+//! users analyse profit per day/month/year × department/region/country,
+//! under each of the paper's three decision regimes.
+//!
+//! Shows how the *same* workload gets a different materialization set
+//! depending on whether the user is budget-bound (MV1), latency-bound
+//! (MV2), or balancing both (MV3) — the paper's Figure 2–4 story.
+//!
+//! Run with: `cargo run --example advisor_sales`
+
+use mvcloud::report::summarize;
+use mvcloud::units::{Hours, Money, Months};
+use mvcloud::{
+    sales_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario, SolverKind,
+};
+
+fn main() {
+    // Ten roll-up queries over 20k generated sales rows standing in for the
+    // paper's 10 GB evaluation dataset; dashboards refresh 30×/month.
+    let domain = sales_domain(20_000, 10, 30.0, 7);
+    let advisor = Advisor::build(
+        domain,
+        AdvisorConfig {
+            months: Months::new(1.0),
+            candidates: CandidateStrategy::FullLattice,
+            ..AdvisorConfig::default()
+        },
+    )
+    .unwrap();
+    let names: Vec<String> = advisor
+        .candidates()
+        .iter()
+        .map(|c| c.label.clone())
+        .collect();
+    let baseline = advisor.problem().baseline();
+    println!(
+        "workload: 10 queries x30/month | no views: {} and {}\n",
+        baseline.time,
+        baseline.cost()
+    );
+
+    println!("--- MV1: analyst with a hard budget ---");
+    for extra_cents in [30i64, 100, 400] {
+        let budget = baseline.cost() + Money::from_cents(extra_cents);
+        let o = advisor.solve(Scenario::budget(budget), SolverKind::PaperKnapsack);
+        println!("budget {budget}:");
+        println!("{}\n", summarize(&o, &names));
+    }
+
+    println!("--- MV2: dashboard with a latency target ---");
+    for factor in [0.5, 0.2, 0.05] {
+        let limit = Hours::new(baseline.time.value() * factor);
+        let o = advisor.solve(Scenario::time_limit(limit), SolverKind::PaperKnapsack);
+        println!("time limit {limit} ({:.0}% of baseline):", factor * 100.0);
+        println!("{}\n", summarize(&o, &names));
+    }
+
+    println!("--- MV3: weighted tradeoff sweep ---");
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let o = advisor.solve(
+            Scenario::tradeoff_normalized(alpha),
+            SolverKind::BranchAndBound,
+        );
+        println!(
+            "alpha={alpha:.1}: {} views, time {}, cost {}, objective {:.4}",
+            o.evaluation.num_selected(),
+            o.evaluation.time,
+            o.evaluation.cost(),
+            o.objective(),
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Elastic provisioning sweep — the paper's future-work item on "variable
+//! resources" and its introduction's scale-up-vs-materialize question.
+//!
+//! For 1–16 rented instances, compares three strategies on the same
+//! workload: scale out with no views, materialize with no extra instances,
+//! and the advisor's combined optimum. Materialization beats raw
+//! scale-out on cost at every fleet size — "cloud view materialization is
+//! always desirable".
+//!
+//! Run with: `cargo run --example elasticity`
+
+use mvcloud::report::render_table;
+use mvcloud::units::Months;
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for nb in [1u32, 2, 4, 8, 16] {
+        let domain = sales_domain(10_000, 10, 30.0, 42);
+        let advisor = Advisor::build(
+            domain,
+            AdvisorConfig {
+                nb_instances: nb,
+                months: Months::new(1.0),
+                ..AdvisorConfig::default()
+            },
+        )
+        .unwrap();
+        let baseline = advisor.problem().baseline();
+        let optimum = advisor.solve(
+            Scenario::tradeoff_normalized(0.5),
+            SolverKind::BranchAndBound,
+        );
+        rows.push(vec![
+            nb.to_string(),
+            baseline.time.to_string(),
+            baseline.cost().to_string(),
+            optimum.evaluation.time.to_string(),
+            optimum.evaluation.cost().to_string(),
+            optimum.evaluation.num_selected().to_string(),
+        ]);
+    }
+    println!("== Scale-out vs materialization (10 queries x30/month) ==\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "instances",
+                "time (no views)",
+                "cost (no views)",
+                "time (advisor)",
+                "cost (advisor)",
+                "#views"
+            ],
+            &rows
+        )
+    );
+    println!("\nScaling out buys time linearly but the bill stays flat-to-rising;");
+    println!("materialized views cut both. Bigger fleets mainly shrink the");
+    println!("materialization window, not the steady-state bill.");
+
+    // Reserved capacity (extension): does committing to a 1-year small-
+    // instance reservation pay off for this workload's hours?
+    use mvcloud::pricing::{presets, CommitmentPlan};
+    use mvcloud::units::Hours;
+    let plan = CommitmentPlan::aws_small_1yr();
+    let on_demand = presets::aws_2012()
+        .compute
+        .instance("small")
+        .unwrap()
+        .clone();
+    println!("\n== Reserved vs on-demand (1-year term, 'small') ==");
+    let breakeven = plan.breakeven_hours(on_demand.hourly).unwrap();
+    println!(
+        "  {}: {} upfront + {}/h; breakeven at {breakeven} of use per year",
+        plan.name, plan.upfront, plan.hourly
+    );
+    for monthly_hours in [10.0, 100.0, 400.0, 730.0] {
+        let yearly = Hours::new(monthly_hours * 12.0);
+        let od = on_demand.hourly.scale(yearly.value());
+        let ri = plan.total_cost(yearly);
+        println!(
+            "  {monthly_hours:>5.0} h/month: on-demand {od}, reserved {ri} -> {}",
+            if plan.worthwhile(yearly, &on_demand) {
+                "reserve"
+            } else {
+                "stay on-demand"
+            }
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Root integration package for the workspace.
+//!
+//! The implementation lives in the `crates/` members; this package hosts
+//! the runnable `examples/` and the cross-crate integration tests in
+//! `tests/`. It re-exports the [`mvcloud`] facade so examples can write
+//! `use cloud_view_suite::...` or `use mvcloud::...` interchangeably.
+
+pub use mvcloud::*;

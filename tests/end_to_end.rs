@@ -1,0 +1,211 @@
+//! Cross-crate integration: the full advisor pipeline from generated data
+//! to a reconciled invoice, under every scenario × solver combination.
+
+use mvcloud::units::{Gb, Hours, Money, Months};
+use mvcloud::{
+    sales_domain, ssb_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario,
+    SizingMode, SolverKind,
+};
+
+fn advisor() -> Advisor {
+    Advisor::build(sales_domain(3_000, 5, 1.0, 42), AdvisorConfig::default()).unwrap()
+}
+
+#[test]
+fn every_scenario_and_solver_terminates_feasibly() {
+    let a = advisor();
+    let baseline = a.problem().baseline();
+    let scenarios = [
+        Scenario::budget(baseline.cost() + Money::from_dollars(5)),
+        Scenario::time_limit(Hours::new(baseline.time.value() * 0.5)),
+        Scenario::tradeoff_normalized(0.3),
+        Scenario::tradeoff(0.65),
+    ];
+    let solvers = [
+        SolverKind::PaperKnapsack,
+        SolverKind::Exhaustive,
+        SolverKind::Greedy,
+        SolverKind::BranchAndBound,
+    ];
+    for scenario in scenarios {
+        for solver in solvers {
+            let o = a.solve(scenario, solver);
+            assert!(
+                o.feasible(),
+                "{} with {} infeasible",
+                scenario.label(),
+                solver.name()
+            );
+            // Views are always desirable: never slower than baseline.
+            assert!(o.evaluation.time <= o.baseline.time);
+        }
+    }
+}
+
+#[test]
+fn selected_views_answer_all_covered_queries_exactly() {
+    let a = advisor();
+    let o = a.solve(
+        Scenario::budget(Money::from_dollars(10_000)),
+        SolverKind::Greedy,
+    );
+    let catalog = a.materialize_selection(&o).unwrap();
+    assert!(!catalog.is_empty());
+    for q in a.queries() {
+        let (via_catalog, stats, used) = catalog.execute(q, &a.domain().base).unwrap();
+        let (direct, direct_stats) = q.execute(&a.domain().base).unwrap();
+        assert_eq!(
+            via_catalog.to_sorted_rows(),
+            direct.to_sorted_rows(),
+            "{} differs through the catalog",
+            q.name
+        );
+        if used.is_some() {
+            // Answering from a view must scan no more than the base did.
+            assert!(stats.rows_scanned <= direct_stats.rows_scanned);
+        }
+    }
+}
+
+#[test]
+fn invoice_reconciles_under_all_scenarios() {
+    let a = advisor();
+    let baseline = a.problem().baseline();
+    for scenario in [
+        Scenario::budget(baseline.cost() + Money::from_dollars(2)),
+        Scenario::time_limit(Hours::new(baseline.time.value() * 0.8)),
+        Scenario::tradeoff_normalized(0.5),
+    ] {
+        let o = a.solve(scenario, SolverKind::BranchAndBound);
+        let invoice = a.usage_ledger(&o).invoice(&a.config().pricing).unwrap();
+        assert_eq!(
+            invoice.total(),
+            o.evaluation.cost(),
+            "{} invoice mismatch",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn maintenance_charges_appear_when_data_changes() {
+    let domain = sales_domain(2_000, 3, 1.0, 42);
+    let static_ds = Advisor::build(
+        domain.clone(),
+        AdvisorConfig {
+            maintenance_delta_fraction: 0.0,
+            ..AdvisorConfig::default()
+        },
+    )
+    .unwrap();
+    let live_ds = Advisor::build(
+        domain,
+        AdvisorConfig {
+            maintenance_delta_fraction: 0.05,
+            ..AdvisorConfig::default()
+        },
+    )
+    .unwrap();
+    for (s, l) in static_ds
+        .problem()
+        .candidates()
+        .iter()
+        .zip(live_ds.problem().candidates())
+    {
+        assert_eq!(s.maintenance, Hours::ZERO);
+        assert!(l.maintenance > Hours::ZERO, "{} has no maintenance", l.name);
+    }
+}
+
+#[test]
+fn sizing_modes_agree_at_identity_scale() {
+    // When the engine table is the whole dataset (simulated size == engine
+    // size), measured scaling is exact; extrapolation must stay within a
+    // small factor of it for base times (same rows, same work).
+    let domain = sales_domain(2_000, 3, 1.0, 42);
+    let engine_size = domain.base.size();
+    let mk = |sizing| {
+        Advisor::build(
+            sales_domain(2_000, 3, 1.0, 42),
+            AdvisorConfig {
+                simulated_dataset: Gb::new(engine_size.value()),
+                sizing,
+                ..AdvisorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let measured = mk(SizingMode::MeasuredScaled);
+    let extrapolated = mk(SizingMode::Extrapolated);
+    for (m, e) in measured
+        .problem()
+        .model()
+        .context()
+        .workload
+        .iter()
+        .zip(&extrapolated.problem().model().context().workload)
+    {
+        let ratio = m.base_time.value() / e.base_time.value();
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "{}: measured {} vs extrapolated {}",
+            m.name,
+            m.base_time,
+            e.base_time
+        );
+    }
+}
+
+#[test]
+fn ssb_domain_full_pipeline() {
+    let domain = ssb_domain(3_000, 1.0, 7);
+    let advisor = Advisor::build(
+        domain,
+        AdvisorConfig {
+            months: Months::new(1.0),
+            candidates: CandidateStrategy::HruGreedy(6),
+            ..AdvisorConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(advisor.problem().len() <= 6);
+    let o = advisor.solve(
+        Scenario::budget(Money::from_dollars(1_000)),
+        SolverKind::Greedy,
+    );
+    assert!(o.feasible());
+    assert!(o.evaluation.time < o.baseline.time);
+    // The catalog answers SSB queries correctly too.
+    let catalog = advisor.materialize_selection(&o).unwrap();
+    for q in advisor.queries().iter().take(4) {
+        let (via, _, _) = catalog.execute(q, &advisor.domain().base).unwrap();
+        let (direct, _) = q.execute(&advisor.domain().base).unwrap();
+        assert_eq!(via.to_sorted_rows(), direct.to_sorted_rows());
+    }
+}
+
+#[test]
+fn threads_do_not_change_the_selection_problem() {
+    let mk = |threads| {
+        Advisor::build(
+            sales_domain(3_000, 5, 1.0, 42),
+            AdvisorConfig {
+                threads,
+                ..AdvisorConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let serial = mk(1);
+    let parallel = mk(4);
+    // Work metering is thread-independent, so the derived charges must be
+    // identical.
+    for (s, p) in serial
+        .problem()
+        .candidates()
+        .iter()
+        .zip(parallel.problem().candidates())
+    {
+        assert_eq!(s, p);
+    }
+}

@@ -1,0 +1,104 @@
+//! Semantics of the paper's three objective functions at the advisor
+//! level: relaxing a constraint never worsens the objective, and the
+//! α knob trades time against cost monotonically.
+
+use mvcloud::units::{Hours, Money};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+
+fn advisor() -> Advisor {
+    Advisor::build(sales_domain(3_000, 5, 30.0, 42), AdvisorConfig::default()).unwrap()
+}
+
+#[test]
+fn more_budget_never_slower() {
+    let a = advisor();
+    let base_cost = a.problem().baseline().cost();
+    let mut last_time = Hours::new(f64::MAX / 2.0);
+    for extra_cents in [0i64, 25, 50, 100, 400, 2_000] {
+        let o = a.solve(
+            Scenario::budget(base_cost + Money::from_cents(extra_cents)),
+            SolverKind::Exhaustive,
+        );
+        assert!(
+            o.evaluation.time <= last_time,
+            "+{extra_cents}c: {} > previous {}",
+            o.evaluation.time,
+            last_time
+        );
+        last_time = o.evaluation.time;
+    }
+}
+
+#[test]
+fn looser_deadline_never_dearer() {
+    let a = advisor();
+    let base_time = a.problem().baseline().time;
+    let mut last_cost = Money::MAX;
+    for factor in [0.05, 0.2, 0.5, 0.9, 2.0] {
+        let o = a.solve(
+            Scenario::time_limit(Hours::new(base_time.value() * factor)),
+            SolverKind::Exhaustive,
+        );
+        if !o.feasible() {
+            continue; // a too-tight limit may be unreachable even with views
+        }
+        assert!(
+            o.evaluation.cost() <= last_cost,
+            "factor {factor}: {} > previous {}",
+            o.evaluation.cost(),
+            last_cost
+        );
+        last_cost = o.evaluation.cost();
+    }
+}
+
+#[test]
+fn alpha_sweeps_time_against_cost() {
+    let a = advisor();
+    // As alpha grows, the optimizer values time more: chosen time is
+    // non-increasing and chosen cost non-decreasing.
+    let outcomes: Vec<_> = [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&alpha| {
+            a.solve(
+                Scenario::tradeoff_normalized(alpha),
+                SolverKind::Exhaustive,
+            )
+        })
+        .collect();
+    for w in outcomes.windows(2) {
+        assert!(
+            w[1].evaluation.time <= w[0].evaluation.time,
+            "time should fall as alpha rises"
+        );
+        assert!(
+            w[1].evaluation.cost() >= w[0].evaluation.cost(),
+            "cost should rise as alpha rises"
+        );
+    }
+}
+
+#[test]
+fn alpha_zero_and_one_match_pure_objectives() {
+    let a = advisor();
+    // alpha = 1 minimizes time like MV1 with infinite budget.
+    let pure_time = a.solve(Scenario::budget(Money::MAX), SolverKind::Exhaustive);
+    let alpha_one = a.solve(Scenario::tradeoff_normalized(1.0), SolverKind::Exhaustive);
+    assert_eq!(alpha_one.evaluation.time, pure_time.evaluation.time);
+    // alpha = 0 minimizes cost like MV2 with infinite deadline.
+    let pure_cost = a.solve(
+        Scenario::time_limit(Hours::new(f64::MAX / 4.0)),
+        SolverKind::Exhaustive,
+    );
+    let alpha_zero = a.solve(Scenario::tradeoff_normalized(0.0), SolverKind::Exhaustive);
+    assert_eq!(alpha_zero.evaluation.cost(), pure_cost.evaluation.cost());
+}
+
+#[test]
+fn infeasible_budget_is_reported_not_hidden() {
+    let a = advisor();
+    let o = a.solve(Scenario::budget(Money::from_cents(1)), SolverKind::Exhaustive);
+    assert!(!o.feasible());
+    // The report still carries the least-violating evaluation.
+    assert!(o.evaluation.cost() > Money::from_cents(1));
+}

@@ -1,0 +1,105 @@
+//! Property-based cross-solver consistency on random problems.
+//!
+//! Exhaustive enumeration is ground truth; branch-and-bound must match it
+//! exactly, and the paper's knapsack and greedy must be feasible whenever
+//! the optimum is and never worse than materializing nothing.
+
+use mv_select::{fixtures, Scenario, SolverKind};
+use mv_units::{Hours, Money};
+use proptest::prelude::*;
+
+fn scenarios_for(problem: &mv_select::SelectionProblem) -> Vec<Scenario> {
+    let baseline = problem.baseline();
+    vec![
+        Scenario::budget(baseline.cost() + Money::from_cents(40)),
+        Scenario::time_limit(Hours::new(baseline.time.value() * 0.4)),
+        Scenario::tradeoff_normalized(0.5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Branch-and-bound returns exactly the exhaustive optimum.
+    #[test]
+    fn bnb_matches_exhaustive(seed in 0u64..10_000, n in 2usize..8) {
+        let problem = fixtures::random_problem(seed, 3, n);
+        for scenario in scenarios_for(&problem) {
+            let x = mv_select::solve(&problem, scenario, SolverKind::Exhaustive);
+            let b = mv_select::solve(&problem, scenario, SolverKind::BranchAndBound);
+            prop_assert_eq!(x.feasible(), b.feasible(), "{:?}", scenario);
+            prop_assert!(
+                (x.objective() - b.objective()).abs() < 1e-9,
+                "{:?}: exhaustive {} vs bnb {}",
+                scenario, x.objective(), b.objective()
+            );
+        }
+    }
+
+    /// Heuristics are sound: feasible when the optimum is feasible, and
+    /// never worse than the do-nothing baseline.
+    #[test]
+    fn heuristics_are_sound(seed in 0u64..10_000, n in 2usize..10) {
+        let problem = fixtures::random_problem(seed, 4, n);
+        let baseline = problem.baseline();
+        for scenario in scenarios_for(&problem) {
+            let x = mv_select::solve(&problem, scenario, SolverKind::Exhaustive);
+            for solver in [SolverKind::PaperKnapsack, SolverKind::Greedy] {
+                let h = mv_select::solve(&problem, scenario, solver);
+                if x.feasible() {
+                    prop_assert!(
+                        h.feasible(),
+                        "{:?}: {} missed a feasible solution",
+                        scenario, solver.name()
+                    );
+                }
+                // Never worse than selecting nothing.
+                if scenario.feasible(&baseline) {
+                    let base_obj = scenario.objective(&baseline, &baseline);
+                    prop_assert!(
+                        h.objective() <= base_obj + 1e-9,
+                        "{:?}: {} worse than baseline",
+                        scenario, solver.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The chosen selection's reported evaluation is self-consistent:
+    /// re-evaluating the selection reproduces time, cost and breakdown.
+    #[test]
+    fn outcomes_are_reproducible(seed in 0u64..10_000, n in 2usize..10) {
+        let problem = fixtures::random_problem(seed, 3, n);
+        let scenario = Scenario::tradeoff_normalized(0.4);
+        for solver in [
+            SolverKind::PaperKnapsack,
+            SolverKind::Exhaustive,
+            SolverKind::Greedy,
+            SolverKind::BranchAndBound,
+        ] {
+            let o = mv_select::solve(&problem, scenario, solver);
+            let re = problem.evaluate(&o.evaluation.selection);
+            prop_assert_eq!(re.time, o.evaluation.time);
+            prop_assert_eq!(re.breakdown, o.evaluation.breakdown);
+        }
+    }
+
+    /// MV1 with the baseline's own cost as budget is always feasible
+    /// (materializing nothing satisfies it), so solvers must return a
+    /// feasible outcome.
+    #[test]
+    fn baseline_budget_always_feasible(seed in 0u64..10_000, n in 2usize..10) {
+        let problem = fixtures::random_problem(seed, 3, n);
+        let scenario = Scenario::budget(problem.baseline().cost());
+        for solver in [
+            SolverKind::PaperKnapsack,
+            SolverKind::Exhaustive,
+            SolverKind::Greedy,
+            SolverKind::BranchAndBound,
+        ] {
+            let o = mv_select::solve(&problem, scenario, solver);
+            prop_assert!(o.feasible(), "{}", solver.name());
+        }
+    }
+}
