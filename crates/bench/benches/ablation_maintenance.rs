@@ -25,7 +25,11 @@ fn bench_maintenance(c: &mut Criterion) {
     let def = ViewDefinition::canonical(
         "v",
         &["year", "month", "country"],
-        &[AggSpec::sum("profit"), AggSpec::min("profit"), AggSpec::max("profit")],
+        &[
+            AggSpec::sum("profit"),
+            AggSpec::min("profit"),
+            AggSpec::max("profit"),
+        ],
     );
     let view = MaterializedView::materialize(def, &base).unwrap();
     base.append(&delta).unwrap();

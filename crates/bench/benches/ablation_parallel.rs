@@ -39,18 +39,14 @@ fn bench_threads(c: &mut Criterion) {
     for (label, query) in cases {
         let mut group = c.benchmark_group(format!("ablation_parallel/{label}"));
         for threads in [1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(threads),
-                &table,
-                |b, table| {
-                    b.iter(|| {
-                        let (out, _) = query
-                            .execute_with_threads(black_box(table), threads)
-                            .unwrap();
-                        black_box(out.num_rows())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &table, |b, table| {
+                b.iter(|| {
+                    let (out, _) = query
+                        .execute_with_threads(black_box(table), threads)
+                        .unwrap();
+                    black_box(out.num_rows())
+                })
+            });
         }
         group.finish();
     }

@@ -3,8 +3,8 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
 use mv_units::Money;
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
 
 /// Short measurement windows keep `cargo bench --workspace` minutes,
 /// not hours; absolute numbers matter less than the relative shapes.
@@ -45,13 +45,7 @@ fn bench_solve(c: &mut Criterion) {
             BenchmarkId::from_parameter(solver.name()),
             &advisor,
             |b, advisor| {
-                b.iter(|| {
-                    black_box(
-                        advisor
-                            .solve(Scenario::budget(budget), solver)
-                            .objective(),
-                    )
-                })
+                b.iter(|| black_box(advisor.solve(Scenario::budget(budget), solver).objective()))
             },
         );
     }

@@ -1,0 +1,142 @@
+//! The incremental selection evaluator vs full re-evaluation.
+//!
+//! Three questions, matching the hot paths the solvers actually hit:
+//!
+//! 1. **single-flip probes** — flipping one candidate and reading the
+//!    full evaluation, via `IncrementalEvaluator` (flip + snapshot +
+//!    unflip, O(n + m)) vs `SelectionProblem::evaluate` over a cloned
+//!    selection (O(n·m)); the acceptance bar is ≥ 5× at n = 20;
+//! 2. **exhaustive sweep, serial** — the 2ⁿ-subset ascending-mask walk
+//!    with incremental flips vs per-mask full evaluation;
+//! 3. **exhaustive sweep, threads** — the same sweep fanned out across
+//!    thread counts.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_select::{fixtures, IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
+use mv_units::Money;
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+/// Workload size for the probe benches: the paper's larger experiment
+/// workloads run tens of queries, and m is the dimension a probe must
+/// *not* rescan per candidate.
+const PROBE_QUERIES: usize = 30;
+
+/// A probe cycle over every candidate: flip k on, read the evaluation,
+/// flip k back — the inner loop of greedy and the knapsack repair. The
+/// evaluator is built once (as every solver does) and probed repeatedly.
+fn bench_single_flip_probes(c: &mut Criterion) {
+    for n in [12usize, 16, 20] {
+        let problem = fixtures::random_problem(17, PROBE_QUERIES, n);
+        let mut group = c.benchmark_group(format!("evaluator/probe_all_n{n}"));
+
+        group.bench_function(BenchmarkId::from_parameter("full_evaluate"), |b| {
+            let empty = SelectionSet::empty(n);
+            b.iter(|| {
+                let mut acc = 0.0;
+                let mut sel = empty.clone();
+                for k in 0..n {
+                    sel.set(k, true);
+                    acc += problem.evaluate(black_box(&sel)).time.value();
+                    sel.set(k, false);
+                }
+                black_box(acc)
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+            let mut ev = IncrementalEvaluator::new(&problem);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    ev.flip(k);
+                    acc += ev.snapshot().time.value();
+                    ev.unflip(k);
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Reference sweep: per-mask full evaluation (the pre-refactor
+/// exhaustive inner loop).
+fn full_evaluation_sweep(problem: &SelectionProblem, scenario: Scenario) -> f64 {
+    let n = problem.len();
+    let baseline = problem.baseline();
+    let mut best = baseline.clone();
+    for mask in 1u64..(1u64 << n) {
+        let e = problem.evaluate(&SelectionSet::from_mask(mask, n));
+        if scenario.better(&e, &best, &baseline) {
+            best = e;
+        }
+    }
+    best.time.value()
+}
+
+fn bench_exhaustive_sweep(c: &mut Criterion) {
+    for n in [12usize, 16] {
+        let problem = fixtures::random_problem(23, 6, n);
+        let scenario = Scenario::budget(problem.baseline().cost() + Money::from_cents(80));
+        let mut group = c.benchmark_group(format!("evaluator/exhaustive_n{n}"));
+
+        group.bench_function(BenchmarkId::from_parameter("full_evaluate"), |b| {
+            b.iter(|| black_box(full_evaluation_sweep(&problem, scenario)))
+        });
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("incremental_t{threads}")),
+                |b| {
+                    b.iter(|| {
+                        black_box(
+                            mv_select::solve_exhaustive_with_threads(&problem, scenario, threads)
+                                .objective(),
+                        )
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+/// n = 20 is the acceptance-criteria size: a full sweep evaluates
+/// 1 048 576 subsets, so only the incremental + threaded path is timed
+/// (the full-evaluation reference would dominate the bench's runtime).
+fn bench_large_sweep(c: &mut Criterion) {
+    let n = 20usize;
+    let problem = fixtures::random_problem(29, 6, n);
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let mut group = c.benchmark_group("evaluator/exhaustive_n20");
+    for threads in [1usize, 8] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("incremental_t{threads}")),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        mv_select::solve_exhaustive_with_threads(&problem, scenario, threads)
+                            .objective(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_single_flip_probes, bench_exhaustive_sweep, bench_large_sweep
+}
+criterion_main!(benches);

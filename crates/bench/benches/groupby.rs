@@ -25,19 +25,18 @@ fn bench_groupby(c: &mut Criterion) {
         // Coarse (few groups) vs fine (many groups) keys.
         for (label, cols) in [
             ("year_country", &["year", "country"][..]),
-            ("day_department", &["year", "month", "day", "country", "region", "department"][..]),
+            (
+                "day_department",
+                &["year", "month", "day", "country", "region", "department"][..],
+            ),
         ] {
             let query = AggQuery::new("q", cols, vec![AggSpec::sum("profit")]);
-            group.bench_with_input(
-                BenchmarkId::new(label, rows),
-                &table,
-                |b, table| {
-                    b.iter(|| {
-                        let (out, _) = query.execute(black_box(table)).unwrap();
-                        black_box(out.num_rows())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, rows), &table, |b, table| {
+                b.iter(|| {
+                    let (out, _) = query.execute(black_box(table)).unwrap();
+                    black_box(out.num_rows())
+                })
+            });
         }
     }
     group.finish();

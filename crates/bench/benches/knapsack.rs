@@ -39,18 +39,13 @@ fn bench_solvers_scaling(c: &mut Criterion) {
         }
         // Exhaustive only at sizes where 2^n stays tractable in a bench.
         if n <= 10 {
-            group.bench_with_input(
-                BenchmarkId::new("exhaustive", n),
-                &problem,
-                |b, problem| {
-                    b.iter(|| {
-                        black_box(
-                            mv_select::solve(problem, scenario, SolverKind::Exhaustive)
-                                .objective(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &problem, |b, problem| {
+                b.iter(|| {
+                    black_box(
+                        mv_select::solve(problem, scenario, SolverKind::Exhaustive).objective(),
+                    )
+                })
+            });
         }
     }
     group.finish();
@@ -66,9 +61,7 @@ fn bench_budget_resolution(c: &mut Criterion) {
             BenchmarkId::from_parameter(extra_cents),
             &problem,
             |b, problem| {
-                b.iter(|| {
-                    black_box(mv_select::solve_knapsack(problem, scenario).objective())
-                })
+                b.iter(|| black_box(mv_select::solve_knapsack(problem, scenario).objective()))
             },
         );
     }

@@ -50,11 +50,9 @@ fn bench_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("lattice_enumeration");
     for dims in [2usize, 3, 4] {
         let lattice = lattice_with_dims(dims);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(dims),
-            &lattice,
-            |b, lattice| b.iter(|| black_box(lattice.all_cuboids().len())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &lattice, |b, lattice| {
+            b.iter(|| black_box(lattice.all_cuboids().len()))
+        });
     }
     group.finish();
 }

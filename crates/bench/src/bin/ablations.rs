@@ -7,10 +7,10 @@
 //! Timing ablations (A3 incremental maintenance, A4 parallel aggregation)
 //! live in the Criterion benches.
 
-use mvcloud::report::{pct, render_table};
 use mv_pricing::{presets, BillingRounding, RoundingScope, TierMode};
 use mv_select::{fixtures, Scenario, SolverKind};
 use mv_units::{Gb, Hours, Money};
+use mvcloud::report::{pct, render_table};
 
 fn a1_solver_gap() {
     println!("== A1: solver optimality gap vs exhaustive (20 random instances) ==");
@@ -27,8 +27,7 @@ fn a1_solver_gap() {
         let n = 20;
         for seed in 0..n {
             let problem = fixtures::random_problem(seed, 4, 8);
-            let scenario =
-                Scenario::budget(problem.baseline().cost() + Money::from_cents(60));
+            let scenario = Scenario::budget(problem.baseline().cost() + Money::from_cents(60));
             let got = mv_select::solve(&problem, scenario, solver);
             let best = mv_select::solve(&problem, scenario, SolverKind::Exhaustive);
             let gap = if best.objective() > 0.0 {
@@ -75,7 +74,12 @@ fn a2_tier_modes() {
     println!(
         "{}\n",
         render_table(
-            &["volume", "flat-by-volume (paper)", "graduated (real S3)", "difference"],
+            &[
+                "volume",
+                "flat-by-volume (paper)",
+                "graduated (real S3)",
+                "difference"
+            ],
             &rows
         )
     );
@@ -93,7 +97,10 @@ fn a5_rounding_scope() {
     let mut jobs = queries.clone();
     jobs.extend_from_slice(&builds);
     let mut rows = Vec::new();
-    for (label, scope) in [("total (paper)", RoundingScope::Total), ("per job", RoundingScope::PerItem)] {
+    for (label, scope) in [
+        ("total (paper)", RoundingScope::Total),
+        ("per job", RoundingScope::PerItem),
+    ] {
         let billable = scope.billable(BillingRounding::PerStartedHour, &jobs);
         let cost = small.hourly.scale(billable.value()) * 2i64;
         rows.push(vec![
@@ -104,7 +111,10 @@ fn a5_rounding_scope() {
     }
     println!(
         "{}\n",
-        render_table(&["rounding scope", "billable time", "cost (2 small)"], &rows)
+        render_table(
+            &["rounding scope", "billable time", "cost (2 small)"],
+            &rows
+        )
     );
     println!("  Per-job rounding punishes many short jobs — it would flip marginal");
     println!("  materialization decisions that are profitable under the paper's rule.");

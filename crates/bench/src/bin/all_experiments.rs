@@ -32,7 +32,10 @@ fn main() {
     let paper7: Vec<(usize, f64)> = paper::TABLE7.iter().map(|(q, _, r)| (*q, *r)).collect();
     println!("{}\n", render_comparison(&mv2, &paper7, "IC rate"));
 
-    for (alpha, fname) in [(0.3, "table8_fig5c_mv3_a03.csv"), (0.7, "table8_fig5d_mv3_a07.csv")] {
+    for (alpha, fname) in [
+        (0.3, "table8_fig5c_mv3_a03.csv"),
+        (0.7, "table8_fig5d_mv3_a07.csv"),
+    ] {
         let rows = scenario_mv3(alpha, SolverKind::PaperKnapsack);
         write_csv(dir, fname, &rows);
         let paper8: Vec<(usize, f64)> = paper::TABLE8

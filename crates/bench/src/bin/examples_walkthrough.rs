@@ -1,7 +1,7 @@
 //! Regenerates the paper's worked **Examples 1–9** (§3–§4) and the §1
 //! introduction figures, printing computed-vs-paper values.
 
-use mvcloud::cost::{CloudCostModel, CostContext, QueryCharge, ViewCharge};
+use mvcloud::cost::{CloudCostModel, CostContext, QueryCharge, SelectionSet, ViewCharge};
 use mvcloud::pricing::{presets, StorageTimeline};
 use mvcloud::report::render_table;
 use mvcloud::units::{Gb, Hours, Months};
@@ -20,7 +20,7 @@ fn main() {
     });
     let v1 = ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 1)
         .answers(0, Hours::new(40.0));
-    let with_views = model.with_views(&[v1], &vec![true]);
+    let with_views = model.with_views(&[v1], &SelectionSet::full(1));
 
     // Example 3's storage timeline.
     let mut tl = StorageTimeline::new(Gb::from_tb(0.5), Months::new(12.0));
@@ -58,9 +58,11 @@ fn main() {
             "40 h".into(),
             model
                 .processing_time_with_views(
-                    &[ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 1)
-                        .answers(0, Hours::new(40.0))],
-                    &vec![true],
+                    &[
+                        ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 1)
+                            .answers(0, Hours::new(40.0)),
+                    ],
+                    &SelectionSet::full(1),
                 )
                 .to_string(),
         ],
@@ -110,7 +112,7 @@ fn main() {
     let without = intro_model.without_views();
     let intro_view = ViewCharge::new("V", Gb::new(50.0), Hours::ZERO, Hours::ZERO, 1)
         .answers(0, Hours::new(40.0));
-    let with = intro_model.with_views(&[intro_view], &vec![true]);
+    let with = intro_model.with_views(&[intro_view], &SelectionSet::full(1));
     println!(
         "  without views: {} (paper: $62)  |  with views: {} (paper: $64.60)",
         without.total(),

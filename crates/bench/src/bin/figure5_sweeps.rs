@@ -8,9 +8,9 @@ use std::fs;
 use std::path::Path;
 
 use mv_bench::experiments::build_advisor;
+use mv_units::Money;
 use mvcloud::whatif::{alpha_sweep, budget_sweep, deadline_sweep, sweep_csv};
 use mvcloud::{SizingMode, SolverKind};
-use mv_units::Money;
 
 fn main() {
     let dir = Path::new("results");
@@ -50,7 +50,11 @@ fn main() {
     }
 
     let alpha = alpha_sweep(&rec, 10, SolverKind::PaperKnapsack);
-    fs::write(dir.join("fig5cd_alpha_sweep.csv"), sweep_csv(&alpha, "alpha")).expect("write");
+    fs::write(
+        dir.join("fig5cd_alpha_sweep.csv"),
+        sweep_csv(&alpha, "alpha"),
+    )
+    .expect("write");
     println!("\nalpha sweep (MV3 regime): {} points", alpha.len());
     for p in &alpha {
         println!(
@@ -58,5 +62,7 @@ fn main() {
             p.x, p.time_hours, p.cost_dollars, p.views
         );
     }
-    println!("\nwrote results/fig5a_budget_sweep.csv, fig5b_deadline_sweep.csv, fig5cd_alpha_sweep.csv");
+    println!(
+        "\nwrote results/fig5a_budget_sweep.csv, fig5b_deadline_sweep.csv, fig5cd_alpha_sweep.csv"
+    );
 }

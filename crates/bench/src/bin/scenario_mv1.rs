@@ -13,8 +13,7 @@ fn main() {
     let rows = scenario_mv1(SolverKind::PaperKnapsack);
     println!("{}\n", render_scenario_table(&rows, "IP rate"));
 
-    let paper_rates: Vec<(usize, f64)> =
-        paper::TABLE6.iter().map(|(q, _, r)| (*q, *r)).collect();
+    let paper_rates: Vec<(usize, f64)> = paper::TABLE6.iter().map(|(q, _, r)| (*q, *r)).collect();
     println!("{}\n", render_comparison(&rows, &paper_rates, "IP rate"));
 
     println!("-- Figure 5(a) series (CSV) --");

@@ -11,8 +11,7 @@ fn main() {
     let rows = scenario_mv2(SolverKind::PaperKnapsack);
     println!("{}\n", render_scenario_table(&rows, "IC rate"));
 
-    let paper_rates: Vec<(usize, f64)> =
-        paper::TABLE7.iter().map(|(q, _, r)| (*q, *r)).collect();
+    let paper_rates: Vec<(usize, f64)> = paper::TABLE7.iter().map(|(q, _, r)| (*q, *r)).collect();
     println!("{}\n", render_comparison(&rows, &paper_rates, "IC rate"));
 
     println!("-- Figure 5(b) series (CSV) --");

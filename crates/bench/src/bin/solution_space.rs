@@ -7,18 +7,9 @@
 //! chosen selection drawn as `X`.
 
 use mv_bench::experiments::build_advisor;
+use mv_units::Money;
 use mvcloud::select::pareto;
 use mvcloud::{Scenario, SizingMode, SolverKind};
-use mv_units::Money;
-
-fn mask_of(selection: &[bool]) -> u64 {
-    selection
-        .iter()
-        .enumerate()
-        .filter(|(_, on)| **on)
-        .map(|(k, _)| 1u64 << k)
-        .sum()
-}
 
 fn main() {
     // A compact problem so the full 2^n space is visible: closure
@@ -60,9 +51,7 @@ fn main() {
         ("Figure 2 — MV1 (budget limit)", Scenario::budget(budget)),
         (
             "Figure 3 — MV2 (response-time limit)",
-            Scenario::time_limit(mv_units::Hours::new(
-                problem.baseline().time.value() * 0.5,
-            )),
+            Scenario::time_limit(mv_units::Hours::new(problem.baseline().time.value() * 0.5)),
         ),
         (
             "Figure 4 — MV3 (tradeoff, alpha=0.5)",
@@ -80,7 +69,7 @@ fn main() {
         );
         println!(
             "{}\n",
-            pareto::render_ascii(&points, mask_of(&outcome.evaluation.selection), 64, 18)
+            pareto::render_ascii(&points, outcome.evaluation.selection.as_mask(), 64, 18)
         );
     }
 }

@@ -18,12 +18,12 @@
 //!   runs 50×/month (dashboards), so compute dominates and materializing
 //!   views *reduces total cost* by ~70 %, like the paper's Table 7.
 
+use mv_engine::ThroughputModel;
+use mv_units::{Gb, Hours, Money, Months};
 use mvcloud::{
     sales_domain, Advisor, AdvisorConfig, CandidateStrategy, Outcome, Scenario, SizingMode,
     SolverKind,
 };
-use mv_engine::ThroughputModel;
-use mv_units::{Gb, Hours, Money, Months};
 
 /// The paper's workload sizes (Figure 5's x-axis).
 pub const WORKLOAD_SIZES: [usize; 3] = [3, 5, 10];
@@ -88,7 +88,13 @@ pub struct ScenarioRow {
     pub feasible: bool,
 }
 
-fn row_from_outcome(queries: usize, constraint: String, o: &Outcome, rate: f64, names: &[String]) -> ScenarioRow {
+fn row_from_outcome(
+    queries: usize,
+    constraint: String,
+    o: &Outcome,
+    rate: f64,
+    names: &[String],
+) -> ScenarioRow {
     ScenarioRow {
         queries,
         constraint,
@@ -132,13 +138,7 @@ pub fn scenario_mv1(solver: SolverKind) -> Vec<ScenarioRow> {
             let budget = advisor.problem().baseline().cost() + headroom;
             let o = advisor.solve(Scenario::budget(budget), solver);
             let rate = o.time_improvement();
-            row_from_outcome(
-                n,
-                format!("{budget}"),
-                &o,
-                rate,
-                &candidate_names(&advisor),
-            )
+            row_from_outcome(n, format!("{budget}"), &o, rate, &candidate_names(&advisor))
         })
         .collect()
 }

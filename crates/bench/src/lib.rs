@@ -17,8 +17,8 @@
 pub mod experiments;
 pub mod paper;
 
-use mvcloud::report;
 use experiments::ScenarioRow;
+use mvcloud::report;
 
 /// Renders scenario rows as the paper prints them: one row per workload
 /// size with the with/without columns and the improvement rate.
@@ -101,11 +101,7 @@ pub fn render_comparison(
                 .find(|(q, _)| *q == r.queries)
                 .map(|(_, rate)| report::pct(*rate))
                 .unwrap_or_else(|| "—".to_string());
-            vec![
-                r.queries.to_string(),
-                paper,
-                report::pct(r.rate),
-            ]
+            vec![r.queries.to_string(), paper, report::pct(r.rate)]
         })
         .collect();
     report::render_table(

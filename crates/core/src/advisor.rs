@@ -282,11 +282,9 @@ impl Advisor {
                         SizingMode::MeasuredScaled => {
                             config.throughput.hours_for(&stats, units, scale)
                         }
-                        SizingMode::Extrapolated => scan_hours(
-                            stats.bytes_scanned,
-                            view_rows_engine,
-                            view_rows_cloud,
-                        ),
+                        SizingMode::Extrapolated => {
+                            scan_hours(stats.bytes_scanned, view_rows_engine, view_rows_cloud)
+                        }
                     };
                     charge = charge.answers(i, t);
                 }
@@ -357,15 +355,29 @@ impl Advisor {
         mv_select::solve(&self.problem, scenario, solver)
     }
 
+    /// An [`mv_select::IncrementalEvaluator`] positioned at the empty
+    /// selection over this advisor's problem — the O(m)-per-flip probe
+    /// interface for interactive what-if exploration and custom search
+    /// loops over the measured candidates.
+    pub fn evaluator(&self) -> mv_select::IncrementalEvaluator<'_> {
+        mv_select::IncrementalEvaluator::new(&self.problem)
+    }
+
+    /// The full (time, cost) solution space over the measured candidates,
+    /// swept in parallel when the candidate count warrants it.
+    pub fn solution_space(&self) -> Vec<mv_select::pareto::SpacePoint> {
+        mv_select::pareto::solution_space(&self.problem)
+    }
+
     /// Registers the outcome's selected views in a fresh catalog — the
     /// "materialize them in the cloud" step. Queries routed through the
     /// catalog then actually use the chosen views.
     pub fn materialize_selection(&self, outcome: &Outcome) -> Result<ViewCatalog, AdvisorError> {
         let catalog = ViewCatalog::new();
-        for (m, on) in self.measured.iter().zip(&outcome.evaluation.selection) {
-            if *on {
-                catalog.register(m.view.clone()).map_err(AdvisorError::from)?;
-            }
+        for k in outcome.evaluation.selection.ones() {
+            catalog
+                .register(self.measured[k].view.clone())
+                .map_err(AdvisorError::from)?;
         }
         Ok(catalog)
     }
@@ -501,11 +513,11 @@ mod tests {
     #[test]
     fn invoice_reconciles_with_prediction() {
         let a = small_advisor();
-        let o = a.solve(Scenario::tradeoff_normalized(0.5), SolverKind::PaperKnapsack);
-        let invoice = a
-            .usage_ledger(&o)
-            .invoice(&a.config().pricing)
-            .unwrap();
+        let o = a.solve(
+            Scenario::tradeoff_normalized(0.5),
+            SolverKind::PaperKnapsack,
+        );
+        let invoice = a.usage_ledger(&o).invoice(&a.config().pricing).unwrap();
         assert_eq!(invoice.total(), o.evaluation.cost());
         assert_eq!(invoice.compute, o.evaluation.breakdown.compute());
         assert_eq!(invoice.storage, o.evaluation.breakdown.storage);

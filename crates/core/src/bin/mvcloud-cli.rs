@@ -93,10 +93,7 @@ fn parse_flags(args: &[String]) -> Result<Flags<'_>, String> {
 
 impl<'a> Flags<'a> {
     fn get(&self, name: &str) -> Option<&'a str> {
-        self.pairs
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| *v)
+        self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
     }
 
     fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -135,10 +132,14 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown solver {other:?}")),
     };
 
-    let scenario = match (flags.get("budget"), flags.get("time-limit"), flags.get("alpha")) {
-        (Some(b), None, None) => Scenario::budget(
-            Money::from_dollars_str(b).map_err(|e| format!("--budget: {e}"))?,
-        ),
+    let scenario = match (
+        flags.get("budget"),
+        flags.get("time-limit"),
+        flags.get("alpha"),
+    ) {
+        (Some(b), None, None) => {
+            Scenario::budget(Money::from_dollars_str(b).map_err(|e| format!("--budget: {e}"))?)
+        }
         (None, Some(t), None) => Scenario::time_limit(Hours::new(
             t.parse::<f64>().map_err(|_| "--time-limit: not a number")?,
         )),
@@ -149,11 +150,7 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
             }
             Scenario::tradeoff_normalized(alpha)
         }
-        _ => {
-            return Err(
-                "choose exactly one of --budget, --time-limit, --alpha".to_string()
-            )
-        }
+        _ => return Err("choose exactly one of --budget, --time-limit, --alpha".to_string()),
     };
 
     if !(1..=10).contains(&queries) {
@@ -191,10 +188,9 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
     let parsed = parse_query(statement).map_err(|e| e.to_string())?;
     let table = match parsed.table.as_str() {
         "sales" => datagen::generate_sales(&SalesConfig::with_rows(rows)),
-        "lineorder" => mvcloud::engine::ssb::generate_lineorder(&mvcloud::engine::SsbConfig {
-            rows,
-            seed: 7,
-        }),
+        "lineorder" => {
+            mvcloud::engine::ssb::generate_lineorder(&mvcloud::engine::SsbConfig { rows, seed: 7 })
+        }
         other => {
             return Err(format!(
                 "unknown table {other:?}: use 'sales' or 'lineorder'"
@@ -218,7 +214,10 @@ fn cmd_pricing() -> Result<(), String> {
     for p in presets::all() {
         println!("{}", p.name);
         for i in p.compute.catalog.all() {
-            println!("  {:<10} {} per hour, {} ECU", i.name, i.hourly, i.compute_units);
+            println!(
+                "  {:<10} {} per hour, {} ECU",
+                i.name, i.hourly, i.compute_units
+            );
         }
     }
     Ok(())

@@ -40,7 +40,10 @@ impl Domain {
         }
         for c in self.lattice.all_cuboids() {
             for col in self.lattice.key_columns(&c) {
-                self.base.schema().index_of(&col).map_err(AdvisorError::from)?;
+                self.base
+                    .schema()
+                    .index_of(&col)
+                    .map_err(AdvisorError::from)?;
             }
         }
         if self.workload.is_empty() {

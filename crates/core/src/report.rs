@@ -52,7 +52,11 @@ pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
             s.to_string()
         }
     };
-    let mut out = header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",");
+    let mut out = header
+        .iter()
+        .map(|h| escape(h))
+        .collect::<Vec<_>>()
+        .join(",");
     for row in rows {
         out.push('\n');
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -123,10 +127,7 @@ mod tests {
 
     #[test]
     fn csv_escaping() {
-        let c = render_csv(
-            &["a", "b"],
-            &[vec!["1,5".to_string(), "x\"y".to_string()]],
-        );
+        let c = render_csv(&["a", "b"], &[vec!["1,5".to_string(), "x\"y".to_string()]]);
         assert_eq!(c, "a,b\n\"1,5\",\"x\"\"y\"");
     }
 

@@ -8,8 +8,12 @@
 //!   workload (the curve behind the paper's Figure 5(a));
 //! * **deadline sweep** — the cheapest bill at each response-time target;
 //! * **α sweep** — the MV3 pivot between the two optima.
+//!
+//! Sweep points are independent solves over the same immutable problem,
+//! so they fan out across threads (contiguous chunks, results stitched
+//! back in order — identical output to a serial sweep).
 
-use mv_select::{Scenario, SolverKind};
+use mv_select::{Scenario, SelectionProblem, SolverKind};
 use mv_units::{Hours, Money};
 use serde::Serialize;
 
@@ -30,6 +34,54 @@ pub struct SweepPoint {
     pub feasible: bool,
 }
 
+/// Solves every `(x, scenario)` point, in parallel when the point count
+/// warrants it. Chunks are contiguous and re-stitched in order, so the
+/// result is identical to a serial map for any thread count.
+fn solve_points(
+    problem: &SelectionProblem,
+    points: Vec<(f64, Scenario)>,
+    solver: SolverKind,
+) -> Vec<SweepPoint> {
+    let to_point = |x: f64, o: mv_select::Outcome| SweepPoint {
+        x,
+        time_hours: o.evaluation.time.value(),
+        cost_dollars: o.evaluation.cost().to_dollars_f64(),
+        views: o.evaluation.num_selected(),
+        feasible: o.feasible(),
+    };
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(points.len());
+    if threads <= 1 || points.len() < 4 {
+        // Single-threaded sweep: let the solver use its own parallelism.
+        return points
+            .iter()
+            .map(|&(x, s)| to_point(x, mv_select::solve(problem, s, solver)))
+            .collect();
+    }
+    let chunk = points.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = points
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        // The sweep layer already owns every core: run the
+                        // solver serially so thread pools don't nest.
+                        .map(|&(x, s)| to_point(x, mv_select::solve_serial(problem, s, solver)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope failed")
+}
+
 /// Sweeps MV1 budgets from the no-view baseline cost upward in `steps`
 /// equal increments of `span`.
 pub fn budget_sweep(
@@ -39,60 +91,38 @@ pub fn budget_sweep(
     solver: SolverKind,
 ) -> Vec<SweepPoint> {
     let base_cost = advisor.problem().baseline().cost();
-    (0..=steps)
+    let points = (0..=steps)
         .map(|i| {
             let extra = Money::from_micros(span.micros() * i as i128 / steps.max(1) as i128);
             let budget = base_cost + extra;
-            let o = advisor.solve(Scenario::budget(budget), solver);
-            SweepPoint {
-                x: budget.to_dollars_f64(),
-                time_hours: o.evaluation.time.value(),
-                cost_dollars: o.evaluation.cost().to_dollars_f64(),
-                views: o.evaluation.num_selected(),
-                feasible: o.feasible(),
-            }
+            (budget.to_dollars_f64(), Scenario::budget(budget))
         })
-        .collect()
+        .collect();
+    solve_points(advisor.problem(), points, solver)
 }
 
 /// Sweeps MV2 deadlines as fractions of the no-view workload time.
-pub fn deadline_sweep(
-    advisor: &Advisor,
-    fractions: &[f64],
-    solver: SolverKind,
-) -> Vec<SweepPoint> {
+pub fn deadline_sweep(advisor: &Advisor, fractions: &[f64], solver: SolverKind) -> Vec<SweepPoint> {
     let base_time = advisor.problem().baseline().time;
-    fractions
+    let points = fractions
         .iter()
         .map(|&f| {
             let limit = Hours::new(base_time.value() * f);
-            let o = advisor.solve(Scenario::time_limit(limit), solver);
-            SweepPoint {
-                x: limit.value(),
-                time_hours: o.evaluation.time.value(),
-                cost_dollars: o.evaluation.cost().to_dollars_f64(),
-                views: o.evaluation.num_selected(),
-                feasible: o.feasible(),
-            }
+            (limit.value(), Scenario::time_limit(limit))
         })
-        .collect()
+        .collect();
+    solve_points(advisor.problem(), points, solver)
 }
 
 /// Sweeps MV3's α over `steps` equal increments of [0, 1].
 pub fn alpha_sweep(advisor: &Advisor, steps: usize, solver: SolverKind) -> Vec<SweepPoint> {
-    (0..=steps)
+    let points = (0..=steps)
         .map(|i| {
             let alpha = i as f64 / steps.max(1) as f64;
-            let o = advisor.solve(Scenario::tradeoff_normalized(alpha), solver);
-            SweepPoint {
-                x: alpha,
-                time_hours: o.evaluation.time.value(),
-                cost_dollars: o.evaluation.cost().to_dollars_f64(),
-                views: o.evaluation.num_selected(),
-                feasible: o.feasible(),
-            }
+            (alpha, Scenario::tradeoff_normalized(alpha))
         })
-        .collect()
+        .collect();
+    solve_points(advisor.problem(), points, solver)
 }
 
 /// Renders sweep points as CSV.

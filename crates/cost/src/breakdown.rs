@@ -35,7 +35,11 @@ impl CostBreakdown {
 
 impl fmt::Display for CostBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Ct (transfer)           {:>12}", self.transfer.to_string())?;
+        writeln!(
+            f,
+            "Ct (transfer)           {:>12}",
+            self.transfer.to_string()
+        )?;
         writeln!(
             f,
             "Cc (processing)         {:>12}",
@@ -51,8 +55,16 @@ impl fmt::Display for CostBreakdown {
             "Cc (materialization)    {:>12}",
             self.compute_materialization.to_string()
         )?;
-        writeln!(f, "Cs (storage)            {:>12}", self.storage.to_string())?;
-        write!(f, "C  (total)              {:>12}", self.total().to_string())
+        writeln!(
+            f,
+            "Cs (storage)            {:>12}",
+            self.storage.to_string()
+        )?;
+        write!(
+            f,
+            "C  (total)              {:>12}",
+            self.total().to_string()
+        )
     }
 }
 
@@ -82,7 +94,14 @@ mod tests {
     fn renders_all_components() {
         let b = CostBreakdown::default();
         let s = b.to_string();
-        for needle in ["Ct", "processing", "maintenance", "materialization", "Cs", "total"] {
+        for needle in [
+            "Ct",
+            "processing",
+            "maintenance",
+            "materialization",
+            "Cs",
+            "total",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

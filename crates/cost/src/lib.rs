@@ -30,7 +30,12 @@
 mod breakdown;
 mod model;
 mod params;
+mod selection;
 
 pub use breakdown::CostBreakdown;
-pub use model::{CloudCostModel, Selection};
+pub use model::CloudCostModel;
 pub use params::{CostContext, QueryCharge, ViewCharge};
+pub use selection::SelectionSet;
+
+/// Historical alias: selections were `Vec<bool>` before the bitset.
+pub type Selection = SelectionSet;

@@ -14,11 +14,7 @@
 use mv_pricing::StorageTimeline;
 use mv_units::{Hours, Money};
 
-use crate::{CostBreakdown, CostContext, ViewCharge};
-
-/// A selection of candidate views, as a bitmask aligned with a candidate
-/// slice. Kept as a plain bool-vec: the optimizer flips entries in place.
-pub type Selection = Vec<bool>;
+use crate::{CostBreakdown, CostContext, SelectionSet, ViewCharge};
 
 /// Evaluates the paper's cost formulas over a [`CostContext`].
 #[derive(Debug, Clone)]
@@ -46,7 +42,11 @@ impl CloudCostModel {
     /// input terms are zero under free-inbound providers; for providers
     /// that do charge inbound, the initial upload is added.)
     pub fn transfer_cost(&self) -> Money {
-        let out = self.ctx.pricing.transfer.outbound_cost(self.ctx.total_result_size());
+        let out = self
+            .ctx
+            .pricing
+            .transfer
+            .outbound_cost(self.ctx.total_result_size());
         if self.ctx.pricing.transfer.inbound_is_free() {
             out
         } else {
@@ -91,14 +91,11 @@ impl CloudCostModel {
         &self,
         index: usize,
         views: &[ViewCharge],
-        selected: &Selection,
+        selected: &SelectionSet,
     ) -> Hours {
         let mut best = self.ctx.workload[index].base_time;
-        for (v, on) in views.iter().zip(selected) {
-            if !on {
-                continue;
-            }
-            if let Some(t) = v.query_times[index] {
+        for k in selected.ones() {
+            if let Some(t) = views[k].query_times[index] {
                 best = best.min(t);
             }
         }
@@ -109,7 +106,7 @@ impl CloudCostModel {
     pub fn processing_time_with_views(
         &self,
         views: &[ViewCharge],
-        selected: &Selection,
+        selected: &SelectionSet,
     ) -> Hours {
         self.ctx
             .workload
@@ -120,51 +117,53 @@ impl CloudCostModel {
     }
 
     /// Formula 7: total materialization time of the selected views.
-    pub fn materialization_time(&self, views: &[ViewCharge], selected: &Selection) -> Hours {
-        views
-            .iter()
-            .zip(selected)
-            .filter(|(_, on)| **on)
-            .map(|(v, _)| v.materialization)
-            .sum()
+    pub fn materialization_time(&self, views: &[ViewCharge], selected: &SelectionSet) -> Hours {
+        selected.ones().map(|k| views[k].materialization).sum()
     }
 
     /// Formula 11: total maintenance time of the selected views per period.
-    pub fn maintenance_time(&self, views: &[ViewCharge], selected: &Selection) -> Hours {
-        views
-            .iter()
-            .zip(selected)
-            .filter(|(_, on)| **on)
-            .map(|(v, _)| v.maintenance)
-            .sum()
+    pub fn maintenance_time(&self, views: &[ViewCharge], selected: &SelectionSet) -> Hours {
+        selected.ones().map(|k| views[k].maintenance).sum()
     }
 
     /// Extra storage of the selected views.
-    pub fn views_size(&self, views: &[ViewCharge], selected: &Selection) -> mv_units::Gb {
-        views
-            .iter()
-            .zip(selected)
-            .filter(|(_, on)| **on)
-            .map(|(v, _)| v.size)
-            .sum()
+    pub fn views_size(&self, views: &[ViewCharge], selected: &SelectionSet) -> mv_units::Gb {
+        selected.ones().map(|k| views[k].size).sum()
     }
 
     /// Section 4 total (Formulas 6–12 plus unchanged Formula 3 transfer).
-    pub fn with_views(&self, views: &[ViewCharge], selected: &Selection) -> CostBreakdown {
+    pub fn with_views(&self, views: &[ViewCharge], selected: &SelectionSet) -> CostBreakdown {
         assert_eq!(
             views.len(),
             selected.len(),
             "selection mask must align with candidates"
         );
+        self.breakdown_from_totals(
+            self.processing_time_with_views(views, selected),
+            self.maintenance_time(views, selected),
+            self.materialization_time(views, selected),
+            self.views_size(views, selected),
+        )
+    }
+
+    /// Assembles the Section 4 breakdown from already-aggregated totals.
+    /// [`CloudCostModel::with_views`] is defined in terms of this, so an
+    /// incremental evaluator that tracks the four totals itself (e.g.
+    /// `mv-select`'s `IncrementalEvaluator`) produces breakdowns that are
+    /// bit-identical to a full re-evaluation by construction.
+    pub fn breakdown_from_totals(
+        &self,
+        processing: Hours,
+        maintenance: Hours,
+        materialization: Hours,
+        views_size: mv_units::Gb,
+    ) -> CostBreakdown {
         CostBreakdown {
             transfer: self.transfer_cost(),
-            compute_processing: self
-                .compute_component(self.processing_time_with_views(views, selected)),
-            compute_maintenance: self
-                .compute_component(self.maintenance_time(views, selected)),
-            compute_materialization: self
-                .compute_component(self.materialization_time(views, selected)),
-            storage: self.storage_cost_with_extra(self.views_size(views, selected)),
+            compute_processing: self.compute_component(processing),
+            compute_maintenance: self.compute_component(maintenance),
+            compute_materialization: self.compute_component(materialization),
+            storage: self.storage_cost_with_extra(views_size),
         }
     }
 
@@ -174,6 +173,12 @@ impl CloudCostModel {
 
     /// One compute component: `RoundUp(time) × c(IC) × nbIC` under the
     /// provider's rounding rule. Zero time bills zero (no idle charge).
+    /// Public so incremental evaluators can price their cached totals
+    /// through the exact same routine as [`CloudCostModel::with_views`].
+    pub fn compute_cost(&self, time: Hours) -> Money {
+        self.compute_component(time)
+    }
+
     fn compute_component(&self, time: Hours) -> Money {
         if time == Hours::ZERO {
             return Money::ZERO;
@@ -187,8 +192,7 @@ impl CloudCostModel {
     /// Formula 5: the interval-based storage cost of dataset + inserts,
     /// plus `extra` (the selected views) stored for the whole period.
     fn storage_cost_with_extra(&self, extra: mv_units::Gb) -> Money {
-        let mut timeline =
-            StorageTimeline::new(self.ctx.dataset_size + extra, self.ctx.months);
+        let mut timeline = StorageTimeline::new(self.ctx.dataset_size + extra, self.ctx.months);
         for (at, added) in &self.ctx.inserts {
             timeline
                 .insert(*at, *added)
@@ -259,7 +263,7 @@ mod tests {
     fn section4_costs_with_v1() {
         let m = running_example();
         let views = vec![v1(1)];
-        let selected = vec![true];
+        let selected = SelectionSet::full(1);
         assert_eq!(
             m.processing_time_with_views(&views, &selected).value(),
             40.0
@@ -287,7 +291,7 @@ mod tests {
     fn deselected_views_charge_nothing() {
         let m = running_example();
         let views = vec![v1(1)];
-        let selected = vec![false];
+        let selected = SelectionSet::empty(1);
         let b = m.with_views(&views, &selected);
         assert_eq!(b, m.without_views());
     }
@@ -302,17 +306,20 @@ mod tests {
         ];
         // Both selected: the faster V2 answers Q.
         assert_eq!(
-            m.processing_time_with_views(&views, &vec![true, true]).value(),
+            m.processing_time_with_views(&views, &SelectionSet::from_mask(0b11, 2))
+                .value(),
             20.0
         );
         // Only V1: 40 h.
         assert_eq!(
-            m.processing_time_with_views(&views, &vec![true, false]).value(),
+            m.processing_time_with_views(&views, &SelectionSet::from_mask(0b01, 2))
+                .value(),
             40.0
         );
         // A view that cannot answer leaves the base time.
         assert_eq!(
-            m.processing_time_with_views(&views, &vec![false, false]).value(),
+            m.processing_time_with_views(&views, &SelectionSet::from_mask(0b00, 2))
+                .value(),
             50.0
         );
     }
@@ -333,6 +340,6 @@ mod tests {
     #[should_panic(expected = "selection mask must align")]
     fn misaligned_selection_panics() {
         let m = running_example();
-        m.with_views(&[v1(1)], &vec![true, false]);
+        m.with_views(&[v1(1)], &SelectionSet::from_mask(0b01, 2));
     }
 }

@@ -1,0 +1,228 @@
+//! Compact candidate-selection bitsets.
+//!
+//! The optimizer probes thousands-to-millions of candidate subsets per
+//! solve; selections were previously `Vec<bool>`, cloned on every probe
+//! and stored in every [`crate::CostBreakdown`]-carrying evaluation.
+//! [`SelectionSet`] packs the mask into `u64` words behind an `Arc`:
+//!
+//! * **clone is O(1)** — an atomic refcount bump, no allocation;
+//! * **mutation is copy-on-write** — `Arc::make_mut` only copies the
+//!   word vector when the selection is actually shared;
+//! * **n ≤ 64 never allocates more than one word**, the common case for
+//!   the paper's ≤ 16-candidate problems.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A set of selected candidate views, as a bitmask aligned with a
+/// candidate slice. Cheap to clone (copy-on-write words).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SelectionSet {
+    len: usize,
+    words: Arc<Vec<u64>>,
+}
+
+impl SelectionSet {
+    /// The empty selection over `len` candidates.
+    pub fn empty(len: usize) -> Self {
+        SelectionSet {
+            len,
+            words: Arc::new(vec![0; len.div_ceil(64)]),
+        }
+    }
+
+    /// The all-selected selection over `len` candidates.
+    pub fn full(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        SelectionSet {
+            len,
+            words: Arc::new(words),
+        }
+    }
+
+    /// Builds a selection from a bool slice (index k selected iff
+    /// `bools[k]`).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut s = SelectionSet::empty(bools.len());
+        let words = Arc::make_mut(&mut s.words);
+        for (k, &on) in bools.iter().enumerate() {
+            if on {
+                words[k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        s
+    }
+
+    /// Builds a selection over `len ≤ 64` candidates from a bitmask
+    /// (bit k = candidate k).
+    pub fn from_mask(mask: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_mask supports at most 64 candidates");
+        assert!(
+            len == 64 || mask < (1u64 << len),
+            "mask {mask:#x} has bits beyond {len} candidates"
+        );
+        SelectionSet {
+            len,
+            // Word count must match `empty(len)` so Eq/Hash are
+            // representation-independent.
+            words: Arc::new(if len == 0 { Vec::new() } else { vec![mask] }),
+        }
+    }
+
+    /// Number of candidates the selection ranges over (not the number
+    /// selected).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when there are no candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether candidate `k` is selected.
+    #[inline]
+    pub fn contains(&self, k: usize) -> bool {
+        debug_assert!(k < self.len, "candidate {k} out of {}", self.len);
+        self.words[k / 64] >> (k % 64) & 1 == 1
+    }
+
+    /// Selects (`on = true`) or deselects candidate `k`.
+    #[inline]
+    pub fn set(&mut self, k: usize, on: bool) {
+        assert!(k < self.len, "candidate {k} out of {}", self.len);
+        let words = Arc::make_mut(&mut self.words);
+        let bit = 1u64 << (k % 64);
+        if on {
+            words[k / 64] |= bit;
+        } else {
+            words[k / 64] &= !bit;
+        }
+    }
+
+    /// Toggles candidate `k`, returning its new state.
+    #[inline]
+    pub fn toggle(&mut self, k: usize) -> bool {
+        assert!(k < self.len, "candidate {k} out of {}", self.len);
+        let words = Arc::make_mut(&mut self.words);
+        words[k / 64] ^= 1u64 << (k % 64);
+        words[k / 64] >> (k % 64) & 1 == 1
+    }
+
+    /// Number of selected candidates.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Per-candidate booleans in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |k| self.contains(k))
+    }
+
+    /// Indices of the selected candidates, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&k| self.contains(k))
+    }
+
+    /// The selection as a `u64` bitmask (requires ≤ 64 candidates).
+    pub fn as_mask(&self) -> u64 {
+        assert!(self.len <= 64, "as_mask supports at most 64 candidates");
+        self.words.first().copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for SelectionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SelectionSet[")?;
+        for k in 0..self.len {
+            write!(f, "{}", if self.contains(k) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[bool]> for SelectionSet {
+    fn from(bools: &[bool]) -> Self {
+        SelectionSet::from_bools(bools)
+    }
+}
+
+impl From<Vec<bool>> for SelectionSet {
+    fn from(bools: Vec<bool>) -> Self {
+        SelectionSet::from_bools(&bools)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_full_and_counts() {
+        let e = SelectionSet::empty(70);
+        assert_eq!(e.len(), 70);
+        assert_eq!(e.count_ones(), 0);
+        let f = SelectionSet::full(70);
+        assert_eq!(f.count_ones(), 70);
+        assert!(f.iter().all(|b| b));
+        assert_eq!(SelectionSet::full(64).count_ones(), 64);
+        assert!(SelectionSet::empty(0).is_empty());
+    }
+
+    #[test]
+    fn set_toggle_contains() {
+        let mut s = SelectionSet::empty(10);
+        s.set(3, true);
+        s.set(9, true);
+        assert!(s.contains(3) && s.contains(9) && !s.contains(0));
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![3, 9]);
+        assert!(!s.toggle(3));
+        assert!(s.toggle(4));
+        assert_eq!(s.count_ones(), 2);
+    }
+
+    #[test]
+    fn copy_on_write_isolation() {
+        let mut a = SelectionSet::empty(8);
+        a.set(1, true);
+        let b = a.clone();
+        a.set(2, true);
+        assert!(a.contains(2));
+        assert!(!b.contains(2));
+        assert!(b.contains(1));
+    }
+
+    #[test]
+    fn mask_and_bools_roundtrip() {
+        let s = SelectionSet::from_mask(0b1011, 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![true, true, false, true]);
+        assert_eq!(s.as_mask(), 0b1011);
+        let t = SelectionSet::from_bools(&[true, false, true]);
+        assert_eq!(t.as_mask(), 0b101);
+        assert_eq!(SelectionSet::from(vec![false, true]).as_mask(), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_set_panics() {
+        SelectionSet::empty(3).set(3, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn oversized_mask_panics() {
+        SelectionSet::from_mask(0b100, 2);
+    }
+
+    #[test]
+    fn debug_renders_bits() {
+        let s = SelectionSet::from_mask(0b01, 2);
+        assert_eq!(format!("{s:?}"), "SelectionSet[10]");
+    }
+}

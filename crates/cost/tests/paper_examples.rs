@@ -72,7 +72,7 @@ fn example_3_storage_cost_with_intervals() {
 fn example_4_materialization_cost() {
     // CmaterializationV = 1 × 0.12 × 2 = $0.24.
     let m = running_example();
-    let b = m.with_views(&[v1()], &vec![true]);
+    let b = m.with_views(&[v1()], &mv_cost::SelectionSet::full(1));
     assert_eq!(b.compute_materialization, dollars("0.24"));
 }
 
@@ -81,7 +81,7 @@ fn example_5_processing_time_with_views() {
     // TprocessingQ = 40 hours.
     let m = running_example();
     assert_eq!(
-        m.processing_time_with_views(&[v1()], &vec![true]),
+        m.processing_time_with_views(&[v1()], &mv_cost::SelectionSet::full(1)),
         Hours::new(40.0)
     );
 }
@@ -90,7 +90,7 @@ fn example_5_processing_time_with_views() {
 fn example_6_processing_cost_with_views() {
     // CprocessingQ = 40 × 0.12 × 2 = $9.6.
     let m = running_example();
-    let b = m.with_views(&[v1()], &vec![true]);
+    let b = m.with_views(&[v1()], &mv_cost::SelectionSet::full(1));
     assert_eq!(b.compute_processing, dollars("9.6"));
 }
 
@@ -98,8 +98,11 @@ fn example_6_processing_cost_with_views() {
 fn example_7_and_8_maintenance() {
     // TmaintenanceV = 5 h; CmaintenanceV = 5 × 0.12 × 2 = $1.2.
     let m = running_example();
-    assert_eq!(m.maintenance_time(&[v1()], &vec![true]), Hours::new(5.0));
-    let b = m.with_views(&[v1()], &vec![true]);
+    assert_eq!(
+        m.maintenance_time(&[v1()], &mv_cost::SelectionSet::full(1)),
+        Hours::new(5.0)
+    );
+    let b = m.with_views(&[v1()], &mv_cost::SelectionSet::full(1));
     assert_eq!(b.compute_maintenance, dollars("1.2"));
 }
 
@@ -107,7 +110,7 @@ fn example_7_and_8_maintenance() {
 fn example_9_storage_with_views() {
     // Cs = (500 + 50) × 12 × 0.14 = $924.
     let m = running_example();
-    let b = m.with_views(&[v1()], &vec![true]);
+    let b = m.with_views(&[v1()], &mv_cost::SelectionSet::full(1));
     assert_eq!(b.storage, dollars("924"));
 }
 
@@ -136,7 +139,7 @@ fn section1_intro_figures() {
     // build and refresh time.
     let intro_view = ViewCharge::new("V", Gb::new(50.0), Hours::ZERO, Hours::ZERO, 1)
         .answers(0, Hours::new(40.0));
-    let with = model.with_views(&[intro_view], &vec![true]);
+    let with = model.with_views(&[intro_view], &mv_cost::SelectionSet::full(1));
     assert_eq!(with.storage, dollars("55"));
     assert_eq!(with.compute(), dollars("9.6"));
     assert_eq!(with.total(), dollars("64.6"));
@@ -166,7 +169,7 @@ fn full_breakdown_with_and_without_views() {
     let without = m.without_views();
     // $1.08 + $12 + 500×12×0.14=$840.
     assert_eq!(without.total(), dollars("853.08"));
-    let with = m.with_views(&[v1()], &vec![true]);
+    let with = m.with_views(&[v1()], &mv_cost::SelectionSet::full(1));
     // $1.08 + ($9.6 + $1.2 + $0.24) + $924.
     assert_eq!(with.total(), dollars("936.12"));
     // Views trade compute for storage here: compute dropped...

@@ -139,9 +139,10 @@ pub(crate) enum AggState {
 impl AggExpr {
     pub(crate) fn init(self) -> AggState {
         match self {
-            AggExpr::Sum { .. } | AggExpr::Count | AggExpr::Avg { .. } | AggExpr::RatioOfSums { .. } => {
-                AggState::SumCount { sum: 0, count: 0 }
-            }
+            AggExpr::Sum { .. }
+            | AggExpr::Count
+            | AggExpr::Avg { .. }
+            | AggExpr::RatioOfSums { .. } => AggState::SumCount { sum: 0, count: 0 },
             AggExpr::Min { .. } | AggExpr::Max { .. } => AggState::MinMax {
                 value: 0,
                 seen: false,
@@ -198,7 +199,10 @@ impl AggExpr {
         match (self, state) {
             (AggExpr::Sum { .. }, AggState::SumCount { sum, .. }) => *sum,
             (AggExpr::Count, AggState::SumCount { sum, .. }) => *sum,
-            (AggExpr::Avg { .. } | AggExpr::RatioOfSums { .. }, AggState::SumCount { sum, count }) => {
+            (
+                AggExpr::Avg { .. } | AggExpr::RatioOfSums { .. },
+                AggState::SumCount { sum, count },
+            ) => {
                 if *count == 0 {
                     0
                 } else {

@@ -31,7 +31,10 @@ pub fn geography() -> Vec<Country> {
         Country {
             name: "France",
             regions: &[
-                ("Auvergne", &["Puy-de-Dome", "Allier", "Cantal", "Haute-Loire"]),
+                (
+                    "Auvergne",
+                    &["Puy-de-Dome", "Allier", "Cantal", "Haute-Loire"],
+                ),
                 ("Ile-de-France", &["Paris", "Yvelines", "Essonne"]),
                 ("Bretagne", &["Finistere", "Morbihan"]),
             ],
@@ -294,10 +297,7 @@ mod tests {
         let a = generate_sales(&cfg);
         let b = generate_sales(&cfg);
         assert_eq!(a.to_rows(), b.to_rows());
-        let c = generate_sales(&SalesConfig {
-            seed: 43,
-            ..cfg
-        });
+        let c = generate_sales(&SalesConfig { seed: 43, ..cfg });
         assert_ne!(a.to_rows(), c.to_rows());
     }
 
@@ -325,7 +325,10 @@ mod tests {
             let country = r[3].as_str().unwrap().to_string();
             let region = r[4].as_str().unwrap().to_string();
             let dept = r[5].as_str().unwrap().to_string();
-            let c = geo.iter().find(|c| c.name == country).expect("known country");
+            let c = geo
+                .iter()
+                .find(|c| c.name == country)
+                .expect("known country");
             let (_, depts) = c
                 .regions
                 .iter()
@@ -342,11 +345,7 @@ mod tests {
             skew: 1.5,
             ..SalesConfig::default()
         });
-        let (codes, dict) = skewed
-            .column_by_name("country")
-            .unwrap()
-            .as_str()
-            .unwrap();
+        let (codes, dict) = skewed.column_by_name("country").unwrap().as_str().unwrap();
         let france = dict.lookup("France").unwrap();
         let france_share =
             codes.iter().filter(|&&c| c == france).count() as f64 / codes.len() as f64;

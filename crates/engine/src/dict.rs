@@ -55,11 +55,7 @@ impl Dictionary {
 
     /// Approximate heap footprint in bytes (strings + index).
     pub fn heap_bytes(&self) -> u64 {
-        self.values
-            .iter()
-            .map(|s| s.len() as u64 + 24)
-            .sum::<u64>()
-            * 2 // stored once in `values`, once in `index`
+        self.values.iter().map(|s| s.len() as u64 + 24).sum::<u64>() * 2 // stored once in `values`, once in `index`
     }
 
     /// Iterates `(code, string)` pairs in code order.

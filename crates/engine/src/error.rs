@@ -70,7 +70,10 @@ impl fmt::Display for EngineError {
                 "column {column:?} has type {actual} but {expected} was required"
             ),
             EngineError::LengthMismatch { expected, actual } => {
-                write!(f, "column length {actual} does not match table length {expected}")
+                write!(
+                    f,
+                    "column length {actual} does not match table length {expected}"
+                )
             }
             EngineError::DuplicateColumn { name } => {
                 write!(f, "duplicate column name {name:?}")

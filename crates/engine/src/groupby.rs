@@ -93,9 +93,9 @@ pub(crate) fn parallel_group_by(
             if start >= end {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
-                aggregate_range(table, group_cols, aggs, mask, start, end)
-            }));
+            handles.push(
+                scope.spawn(move |_| aggregate_range(table, group_cols, aggs, mask, start, end)),
+            );
         }
         handles
             .into_iter()
@@ -132,10 +132,7 @@ fn merge_state(expr: AggExpr, state: &mut AggState, other: &AggState) {
             | AggExpr::Avg { .. }
             | AggExpr::RatioOfSums { .. },
             AggState::SumCount { sum, count },
-            AggState::SumCount {
-                sum: s2,
-                count: c2,
-            },
+            AggState::SumCount { sum: s2, count: c2 },
         ) => {
             *sum += s2;
             *count += c2;
@@ -242,9 +239,7 @@ fn build_output(
             }
         }
         for (a, agg) in aggs.iter().enumerate() {
-            let v = agg
-                .expr
-                .finish(&partial.states[g * partial.n_aggs + a]);
+            let v = agg.expr.finish(&partial.states[g * partial.n_aggs + a]);
             out_cols[group_cols.len() + a].push_int(v);
         }
     }
@@ -261,7 +256,10 @@ fn build_output(
         .sum();
     for a in aggs {
         scanned_width += match a.expr {
-            AggExpr::Sum { .. } | AggExpr::Min { .. } | AggExpr::Max { .. } | AggExpr::Avg { .. } => 8,
+            AggExpr::Sum { .. }
+            | AggExpr::Min { .. }
+            | AggExpr::Max { .. }
+            | AggExpr::Avg { .. } => 8,
             AggExpr::Count => 0,
             AggExpr::RatioOfSums { .. } => 16,
         };
@@ -412,7 +410,11 @@ mod tests {
         let (serial, _) = hash_group_by(&t, &[0, 1], &aggs, None).unwrap();
         for threads in [2, 3, 8] {
             let (par, _) = parallel_group_by(&t, &[0, 1], &aggs, None, threads).unwrap();
-            assert_eq!(serial.to_sorted_rows(), par.to_sorted_rows(), "{threads} threads");
+            assert_eq!(
+                serial.to_sorted_rows(),
+                par.to_sorted_rows(),
+                "{threads} threads"
+            );
         }
     }
 

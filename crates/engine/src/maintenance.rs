@@ -14,9 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::fx::FxHashMap;
-use crate::{
-    AggFunc, Column, EngineError, ExecStats, MaterializedView, Table,
-};
+use crate::{AggFunc, Column, EngineError, ExecStats, MaterializedView, Table};
 
 /// Maintenance strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,10 +206,7 @@ mod tests {
         let mut full = view();
         inc.refresh_incremental(&delta()).unwrap();
         full.refresh_full(&base_after()).unwrap();
-        assert_eq!(
-            inc.data().to_sorted_rows(),
-            full.data().to_sorted_rows()
-        );
+        assert_eq!(inc.data().to_sorted_rows(), full.data().to_sorted_rows());
     }
 
     #[test]

@@ -181,14 +181,8 @@ mod tests {
             bytes_scanned: 10 << 30,
             ..ExecStats::default()
         };
-        assert_eq!(
-            m.hours_for(&stats, 1.0, SimScale::identity()).value(),
-            1.0
-        );
-        assert_eq!(
-            m.hours_for(&stats, 2.0, SimScale::identity()).value(),
-            0.5
-        );
+        assert_eq!(m.hours_for(&stats, 1.0, SimScale::identity()).value(), 1.0);
+        assert_eq!(m.hours_for(&stats, 2.0, SimScale::identity()).value(), 0.5);
         assert_eq!(
             m.hours_for(&stats, 1.0, SimScale { factor: 2.0 }).value(),
             2.0

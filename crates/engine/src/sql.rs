@@ -215,11 +215,7 @@ enum SelectItem {
 
 impl Parser {
     fn error_at(&self, message: impl Into<String>) -> SqlError {
-        let position = self
-            .toks
-            .get(self.i)
-            .map(|(_, p)| *p)
-            .unwrap_or(self.end);
+        let position = self.toks.get(self.i).map(|(_, p)| *p).unwrap_or(self.end);
         SqlError {
             message: message.into(),
             position,
@@ -498,10 +494,7 @@ mod tests {
 
     #[test]
     fn count_star_and_bare_count() {
-        for sql in [
-            "SELECT COUNT(*) FROM sales",
-            "SELECT COUNT() FROM sales",
-        ] {
+        for sql in ["SELECT COUNT(*) FROM sales", "SELECT COUNT() FROM sales"] {
             let parsed = parse_query(sql).unwrap();
             let (out, _) = parsed.query.execute(&sales()).unwrap();
             assert_eq!(out.row(0), vec![Value::Int(3)]);
@@ -552,8 +545,7 @@ mod tests {
 
     #[test]
     fn must_select_an_aggregate() {
-        let err =
-            parse_query("SELECT country FROM sales GROUP BY country").unwrap_err();
+        let err = parse_query("SELECT country FROM sales GROUP BY country").unwrap_err();
         assert!(err.message.contains("at least one aggregate"));
     }
 
@@ -576,16 +568,14 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let err =
-            parse_query("SELECT SUM(profit) FROM sales GROUP BY year year").unwrap_err();
+        let err = parse_query("SELECT SUM(profit) FROM sales GROUP BY year year").unwrap_err();
         assert!(err.message.contains("trailing"));
     }
 
     #[test]
     fn case_insensitive_keywords() {
-        let parsed = parse_query(
-            "select Year, sum(Profit) from Sales where Year >= 2000 group by Year",
-        );
+        let parsed =
+            parse_query("select Year, sum(Profit) from Sales where Year >= 2000 group by Year");
         // Identifiers are case-sensitive (Year != year) but keywords are not;
         // parsing succeeds, execution would fail on unknown column.
         assert!(parsed.is_ok());
@@ -593,8 +583,7 @@ mod tests {
 
     #[test]
     fn negative_literals() {
-        let parsed =
-            parse_query("SELECT COUNT(*) FROM t WHERE profit > -10").unwrap();
+        let parsed = parse_query("SELECT COUNT(*) FROM t WHERE profit > -10").unwrap();
         let (out, _) = parsed.query.execute(&sales()).unwrap();
         assert_eq!(out.row(0), vec![Value::Int(3)]);
     }

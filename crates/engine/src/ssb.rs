@@ -130,7 +130,11 @@ pub fn ssb_queries() -> Vec<AggQuery> {
             &["d_year", "c_region", "c_nation", "c_city"],
             rev(),
         ),
-        AggQuery::new("ssb-3.4", &["d_year", "d_month", "c_region", "c_nation"], rev()),
+        AggQuery::new(
+            "ssb-3.4",
+            &["d_year", "d_month", "c_region", "c_nation"],
+            rev(),
+        ),
         // Flight 4: customer × part × date ("profit drill-down").
         AggQuery::new("ssb-4.1", &["d_year", "c_region", "p_mfgr"], rev()),
         AggQuery::new(
@@ -160,10 +164,7 @@ mod tests {
 
     #[test]
     fn hierarchies_nest() {
-        let t = generate_lineorder(&SsbConfig {
-            rows: 500,
-            seed: 1,
-        });
+        let t = generate_lineorder(&SsbConfig { rows: 500, seed: 1 });
         for row in 0..t.num_rows() {
             let r = t.row(row);
             let region = r[3].as_str().unwrap();

@@ -117,11 +117,7 @@ impl Table {
             return Err(EngineError::SchemaMismatch);
         }
         for row in 0..other.rows {
-            let values: Vec<Value> = other
-                .columns
-                .iter()
-                .map(|c| c.value_at(row))
-                .collect();
+            let values: Vec<Value> = other.columns.iter().map(|c| c.value_at(row)).collect();
             self.push_row(&values)?;
         }
         Ok(())

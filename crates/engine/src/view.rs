@@ -14,9 +14,7 @@
 
 use crate::agg::AggExpr;
 use crate::groupby::LoweredAgg;
-use crate::{
-    AggFunc, AggQuery, AggSpec, EngineError, ExecStats, Table,
-};
+use crate::{AggFunc, AggQuery, AggSpec, EngineError, ExecStats, Table};
 
 /// Canonical view definition.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,11 +32,7 @@ impl ViewDefinition {
     /// * `Avg(c)` is replaced by `Sum(c)`;
     /// * a `Count` partial is always stored;
     /// * duplicates are removed.
-    pub fn canonical(
-        name: impl Into<String>,
-        group_by: &[&str],
-        requested: &[AggSpec],
-    ) -> Self {
+    pub fn canonical(name: impl Into<String>, group_by: &[&str], requested: &[AggSpec]) -> Self {
         let mut measures: Vec<AggSpec> = Vec::new();
         let mut push_unique = |spec: AggSpec| {
             if !measures
@@ -265,12 +259,7 @@ impl MaterializedView {
                 let width: u64 = p
                     .columns()
                     .iter()
-                    .map(|c| {
-                        schema
-                            .field(c)
-                            .map(|f| f.dtype.byte_width())
-                            .unwrap_or(0)
-                    })
+                    .map(|c| schema.field(c).map(|f| f.dtype.byte_width()).unwrap_or(0))
                     .sum();
                 (
                     Some(mask),
@@ -319,7 +308,11 @@ mod tests {
         let def = ViewDefinition::canonical(
             "v1",
             &["year", "month", "country"],
-            &[AggSpec::sum("profit"), AggSpec::min("profit"), AggSpec::max("profit")],
+            &[
+                AggSpec::sum("profit"),
+                AggSpec::min("profit"),
+                AggSpec::max("profit"),
+            ],
         );
         MaterializedView::materialize(def, &sales()).unwrap()
     }
@@ -333,7 +326,11 @@ mod tests {
         let def2 = ViewDefinition::canonical(
             "v",
             &["year"],
-            &[AggSpec::sum("profit"), AggSpec::avg("profit"), AggSpec::count()],
+            &[
+                AggSpec::sum("profit"),
+                AggSpec::avg("profit"),
+                AggSpec::count(),
+            ],
         );
         assert_eq!(def2.measures.len(), 2);
     }
@@ -352,11 +349,7 @@ mod tests {
 
     #[test]
     fn view_answers_count_and_avg() {
-        let def = ViewDefinition::canonical(
-            "v",
-            &["year", "country"],
-            &[AggSpec::avg("profit")],
-        );
+        let def = ViewDefinition::canonical("v", &["year", "country"], &[AggSpec::avg("profit")]);
         let view = MaterializedView::materialize(def, &sales()).unwrap();
         let q = AggQuery::new(
             "q",
@@ -401,8 +394,7 @@ mod tests {
     #[test]
     fn cannot_answer_finer_or_foreign_queries() {
         // View at (year, country) cannot answer per-month queries.
-        let def =
-            ViewDefinition::canonical("v", &["year", "country"], &[AggSpec::sum("profit")]);
+        let def = ViewDefinition::canonical("v", &["year", "country"], &[AggSpec::sum("profit")]);
         let view = MaterializedView::materialize(def, &sales()).unwrap();
         let finer = AggQuery::new("q", &["month"], vec![AggSpec::sum("profit")]);
         assert!(view.can_answer(&finer).is_err());

@@ -6,8 +6,8 @@
 //! the paper's time savings rest on this rewrite being lossless.
 
 use mv_engine::{
-    AggQuery, AggSpec, CmpOp, DataType, MaterializedView, Predicate, Table, TableBuilder,
-    Value, ViewDefinition,
+    AggQuery, AggSpec, CmpOp, DataType, MaterializedView, Predicate, Table, TableBuilder, Value,
+    ViewDefinition,
 };
 use proptest::prelude::*;
 
@@ -69,7 +69,10 @@ fn arb_sales(max_rows: usize) -> impl Strategy<Value = Table> {
                     Value::Int(d),
                     Value::from(countries[c]),
                     Value::from(format!("{}-{}", countries[c], regions[r])),
-                    Value::from(format!("{}-{}-{}", countries[c], regions[r], departments[dep])),
+                    Value::from(format!(
+                        "{}-{}-{}",
+                        countries[c], regions[r], departments[dep]
+                    )),
                     Value::Int(p),
                 ])
                 .unwrap();
@@ -216,7 +219,11 @@ fn arb_sql() -> impl Strategy<Value = String> {
     (cols, aggs, 2000i64..2003).prop_map(|(cols, aggs, year)| {
         let mut select: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
         select.extend(aggs.iter().map(|a| a.to_string()));
-        let mut sql = format!("SELECT {} FROM sales WHERE year >= {}", select.join(", "), year);
+        let mut sql = format!(
+            "SELECT {} FROM sales WHERE year >= {}",
+            select.join(", "),
+            year
+        );
         if !cols.is_empty() {
             sql.push_str(&format!(" GROUP BY {}", cols.join(", ")));
         }

@@ -104,7 +104,7 @@ mod tests {
         let b = Cuboid::new(vec![1, 1]); // year × country
         assert_eq!(a.lca(&b), Cuboid::new(vec![2, 1])); // month × country
         assert_eq!(a.meet(&b), Cuboid::new(vec![1, 0])); // year × ALL
-        // LCA covers both inputs.
+                                                         // LCA covers both inputs.
         assert!(a.lca(&b).covers(&a));
         assert!(a.lca(&b).covers(&b));
         // Both inputs cover the meet.

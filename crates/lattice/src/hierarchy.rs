@@ -53,9 +53,7 @@ impl Dimension {
     pub fn new(name: impl Into<String>, levels: Vec<Level>) -> Result<Self, LatticeError> {
         let name = name.into();
         if levels.len() < 2 {
-            return Err(LatticeError::TooFewLevels {
-                dimension: name,
-            });
+            return Err(LatticeError::TooFewLevels { dimension: name });
         }
         if !levels[0].columns.is_empty() || levels[0].cardinality != 1 {
             return Err(LatticeError::BadApex { dimension: name });
@@ -127,11 +125,7 @@ impl Dimension {
                 Dimension::all_level(),
                 Level::new("country", &["country"], 6),
                 Level::new("region", &["country", "region"], 14),
-                Level::new(
-                    "department",
-                    &["country", "region", "department"],
-                    36,
-                ),
+                Level::new("department", &["country", "region", "department"], 36),
             ],
         )
         .expect("paper geography dimension is valid")

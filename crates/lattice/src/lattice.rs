@@ -75,12 +75,7 @@ impl Lattice {
     /// The base cuboid (every dimension at its finest level): the raw fact
     /// table's granularity.
     pub fn base(&self) -> Cuboid {
-        Cuboid::new(
-            self.dims
-                .iter()
-                .map(|d| (d.depth() - 1) as u8)
-                .collect(),
-        )
+        Cuboid::new(self.dims.iter().map(|d| (d.depth() - 1) as u8).collect())
     }
 
     /// Validates that `cuboid` belongs to this lattice.

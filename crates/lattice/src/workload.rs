@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn validation_rejects_foreign_cuboids() {
         let l = Lattice::paper_running_example();
-        let bad = LatticeWorkload::new(
-            &l,
-            vec![LatticeQuery::once("q", Cuboid::new(vec![9, 9]))],
-        );
+        let bad = LatticeWorkload::new(&l, vec![LatticeQuery::once("q", Cuboid::new(vec![9, 9]))]);
         assert!(bad.is_err());
     }
 

@@ -6,29 +6,27 @@ use proptest::prelude::*;
 /// Strategy producing a random valid lattice with 1–3 dimensions of 2–4
 /// levels each, prefix-chained columns and growing cardinalities.
 fn arb_lattice() -> impl Strategy<Value = Lattice> {
-    proptest::collection::vec(
-        (2usize..5, proptest::collection::vec(1u64..50, 3)),
-        1..4,
+    proptest::collection::vec((2usize..5, proptest::collection::vec(1u64..50, 3)), 1..4).prop_map(
+        |dims| {
+            let built: Vec<Dimension> = dims
+                .into_iter()
+                .enumerate()
+                .map(|(d, (depth, mults))| {
+                    let mut levels = vec![Dimension::all_level()];
+                    let mut cols: Vec<String> = Vec::new();
+                    let mut card = 1u64;
+                    for l in 1..depth {
+                        cols.push(format!("d{d}_c{l}"));
+                        card = card.saturating_mul(mults[l - 1].max(2));
+                        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                        levels.push(Level::new(format!("d{d}_l{l}"), &col_refs, card));
+                    }
+                    Dimension::new(format!("dim{d}"), levels).expect("constructed dims are valid")
+                })
+                .collect();
+            Lattice::new(built).expect("non-empty")
+        },
     )
-    .prop_map(|dims| {
-        let built: Vec<Dimension> = dims
-            .into_iter()
-            .enumerate()
-            .map(|(d, (depth, mults))| {
-                let mut levels = vec![Dimension::all_level()];
-                let mut cols: Vec<String> = Vec::new();
-                let mut card = 1u64;
-                for l in 1..depth {
-                    cols.push(format!("d{d}_c{l}"));
-                    card = card.saturating_mul(mults[l - 1].max(2));
-                    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                    levels.push(Level::new(format!("d{d}_l{l}"), &col_refs, card));
-                }
-                Dimension::new(format!("dim{d}"), levels).expect("constructed dims are valid")
-            })
-            .collect();
-        Lattice::new(built).expect("non-empty")
-    })
 }
 
 /// Picks a random cuboid of `lattice` given a seed vector.

@@ -226,7 +226,13 @@ impl fmt::Display for Invoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Invoice — {}", self.provider)?;
         for line in &self.lines {
-            writeln!(f, "  {:<42} {:<28} {:>12}", line.label, line.detail, line.amount.to_string())?;
+            writeln!(
+                f,
+                "  {:<42} {:<28} {:>12}",
+                line.label,
+                line.detail,
+                line.amount.to_string()
+            )?;
         }
         writeln!(f, "  {:-<84}", "")?;
         writeln!(f, "  compute  {:>10}", self.compute.to_string())?;
@@ -277,10 +283,7 @@ mod tests {
         assert_eq!(invoice.compute, Money::from_dollars(12));
         assert_eq!(invoice.transfer, Money::from_dollars_str("1.08").unwrap());
         assert_eq!(invoice.storage, Money::from_dollars(924));
-        assert_eq!(
-            invoice.total(),
-            Money::from_dollars_str("937.08").unwrap()
-        );
+        assert_eq!(invoice.total(), Money::from_dollars_str("937.08").unwrap());
     }
 
     #[test]

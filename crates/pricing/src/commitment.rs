@@ -54,9 +54,7 @@ impl CommitmentPlan {
         if used == Hours::ZERO {
             return Money::MAX;
         }
-        Money::from_micros(
-            (self.total_cost(used).micros() as f64 / used.value()).round() as i128,
-        )
+        Money::from_micros((self.total_cost(used).micros() as f64 / used.value()).round() as i128)
     }
 
     /// Hours of use per term above which this plan beats paying
@@ -67,9 +65,7 @@ impl CommitmentPlan {
             return None;
         }
         let saving_per_hour = (on_demand_hourly - self.hourly).micros() as f64;
-        Some(Hours::new(
-            self.upfront.micros() as f64 / saving_per_hour,
-        ))
+        Some(Hours::new(self.upfront.micros() as f64 / saving_per_hour))
     }
 
     /// Whether reserving beats on-demand for a workload using `used` hours
@@ -110,10 +106,7 @@ mod tests {
         let plan = CommitmentPlan::aws_small_1yr();
         // Fully utilised year: 8760 h -> 160/8760 + 0.06 ≈ $0.0783/h.
         let eff = plan.effective_hourly(Hours::new(8_760.0));
-        assert!(
-            (eff.to_dollars_f64() - 0.078264).abs() < 1e-4,
-            "{eff}"
-        );
+        assert!((eff.to_dollars_f64() - 0.078264).abs() < 1e-4, "{eff}");
         // Light use: effective rate exceeds on-demand.
         let light = plan.effective_hourly(Hours::new(100.0));
         assert!(light > on_demand_small().hourly);
@@ -133,9 +126,6 @@ mod tests {
     fn total_cost_is_affine() {
         let plan = CommitmentPlan::aws_small_1yr();
         assert_eq!(plan.total_cost(Hours::ZERO), Money::from_dollars(160));
-        assert_eq!(
-            plan.total_cost(Hours::new(100.0)),
-            Money::from_dollars(166)
-        );
+        assert_eq!(plan.total_cost(Hours::new(100.0)), Money::from_dollars(166));
     }
 }

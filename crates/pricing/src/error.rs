@@ -43,7 +43,9 @@ pub enum PricingError {
 impl fmt::Display for PricingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PricingError::EmptySchedule => write!(f, "tier schedule must contain at least one tier"),
+            PricingError::EmptySchedule => {
+                write!(f, "tier schedule must contain at least one tier")
+            }
             PricingError::NonMonotonicTiers { index } => {
                 write!(f, "tier {index} does not increase the volume threshold")
             }
@@ -63,7 +65,10 @@ impl fmt::Display for PricingError {
                 write!(f, "duplicate instance configuration {name:?}")
             }
             PricingError::OutOfOrderEvent => {
-                write!(f, "storage timeline events must be recorded in chronological order")
+                write!(
+                    f,
+                    "storage timeline events must be recorded in chronological order"
+                )
             }
             PricingError::StorageUnderflow => {
                 write!(f, "storage timeline removal exceeds stored size")

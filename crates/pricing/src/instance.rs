@@ -141,9 +141,27 @@ mod tests {
 
     fn catalog() -> InstanceCatalog {
         InstanceCatalog::new(vec![
-            InstanceType::new("micro", 0.6, 0.25, 0.0, Money::from_dollars_str("0.03").unwrap()),
-            InstanceType::new("small", 1.7, 1.0, 160.0, Money::from_dollars_str("0.12").unwrap()),
-            InstanceType::new("large", 7.5, 4.0, 850.0, Money::from_dollars_str("0.48").unwrap()),
+            InstanceType::new(
+                "micro",
+                0.6,
+                0.25,
+                0.0,
+                Money::from_dollars_str("0.03").unwrap(),
+            ),
+            InstanceType::new(
+                "small",
+                1.7,
+                1.0,
+                160.0,
+                Money::from_dollars_str("0.12").unwrap(),
+            ),
+            InstanceType::new(
+                "large",
+                7.5,
+                4.0,
+                850.0,
+                Money::from_dollars_str("0.48").unwrap(),
+            ),
         ])
         .unwrap()
     }
@@ -189,10 +207,7 @@ mod tests {
             InstanceType::new("small", 1.7, 1.0, 160.0, Money::ZERO),
             InstanceType::new("small", 3.4, 2.0, 320.0, Money::ZERO),
         ]);
-        assert!(matches!(
-            dup,
-            Err(PricingError::DuplicateInstance { .. })
-        ));
+        assert!(matches!(dup, Err(PricingError::DuplicateInstance { .. })));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use mv_units::{Money, GB_PER_TB};
 
 use crate::{
-    ComputePricing, InstanceCatalog, InstanceType, PricingPolicy, StoragePricing, Tier,
-    TierMode, TierSchedule, TransferPricing,
+    ComputePricing, InstanceCatalog, InstanceType, PricingPolicy, StoragePricing, Tier, TierMode,
+    TierSchedule, TransferPricing,
 };
 
 fn dollars(s: &str) -> Money {
@@ -144,10 +144,7 @@ pub fn stratus() -> PricingPolicy {
     .expect("stratus catalog is valid");
 
     let outbound = TierSchedule::new(
-        vec![
-            Tier::upto_gb(1.0, Money::ZERO),
-            Tier::rest(dollars("0.19")),
-        ],
+        vec![Tier::upto_gb(1.0, Money::ZERO), Tier::rest(dollars("0.19"))],
         TierMode::Graduated,
     )
     .expect("stratus outbound schedule is valid");
@@ -195,7 +192,13 @@ pub fn flat_rate() -> PricingPolicy {
 
 /// All presets, for iteration in comparison examples and tests.
 pub fn all() -> Vec<PricingPolicy> {
-    vec![aws_2012(), intro_fictitious(), cumulus(), stratus(), flat_rate()]
+    vec![
+        aws_2012(),
+        intro_fictitious(),
+        cumulus(),
+        stratus(),
+        flat_rate(),
+    ]
 }
 
 #[cfg(test)]
@@ -228,10 +231,7 @@ mod tests {
     fn table3_bandwidth_examples() {
         let aws = aws_2012();
         assert_eq!(aws.transfer.outbound_cost(Gb::new(1.0)), Money::ZERO);
-        assert_eq!(
-            aws.transfer.outbound_cost(Gb::new(10.0)),
-            dollars("1.08")
-        );
+        assert_eq!(aws.transfer.outbound_cost(Gb::new(10.0)), dollars("1.08"));
         assert!(aws.transfer.inbound_is_free());
     }
 
@@ -255,15 +255,11 @@ mod tests {
         let intro = intro_fictitious();
         let std = intro.compute.instance("std").unwrap();
         // $50 storage + $12 compute = $62 without views.
-        let storage = intro
-            .storage
-            .cost(Gb::new(500.0), Months::new(1.0));
+        let storage = intro.storage.cost(Gb::new(500.0), Months::new(1.0));
         let compute = intro.compute.cost(Hours::new(50.0), std, 1);
         assert_eq!(storage + compute, Money::from_dollars(62));
         // $55 + $9.6 = $64.60 with views.
-        let storage_v = intro
-            .storage
-            .cost(Gb::new(550.0), Months::new(1.0));
+        let storage_v = intro.storage.cost(Gb::new(550.0), Months::new(1.0));
         let compute_v = intro.compute.cost(Hours::new(40.0), std, 1);
         assert_eq!(
             storage_v + compute_v,

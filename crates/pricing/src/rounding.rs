@@ -29,9 +29,7 @@ impl BillingRounding {
     pub fn apply(self, t: Hours) -> Hours {
         match self {
             BillingRounding::PerStartedHour => t.round_up_whole(),
-            BillingRounding::PerStartedMinute => {
-                Hours::from_minutes((t.value() * 60.0).ceil())
-            }
+            BillingRounding::PerStartedMinute => Hours::from_minutes((t.value() * 60.0).ceil()),
             BillingRounding::PerSecondMin60 => {
                 if t == Hours::ZERO {
                     Hours::ZERO
@@ -74,11 +72,15 @@ mod tests {
     #[test]
     fn per_started_hour_is_paper_rule() {
         assert_eq!(
-            BillingRounding::PerStartedHour.apply(Hours::new(50.0)).value(),
+            BillingRounding::PerStartedHour
+                .apply(Hours::new(50.0))
+                .value(),
             50.0
         );
         assert_eq!(
-            BillingRounding::PerStartedHour.apply(Hours::new(40.2)).value(),
+            BillingRounding::PerStartedHour
+                .apply(Hours::new(40.2))
+                .value(),
             41.0
         );
     }
@@ -117,7 +119,7 @@ mod tests {
     #[test]
     fn scope_total_vs_per_item() {
         let items = [Hours::new(0.2); 10]; // ten 12-minute queries
-        // Total: 2.0 h exactly, no rounding needed.
+                                           // Total: 2.0 h exactly, no rounding needed.
         assert_eq!(
             RoundingScope::Total
                 .billable(BillingRounding::PerStartedHour, &items)

@@ -210,10 +210,7 @@ mod tests {
     fn example9_single_interval() {
         // 550 GB for 12 months at $0.14 = $924.
         let tl = StorageTimeline::new(Gb::new(550.0), Months::new(12.0));
-        assert_eq!(
-            paper_storage().period_cost(&tl),
-            Money::from_dollars(924)
-        );
+        assert_eq!(paper_storage().period_cost(&tl), Money::from_dollars(924));
     }
 
     #[test]

@@ -258,8 +258,8 @@ mod tests {
     fn graduated_spans_brackets() {
         // 11 TB: 1 GB free + (10 TB - 1 GB) at 0.12 + 1 TB at 0.09.
         let vol = Gb::from_tb(11.0);
-        let expected = dollars("0.12").scale(10.0 * GB_PER_TB - 1.0)
-            + dollars("0.09").scale(GB_PER_TB);
+        let expected =
+            dollars("0.12").scale(10.0 * GB_PER_TB - 1.0) + dollars("0.09").scale(GB_PER_TB);
         assert_eq!(bandwidth().cost_for(vol), expected);
     }
 
@@ -342,7 +342,10 @@ mod tests {
     fn flat_and_free_helpers() {
         let f = TierSchedule::flat(dollars("0.10"));
         assert_eq!(f.cost_for(Gb::new(500.0)), dollars("50"));
-        assert_eq!(TierSchedule::free().cost_for(Gb::from_tb(100.0)), Money::ZERO);
+        assert_eq!(
+            TierSchedule::free().cost_for(Gb::from_tb(100.0)),
+            Money::ZERO
+        );
     }
 
     #[test]

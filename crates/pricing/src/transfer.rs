@@ -42,10 +42,7 @@ impl TransferPricing {
     /// `true` when inbound transfers cost nothing — lets the cost models use
     /// the paper's simplified Formula 3 instead of the general Formula 2.
     pub fn inbound_is_free(&self) -> bool {
-        self.inbound
-            .tiers()
-            .iter()
-            .all(|t| t.rate == Money::ZERO)
+        self.inbound.tiers().iter().all(|t| t.rate == Money::ZERO)
     }
 }
 

@@ -1,8 +1,6 @@
 //! Property-based invariants of the pricing substrate.
 
-use mv_pricing::{
-    presets, BillingRounding, StorageTimeline, Tier, TierMode, TierSchedule,
-};
+use mv_pricing::{presets, BillingRounding, StorageTimeline, Tier, TierMode, TierSchedule};
 use mv_units::{Gb, Hours, Money, Months};
 use proptest::prelude::*;
 

@@ -1,0 +1,420 @@
+//! Incremental evaluation of single-candidate selection changes.
+//!
+//! Every solver probes neighbors of a current selection: "what happens
+//! if view `k` is flipped on (or off)?" Answering through
+//! [`SelectionProblem::evaluate`] recomputes the full interaction model —
+//! O(n·m) for n candidates and m workload queries — per probe, which
+//! makes greedy O(n²·m) per pass and exhaustive O(2ⁿ·n·m).
+//!
+//! [`IncrementalEvaluator`] caches, per workload query, the fastest
+//! selected view **and the runner-up**. A flip then touches only the
+//! queries the flipped view can answer:
+//!
+//! * flipping **on** is a constant-time best/second update per affected
+//!   query — O(m) per flip;
+//! * flipping **off** falls back to the cached runner-up, and only
+//!   rescans a query's answer list when the flipped view was one of its
+//!   two fastest — O(m) typical, O(n·m) only in adversarial flip
+//!   sequences.
+//!
+//! [`IncrementalEvaluator::snapshot`] rebuilds a full [`Evaluation`] in
+//! O(n + m) from the cached per-query minima, summing in exactly the
+//! same order as [`SelectionProblem::evaluate`] (and assembling the
+//! breakdown through `CloudCostModel::breakdown_from_totals`, the same
+//! routine `with_views` uses), so snapshots are **bit-identical** to
+//! full re-evaluations — property-tested in `tests/evaluator_matches.rs`.
+
+use mv_cost::{CostBreakdown, SelectionSet};
+use mv_units::{Gb, Hours, Money, Months};
+
+use crate::{Evaluation, SelectionProblem};
+
+/// Sentinel candidate index meaning "no view".
+const NONE: u32 = u32::MAX;
+
+/// One cached (candidate, time) entry; `view == NONE` means empty.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    view: u32,
+    time: Hours,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        view: NONE,
+        time: Hours::ZERO,
+    };
+
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.view == NONE
+    }
+}
+
+/// Per-query cache: the two fastest *selected* views able to answer it.
+#[derive(Debug, Clone, Copy)]
+struct QueryCache {
+    best: Slot,
+    second: Slot,
+}
+
+/// O(m)-per-flip evaluator over a [`SelectionProblem`].
+///
+/// ```
+/// use mv_select::{fixtures, IncrementalEvaluator};
+///
+/// let problem = fixtures::paper_like_problem();
+/// let mut ev = IncrementalEvaluator::new(&problem);
+/// ev.flip(0);
+/// let mut sel = mv_cost::SelectionSet::empty(problem.len());
+/// sel.set(0, true);
+/// assert_eq!(ev.snapshot(), problem.evaluate(&sel));
+/// ev.unflip(0);
+/// assert_eq!(ev.snapshot(), problem.baseline());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'p> {
+    problem: &'p SelectionProblem,
+    selection: SelectionSet,
+    /// `per_view[k]` = the queries view `k` answers, as `(query, time)`.
+    per_view: Vec<Vec<(u32, Hours)>>,
+    /// `answers[i]` = the views answering query `i`, as `(view, time)`,
+    /// ascending by view index (used for runner-up rescans).
+    answers: Vec<Vec<(u32, Hours)>>,
+    queries: Vec<QueryCache>,
+    /// Transfer cost is selection-independent: cached once.
+    transfer: Money,
+    /// Storage-interval template: `(inserts_applied, duration)` per
+    /// billable interval, precomputed from the context's insert events
+    /// (which are selection-independent; only the *size* each interval
+    /// holds shifts by the selected views' total size).
+    storage_intervals: Vec<(usize, Months)>,
+}
+
+impl<'p> IncrementalEvaluator<'p> {
+    /// Builds an evaluator positioned at the empty selection. O(n·m).
+    pub fn new(problem: &'p SelectionProblem) -> Self {
+        let m = problem.model().context().workload.len();
+        let n = problem.len();
+        let mut per_view = vec![Vec::new(); n];
+        let mut answers = vec![Vec::new(); m];
+        for (k, v) in problem.candidates().iter().enumerate() {
+            for (i, t) in v.query_times.iter().enumerate() {
+                if let Some(t) = t {
+                    per_view[k].push((i as u32, *t));
+                    answers[i].push((k as u32, *t));
+                }
+            }
+        }
+        IncrementalEvaluator {
+            problem,
+            selection: SelectionSet::empty(n),
+            per_view,
+            answers,
+            queries: vec![
+                QueryCache {
+                    best: Slot::EMPTY,
+                    second: Slot::EMPTY,
+                };
+                m
+            ],
+            transfer: problem.model().transfer_cost(),
+            storage_intervals: storage_interval_template(problem),
+        }
+    }
+
+    /// Builds an evaluator positioned at `selection`.
+    pub fn with_selection(problem: &'p SelectionProblem, selection: &SelectionSet) -> Self {
+        let mut ev = IncrementalEvaluator::new(problem);
+        for k in selection.ones() {
+            ev.flip(k);
+        }
+        ev
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &'p SelectionProblem {
+        self.problem
+    }
+
+    /// The current selection.
+    pub fn selection(&self) -> &SelectionSet {
+        &self.selection
+    }
+
+    /// Whether candidate `k` is currently selected.
+    pub fn is_selected(&self, k: usize) -> bool {
+        self.selection.contains(k)
+    }
+
+    /// Selects candidate `k` (must currently be deselected). O(m).
+    pub fn flip(&mut self, k: usize) {
+        assert!(
+            !self.selection.contains(k),
+            "candidate {k} already selected"
+        );
+        self.selection.set(k, true);
+        let kk = k as u32;
+        for &(i, t) in &self.per_view[k] {
+            let q = &mut self.queries[i as usize];
+            if q.best.is_empty() || t < q.best.time {
+                q.second = q.best;
+                q.best = Slot { view: kk, time: t };
+            } else if q.second.is_empty() || t < q.second.time {
+                q.second = Slot { view: kk, time: t };
+            }
+        }
+    }
+
+    /// Deselects candidate `k` (must currently be selected). O(m) unless
+    /// `k` was a query's best or runner-up, in which case that query's
+    /// answer list is rescanned.
+    pub fn unflip(&mut self, k: usize) {
+        assert!(self.selection.contains(k), "candidate {k} not selected");
+        self.selection.set(k, false);
+        let kk = k as u32;
+        for idx in 0..self.per_view[k].len() {
+            let i = self.per_view[k][idx].0 as usize;
+            let q = self.queries[i];
+            if q.best.view == kk {
+                let second = q.second;
+                let new_second = if second.is_empty() {
+                    Slot::EMPTY
+                } else {
+                    self.rescan_runner_up(i, second.view)
+                };
+                self.queries[i] = QueryCache {
+                    best: second,
+                    second: new_second,
+                };
+            } else if q.second.view == kk {
+                self.queries[i].second = self.rescan_runner_up(i, q.best.view);
+            }
+        }
+    }
+
+    /// Toggles candidate `k` regardless of current state.
+    pub fn toggle(&mut self, k: usize) {
+        if self.selection.contains(k) {
+            self.unflip(k);
+        } else {
+            self.flip(k);
+        }
+    }
+
+    /// Finds the fastest selected view answering query `i`, excluding
+    /// `except` (the current best). O(answers(i)).
+    fn rescan_runner_up(&self, i: usize, except: u32) -> Slot {
+        let mut out = Slot::EMPTY;
+        for &(v, t) in &self.answers[i] {
+            if v == except || !self.selection.contains(v as usize) {
+                continue;
+            }
+            if out.is_empty() || t < out.time {
+                out = Slot { view: v, time: t };
+            }
+        }
+        out
+    }
+
+    /// Effective time of query `i` under the current selection: the
+    /// cached best selected view, else the query's base time. O(1).
+    pub fn query_time(&self, i: usize) -> Hours {
+        let base = self.problem.model().context().workload[i].base_time;
+        let best = self.queries[i].best;
+        if best.is_empty() {
+            base
+        } else {
+            base.min(best.time)
+        }
+    }
+
+    /// Frequency-weighted total processing time (Formula 9 summed),
+    /// recomputed from the per-query caches in workload order — the same
+    /// summation order as `processing_time_with_views`, so the result is
+    /// bit-identical. O(m).
+    pub fn processing_time(&self) -> Hours {
+        self.problem
+            .model()
+            .context()
+            .workload
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.query_time(i) * q.frequency)
+            .sum()
+    }
+
+    /// Full [`Evaluation`] of the current selection, agreeing exactly
+    /// with [`SelectionProblem::evaluate`]. O(n + m).
+    ///
+    /// Exactness: the time total is summed in workload order and the
+    /// per-candidate totals in candidate order — the same fold orders as
+    /// the model's own aggregation; compute components go through
+    /// `CloudCostModel::compute_cost` (the routine `with_views` uses);
+    /// the transfer cost is selection-independent and cached; and the
+    /// storage cost replays the model's interval/size chain over the
+    /// precomputed template, so every `f64` operation matches
+    /// `storage_cost_with_extra` bit for bit — without rebuilding (and
+    /// re-allocating) a `StorageTimeline` per probe.
+    pub fn snapshot(&self) -> Evaluation {
+        let model = self.problem.model();
+        let candidates = self.problem.candidates();
+        let time = self.processing_time();
+        // One fused pass over the selected candidates; each accumulator
+        // folds in ascending candidate order from its zero, exactly like
+        // the model's separate `.sum()` calls.
+        let mut maintenance = Hours::ZERO;
+        let mut materialization = Hours::ZERO;
+        let mut views_size = Gb::ZERO;
+        for k in self.selection.ones() {
+            let v = &candidates[k];
+            // `+=` delegates to the same float add as `a + b`, so the fold
+            // stays bit-identical to the model's `.sum()`.
+            maintenance += v.maintenance;
+            materialization += v.materialization;
+            views_size += v.size;
+        }
+        Evaluation {
+            time,
+            breakdown: CostBreakdown {
+                transfer: self.transfer,
+                compute_processing: model.compute_cost(time),
+                compute_maintenance: model.compute_cost(maintenance),
+                compute_materialization: model.compute_cost(materialization),
+                storage: self.storage_cost(views_size),
+            },
+            selection: self.selection.clone(),
+        }
+    }
+
+    /// Storage cost of dataset + inserts + `extra` over the billing
+    /// period, replaying the model's timeline arithmetic over the
+    /// precomputed interval template (no allocation).
+    fn storage_cost(&self, extra: Gb) -> Money {
+        let ctx = self.problem.model().context();
+        // The size chain: (dataset + extra), then each insert in order —
+        // the identical float-add sequence `StorageTimeline` records.
+        let mut size = ctx.dataset_size + extra;
+        let mut applied = 0;
+        let mut total = Money::ZERO;
+        for &(inserts_applied, duration) in &self.storage_intervals {
+            while applied < inserts_applied {
+                size += ctx.inserts[applied].1;
+                applied += 1;
+            }
+            total += ctx.pricing.storage.cost(size, duration);
+        }
+        total
+    }
+}
+
+/// Precomputes the billable-interval structure of the problem's storage
+/// timeline: for each interval, how many insert events precede it and
+/// how long it lasts. Mirrors `StorageTimeline::intervals` (same-instant
+/// coalescing, horizon clamping, zero-length skipping), which is
+/// selection-independent — only interval *sizes* depend on the selected
+/// views, via the size chain replayed in
+/// [`IncrementalEvaluator::storage_cost`].
+fn storage_interval_template(problem: &SelectionProblem) -> Vec<(usize, Months)> {
+    let ctx = problem.model().context();
+    let horizon = ctx.months;
+    // Points: (time, inserts applied up to and including this point),
+    // coalescing same-instant events exactly like `StorageTimeline`.
+    let mut points: Vec<(Months, usize)> = vec![(Months::ZERO, 0)];
+    for (idx, (at, _)) in ctx.inserts.iter().enumerate() {
+        let last = points.last_mut().expect("points never empty");
+        if at.value() == last.0.value() {
+            last.1 = idx + 1;
+        } else {
+            points.push((*at, idx + 1));
+        }
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for (i, (start, applied)) in points.iter().enumerate() {
+        if start.value() >= horizon.value() {
+            break;
+        }
+        let end = points
+            .get(i + 1)
+            .map(|(t, _)| t.min(horizon))
+            .unwrap_or(horizon);
+        if end.value() > start.value() {
+            out.push((*applied, end - *start));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_like_problem, random_problem};
+
+    #[test]
+    fn empty_matches_baseline() {
+        let p = paper_like_problem();
+        let ev = IncrementalEvaluator::new(&p);
+        assert_eq!(ev.snapshot(), p.baseline());
+    }
+
+    #[test]
+    fn single_flips_match_evaluate() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        for k in 0..p.len() {
+            ev.flip(k);
+            let mut sel = SelectionSet::empty(p.len());
+            sel.set(k, true);
+            assert_eq!(ev.snapshot(), p.evaluate(&sel), "flip {k}");
+            ev.unflip(k);
+            assert_eq!(ev.snapshot(), p.baseline(), "unflip {k}");
+        }
+    }
+
+    #[test]
+    fn random_walks_match_evaluate() {
+        for seed in 0..10 {
+            let p = random_problem(seed, 4, 8);
+            let mut ev = IncrementalEvaluator::new(&p);
+            let mut sel = SelectionSet::empty(p.len());
+            // Deterministic pseudo-random flip sequence.
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            for step in 0..64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let k = (state as usize) % p.len();
+                ev.toggle(k);
+                sel.set(k, !sel.contains(k));
+                assert_eq!(ev.snapshot(), p.evaluate(&sel), "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_selection_positions_correctly() {
+        let p = paper_like_problem();
+        let sel = SelectionSet::from_mask(0b0101, p.len());
+        let ev = IncrementalEvaluator::with_selection(&p, &sel);
+        assert_eq!(ev.snapshot(), p.evaluate(&sel));
+        assert!(ev.is_selected(0) && ev.is_selected(2));
+        assert!(!ev.is_selected(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already selected")]
+    fn double_flip_panics() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(0);
+        ev.flip(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not selected")]
+    fn unflip_unselected_panics() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.unflip(0);
+    }
+}

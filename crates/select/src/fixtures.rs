@@ -29,20 +29,44 @@ pub fn paper_like_problem() -> SelectionProblem {
     });
     let candidates = vec![
         // A coarse, cheap view serving Q1 only.
-        ViewCharge::new("v-year-country", Gb::new(0.01), Hours::new(0.22), Hours::new(0.02), 3)
-            .answers(0, Hours::new(0.011)),
+        ViewCharge::new(
+            "v-year-country",
+            Gb::new(0.01),
+            Hours::new(0.22),
+            Hours::new(0.02),
+            3,
+        )
+        .answers(0, Hours::new(0.011)),
         // A mid view serving Q1 and Q2.
-        ViewCharge::new("v-month-country", Gb::new(0.05), Hours::new(0.23), Hours::new(0.03), 3)
-            .answers(0, Hours::new(0.012))
-            .answers(1, Hours::new(0.012)),
+        ViewCharge::new(
+            "v-month-country",
+            Gb::new(0.05),
+            Hours::new(0.23),
+            Hours::new(0.03),
+            3,
+        )
+        .answers(0, Hours::new(0.012))
+        .answers(1, Hours::new(0.012)),
         // A big view serving all three queries, slower per query.
-        ViewCharge::new("v-day-region", Gb::new(0.8), Hours::new(0.25), Hours::new(0.05), 3)
-            .answers(0, Hours::new(0.03))
-            .answers(1, Hours::new(0.03))
-            .answers(2, Hours::new(0.03)),
+        ViewCharge::new(
+            "v-day-region",
+            Gb::new(0.8),
+            Hours::new(0.25),
+            Hours::new(0.05),
+            3,
+        )
+        .answers(0, Hours::new(0.03))
+        .answers(1, Hours::new(0.03))
+        .answers(2, Hours::new(0.03)),
         // A view whose storage outweighs its tiny benefit.
-        ViewCharge::new("v-bulky", Gb::new(6.0), Hours::new(0.26), Hours::new(0.08), 3)
-            .answers(2, Hours::new(0.2)),
+        ViewCharge::new(
+            "v-bulky",
+            Gb::new(6.0),
+            Hours::new(0.26),
+            Hours::new(0.08),
+            3,
+        )
+        .answers(2, Hours::new(0.2)),
     ];
     SelectionProblem::new(model, candidates)
 }

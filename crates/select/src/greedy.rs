@@ -4,23 +4,27 @@
 //! that most improves the scenario ordering, stopping at a local optimum.
 //! Classic view-selection greedy (HRU-style) adapted to the paper's
 //! monetary objectives; used as a baseline in the solver ablation.
+//!
+//! Probes run through the [`IncrementalEvaluator`]: each candidate flip
+//! costs O(m) instead of a full O(n·m) re-evaluation, making a greedy
+//! pass O(n·(n + m)) overall.
 
-use crate::{Outcome, Scenario, SelectionProblem, SolverKind};
+use crate::{Evaluation, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind};
 
 /// Solves `scenario` by add-only greedy search.
 pub fn solve_greedy(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
     let baseline = problem.baseline();
-    let mut selection = vec![false; problem.len()];
+    let mut ev = IncrementalEvaluator::new(problem);
     let mut current = baseline.clone();
     loop {
-        let mut best_flip: Option<(usize, crate::Evaluation)> = None;
+        let mut best_flip: Option<(usize, Evaluation)> = None;
         for k in 0..problem.len() {
-            if selection[k] {
+            if ev.is_selected(k) {
                 continue;
             }
-            selection[k] = true;
-            let e = problem.evaluate(&selection);
-            selection[k] = false;
+            ev.flip(k);
+            let e = ev.snapshot();
+            ev.unflip(k);
             if scenario.better(&e, &current, &baseline) {
                 let replace = match &best_flip {
                     None => true,
@@ -33,7 +37,7 @@ pub fn solve_greedy(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
         }
         match best_flip {
             Some((k, e)) => {
-                selection[k] = true;
+                ev.flip(k);
                 current = e;
             }
             None => break,
@@ -84,5 +88,20 @@ mod tests {
         }
         // Greedy is a heuristic; demand near-optimality on most instances.
         assert!(within_5pct >= total - 3, "only {within_5pct}/{total}");
+    }
+
+    #[test]
+    fn greedy_reported_evaluation_is_consistent() {
+        // The outcome's evaluation must be reproducible by a full
+        // re-evaluation of its selection (guards the incremental path).
+        for seed in 0..10 {
+            let p = random_problem(seed + 300, 4, 7);
+            let o = solve_greedy(&p, Scenario::tradeoff_normalized(0.5));
+            assert_eq!(
+                o.evaluation,
+                p.evaluate(&o.evaluation.selection),
+                "seed {seed}"
+            );
+        }
     }
 }

@@ -20,10 +20,10 @@
 //! 0.36-second units (10⁻⁴ h); both resolutions are far below anything the
 //! paper's inputs distinguish.
 
+use mv_cost::SelectionSet;
 use mv_units::{Hours, Money};
 
-use crate::{Outcome, Scenario, SelectionProblem, SolverKind};
-
+use crate::{Evaluation, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind};
 
 /// Hours per value unit in both DPs.
 const TIME_UNIT_HOURS: f64 = 1e-4;
@@ -45,13 +45,13 @@ pub fn solve_knapsack(problem: &SelectionProblem, scenario: Scenario) -> Outcome
     let deltas = problem.linearized_deltas();
     let n = problem.len();
 
-    let mut selection = vec![false; n];
+    let mut selection = SelectionSet::empty(n);
     match scenario {
         Scenario::Mv1 { budget } => {
             // Pre-select cost-reducing views.
             for (k, (_, dcost)) in deltas.iter().enumerate() {
                 if *dcost <= Money::ZERO {
-                    selection[k] = true;
+                    selection.set(k, true);
                 }
             }
             // DP over the rest.
@@ -60,11 +60,11 @@ pub fn solve_knapsack(problem: &SelectionProblem, scenario: Scenario) -> Outcome
             let items: Vec<(usize, u64, i128)> = deltas
                 .iter()
                 .enumerate()
-                .filter(|(k, (_, dcost))| !selection[*k] && *dcost > Money::ZERO)
+                .filter(|(k, (_, dcost))| !selection.contains(*k) && *dcost > Money::ZERO)
                 .map(|(k, (saved, dcost))| (k, time_units(*saved), to_cents(*dcost).max(1)))
                 .collect();
             for k in dp_max_value(&items, capacity_cents) {
-                selection[k] = true;
+                selection.set(k, true);
             }
         }
         Scenario::Mv2 { time_limit } => {
@@ -75,7 +75,7 @@ pub fn solve_knapsack(problem: &SelectionProblem, scenario: Scenario) -> Outcome
                 .map(|(k, (saved, dcost))| (k, time_units(*saved), to_cents(*dcost)))
                 .collect();
             for k in dp_min_cost(&items, time_units(need)) {
-                selection[k] = true;
+                selection.set(k, true);
             }
         }
         Scenario::Mv3 { alpha, normalize } => {
@@ -84,16 +84,19 @@ pub fn solve_knapsack(problem: &SelectionProblem, scenario: Scenario) -> Outcome
             let (t0, c0) = if normalize {
                 (
                     baseline.time.value().max(f64::MIN_POSITIVE),
-                    baseline.cost().to_dollars_f64().abs().max(f64::MIN_POSITIVE),
+                    baseline
+                        .cost()
+                        .to_dollars_f64()
+                        .abs()
+                        .max(f64::MIN_POSITIVE),
                 )
             } else {
                 (1.0, 1.0)
             };
             for (k, (saved, dcost)) in deltas.iter().enumerate() {
-                let w = alpha * (-saved.value()) / t0
-                    + (1.0 - alpha) * dcost.to_dollars_f64() / c0;
+                let w = alpha * (-saved.value()) / t0 + (1.0 - alpha) * dcost.to_dollars_f64() / c0;
                 if w < 0.0 {
-                    selection[k] = true;
+                    selection.set(k, true);
                 }
             }
         }
@@ -206,22 +209,26 @@ fn dp_min_cost(items: &[(usize, u64, i128)], target: u64) -> Vec<usize> {
 ///
 /// Each accepted move strictly improves the `(feasible, violation,
 /// objective)` ordering over a finite space, so the search terminates; a
-/// defensive iteration cap bounds it regardless.
-fn repair(problem: &SelectionProblem, scenario: Scenario, selection: &mut Vec<bool>) {
+/// defensive iteration cap bounds it regardless. All probes run through
+/// the [`IncrementalEvaluator`], so a repair round costs O(n·(n + m))
+/// instead of O(n²·m).
+fn repair(problem: &SelectionProblem, scenario: Scenario, selection: &mut SelectionSet) {
     let baseline = problem.baseline();
-    let max_moves = 4 * selection.len() + 8;
+    let n = selection.len();
+    let max_moves = 4 * n + 8;
+    let mut ev = IncrementalEvaluator::with_selection(problem, selection);
 
     // Phase 1: restore feasibility.
     for _ in 0..max_moves {
-        let current = problem.evaluate(selection);
+        let current = ev.snapshot();
         if scenario.feasible(&current) {
             break;
         }
         let mut best: Option<(usize, f64)> = None;
-        for k in 0..selection.len() {
-            selection[k] = !selection[k];
-            let e = problem.evaluate(selection);
-            selection[k] = !selection[k];
+        for k in 0..n {
+            ev.toggle(k);
+            let e = ev.snapshot();
+            ev.toggle(k);
             let v = scenario.violation(&e);
             if v < scenario.violation(&current) {
                 let replace = match best {
@@ -234,19 +241,19 @@ fn repair(problem: &SelectionProblem, scenario: Scenario, selection: &mut Vec<bo
             }
         }
         match best {
-            Some((k, _)) => selection[k] = !selection[k],
+            Some((k, _)) => ev.toggle(k),
             None => break, // no flip reduces the violation
         }
     }
 
     // Phase 2: hill-climb the true objective within feasibility.
     for _ in 0..max_moves {
-        let current = problem.evaluate(selection);
-        let mut best_flip: Option<(usize, crate::Evaluation)> = None;
-        for k in 0..selection.len() {
-            selection[k] = !selection[k];
-            let e = problem.evaluate(selection);
-            selection[k] = !selection[k];
+        let current = ev.snapshot();
+        let mut best_flip: Option<(usize, Evaluation)> = None;
+        for k in 0..n {
+            ev.toggle(k);
+            let e = ev.snapshot();
+            ev.toggle(k);
             if scenario.better(&e, &current, &baseline) {
                 let replace = match &best_flip {
                     None => true,
@@ -258,10 +265,12 @@ fn repair(problem: &SelectionProblem, scenario: Scenario, selection: &mut Vec<bo
             }
         }
         match best_flip {
-            Some((k, _)) => selection[k] = !selection[k],
+            Some((k, _)) => ev.toggle(k),
             None => break,
         }
     }
+
+    *selection = ev.selection().clone();
 }
 
 #[cfg(test)]
@@ -285,7 +294,7 @@ mod tests {
     #[test]
     fn respects_time_constraint_when_reachable() {
         let p = paper_like_problem();
-        let fastest = p.evaluate(&vec![true; p.len()]).time;
+        let fastest = p.evaluate(&SelectionSet::full(p.len())).time;
         let limit = Hours::new(fastest.value() * 1.5);
         let o = solve_knapsack(&p, Scenario::time_limit(limit));
         assert!(o.feasible());
@@ -324,9 +333,7 @@ mod tests {
         for seed in 0..20 {
             let p = random_problem(seed, 4, 6);
             let o = solve_knapsack(&p, Scenario::tradeoff_normalized(0.5));
-            let base_obj = o
-                .scenario
-                .objective(&o.baseline, &o.baseline);
+            let base_obj = o.scenario.objective(&o.baseline, &o.baseline);
             assert!(
                 o.objective() <= base_obj + 1e-9,
                 "seed {seed}: {} > {base_obj}",

@@ -5,7 +5,16 @@
 //! solution highlighted. This module regenerates that picture exactly:
 //! every subset's true evaluation, the non-dominated frontier, and an
 //! ASCII rendering for the `solution_space` experiment binary.
+//!
+//! Enumeration runs through the [`crate::IncrementalEvaluator`] in ascending
+//! mask order (amortized two O(m) flips per subset instead of an
+//! O(n·m) re-evaluation), and fans out across threads above
+//! [`crate::exhaustive::PARALLEL_THRESHOLD`] candidates — each thread
+//! sweeps a contiguous mask range with its own evaluator and the chunks
+//! are concatenated in order, so the output is identical to the serial
+//! sweep for any thread count.
 
+use mv_cost::SelectionSet;
 use mv_units::{Hours, Money};
 
 use crate::{Evaluation, SelectionProblem};
@@ -25,22 +34,35 @@ pub struct SpacePoint {
 }
 
 /// Enumerates the full solution space (≤ 20 candidates) with frontier
-/// marking, sorted by time ascending.
+/// marking, sorted by time ascending. Thread count is chosen
+/// automatically; see [`solution_space_with_threads`].
 pub fn solution_space(problem: &SelectionProblem) -> Vec<SpacePoint> {
+    solution_space_with_threads(problem, crate::sweep::auto_threads(problem.len()))
+}
+
+/// [`solution_space`] with an explicit thread count (1 = serial). The
+/// result is identical for every thread count.
+pub fn solution_space_with_threads(problem: &SelectionProblem, threads: usize) -> Vec<SpacePoint> {
     let n = problem.len();
     assert!(n <= 20, "solution space over {n} candidates is too large");
-    let mut points: Vec<SpacePoint> = (0..(1u64 << n))
-        .map(|mask| {
-            let selection: Vec<bool> = (0..n).map(|k| mask & (1 << k) != 0).collect();
-            let e: Evaluation = problem.evaluate(&selection);
-            SpacePoint {
+    let total: u64 = 1u64 << n;
+    let threads = threads.max(1).min(total as usize);
+
+    let chunks = crate::sweep::chunked(total, threads, |lo, hi| {
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        crate::sweep::sweep_masks(problem, lo, hi, |mask, ev| {
+            let e = ev.snapshot();
+            out.push(SpacePoint {
                 mask,
                 time: e.time,
                 cost: e.cost(),
                 on_frontier: false,
-            }
-        })
-        .collect();
+            });
+        });
+        out
+    });
+    let mut points: Vec<SpacePoint> = chunks.into_iter().flatten().collect();
+
     points.sort_by(|a, b| a.time.cmp_total(b.time).then(a.cost.cmp(&b.cost)));
     // Sweep: a point is on the frontier iff its cost is strictly below
     // every earlier (faster-or-equal) point's cost.
@@ -65,7 +87,12 @@ pub fn frontier(problem: &SelectionProblem) -> Vec<SpacePoint> {
 /// Renders the space as an ASCII scatter (time on x, cost on y), marking
 /// frontier points `o`, dominated points `·`, and `highlight_mask` (the
 /// scenario's chosen solution) `X`.
-pub fn render_ascii(points: &[SpacePoint], highlight_mask: u64, width: usize, height: usize) -> String {
+pub fn render_ascii(
+    points: &[SpacePoint],
+    highlight_mask: u64,
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width >= 10 && height >= 5, "canvas too small");
     let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut cmin, mut cmax) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -122,7 +149,7 @@ pub fn render_ascii(points: &[SpacePoint], highlight_mask: u64, width: usize, he
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixtures::paper_like_problem;
+    use crate::fixtures::{paper_like_problem, random_problem};
 
     #[test]
     fn space_has_all_subsets() {
@@ -134,6 +161,32 @@ mod tests {
         masks.sort();
         masks.dedup();
         assert_eq!(masks.len(), pts.len());
+    }
+
+    #[test]
+    fn incremental_points_match_full_evaluation() {
+        let p = random_problem(5, 3, 7);
+        for pt in solution_space(&p) {
+            let e = p.evaluate(&SelectionSet::from_mask(pt.mask, p.len()));
+            assert_eq!(pt.time, e.time, "mask {}", pt.mask);
+            assert_eq!(pt.cost, e.cost(), "mask {}", pt.mask);
+        }
+    }
+
+    #[test]
+    fn threaded_space_matches_serial() {
+        let p = random_problem(11, 4, 8);
+        let serial = solution_space_with_threads(&p, 1);
+        for threads in [2, 5] {
+            let par = solution_space_with_threads(&p, threads);
+            assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.mask, b.mask);
+                assert_eq!(a.time, b.time);
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.on_frontier, b.on_frontier);
+            }
+        }
     }
 
     #[test]
@@ -194,17 +247,15 @@ mod tests {
 /// is a complete (if exponential) solver. Exists as an independent
 /// cross-check of [`crate::solve_exhaustive`]: the two must always agree
 /// (property-tested), and disagreement would indicate a bug in either the
-/// frontier sweep or the scenario ordering.
-pub fn solve_via_space(
-    problem: &SelectionProblem,
-    scenario: crate::Scenario,
-) -> crate::Outcome {
+/// frontier sweep or the scenario ordering. Deliberately re-evaluates
+/// every subset through [`SelectionProblem::evaluate`] — the slow,
+/// non-incremental path — so it also cross-checks the evaluator.
+pub fn solve_via_space(problem: &SelectionProblem, scenario: crate::Scenario) -> crate::Outcome {
     let baseline = problem.baseline();
     let n = problem.len();
     let mut best: Option<Evaluation> = None;
     for p in solution_space(problem) {
-        let selection: Vec<bool> = (0..n).map(|k| p.mask & (1 << k) != 0).collect();
-        let e = problem.evaluate(&selection);
+        let e = problem.evaluate(&SelectionSet::from_mask(p.mask, n));
         let better = match &best {
             None => true,
             Some(b) => scenario.better(&e, b, &baseline),
@@ -268,14 +319,7 @@ mod space_solver_tests {
                 continue;
             }
             // Find the chosen point in the space and check the frontier flag.
-            let mask: u64 = o
-                .evaluation
-                .selection
-                .iter()
-                .enumerate()
-                .filter(|(_, on)| **on)
-                .map(|(k, _)| 1u64 << k)
-                .sum();
+            let mask = o.evaluation.selection.as_mask();
             let point = space.iter().find(|pt| pt.mask == mask).expect("in space");
             assert!(point.on_frontier, "{s:?} chose a dominated point");
         }

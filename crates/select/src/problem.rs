@@ -1,6 +1,6 @@
 //! The view-selection problem instance.
 
-use mv_cost::{CloudCostModel, CostBreakdown, Selection, ViewCharge};
+use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge};
 use mv_units::{Hours, Money};
 
 /// A fully-evaluated selection: the true (non-linearized) processing time
@@ -9,7 +9,7 @@ use mv_units::{Hours, Money};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// Which candidates are materialized.
-    pub selection: Selection,
+    pub selection: SelectionSet,
     /// `TprocessingQ` under the selection (Formula 9).
     pub time: Hours,
     /// Formula 1/6 cost decomposition.
@@ -24,7 +24,7 @@ impl Evaluation {
 
     /// Number of selected views.
     pub fn num_selected(&self) -> usize {
-        self.selection.iter().filter(|&&s| s).count()
+        self.selection.count_ones()
     }
 }
 
@@ -75,7 +75,7 @@ impl SelectionProblem {
     }
 
     /// Evaluates a selection under the true interaction model.
-    pub fn evaluate(&self, selection: &Selection) -> Evaluation {
+    pub fn evaluate(&self, selection: &SelectionSet) -> Evaluation {
         assert_eq!(selection.len(), self.candidates.len());
         Evaluation {
             time: self
@@ -89,7 +89,7 @@ impl SelectionProblem {
     /// The empty selection (the paper's "without materialized views"
     /// baseline).
     pub fn baseline(&self) -> Evaluation {
-        self.evaluate(&vec![false; self.candidates.len()])
+        self.evaluate(&SelectionSet::empty(self.candidates.len()))
     }
 
     /// Linearized per-view deltas used by the paper's knapsack formulation:
@@ -99,11 +99,12 @@ impl SelectionProblem {
     /// repairs against [`SelectionProblem::evaluate`] afterwards.
     pub fn linearized_deltas(&self) -> Vec<(Hours, Money)> {
         let baseline = self.baseline();
+        let mut ev = crate::IncrementalEvaluator::new(self);
         (0..self.candidates.len())
             .map(|k| {
-                let mut sel = vec![false; self.candidates.len()];
-                sel[k] = true;
-                let e = self.evaluate(&sel);
+                ev.flip(k);
+                let e = ev.snapshot();
+                ev.unflip(k);
                 (
                     baseline.time.saturating_sub(e.time),
                     e.cost() - baseline.cost(),
@@ -130,7 +131,7 @@ mod tests {
     #[test]
     fn evaluate_uses_best_view_per_query() {
         let p = paper_like_problem();
-        let all = vec![true; p.len()];
+        let all = SelectionSet::full(p.len());
         let e = p.evaluate(&all);
         assert!(e.time < p.baseline().time);
         assert_eq!(e.num_selected(), p.len());

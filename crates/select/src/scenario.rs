@@ -72,12 +72,8 @@ impl Scenario {
     /// to rank infeasible solutions (0 when feasible).
     pub fn violation(&self, e: &Evaluation) -> f64 {
         match self {
-            Scenario::Mv1 { budget } => {
-                (e.cost() - *budget).to_dollars_f64().max(0.0)
-            }
-            Scenario::Mv2 { time_limit } => {
-                (e.time.value() - time_limit.value()).max(0.0)
-            }
+            Scenario::Mv1 { budget } => (e.cost() - *budget).to_dollars_f64().max(0.0),
+            Scenario::Mv2 { time_limit } => (e.time.value() - time_limit.value()).max(0.0),
             Scenario::Mv3 { .. } => 0.0,
         }
     }
@@ -93,7 +89,11 @@ impl Scenario {
                     (
                         e.time.value() / baseline.time.value().max(f64::MIN_POSITIVE),
                         e.cost().to_dollars_f64()
-                            / baseline.cost().to_dollars_f64().abs().max(f64::MIN_POSITIVE),
+                            / baseline
+                                .cost()
+                                .to_dollars_f64()
+                                .abs()
+                                .max(f64::MIN_POSITIVE),
                     )
                 } else {
                     (e.time.value(), e.cost().to_dollars_f64())
@@ -162,7 +162,7 @@ mod tests {
     fn objective_directions() {
         let p = paper_like_problem();
         let base = p.baseline();
-        let all = p.evaluate(&vec![true; p.len()]);
+        let all = p.evaluate(&mv_cost::SelectionSet::full(p.len()));
         // MV1 objective = time: all views is better.
         assert!(
             Scenario::budget(Money::MAX).objective(&all, &base)
@@ -177,15 +177,23 @@ mod tests {
     fn better_prefers_feasible_then_objective() {
         let p = paper_like_problem();
         let base = p.baseline();
-        let all = p.evaluate(&vec![true; p.len()]);
+        let all = p.evaluate(&mv_cost::SelectionSet::full(p.len()));
         let s = Scenario::budget(Money::MAX);
         assert!(s.better(&all, &base, &base)); // faster, both feasible
         assert!(!s.better(&base, &all, &base));
         // Infeasible vs feasible.
         let tight = Scenario::budget(Money::ZERO);
         // Both infeasible: smaller violation wins.
-        let cheaper = if all.cost() < base.cost() { &all } else { &base };
-        let dearer = if all.cost() < base.cost() { &base } else { &all };
+        let cheaper = if all.cost() < base.cost() {
+            &all
+        } else {
+            &base
+        };
+        let dearer = if all.cost() < base.cost() {
+            &base
+        } else {
+            &all
+        };
         assert!(tight.better(cheaper, dearer, &base));
     }
 

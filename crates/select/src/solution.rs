@@ -101,11 +101,10 @@ impl Outcome {
 
     /// Names of the selected candidate views, given the candidate list.
     pub fn selected_names<'a>(&self, names: &'a [String]) -> Vec<&'a str> {
-        names
-            .iter()
-            .zip(&self.evaluation.selection)
-            .filter(|(_, on)| **on)
-            .map(|(n, _)| n.as_str())
+        self.evaluation
+            .selection
+            .ones()
+            .map(|k| names[k].as_str())
             .collect()
     }
 }
@@ -120,7 +119,7 @@ mod tests {
     fn improvement_rates() {
         let p = paper_like_problem();
         let baseline = p.baseline();
-        let all = p.evaluate(&vec![true; p.len()]);
+        let all = p.evaluate(&mv_cost::SelectionSet::full(p.len()));
         let o = Outcome::new(
             all,
             baseline.clone(),
@@ -146,8 +145,8 @@ mod tests {
     fn selected_names_filter() {
         let p = paper_like_problem();
         let baseline = p.baseline();
-        let mut sel = vec![false; p.len()];
-        sel[1] = true;
+        let mut sel = mv_cost::SelectionSet::empty(p.len());
+        sel.set(1, true);
         let e = p.evaluate(&sel);
         let o = Outcome::new(e, baseline, Scenario::tradeoff(0.5), SolverKind::Greedy);
         let names: Vec<String> = p.candidates().iter().map(|c| c.name.clone()).collect();

@@ -306,19 +306,13 @@ mod tests {
     fn parses_paper_prices() {
         assert_eq!(Money::from_dollars_str("0.12").unwrap().micros(), 120_000);
         assert_eq!(Money::from_dollars_str("0.14").unwrap().micros(), 140_000);
-        assert_eq!(
-            Money::from_dollars_str("0.125").unwrap().micros(),
-            125_000
-        );
+        assert_eq!(Money::from_dollars_str("0.125").unwrap().micros(), 125_000);
         assert_eq!(
             Money::from_dollars_str("924").unwrap(),
             Money::from_dollars(924)
         );
         assert_eq!(Money::from_dollars_str(".5").unwrap().micros(), 500_000);
-        assert_eq!(
-            Money::from_dollars_str("-0.03").unwrap().micros(),
-            -30_000
-        );
+        assert_eq!(Money::from_dollars_str("-0.03").unwrap().micros(), -30_000);
     }
 
     #[test]
@@ -337,7 +331,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Money::from_dollars(12).to_string(), "$12.00");
-        assert_eq!(Money::from_dollars_str("1.08").unwrap().to_string(), "$1.08");
+        assert_eq!(
+            Money::from_dollars_str("1.08").unwrap().to_string(),
+            "$1.08"
+        );
         assert_eq!(
             Money::from_dollars_str("-2101.76").unwrap().to_string(),
             "-$2101.76"
@@ -357,14 +354,8 @@ mod tests {
 
     #[test]
     fn ceil_cents_behaviour() {
-        assert_eq!(
-            Money::from_micros(1).ceil_cents(),
-            Money::from_cents(1)
-        );
-        assert_eq!(
-            Money::from_cents(108).ceil_cents(),
-            Money::from_cents(108)
-        );
+        assert_eq!(Money::from_micros(1).ceil_cents(), Money::from_cents(1));
+        assert_eq!(Money::from_cents(108).ceil_cents(), Money::from_cents(108));
         // Negative amounts move toward zero (rem_euclid semantics).
         assert_eq!(
             Money::from_micros(-15_000).ceil_cents(),

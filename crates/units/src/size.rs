@@ -28,7 +28,10 @@ impl Gb {
     /// Builds a size from gigabytes.
     #[inline]
     pub fn new(gb: f64) -> Self {
-        assert!(gb.is_finite() && gb >= 0.0, "size must be finite and >= 0, got {gb}");
+        assert!(
+            gb.is_finite() && gb >= 0.0,
+            "size must be finite and >= 0, got {gb}"
+        );
         Gb(gb)
     }
 

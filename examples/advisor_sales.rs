@@ -10,9 +10,7 @@
 
 use mvcloud::report::summarize;
 use mvcloud::units::{Hours, Money, Months};
-use mvcloud::{
-    sales_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario, SolverKind,
-};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario, SolverKind};
 
 fn main() {
     // Ten roll-up queries over 20k generated sales rows standing in for the

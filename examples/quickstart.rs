@@ -34,7 +34,7 @@ fn main() {
     // V1 = "sales per month and country".
     let v1 = ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 1)
         .answers(0, Hours::new(40.0));
-    let with = model.with_views(&[v1], &vec![true]);
+    let with = model.with_views(&[v1], &mvcloud::cost::SelectionSet::full(1));
     println!("with V1 materialized:\n{with}\n");
     println!(
         "V1 saves {} of compute but adds {} of storage per year.\n",

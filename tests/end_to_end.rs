@@ -3,8 +3,8 @@
 
 use mvcloud::units::{Gb, Hours, Money, Months};
 use mvcloud::{
-    sales_domain, ssb_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario,
-    SizingMode, SolverKind,
+    sales_domain, ssb_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario, SizingMode,
+    SolverKind,
 };
 
 fn advisor() -> Advisor {

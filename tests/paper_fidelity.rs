@@ -44,7 +44,7 @@ fn client_model_and_provider_invoice_agree() {
     });
     let v1 = ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 1)
         .answers(0, Hours::new(40.0));
-    let selected = vec![true];
+    let selected = mvcloud::cost::SelectionSet::full(1);
     let predicted = model.with_views(std::slice::from_ref(&v1), &selected);
 
     let mut ledger = UsageLedger::new();
@@ -56,10 +56,7 @@ fn client_model_and_provider_invoice_agree() {
     );
     ledger.record_compute("maintenance", "small", 2, Hours::new(5.0));
     ledger.record_compute("materialization", "small", 2, Hours::new(1.0));
-    ledger.record_storage(
-        "dataset + views",
-        model.storage_timeline(Gb::new(50.0)),
-    );
+    ledger.record_storage("dataset + views", model.storage_timeline(Gb::new(50.0)));
     ledger.record_transfer_out("results", Gb::new(10.0));
     let invoice = ledger.invoice(&aws).unwrap();
 

@@ -59,12 +59,7 @@ fn alpha_sweeps_time_against_cost() {
     // non-increasing and chosen cost non-decreasing.
     let outcomes: Vec<_> = [0.0, 0.25, 0.5, 0.75, 1.0]
         .iter()
-        .map(|&alpha| {
-            a.solve(
-                Scenario::tradeoff_normalized(alpha),
-                SolverKind::Exhaustive,
-            )
-        })
+        .map(|&alpha| a.solve(Scenario::tradeoff_normalized(alpha), SolverKind::Exhaustive))
         .collect();
     for w in outcomes.windows(2) {
         assert!(
@@ -97,7 +92,10 @@ fn alpha_zero_and_one_match_pure_objectives() {
 #[test]
 fn infeasible_budget_is_reported_not_hidden() {
     let a = advisor();
-    let o = a.solve(Scenario::budget(Money::from_cents(1)), SolverKind::Exhaustive);
+    let o = a.solve(
+        Scenario::budget(Money::from_cents(1)),
+        SolverKind::Exhaustive,
+    );
     assert!(!o.feasible());
     // The report still carries the least-violating evaluation.
     assert!(o.evaluation.cost() > Money::from_cents(1));

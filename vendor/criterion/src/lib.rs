@@ -1,0 +1,314 @@
+//! Offline stand-in for `criterion`: a wall-clock micro-benchmark
+//! harness with the same macro/builder surface the in-tree benches use.
+//!
+//! Each benchmark warms up for `warm_up_time`, then runs timed batches
+//! until `measurement_time` elapses (at least `sample_size` batches),
+//! and prints the mean and best per-iteration time. No statistics
+//! beyond that — the numbers are for relative comparison, not
+//! publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the minimum number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Parses CLI options. The stand-in accepts and ignores cargo-bench's
+    /// arguments (`--bench`, filters), so `cargo bench` invocations work.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = Criterion {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        BenchmarkGroup {
+            _criterion: self,
+            config,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix, with optional
+/// per-group config overrides.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    config: Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the minimum sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id` within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a parameterless closure within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.config, &label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs the measured body.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_batch: u64,
+    elapsed: Duration,
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, timing it.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        match self.mode {
+            Mode::Calibrate => {
+                // Find a batch size that takes ≳1 ms so timer overhead
+                // stays negligible.
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(body());
+                    }
+                    let took = start.elapsed();
+                    if took >= Duration::from_millis(1) || iters >= 1 << 24 {
+                        self.iters_per_batch = iters;
+                        self.elapsed = took;
+                        return;
+                    }
+                    iters *= 2;
+                }
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_batch {
+                    std::hint::black_box(body());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration (doubles as warm-up start).
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        iters_per_batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let iters = b.iters_per_batch;
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < config.warm_up {
+        let mut w = Bencher {
+            mode: Mode::Measure,
+            iters_per_batch: iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut w);
+    }
+
+    // Timed samples.
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let meas_start = Instant::now();
+    while samples.len() < config.sample_size || meas_start.elapsed() < config.measurement {
+        let mut m = Bencher {
+            mode: Mode::Measure,
+            iters_per_batch: iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut m);
+        samples.push(m.elapsed.as_secs_f64() / iters as f64);
+        if samples.len() >= config.sample_size * 8 {
+            break;
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench {label:<56} mean {:>12}  best {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(best),
+        samples.len(),
+        iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-running function from a config expression and a list
+/// of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        c.bench_function("smoke/add", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| b.iter(|| x * x));
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7u64 - 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` API backed by
+//! `std::thread::scope` (stable since 1.63). Spawn closures receive a
+//! placeholder `()` argument where crossbeam passes the scope; all
+//! in-tree call sites ignore it (`|_| ...`).
+
+/// Scoped threads.
+pub mod thread {
+    /// A spawn handle scoped to a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread, returning its result or its panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument is a placeholder
+        /// for crossbeam's nested-scope handle and is always `()`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before returning. Unjoined panics
+    /// propagate (std semantics) rather than surfacing as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `proptest`: deterministic random property
+//! testing covering the subset of the API this workspace uses.
+//!
+//! Supported: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!`,
+//! range strategies over ints and floats, tuple strategies (arity ≤ 8),
+//! `collection::vec`, `sample::subsequence`, `bool::ANY`, `Just`, and
+//! `.prop_map`. Unsupported (not used in-tree): shrinking, persistence,
+//! `prop_oneof`, recursive strategies.
+//!
+//! Failures report the case's generated inputs via the normal panic
+//! message; with no shrinking the failing values are whatever the
+//! deterministic generator produced, reproducible on every run.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state used by strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is a pure function of `label`
+    /// (typically the test function name), so every run explores the
+    /// same cases.
+    pub fn deterministic(label: &str) -> TestRng {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Test-runner configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator (no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i64, u64, i32, u32, usize, u8, u16, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Length specification for [`collection::vec`]: a fixed `usize` or a
+/// `usize` range.
+pub trait LenSpec {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl LenSpec for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl LenSpec for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl LenSpec for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{LenSpec, Strategy, TestRng};
+
+    /// Strategy yielding vectors of `element`-generated values.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy, L: LenSpec>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: LenSpec> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over fixed pools.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding order-preserving subsequences of a pool.
+    pub struct Subsequence<T> {
+        pool: Vec<T>,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::sample::subsequence`: picks a subsequence of `pool`
+    /// (order preserved) whose length is drawn from `len`.
+    pub fn subsequence<T: Clone, L: Into<LenRange>>(pool: Vec<T>, len: L) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            len: len.into().0,
+        }
+    }
+
+    /// Adapter turning fixed lengths / ranges into a half-open range.
+    pub struct LenRange(pub std::ops::Range<usize>);
+
+    impl From<usize> for LenRange {
+        fn from(n: usize) -> Self {
+            LenRange(n..n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for LenRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            LenRange(r)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for LenRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            LenRange(*r.start()..*r.end() + 1)
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let max_len = self.len.end.saturating_sub(1).min(self.pool.len());
+            let min_len = self.len.start.min(max_len);
+            let want = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+            // Reservoir-style pick of `want` distinct indices, then sort to
+            // preserve pool order.
+            let mut picked: Vec<usize> = Vec::with_capacity(want);
+            for i in 0..self.pool.len() {
+                let remaining_slots = want - picked.len();
+                let remaining_items = self.pool.len() - i;
+                if remaining_slots == 0 {
+                    break;
+                }
+                if rng.below(remaining_items as u64) < remaining_slots as u64 {
+                    picked.push(i);
+                }
+            }
+            picked.iter().map(|&i| self.pool[i].clone()).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface tests use: traits, config, macros, and the
+/// crate itself under the conventional `prop` alias.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Property assertion: like `assert!` (no shrink-and-retry here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The `proptest!` block: one or more `#[test]` functions whose
+/// arguments are drawn from strategies for each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, f64)> {
+        (0i64..10, 0.0f64..1.0).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, y in 0.5f64..2.5, flag in prop::bool::ANY) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            // Consume the bool so the strategy is exercised.
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+
+        #[test]
+        fn vec_lengths(v in prop::collection::vec(0u8..8, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 8));
+        }
+
+        #[test]
+        fn subsequences_preserve_order(s in prop::sample::subsequence(vec![1, 2, 3, 4, 5], 0..4)) {
+            prop_assert!(s.len() < 4);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn mapped(p in arb_pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface the workspace uses: a deterministic
+//! seedable RNG (`rngs::StdRng`), `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over integer and float ranges. The generator
+//! is splitmix64 — statistically fine for synthetic data generation,
+//! not cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling (stand-in for `rand::Rng`'s `random_range`).
+pub trait RngExt {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer or float range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws a uniform sample using `rng`.
+    fn sample<R: RngExt>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngExt>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i64, u64, i32, u32, usize, u8, u16, i16);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngExt>(self, rng: &mut R) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.random_range(1..=12i64);
+            assert_eq!(x, b.random_range(1..=12i64));
+            assert!((1..=12).contains(&x));
+            let u = a.random_range(0..5usize);
+            assert_eq!(u, b.random_range(0..5usize));
+            assert!(u < 5);
+            let f = a.random_range(0.0..3.5f64);
+            assert_eq!(f, b.random_range(0.0..3.5f64));
+            assert!((0.0..3.5).contains(&f));
+        }
+    }
+}

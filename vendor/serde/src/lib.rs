@@ -1,0 +1,14 @@
+//! Offline stand-in for serde: marker traits plus no-op derives.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing serializes at runtime yet. The traits are
+//! empty markers and the derives expand to nothing, so swapping in real
+//! serde later requires no call-site changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! Nothing in the workspace serializes yet — the derives exist so type
+//! definitions can keep their `#[derive(Serialize, Deserialize)]`
+//! annotations (and stay drop-in compatible with real serde). Each derive
+//! expands to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
