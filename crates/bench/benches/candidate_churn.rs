@@ -1,0 +1,120 @@
+//! Dynamic candidate churn: splicing a view into (or out of) the
+//! incremental evaluator vs rebuilding the problem and re-evaluating.
+//!
+//! The streaming advisor's inner loop is "admit one more measured
+//! candidate, probe it, maybe retire another" — so the numbers that
+//! matter are:
+//!
+//! 1. **add + probe** — an `add_candidate` (O(m) splice), flip,
+//!    snapshot, `remove_candidate` cycle, vs cloning the candidate
+//!    vector, building a fresh `SelectionProblem` and running a full
+//!    `evaluate` (the pre-dynamic alternative). The acceptance bar is
+//!    ≥ 5× at n = 20 / m = 30.
+//! 2. **remove + re-add (middle)** — the swap-remove renumbering path,
+//!    with half the pool selected so cache eviction and runner-up
+//!    rescans are exercised.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_select::{fixtures, IncrementalEvaluator, SelectionProblem, SelectionSet};
+
+/// Short measurement windows keep `cargo bench --workspace` minutes,
+/// not hours; absolute numbers matter less than the relative shapes.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+/// The streaming hot-path workload size (matches the evaluator bench).
+const CHURN_QUERIES: usize = 30;
+
+fn bench_add_probe(c: &mut Criterion) {
+    for n in [12usize, 20] {
+        // n resident candidates plus one newcomer to churn.
+        let seeded = fixtures::random_problem(31, CHURN_QUERIES, n + 1);
+        let resident = seeded.candidates()[..n].to_vec();
+        let newcomer = seeded.candidates()[n].clone();
+        let model = seeded.model().clone();
+        let mut group = c.benchmark_group(format!("churn/add_probe_n{n}"));
+
+        group.bench_function(BenchmarkId::from_parameter("rebuild_evaluate"), |b| {
+            b.iter(|| {
+                let mut grown = resident.clone();
+                grown.push(newcomer.clone());
+                let p = SelectionProblem::new(model.clone(), grown);
+                let mut sel = SelectionSet::empty(n + 1);
+                sel.set(n, true);
+                black_box(p.evaluate(black_box(&sel)).time.value())
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+            let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+                model.clone(),
+                resident.clone(),
+            ));
+            b.iter(|| {
+                let k = ev.add_candidate(newcomer.clone());
+                ev.flip(k);
+                let t = ev.snapshot().time.value();
+                ev.remove_candidate(k);
+                black_box(t)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_remove_readd_middle(c: &mut Criterion) {
+    let n = 20usize;
+    let problem = fixtures::random_problem(37, CHURN_QUERIES, n);
+    let model = problem.model().clone();
+    let mut group = c.benchmark_group("churn/remove_readd_middle_n20");
+
+    group.bench_function(BenchmarkId::from_parameter("rebuild_evaluate"), |b| {
+        // Reference: rebuild the permuted problem and evaluate the same
+        // half-selected mask from scratch.
+        let mut sel = SelectionSet::empty(n);
+        for k in (0..n).step_by(2) {
+            sel.set(k, true);
+        }
+        b.iter(|| {
+            let p = SelectionProblem::new(model.clone(), problem.candidates().to_vec());
+            black_box(p.evaluate(black_box(&sel)).time.value())
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+        let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+            model.clone(),
+            problem.candidates().to_vec(),
+        ));
+        for k in (0..n).step_by(2) {
+            ev.flip(k);
+        }
+        b.iter(|| {
+            // Retire a mid-pool candidate — swap-remove renumbering plus
+            // cache eviction when it was selected — then splice it back,
+            // restoring its selection state so the selected count stays
+            // at n/2 across iterations (matching the rebuild reference).
+            let was_selected = ev.is_selected(n / 2);
+            let charge = ev.remove_candidate(n / 2);
+            let k = ev.add_candidate(charge);
+            if was_selected {
+                ev.flip(k);
+            }
+            black_box(ev.snapshot().time.value())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_add_probe, bench_remove_readd_middle
+}
+criterion_main!(benches);

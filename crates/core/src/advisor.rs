@@ -20,9 +20,11 @@ use mv_engine::{
     AggQuery, AggSpec, MaterializedView, SimScale, Table, ThroughputModel, ViewCatalog,
     ViewDefinition,
 };
-use mv_lattice::{candidates, Cuboid, SizeEstimator};
+use mv_lattice::{candidates, CandidateStream, Cuboid, SizeEstimator};
 use mv_pricing::{PricingPolicy, UsageLedger};
-use mv_select::{Outcome, Scenario, SelectionProblem, SolverKind};
+use mv_select::{
+    local_search, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind,
+};
 use mv_units::{Gb, Hours, Months};
 use serde::{Deserialize, Serialize};
 
@@ -104,6 +106,53 @@ impl Default for AdvisorConfig {
     }
 }
 
+/// How [`Advisor::solve_streaming`] pulls candidate cuboids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamStrategy {
+    /// HRU greedy benefit order over the lazily-walked lattice, optionally
+    /// capped at a pull budget.
+    HruGreedy(Option<usize>),
+    /// Workload-closure members in static benefit-per-space order.
+    WorkloadClosure,
+}
+
+/// Tuning knobs for the streaming solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// Candidate source and order.
+    pub strategy: StreamStrategy,
+    /// Local-search improvement moves budgeted after each admission (0
+    /// disables mid-stream repair; the newcomer probe always runs).
+    pub moves_per_pull: usize,
+    /// Improvement budget for each polish pass at stream drain.
+    pub final_moves: usize,
+    /// Retire strictly-dominated, deselected candidates as they accrue,
+    /// bounding the live pool.
+    pub retire_dominated: bool,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            strategy: StreamStrategy::HruGreedy(None),
+            moves_per_pull: 2,
+            final_moves: 64,
+            retire_dominated: true,
+        }
+    }
+}
+
+/// Accounting for one streaming solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StreamingReport {
+    /// Cuboids pulled from the stream (each was materialized + metered).
+    pub pulled: usize,
+    /// Candidates surviving in the advisor's problem at drain.
+    pub admitted: usize,
+    /// Dominated candidates retired mid-stream.
+    pub retired: usize,
+}
+
 /// One measured candidate: the lattice cuboid, its engine view, and the
 /// derived [`ViewCharge`].
 #[derive(Debug, Clone)]
@@ -129,9 +178,29 @@ pub struct Advisor {
     problem: SelectionProblem,
 }
 
-impl Advisor {
-    /// Runs the measurement pipeline over `domain`.
-    pub fn build(domain: Domain, config: AdvisorConfig) -> Result<Advisor, AdvisorError> {
+/// The shared measurement context: validated instance capacity, the
+/// engine→cloud scale mapping, the executable workload, and the
+/// extrapolation parameters. Both the batch pipeline
+/// ([`Advisor::build`]) and the streaming pipeline
+/// ([`Advisor::solve_streaming`]) meter candidates through one of
+/// these, so a streamed candidate's [`ViewCharge`] is bit-identical to
+/// the batch measurement of the same cuboid.
+struct CandidateMeter<'a> {
+    domain: &'a Domain,
+    config: &'a AdvisorConfig,
+    instance: mv_pricing::InstanceType,
+    scale: SimScale,
+    units: f64,
+    engine_rows: f64,
+    cloud_rows: f64,
+    queries: Vec<AggQuery>,
+    delta: Option<Table>,
+}
+
+impl<'a> CandidateMeter<'a> {
+    /// Validates the domain/config pair and precomputes the projection
+    /// parameters.
+    fn new(domain: &'a Domain, config: &'a AdvisorConfig) -> Result<Self, AdvisorError> {
         domain.validate()?;
         let instance = config
             .pricing
@@ -143,26 +212,12 @@ impl Advisor {
             .clone();
         let units = instance.compute_units * config.nb_instances as f64;
         let scale = SimScale::mapping(domain.base.size(), config.simulated_dataset);
-
         // Extrapolation parameters: the cloud-side fact table has the same
         // per-row width as the engine table but `cloud_rows` rows; group
         // counts at cloud scale come from Cardenas over the key domain.
         let engine_rows = domain.base.num_rows().max(1) as f64;
         let row_bytes = domain.base.heap_bytes() as f64 / engine_rows;
         let cloud_rows = config.simulated_dataset.as_bytes() as f64 / row_bytes.max(1.0);
-        let cloud_groups = |cuboid: &Cuboid| -> f64 {
-            mv_lattice::cardenas(cloud_rows as u64, domain.lattice.domain_size(cuboid))
-        };
-        // Scan work projected to cloud scale: engine bytes × how many more
-        // input rows the cloud table has.
-        let scan_hours = |bytes_scanned: u64, input_rows_engine: f64, input_rows_cloud: f64| {
-            let bytes = bytes_scanned as f64 * (input_rows_cloud / input_rows_engine.max(1.0));
-            config
-                .throughput
-                .hours_for_scan(Gb::from_bytes(bytes as u64), units)
-        };
-
-        // 1. Measure the workload on the base table.
         let queries: Vec<AggQuery> = domain
             .workload
             .queries
@@ -177,22 +232,63 @@ impl Advisor {
                 )
             })
             .collect();
-        let mut charges = Vec::with_capacity(queries.len());
-        for (q, lq) in queries.iter().zip(&domain.workload.queries) {
+        let delta = monthly_delta(domain, config.maintenance_delta_fraction);
+        Ok(CandidateMeter {
+            domain,
+            config,
+            instance,
+            scale,
+            units,
+            engine_rows,
+            cloud_rows,
+            queries,
+            delta,
+        })
+    }
+
+    /// Cloud-scale group count of `cuboid` (Cardenas over its key domain).
+    fn cloud_groups(&self, cuboid: &Cuboid) -> f64 {
+        mv_lattice::cardenas(
+            self.cloud_rows as u64,
+            self.domain.lattice.domain_size(cuboid),
+        )
+    }
+
+    /// Scan work projected to cloud scale: engine bytes × how many more
+    /// input rows the cloud table has.
+    fn scan_hours(
+        &self,
+        bytes_scanned: u64,
+        input_rows_engine: f64,
+        input_rows_cloud: f64,
+    ) -> Hours {
+        let bytes = bytes_scanned as f64 * (input_rows_cloud / input_rows_engine.max(1.0));
+        self.config
+            .throughput
+            .hours_for_scan(Gb::from_bytes(bytes as u64), self.units)
+    }
+
+    /// Executes the workload on the base table and derives its charges
+    /// (the paper's step 1).
+    fn workload_charges(&self) -> Result<Vec<QueryCharge>, AdvisorError> {
+        let mut charges = Vec::with_capacity(self.queries.len());
+        for (q, lq) in self.queries.iter().zip(&self.domain.workload.queries) {
             let (out, stats) = q
-                .execute_with_threads(&domain.base, config.threads)
+                .execute_with_threads(&self.domain.base, self.config.threads)
                 .map_err(AdvisorError::from)?;
-            let (result_size, base_time) = match config.sizing {
+            let (result_size, base_time) = match self.config.sizing {
                 SizingMode::MeasuredScaled => (
-                    scale.bytes_to_cloud(stats.bytes_out),
-                    config.throughput.hours_for(&stats, units, scale),
+                    self.scale.bytes_to_cloud(stats.bytes_out),
+                    self.config
+                        .throughput
+                        .hours_for(&stats, self.units, self.scale),
                 ),
                 SizingMode::Extrapolated => {
-                    let rows_cloud = cloud_groups(&lq.cuboid);
+                    let rows_cloud = self.cloud_groups(&lq.cuboid);
                     let width = out.schema().row_byte_width() as f64;
                     (
                         Gb::from_bytes((rows_cloud * width) as u64),
-                        scan_hours(stats.bytes_scanned, engine_rows, cloud_rows),
+                        self.scan_hours(stats.bytes_scanned, self.engine_rows, self.cloud_rows),
                     )
                 }
             };
@@ -203,6 +299,114 @@ impl Advisor {
                 frequency: lq.frequency,
             });
         }
+        Ok(charges)
+    }
+
+    /// Materializes and meters one candidate cuboid (the paper's steps
+    /// 3 & 4 for a single view).
+    fn measure(&self, cuboid: Cuboid) -> Result<MeasuredCandidate, AdvisorError> {
+        let label = self.domain.lattice.label(&cuboid);
+        let cols = self.domain.lattice.key_columns(&cuboid);
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let def = ViewDefinition::canonical(
+            label.clone(),
+            &col_refs,
+            &[AggSpec::sum(self.domain.measure.clone())],
+        );
+        let view =
+            MaterializedView::materialize_with_threads(def, &self.domain.base, self.config.threads)
+                .map_err(AdvisorError::from)?;
+        let build = *view.build_stats();
+        let view_rows_engine = view.data().num_rows().max(1) as f64;
+        let view_rows_cloud = self.cloud_groups(&cuboid);
+
+        // Maintenance: incremental refresh of one monthly delta batch.
+        let maintenance = match &self.delta {
+            Some(d) if d.num_rows() > 0 => {
+                let mut clone = view.clone();
+                let stats = clone.refresh_incremental(d).map_err(AdvisorError::from)?;
+                match self.config.sizing {
+                    SizingMode::MeasuredScaled => self
+                        .config
+                        .throughput
+                        .hours_for(&stats, self.units, self.scale),
+                    SizingMode::Extrapolated => self.scan_hours(
+                        stats.bytes_scanned,
+                        d.num_rows().max(1) as f64,
+                        self.cloud_rows * self.config.maintenance_delta_fraction,
+                    ),
+                }
+            }
+            _ => Hours::ZERO,
+        };
+
+        let (view_size, materialization) = match self.config.sizing {
+            SizingMode::MeasuredScaled => (
+                self.scale.bytes_to_cloud(view.data().heap_bytes()),
+                self.config
+                    .throughput
+                    .hours_for(&build, self.units, self.scale),
+            ),
+            SizingMode::Extrapolated => {
+                let width = view.data().heap_bytes() as f64 / view_rows_engine;
+                (
+                    Gb::from_bytes((view_rows_cloud * width) as u64),
+                    // Building a view scans the whole base table.
+                    self.scan_hours(build.bytes_scanned, self.engine_rows, self.cloud_rows),
+                )
+            }
+        };
+        let mut charge = ViewCharge::new(
+            label.clone(),
+            view_size,
+            materialization,
+            maintenance,
+            self.queries.len(),
+        );
+        for (i, q) in self.queries.iter().enumerate() {
+            if view.can_answer(q).is_ok() {
+                let (_, stats) = view.answer(q).map_err(AdvisorError::from)?;
+                let t = match self.config.sizing {
+                    SizingMode::MeasuredScaled => self
+                        .config
+                        .throughput
+                        .hours_for(&stats, self.units, self.scale),
+                    SizingMode::Extrapolated => {
+                        self.scan_hours(stats.bytes_scanned, view_rows_engine, view_rows_cloud)
+                    }
+                };
+                charge = charge.answers(i, t);
+            }
+        }
+        Ok(MeasuredCandidate {
+            cuboid,
+            label,
+            view,
+            charge,
+        })
+    }
+
+    /// Assembles the paper's cost model over the metered workload.
+    fn cost_model(&self, charges: Vec<QueryCharge>) -> CloudCostModel {
+        CloudCostModel::new(CostContext {
+            pricing: self.config.pricing.clone(),
+            instance: self.instance.clone(),
+            nb_instances: self.config.nb_instances,
+            months: self.config.months,
+            dataset_size: self.config.simulated_dataset,
+            inserts: vec![],
+            workload: charges,
+        })
+    }
+}
+
+impl Advisor {
+    /// Runs the measurement pipeline over `domain`.
+    pub fn build(domain: Domain, config: AdvisorConfig) -> Result<Advisor, AdvisorError> {
+        let meter = CandidateMeter::new(&domain, &config)?;
+
+        // 1. Measure the workload on the base table.
+        let charges = meter.workload_charges()?;
 
         // 2. Generate candidate cuboids.
         let estimator = SizeEstimator::new(domain.base.num_rows() as u64);
@@ -217,96 +421,14 @@ impl Advisor {
         };
 
         // 3 & 4. Materialize and meter every candidate.
-        let delta = monthly_delta(&domain, config.maintenance_delta_fraction);
         let mut measured = Vec::with_capacity(cuboids.len());
         for cuboid in cuboids {
-            let label = domain.lattice.label(&cuboid);
-            let cols = domain.lattice.key_columns(&cuboid);
-            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let def = ViewDefinition::canonical(
-                label.clone(),
-                &col_refs,
-                &[AggSpec::sum(domain.measure.clone())],
-            );
-            let view =
-                MaterializedView::materialize_with_threads(def, &domain.base, config.threads)
-                    .map_err(AdvisorError::from)?;
-            let build = *view.build_stats();
-            let view_rows_engine = view.data().num_rows().max(1) as f64;
-            let view_rows_cloud = cloud_groups(&cuboid);
-
-            // Maintenance: incremental refresh of one monthly delta batch.
-            let maintenance = match &delta {
-                Some(d) if d.num_rows() > 0 => {
-                    let mut clone = view.clone();
-                    let stats = clone.refresh_incremental(d).map_err(AdvisorError::from)?;
-                    match config.sizing {
-                        SizingMode::MeasuredScaled => {
-                            config.throughput.hours_for(&stats, units, scale)
-                        }
-                        SizingMode::Extrapolated => scan_hours(
-                            stats.bytes_scanned,
-                            d.num_rows().max(1) as f64,
-                            cloud_rows * config.maintenance_delta_fraction,
-                        ),
-                    }
-                }
-                _ => Hours::ZERO,
-            };
-
-            let (view_size, materialization) = match config.sizing {
-                SizingMode::MeasuredScaled => (
-                    scale.bytes_to_cloud(view.data().heap_bytes()),
-                    config.throughput.hours_for(&build, units, scale),
-                ),
-                SizingMode::Extrapolated => {
-                    let width = view.data().heap_bytes() as f64 / view_rows_engine;
-                    (
-                        Gb::from_bytes((view_rows_cloud * width) as u64),
-                        // Building a view scans the whole base table.
-                        scan_hours(build.bytes_scanned, engine_rows, cloud_rows),
-                    )
-                }
-            };
-            let mut charge = ViewCharge::new(
-                label.clone(),
-                view_size,
-                materialization,
-                maintenance,
-                queries.len(),
-            );
-            for (i, q) in queries.iter().enumerate() {
-                if view.can_answer(q).is_ok() {
-                    let (_, stats) = view.answer(q).map_err(AdvisorError::from)?;
-                    let t = match config.sizing {
-                        SizingMode::MeasuredScaled => {
-                            config.throughput.hours_for(&stats, units, scale)
-                        }
-                        SizingMode::Extrapolated => {
-                            scan_hours(stats.bytes_scanned, view_rows_engine, view_rows_cloud)
-                        }
-                    };
-                    charge = charge.answers(i, t);
-                }
-            }
-            measured.push(MeasuredCandidate {
-                cuboid,
-                label,
-                view,
-                charge,
-            });
+            measured.push(meter.measure(cuboid)?);
         }
 
         // 5. Assemble the selection problem.
-        let model = CloudCostModel::new(CostContext {
-            pricing: config.pricing.clone(),
-            instance,
-            nb_instances: config.nb_instances,
-            months: config.months,
-            dataset_size: config.simulated_dataset,
-            inserts: vec![],
-            workload: charges,
-        });
+        let model = meter.cost_model(charges);
+        let CandidateMeter { scale, queries, .. } = meter;
         let problem =
             SelectionProblem::new(model, measured.iter().map(|m| m.charge.clone()).collect());
 
@@ -318,6 +440,115 @@ impl Advisor {
             measured,
             problem,
         })
+    }
+
+    /// Streaming counterpart of [`Advisor::build`] + [`Advisor::solve`]:
+    /// pulls candidate cuboids lazily from a benefit-ordered
+    /// [`CandidateStream`], materializes and meters each one *on
+    /// admission*, splices it into a dynamic [`IncrementalEvaluator`]
+    /// (O(m), no rebuild), keeps the running selection locally repaired
+    /// with bounded flip/swap local search, and retires strictly-dominated
+    /// candidates so the live pool stays small.
+    ///
+    /// The search is *anytime* — after every pull the evaluator holds a
+    /// feasibility-ranked answer — and at drain a greedy-restart
+    /// multi-start pass guarantees the reported outcome is never worse
+    /// than batch greedy over the same candidate pool (property-tested in
+    /// `tests/streaming.rs`). Returns the advisor over the surviving
+    /// pool (usable for sweeps, materialization, ledgers), the chosen
+    /// outcome, and pull/retire accounting.
+    pub fn solve_streaming(
+        domain: Domain,
+        config: AdvisorConfig,
+        scenario: Scenario,
+        streaming: StreamingConfig,
+    ) -> Result<(Advisor, Outcome, StreamingReport), AdvisorError> {
+        let meter = CandidateMeter::new(&domain, &config)?;
+        let charges = meter.workload_charges()?;
+        let model = meter.cost_model(charges);
+        let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(model, Vec::new()));
+        let baseline = ev.problem().baseline();
+        let estimator = SizeEstimator::new(domain.base.num_rows() as u64);
+        let mut stream = match streaming.strategy {
+            StreamStrategy::HruGreedy(limit) => {
+                let s = CandidateStream::hru(&domain.lattice, &estimator, &domain.workload);
+                match limit {
+                    Some(k) => s.with_limit(k),
+                    None => s,
+                }
+            }
+            StreamStrategy::WorkloadClosure => {
+                CandidateStream::closure(&domain.lattice, &estimator, &domain.workload)
+            }
+        };
+
+        let mut measured: Vec<MeasuredCandidate> = Vec::new();
+        let mut current = baseline.clone();
+        let mut pulled = 0usize;
+        let mut retired = 0usize;
+        for cuboid in stream.by_ref() {
+            pulled += 1;
+            let mc = meter.measure(cuboid)?;
+            let k = ev.add_candidate(mc.charge.clone());
+            measured.push(mc);
+            // Admission probe: select the newcomer iff it improves the
+            // scenario ordering right now.
+            ev.flip(k);
+            let e = ev.snapshot();
+            if scenario.better(&e, &current, &baseline) {
+                current = e;
+            } else {
+                ev.unflip(k);
+            }
+            // Bounded repair keeps the running (anytime) answer locally
+            // optimal as the pool evolves.
+            if streaming.moves_per_pull > 0 {
+                current =
+                    local_search::improve(&mut ev, scenario, &baseline, streaming.moves_per_pull);
+            }
+            if streaming.retire_dominated {
+                retired += retire_dominated(&mut ev, &mut measured);
+            }
+        }
+        drop(stream);
+
+        // Drain: polish the streamed answer, then multi-start against a
+        // greedy fill from empty over the surviving pool; keep the better.
+        let streamed = local_search::improve(&mut ev, scenario, &baseline, streaming.final_moves);
+        for k in 0..ev.problem().len() {
+            if ev.is_selected(k) {
+                ev.unflip(k);
+            }
+        }
+        local_search::greedy_fill(&mut ev, scenario, &baseline);
+        let restart = local_search::improve(&mut ev, scenario, &baseline, streaming.final_moves);
+        let best = if scenario.better(&restart, &streamed, &baseline) {
+            restart
+        } else {
+            streamed
+        };
+
+        let problem = ev.into_problem();
+        // Re-derive the baseline over the *final* problem so the outcome's
+        // baseline selection has the same length as its evaluation's (as
+        // the batch path guarantees); the cost/time values are identical
+        // to the zero-candidate baseline used during the stream.
+        let outcome = Outcome::new(best, problem.baseline(), scenario, SolverKind::LocalSearch);
+        let CandidateMeter { scale, queries, .. } = meter;
+        let advisor = Advisor {
+            domain,
+            config,
+            scale,
+            queries,
+            measured,
+            problem,
+        };
+        let report = StreamingReport {
+            pulled,
+            admitted: advisor.problem.len(),
+            retired,
+        };
+        Ok((advisor, outcome, report))
     }
 
     /// The underlying selection problem.
@@ -421,6 +652,66 @@ impl Advisor {
         ledger.record_transfer_out("query results", model.context().total_result_size());
         ledger
     }
+}
+
+/// Retires every deselected candidate strictly dominated by a live one,
+/// keeping `measured` aligned with the evaluator's candidate order
+/// (mirrored `swap_remove`s). Any selection using a dominated view maps
+/// to one using its dominator that is never slower, never costlier and
+/// never infeasible-when-the-original-was-feasible, so retirement cannot
+/// push the reachable optimum up. Returns how many were retired.
+fn retire_dominated(
+    ev: &mut IncrementalEvaluator<'static>,
+    measured: &mut Vec<MeasuredCandidate>,
+) -> usize {
+    let mut removed = 0;
+    // One descending pass suffices: removing index j swap-moves only the
+    // (already-checked) last index down, and dominance is transitive, so
+    // anything dominated by a victim is also dominated by the victim's
+    // own surviving dominator — no rescan needed. O(n²·m) total instead
+    // of O(n³·m) restart-per-removal.
+    let mut j = ev.problem().len();
+    while j > 0 {
+        j -= 1;
+        if ev.is_selected(j) {
+            continue;
+        }
+        let candidates = ev.problem().candidates();
+        if (0..candidates.len()).any(|i| i != j && dominates(&candidates[i], &candidates[j])) {
+            ev.remove_candidate(j);
+            measured.swap_remove(j);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Strict Pareto dominance of view charges: `a` answers every query `b`
+/// answers at least as fast, costs no more to store/maintain/build, and
+/// is strictly better somewhere. (Exact duplicates dominate in neither
+/// direction, so ties are never retired.)
+fn dominates(a: &ViewCharge, b: &ViewCharge) -> bool {
+    if a.size > b.size || a.maintenance > b.maintenance || a.materialization > b.materialization {
+        return false;
+    }
+    let mut strict =
+        a.size < b.size || a.maintenance < b.maintenance || a.materialization < b.materialization;
+    for (ta, tb) in a.query_times.iter().zip(&b.query_times) {
+        match (ta, tb) {
+            (None, None) => {}
+            (Some(_), None) => strict = true,
+            (None, Some(_)) => return false,
+            (Some(ta), Some(tb)) => {
+                if ta > tb {
+                    return false;
+                }
+                if ta < tb {
+                    strict = true;
+                }
+            }
+        }
+    }
+    strict
 }
 
 /// A monthly insert batch for maintenance metering: `fraction` of the base
@@ -545,6 +836,86 @@ mod tests {
         )
         .unwrap();
         assert!(hru.problem().len() <= 4);
+    }
+
+    #[test]
+    fn streaming_solve_reports_and_reproduces() {
+        let domain = sales_domain(1_200, 4, 2.0, 42);
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let (advisor, outcome, report) = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig::default(),
+        )
+        .unwrap();
+        assert!(report.pulled > 0);
+        assert_eq!(report.admitted + report.retired, report.pulled);
+        assert_eq!(report.admitted, advisor.problem().len());
+        assert_eq!(advisor.candidates().len(), advisor.problem().len());
+        // measured stays aligned with the problem's candidate order
+        // through retirement swap-removes.
+        for (m, c) in advisor
+            .candidates()
+            .iter()
+            .zip(advisor.problem().candidates())
+        {
+            assert_eq!(m.charge, *c);
+        }
+        // The outcome reproduces by full evaluation on the surviving pool,
+        // and its baseline is the final problem's baseline (same selection
+        // length as the evaluation, like the batch path).
+        assert_eq!(
+            outcome.evaluation,
+            advisor.problem().evaluate(&outcome.evaluation.selection)
+        );
+        assert_eq!(outcome.baseline, advisor.problem().baseline());
+        assert_eq!(outcome.solver, SolverKind::LocalSearch);
+        assert!(outcome.evaluation.time < outcome.baseline.time);
+        // The streamed advisor is a full advisor: its selection
+        // materializes and serves queries.
+        let catalog = advisor.materialize_selection(&outcome).unwrap();
+        assert_eq!(catalog.len(), outcome.evaluation.num_selected());
+    }
+
+    #[test]
+    fn streaming_with_pull_budget_is_anytime() {
+        let domain = sales_domain(800, 3, 1.0, 7);
+        let scenario = Scenario::budget(Money::from_dollars(1_000));
+        let (advisor, outcome, report) = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig {
+                strategy: StreamStrategy::HruGreedy(Some(2)),
+                ..StreamingConfig::default()
+            },
+        )
+        .unwrap();
+        // The pull budget caps measurement work, yet a usable (feasible,
+        // improving) answer still comes back.
+        assert!(report.pulled <= 2);
+        assert!(advisor.problem().len() <= 2);
+        assert!(outcome.feasible());
+        assert!(outcome.evaluation.time < outcome.baseline.time);
+    }
+
+    #[test]
+    fn dominance_is_strict_and_directional() {
+        let a = ViewCharge::new("a", Gb::new(1.0), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.01));
+        // Bigger, slower, answers nothing extra: dominated.
+        let b = ViewCharge::new("b", Gb::new(2.0), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.02));
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        // Answering an extra query protects from domination.
+        let c = ViewCharge::new("c", Gb::new(5.0), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.02))
+            .answers(1, Hours::new(0.5));
+        assert!(!dominates(&a, &c));
+        // Exact duplicates dominate in neither direction (never retired).
+        assert!(!dominates(&a, &a.clone()));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]
 //!                    (--budget $X | --time-limit H | --alpha A)
-//!                    [--solver knapsack|exhaustive|greedy|bnb]
+//!                    [--solver knapsack|exhaustive|greedy|bnb|local]
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
@@ -62,7 +62,7 @@ fn print_usage() {
            --budget X       MV1: minimize time under $X total\n\
            --time-limit H   MV2: minimize cost under H hours\n\
            --alpha A        MV3: weighted tradeoff, A in [0,1]\n\
-           --solver S       knapsack|exhaustive|greedy|bnb       [default knapsack]"
+           --solver S       knapsack|exhaustive|greedy|bnb|local [default knapsack]"
     );
 }
 
@@ -129,6 +129,7 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         "exhaustive" => SolverKind::Exhaustive,
         "greedy" => SolverKind::Greedy,
         "bnb" => SolverKind::BranchAndBound,
+        "local" => SolverKind::LocalSearch,
         other => return Err(format!("unknown solver {other:?}")),
     };
 

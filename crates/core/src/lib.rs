@@ -38,7 +38,10 @@ mod error;
 pub mod report;
 pub mod whatif;
 
-pub use advisor::{Advisor, AdvisorConfig, CandidateStrategy, MeasuredCandidate, SizingMode};
+pub use advisor::{
+    Advisor, AdvisorConfig, CandidateStrategy, MeasuredCandidate, SizingMode, StreamStrategy,
+    StreamingConfig, StreamingReport,
+};
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
 

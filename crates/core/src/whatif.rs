@@ -82,6 +82,26 @@ fn solve_points(
     .expect("sweep scope failed")
 }
 
+/// [`budget_sweep`] over a bare [`SelectionProblem`] — the entry point
+/// for problems assembled outside a batch advisor, e.g. the surviving
+/// pool of a streaming solve ([`crate::Advisor::solve_streaming`]).
+pub fn budget_sweep_problem(
+    problem: &SelectionProblem,
+    span: Money,
+    steps: usize,
+    solver: SolverKind,
+) -> Vec<SweepPoint> {
+    let base_cost = problem.baseline().cost();
+    let points = (0..=steps)
+        .map(|i| {
+            let extra = Money::from_micros(span.micros() * i as i128 / steps.max(1) as i128);
+            let budget = base_cost + extra;
+            (budget.to_dollars_f64(), Scenario::budget(budget))
+        })
+        .collect();
+    solve_points(problem, points, solver)
+}
+
 /// Sweeps MV1 budgets from the no-view baseline cost upward in `steps`
 /// equal increments of `span`.
 pub fn budget_sweep(
@@ -90,20 +110,16 @@ pub fn budget_sweep(
     steps: usize,
     solver: SolverKind,
 ) -> Vec<SweepPoint> {
-    let base_cost = advisor.problem().baseline().cost();
-    let points = (0..=steps)
-        .map(|i| {
-            let extra = Money::from_micros(span.micros() * i as i128 / steps.max(1) as i128);
-            let budget = base_cost + extra;
-            (budget.to_dollars_f64(), Scenario::budget(budget))
-        })
-        .collect();
-    solve_points(advisor.problem(), points, solver)
+    budget_sweep_problem(advisor.problem(), span, steps, solver)
 }
 
-/// Sweeps MV2 deadlines as fractions of the no-view workload time.
-pub fn deadline_sweep(advisor: &Advisor, fractions: &[f64], solver: SolverKind) -> Vec<SweepPoint> {
-    let base_time = advisor.problem().baseline().time;
+/// [`deadline_sweep`] over a bare [`SelectionProblem`].
+pub fn deadline_sweep_problem(
+    problem: &SelectionProblem,
+    fractions: &[f64],
+    solver: SolverKind,
+) -> Vec<SweepPoint> {
+    let base_time = problem.baseline().time;
     let points = fractions
         .iter()
         .map(|&f| {
@@ -111,18 +127,32 @@ pub fn deadline_sweep(advisor: &Advisor, fractions: &[f64], solver: SolverKind) 
             (limit.value(), Scenario::time_limit(limit))
         })
         .collect();
-    solve_points(advisor.problem(), points, solver)
+    solve_points(problem, points, solver)
 }
 
-/// Sweeps MV3's α over `steps` equal increments of [0, 1].
-pub fn alpha_sweep(advisor: &Advisor, steps: usize, solver: SolverKind) -> Vec<SweepPoint> {
+/// Sweeps MV2 deadlines as fractions of the no-view workload time.
+pub fn deadline_sweep(advisor: &Advisor, fractions: &[f64], solver: SolverKind) -> Vec<SweepPoint> {
+    deadline_sweep_problem(advisor.problem(), fractions, solver)
+}
+
+/// [`alpha_sweep`] over a bare [`SelectionProblem`].
+pub fn alpha_sweep_problem(
+    problem: &SelectionProblem,
+    steps: usize,
+    solver: SolverKind,
+) -> Vec<SweepPoint> {
     let points = (0..=steps)
         .map(|i| {
             let alpha = i as f64 / steps.max(1) as f64;
             (alpha, Scenario::tradeoff_normalized(alpha))
         })
         .collect();
-    solve_points(advisor.problem(), points, solver)
+    solve_points(problem, points, solver)
+}
+
+/// Sweeps MV3's α over `steps` equal increments of [0, 1].
+pub fn alpha_sweep(advisor: &Advisor, steps: usize, solver: SolverKind) -> Vec<SweepPoint> {
+    alpha_sweep_problem(advisor.problem(), steps, solver)
 }
 
 /// Renders sweep points as CSV.
@@ -189,6 +219,35 @@ mod tests {
         for w in points.windows(2) {
             assert!(w[1].time_hours <= w[0].time_hours + 1e-12);
             assert!(w[1].cost_dollars + 1e-9 >= w[0].cost_dollars);
+        }
+    }
+
+    #[test]
+    fn streamed_problem_sweeps_like_a_batch_one() {
+        // The problem a streaming solve leaves behind is a first-class
+        // sweep target: same shape guarantees as the batch sweeps.
+        let (advisor, _, _) = crate::Advisor::solve_streaming(
+            crate::sales_domain(900, 4, 10.0, 11),
+            crate::AdvisorConfig::default(),
+            mv_select::Scenario::tradeoff_normalized(0.5),
+            crate::StreamingConfig::default(),
+        )
+        .unwrap();
+        let points = alpha_sweep_problem(advisor.problem(), 4, SolverKind::LocalSearch);
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(w[1].time_hours <= w[0].time_hours + 1e-12);
+            assert!(w[1].cost_dollars + 1e-9 >= w[0].cost_dollars);
+        }
+        let budget = budget_sweep_problem(
+            advisor.problem(),
+            Money::from_dollars(5),
+            4,
+            SolverKind::LocalSearch,
+        );
+        assert!(budget.iter().all(|p| p.feasible));
+        for w in budget.windows(2) {
+            assert!(w[1].time_hours <= w[0].time_hours + 1e-12);
         }
     }
 

@@ -1,0 +1,114 @@
+//! Property: the streaming advisor is never worse than batch greedy.
+//!
+//! `Advisor::solve_streaming` pulls, measures and admits candidates one
+//! at a time from a `CandidateStream`, repairing with bounded local
+//! search and retiring dominated candidates as it goes. Once the stream
+//! is fully drained its candidate *set* equals the batch
+//! workload-closure pool, both pipelines meter each cuboid through the
+//! same `CandidateMeter` code, and the drain phase multi-starts against
+//! a greedy fill — so the streamed outcome must never lose to
+//! `SolverKind::Greedy` on the batch problem, for any domain, workload
+//! mix or scenario.
+
+use mvcloud::units::{Hours, Money};
+use mvcloud::{
+    sales_domain, ssb_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario, SolverKind,
+    StreamStrategy, StreamingConfig,
+};
+use proptest::prelude::*;
+
+/// Builds the scenario family the paper optimizes, parameterized on the
+/// batch baseline so constraints are neither trivially loose nor
+/// unsatisfiable.
+fn pick_scenario(kind: u8, knob: f64, batch: &Advisor) -> Scenario {
+    let base = batch.problem().baseline();
+    match kind % 3 {
+        0 => Scenario::budget(base.cost() + Money::from_cents((knob * 200.0) as i64)),
+        1 => Scenario::time_limit(Hours::new(base.time.value() * (0.05 + 0.9 * knob))),
+        _ => Scenario::tradeoff_normalized(knob),
+    }
+}
+
+proptest! {
+    // Each case measures two full advisors (engine materialization per
+    // candidate), so keep the case count modest; the domains themselves
+    // are randomized heavily.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn streaming_never_worse_than_batch_greedy(
+        seed in 0u64..10_000,
+        rows in 250usize..600,
+        n_queries in 2usize..6,
+        frequency in 1.0f64..20.0,
+        kind in 0u8..3,
+        knob in 0.0f64..1.0,
+    ) {
+        // Two lattices: the paper's 16-cuboid sales cube and (every third
+        // seed) the 64-cuboid SSB cube with its 13-query flight workload.
+        let domain = if seed % 3 == 0 {
+            ssb_domain(rows, frequency, seed)
+        } else {
+            sales_domain(rows, n_queries, frequency, seed)
+        };
+        let config = AdvisorConfig {
+            candidates: CandidateStrategy::WorkloadClosure,
+            ..AdvisorConfig::default()
+        };
+        let batch = Advisor::build(domain.clone(), config.clone()).expect("batch build");
+        let scenario = pick_scenario(kind, knob, &batch);
+        let greedy = batch.solve(scenario, SolverKind::Greedy);
+
+        let (streamed_advisor, streamed, report) = Advisor::solve_streaming(
+            domain,
+            config,
+            scenario,
+            StreamingConfig {
+                strategy: StreamStrategy::WorkloadClosure,
+                ..StreamingConfig::default()
+            },
+        )
+        .expect("streaming solve");
+
+        // Same pool drained: every pulled candidate is accounted for.
+        prop_assert_eq!(report.pulled, batch.problem().len());
+        prop_assert_eq!(report.admitted + report.retired, report.pulled);
+        prop_assert_eq!(report.admitted, streamed_advisor.problem().len());
+
+        // The streamed outcome reproduces on its own problem.
+        prop_assert_eq!(
+            &streamed.evaluation,
+            &streamed_advisor
+                .problem()
+                .evaluate(&streamed.evaluation.selection)
+        );
+
+        // Never worse than batch greedy, in Scenario::better's own
+        // ordering: feasibility first, then constraint violation (when
+        // both infeasible), then the scenario objective.
+        let g_feasible = greedy.feasible();
+        let s_feasible = streamed.feasible();
+        prop_assert!(
+            s_feasible || !g_feasible,
+            "streaming lost feasibility greedy kept: greedy {:?} streamed {:?}",
+            greedy.evaluation.cost(),
+            streamed.evaluation.cost()
+        );
+        if g_feasible == s_feasible {
+            if g_feasible {
+                prop_assert!(
+                    streamed.objective() <= greedy.objective() + 1e-9,
+                    "streaming objective {} worse than greedy {}",
+                    streamed.objective(),
+                    greedy.objective()
+                );
+            } else {
+                let (sv, gv) = (
+                    scenario.violation(&streamed.evaluation),
+                    scenario.violation(&greedy.evaluation),
+                );
+                prop_assert!(sv <= gv + 1e-9, "streaming violation {sv} worse than {gv}");
+            }
+        }
+    }
+}

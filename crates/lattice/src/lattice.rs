@@ -45,26 +45,37 @@ impl Lattice {
 
     /// Every cuboid, in lexicographic level order (apex first).
     pub fn all_cuboids(&self) -> Vec<Cuboid> {
-        let mut out = Vec::with_capacity(self.num_cuboids());
-        let mut current = vec![0u8; self.dims.len()];
-        loop {
-            out.push(Cuboid::new(current.clone()));
-            // Odometer increment.
+        self.iter_cuboids().collect()
+    }
+
+    /// Lazily iterates every cuboid in lexicographic level order (apex
+    /// first) without materializing the `num_cuboids()`-sized vector —
+    /// the streaming candidate generators re-walk the lattice per pull
+    /// and must not allocate it each time.
+    pub fn iter_cuboids(&self) -> impl Iterator<Item = Cuboid> + '_ {
+        let mut next = Some(vec![0u8; self.dims.len()]);
+        std::iter::from_fn(move || {
+            let current = next.take()?;
+            let out = Cuboid::new(current.clone());
+            // Odometer increment; exhausted when every digit wraps.
+            let mut digits = current;
             let mut i = self.dims.len();
             loop {
                 if i == 0 {
-                    return out;
+                    break;
                 }
                 i -= 1;
-                if (current[i] as usize) + 1 < self.dims[i].depth() {
-                    current[i] += 1;
-                    for c in current[i + 1..].iter_mut() {
-                        *c = 0;
+                if (digits[i] as usize) + 1 < self.dims[i].depth() {
+                    digits[i] += 1;
+                    for d in digits[i + 1..].iter_mut() {
+                        *d = 0;
                     }
+                    next = Some(digits);
                     break;
                 }
             }
-        }
+            Some(out)
+        })
     }
 
     /// The apex cuboid (every dimension at ALL): the grand total.

@@ -26,6 +26,7 @@ mod estimate;
 mod hierarchy;
 #[allow(clippy::module_inception)]
 mod lattice;
+mod stream;
 mod workload;
 
 pub use cuboid::Cuboid;
@@ -33,4 +34,5 @@ pub use error::LatticeError;
 pub use estimate::{cardenas, SizeEstimator};
 pub use hierarchy::{Dimension, Level};
 pub use lattice::Lattice;
+pub use stream::CandidateStream;
 pub use workload::{paper_workload, LatticeQuery, LatticeWorkload};

@@ -1,0 +1,217 @@
+//! Lazy candidate streams.
+//!
+//! The batch generators in [`crate::candidates`] hand the selection
+//! phase a fully-materialized candidate list; the advisor then measures
+//! *every* candidate before solving. A [`CandidateStream`] inverts
+//! that: it yields cuboids one at a time, in estimated-benefit order, so
+//! a streaming consumer can measure/admit candidates incrementally and
+//! stop pulling whenever the marginal benefit dries up — without ever
+//! materializing (or measuring) the full lattice.
+//!
+//! Two modes, mirroring the batch generators they drain to:
+//!
+//! * [`CandidateStream::hru`] — each pull re-runs one step of the
+//!   Harinarayan–Rajaraman–Ullman greedy pick over the lazily-walked
+//!   lattice, conditioned on everything already yielded. Draining the
+//!   stream with limit `k` yields exactly `candidates::hru_greedy(k)`,
+//!   in the same order.
+//! * [`CandidateStream::closure`] — the workload-closure members
+//!   (workload cuboids + pairwise LCAs), pre-scored once by static
+//!   benefit per unit space and yielded best-first. Draining it yields
+//!   exactly the set `candidates::workload_closure` builds.
+
+use crate::candidates::{next_hru_pick, workload_closure};
+use crate::{Cuboid, Lattice, LatticeWorkload, SizeEstimator};
+
+/// A lazy, benefit-ordered source of candidate cuboids.
+pub struct CandidateStream<'a> {
+    lattice: &'a Lattice,
+    est: &'a SizeEstimator,
+    workload: &'a LatticeWorkload,
+    mode: Mode,
+    yielded: Vec<Cuboid>,
+    limit: Option<usize>,
+}
+
+enum Mode {
+    /// One HRU greedy step per pull, conditioned on `yielded`.
+    Greedy,
+    /// Pre-scored closure members, best-first.
+    Ordered(std::vec::IntoIter<Cuboid>),
+}
+
+impl<'a> CandidateStream<'a> {
+    /// HRU greedy stream: yields the next best benefit-per-space cuboid
+    /// given everything yielded so far; drains when no remaining cuboid
+    /// has positive benefit. Each pull walks the lattice lazily
+    /// ([`Lattice::iter_cuboids`]) — nothing is materialized up front.
+    pub fn hru(
+        lattice: &'a Lattice,
+        est: &'a SizeEstimator,
+        workload: &'a LatticeWorkload,
+    ) -> Self {
+        CandidateStream {
+            lattice,
+            est,
+            workload,
+            mode: Mode::Greedy,
+            yielded: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Workload-closure stream: the closure's members scored once by
+    /// frequency-weighted scan savings (against the bare base table) per
+    /// unit of expected space, yielded best-first. Ties keep the
+    /// closure's canonical (sorted) cuboid order.
+    pub fn closure(
+        lattice: &'a Lattice,
+        est: &'a SizeEstimator,
+        workload: &'a LatticeWorkload,
+    ) -> Self {
+        let members = workload_closure(lattice, workload);
+        let base_rows = est.base_rows as f64;
+        let mut scored: Vec<(f64, Cuboid)> = members
+            .into_iter()
+            .map(|c| {
+                let rows = est.expected_rows(lattice, &c).max(1.0);
+                let saving: f64 = workload
+                    .queries
+                    .iter()
+                    .filter(|q| c.covers(&q.cuboid))
+                    .map(|q| (base_rows - rows.min(base_rows)) * q.frequency)
+                    .sum();
+                (saving / rows, c)
+            })
+            .collect();
+        // Stable sort: equal scores keep the closure's sorted order.
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        CandidateStream {
+            lattice,
+            est,
+            workload,
+            mode: Mode::Ordered(
+                scored
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
+            yielded: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Caps the stream at `k` yielded cuboids.
+    pub fn with_limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// How many cuboids have been yielded so far.
+    pub fn pulled(&self) -> usize {
+        self.yielded.len()
+    }
+
+    /// The cuboids yielded so far, in yield order.
+    pub fn yielded(&self) -> &[Cuboid] {
+        &self.yielded
+    }
+}
+
+impl Iterator for CandidateStream<'_> {
+    type Item = Cuboid;
+
+    fn next(&mut self) -> Option<Cuboid> {
+        if let Some(k) = self.limit {
+            if self.yielded.len() >= k {
+                return None;
+            }
+        }
+        let next = match &mut self.mode {
+            Mode::Greedy => next_hru_pick(self.lattice, self.est, self.workload, &self.yielded),
+            Mode::Ordered(iter) => iter.next(),
+        }?;
+        self.yielded.push(next.clone());
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::hru_greedy;
+    use crate::workload::paper_workload;
+
+    #[test]
+    fn hru_stream_drains_to_batch_picks() {
+        let l = Lattice::paper_running_example();
+        let est = SizeEstimator::new(1_000_000);
+        let w = paper_workload(&l);
+        let batch = hru_greedy(&l, &est, &w, 5);
+        let streamed: Vec<Cuboid> = CandidateStream::hru(&l, &est, &w).with_limit(5).collect();
+        assert_eq!(streamed, batch, "stream must replay greedy's pick order");
+        // Unbounded drain equals greedy with a lattice-sized budget.
+        let full_batch = hru_greedy(&l, &est, &w, l.num_cuboids());
+        let full_stream: Vec<Cuboid> = CandidateStream::hru(&l, &est, &w).collect();
+        assert_eq!(full_stream, full_batch);
+        assert!(!full_stream.contains(&l.base()));
+    }
+
+    #[test]
+    fn closure_stream_drains_to_closure_set() {
+        let l = Lattice::paper_running_example();
+        let est = SizeEstimator::new(1_000_000);
+        let w = paper_workload(&l).prefix(5);
+        let mut batch = workload_closure(&l, &w);
+        let mut streamed: Vec<Cuboid> = CandidateStream::closure(&l, &est, &w).collect();
+        streamed.sort();
+        batch.sort();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn closure_stream_is_benefit_ordered() {
+        let l = Lattice::paper_running_example();
+        let est = SizeEstimator::new(1_000_000);
+        let w = paper_workload(&l);
+        let base_rows = est.base_rows as f64;
+        let score = |c: &Cuboid| {
+            let rows = est.expected_rows(&l, c).max(1.0);
+            let saving: f64 = w
+                .queries
+                .iter()
+                .filter(|q| c.covers(&q.cuboid))
+                .map(|q| (base_rows - rows.min(base_rows)) * q.frequency)
+                .sum();
+            saving / rows
+        };
+        let streamed: Vec<Cuboid> = CandidateStream::closure(&l, &est, &w).collect();
+        for pair in streamed.windows(2) {
+            assert!(score(&pair[0]) >= score(&pair[1]), "out of benefit order");
+        }
+    }
+
+    #[test]
+    fn limit_and_pulled_accounting() {
+        let l = Lattice::paper_running_example();
+        let est = SizeEstimator::new(100_000);
+        let w = paper_workload(&l);
+        let mut s = CandidateStream::hru(&l, &est, &w).with_limit(3);
+        assert_eq!(s.pulled(), 0);
+        assert!(s.next().is_some());
+        assert!(s.next().is_some());
+        assert_eq!(s.pulled(), 2);
+        assert!(s.next().is_some());
+        assert!(s.next().is_none(), "limit must cap the stream");
+        assert_eq!(s.yielded().len(), 3);
+    }
+
+    #[test]
+    fn iter_cuboids_matches_all_cuboids() {
+        let l = Lattice::paper_running_example();
+        let lazy: Vec<Cuboid> = l.iter_cuboids().collect();
+        assert_eq!(lazy, l.all_cuboids());
+        assert_eq!(lazy.len(), l.num_cuboids());
+    }
+}

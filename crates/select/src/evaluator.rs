@@ -23,8 +23,32 @@
 //! breakdown through `CloudCostModel::breakdown_from_totals`, the same
 //! routine `with_views` uses), so snapshots are **bit-identical** to
 //! full re-evaluations — property-tested in `tests/evaluator_matches.rs`.
+//!
+//! # Dynamic candidates
+//!
+//! The candidate set itself can evolve mid-search, which is what lets
+//! the advisor *stream* lattice candidates instead of materializing all
+//! of them up front:
+//!
+//! * [`IncrementalEvaluator::add_candidate`] splices a new view into the
+//!   per-query answer tables in O(m) — no rebuild;
+//! * [`IncrementalEvaluator::remove_candidate`] retires a candidate with
+//!   `Vec::swap_remove` index semantics (only the last index is
+//!   renumbered), auto-deselecting it first so no best/runner-up slot is
+//!   left pointing at the retired index — O(m + a) where `a` is the
+//!   total length of the answer lists the view appears in.
+//!
+//! The evaluator holds its problem as a clone-on-write handle: solvers
+//! probing a fixed problem borrow it (zero copies, as before), while the
+//! first dynamic edit promotes the evaluator to an owned problem that
+//! grows and shrinks with the candidate pool. `snapshot()` stays
+//! bit-identical to a from-scratch `SelectionProblem::evaluate` on the
+//! equivalent static problem throughout — property-tested over random
+//! add/remove/flip interleavings in `tests/evaluator_matches.rs`.
 
-use mv_cost::{CostBreakdown, SelectionSet};
+use std::borrow::Cow;
+
+use mv_cost::{CostBreakdown, SelectionSet, ViewCharge};
 use mv_units::{Gb, Hours, Money, Months};
 
 use crate::{Evaluation, SelectionProblem};
@@ -74,12 +98,16 @@ struct QueryCache {
 /// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalEvaluator<'p> {
-    problem: &'p SelectionProblem,
+    problem: Cow<'p, SelectionProblem>,
     selection: SelectionSet,
     /// `per_view[k]` = the queries view `k` answers, as `(query, time)`.
     per_view: Vec<Vec<(u32, Hours)>>,
-    /// `answers[i]` = the views answering query `i`, as `(view, time)`,
-    /// ascending by view index (used for runner-up rescans).
+    /// `answers[i]` = the views answering query `i`, as `(view, time)`
+    /// (used for runner-up rescans). Built ascending by view index, but
+    /// the order becomes unspecified once `add_candidate` /
+    /// `remove_candidate` splice entries (swap-removes don't preserve
+    /// it); rescans are order-insensitive on times, so only which of two
+    /// time-tied views gets cached can differ — never a snapshot value.
     answers: Vec<Vec<(u32, Hours)>>,
     queries: Vec<QueryCache>,
     /// Transfer cost is selection-independent: cached once.
@@ -92,8 +120,21 @@ pub struct IncrementalEvaluator<'p> {
 }
 
 impl<'p> IncrementalEvaluator<'p> {
-    /// Builds an evaluator positioned at the empty selection. O(n·m).
+    /// Builds an evaluator positioned at the empty selection, borrowing
+    /// `problem`. O(n·m).
     pub fn new(problem: &'p SelectionProblem) -> Self {
+        Self::build(Cow::Borrowed(problem))
+    }
+
+    /// Builds an evaluator that **owns** its problem — the streaming
+    /// entry point: start from a zero-candidate problem and grow it with
+    /// [`IncrementalEvaluator::add_candidate`] without ever paying the
+    /// copy-on-write promotion.
+    pub fn from_problem(problem: SelectionProblem) -> IncrementalEvaluator<'static> {
+        IncrementalEvaluator::build(Cow::Owned(problem))
+    }
+
+    fn build(problem: Cow<'p, SelectionProblem>) -> Self {
         let m = problem.model().context().workload.len();
         let n = problem.len();
         let mut per_view = vec![Vec::new(); n];
@@ -106,6 +147,8 @@ impl<'p> IncrementalEvaluator<'p> {
                 }
             }
         }
+        let transfer = problem.model().transfer_cost();
+        let storage_intervals = storage_interval_template(&problem);
         IncrementalEvaluator {
             problem,
             selection: SelectionSet::empty(n),
@@ -118,8 +161,8 @@ impl<'p> IncrementalEvaluator<'p> {
                 };
                 m
             ],
-            transfer: problem.model().transfer_cost(),
-            storage_intervals: storage_interval_template(problem),
+            transfer,
+            storage_intervals,
         }
     }
 
@@ -132,9 +175,87 @@ impl<'p> IncrementalEvaluator<'p> {
         ev
     }
 
-    /// The underlying problem.
-    pub fn problem(&self) -> &'p SelectionProblem {
-        self.problem
+    /// The underlying problem (borrowed or owned; reflects any dynamic
+    /// candidate edits).
+    pub fn problem(&self) -> &SelectionProblem {
+        &self.problem
+    }
+
+    /// Consumes the evaluator, returning its problem — including every
+    /// dynamic candidate edit. Clones only if the problem was still
+    /// borrowed and never edited.
+    pub fn into_problem(self) -> SelectionProblem {
+        self.problem.into_owned()
+    }
+
+    /// Splices a new candidate into the evaluator — and into its problem —
+    /// returning the new index. The view starts **deselected**; its entries
+    /// join the per-query answer tables in O(m), with no rebuild of the
+    /// cached best/runner-up state. On a borrowed evaluator the first edit
+    /// clones the problem (copy-on-write); [`IncrementalEvaluator::
+    /// from_problem`] avoids even that.
+    pub fn add_candidate(&mut self, charge: ViewCharge) -> usize {
+        let k = self.problem.to_mut().push_candidate(charge);
+        let mut entries = Vec::new();
+        for (i, t) in self.problem.candidates()[k].query_times.iter().enumerate() {
+            if let Some(t) = t {
+                entries.push((i as u32, *t));
+                self.answers[i].push((k as u32, *t));
+            }
+        }
+        self.per_view.push(entries);
+        self.selection.push(false);
+        k
+    }
+
+    /// Retires candidate `k`, returning its charge. If selected, it is
+    /// deselected first (the `unflip` eviction leaves no best/runner-up
+    /// slot pointing at the retired index). Indices follow
+    /// `Vec::swap_remove` semantics: the last candidate takes index `k`
+    /// (renumbered in the answer tables and query caches); all other
+    /// indices are stable. O(m + a) for `a` total answer-list entries the
+    /// retired view participates in.
+    pub fn remove_candidate(&mut self, k: usize) -> ViewCharge {
+        let n = self.per_view.len();
+        assert!(k < n, "candidate {k} out of {n}");
+        if self.selection.contains(k) {
+            self.unflip(k);
+        }
+        let last = n - 1;
+        let kk = k as u32;
+        // Drop the retired view's entries from its queries' answer lists.
+        for idx in 0..self.per_view[k].len() {
+            let i = self.per_view[k][idx].0 as usize;
+            let list = &mut self.answers[i];
+            let pos = list
+                .iter()
+                .position(|&(v, _)| v == kk)
+                .expect("answer tables track every candidate entry");
+            list.swap_remove(pos);
+        }
+        if k != last {
+            // The last candidate takes index k: renumber its answer entries
+            // and any cache slots currently naming it.
+            let lk = last as u32;
+            for idx in 0..self.per_view[last].len() {
+                let i = self.per_view[last][idx].0 as usize;
+                for e in &mut self.answers[i] {
+                    if e.0 == lk {
+                        e.0 = kk;
+                    }
+                }
+                let q = &mut self.queries[i];
+                if q.best.view == lk {
+                    q.best.view = kk;
+                }
+                if q.second.view == lk {
+                    q.second.view = kk;
+                }
+            }
+        }
+        self.per_view.swap_remove(k);
+        self.selection.swap_remove(k);
+        self.problem.to_mut().swap_remove_candidate(k)
     }
 
     /// The current selection.
@@ -399,6 +520,169 @@ mod tests {
         assert_eq!(ev.snapshot(), p.evaluate(&sel));
         assert!(ev.is_selected(0) && ev.is_selected(2));
         assert!(!ev.is_selected(1));
+    }
+
+    #[test]
+    fn add_candidate_matches_grown_problem() {
+        let p = paper_like_problem();
+        let m = p.model().context().workload.len();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(1);
+        let v = ViewCharge::new("v-dyn", Gb::new(0.2), Hours::new(0.1), Hours::new(0.01), m)
+            .answers(1, Hours::new(0.001))
+            .answers(2, Hours::new(0.002));
+        let k = ev.add_candidate(v);
+        assert_eq!(k, 4);
+        assert_eq!(ev.problem().len(), 5);
+        // Parity with full evaluation of the grown problem, before and
+        // after selecting the newcomer.
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        ev.flip(k);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        ev.unflip(k);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        // The borrowed source problem is untouched (copy-on-write).
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn from_problem_grows_from_zero_candidates() {
+        let p = paper_like_problem();
+        let mut ev =
+            IncrementalEvaluator::from_problem(SelectionProblem::new(p.model().clone(), vec![]));
+        let base = p.baseline();
+        assert_eq!(ev.snapshot().time, base.time);
+        assert_eq!(ev.snapshot().breakdown, base.breakdown);
+        // Stream the static problem's candidates in one at a time,
+        // selecting each; parity must hold at every step.
+        for (k, v) in p.candidates().iter().enumerate() {
+            let got = ev.add_candidate(v.clone());
+            assert_eq!(got, k);
+            ev.flip(k);
+            assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        }
+        // Fully grown, the owned problem is the static problem.
+        let full = p.evaluate(&SelectionSet::full(p.len()));
+        assert_eq!(ev.snapshot(), full);
+    }
+
+    #[test]
+    fn remove_candidate_swap_renumbers_and_matches() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(0);
+        ev.flip(2);
+        ev.flip(3);
+        // Retire the deselected middle candidate: the last one (selected)
+        // takes its slot.
+        let removed = ev.remove_candidate(1);
+        assert_eq!(removed.name, "v-month-country");
+        assert_eq!(ev.problem().len(), 3);
+        assert_eq!(ev.selection().ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        // Independent cross-check: rebuild the equivalent static problem.
+        let mirror = SelectionProblem::new(
+            p.model().clone(),
+            vec![
+                p.candidates()[0].clone(),
+                p.candidates()[3].clone(),
+                p.candidates()[2].clone(),
+            ],
+        );
+        assert_eq!(ev.snapshot(), mirror.evaluate(&SelectionSet::full(3)));
+        // Remove a *selected* candidate: auto-deselects first.
+        ev.remove_candidate(0);
+        assert_eq!(ev.problem().len(), 2);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+    }
+
+    /// Regression: retiring the **last, selected** candidate must evict it
+    /// from every per-query cache — no best/runner-up slot may keep
+    /// naming the retired index (it would alias whichever view is moved
+    /// into that slot next, silently corrupting probes).
+    #[test]
+    fn remove_last_selected_leaves_no_stale_runner_up() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        for k in 0..p.len() {
+            ev.flip(k);
+        }
+        let last = p.len() - 1;
+        let lk = last as u32;
+        // Precondition: the retiring index really is cached somewhere
+        // (v-bulky answers Q3 slower than v-day-region, so it is Q3's
+        // runner-up).
+        assert!(ev
+            .queries
+            .iter()
+            .any(|q| q.best.view == lk || q.second.view == lk));
+        ev.remove_candidate(last);
+        let n = ev.per_view.len();
+        for (i, q) in ev.queries.iter().enumerate() {
+            // Every surviving slot either holds the NONE sentinel or a
+            // live index — never the retired one.
+            assert!(
+                q.best.view == NONE || (q.best.view as usize) < n,
+                "query {i}: stale best {}",
+                q.best.view
+            );
+            assert!(
+                q.second.view == NONE || (q.second.view as usize) < n,
+                "query {i}: stale runner-up {}",
+                q.second.view
+            );
+        }
+        // Q3's runner-up specifically collapsed to the NONE sentinel: only
+        // v-day-region (still index 2) answers it now.
+        assert_eq!(ev.queries[2].best.view, 2);
+        assert_eq!(ev.queries[2].second.view, NONE);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        // A fresh unflip of the moved-into-place views still behaves.
+        ev.unflip(2);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+    }
+
+    #[test]
+    fn remove_then_add_reuses_slots_consistently() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        for k in 0..p.len() {
+            ev.flip(k);
+        }
+        let charge = ev.remove_candidate(0);
+        let k = ev.add_candidate(charge);
+        assert_eq!(k, p.len() - 1);
+        ev.flip(k);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+        // The processing time matches the all-selected static evaluation
+        // exactly: per-query minima are order-independent and the time
+        // fold runs in workload order. (The per-candidate cost folds run
+        // in the *permuted* candidate order, so only the equivalent
+        // problem — not the original — is the bit-exact reference.)
+        let full = p.evaluate(&SelectionSet::full(p.len()));
+        assert_eq!(ev.snapshot().time, full.time);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn remove_out_of_range_panics() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.remove_candidate(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "query times")]
+    fn add_misaligned_candidate_panics() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.add_candidate(ViewCharge::new(
+            "v-bad",
+            Gb::new(0.1),
+            Hours::new(0.1),
+            Hours::new(0.0),
+            7,
+        ));
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! * **MV2** — minimize monetary cost under a response-time limit;
 //! * **MV3** — minimize the α-weighted combination of both.
 //!
-//! Four solvers: the paper's dynamic-programming 0/1 knapsack
+//! Five solvers: the paper's dynamic-programming 0/1 knapsack
 //! ([`solve_knapsack`]), exhaustive enumeration ([`solve_exhaustive`],
-//! ground truth), greedy hill climbing ([`solve_greedy`]) and
-//! branch-and-bound ([`solve_bnb`]). All evaluate selections under the
-//! *true* interaction model — each query uses its fastest selected view —
-//! so solver quality can be compared honestly (DESIGN.md ablation A1).
+//! ground truth), greedy hill climbing ([`solve_greedy`]),
+//! branch-and-bound ([`solve_bnb`]) and flip/swap local search
+//! ([`solve_local_search`], never worse than greedy by construction).
+//! All evaluate selections under the *true* interaction model — each
+//! query uses its fastest selected view — so solver quality can be
+//! compared honestly (DESIGN.md ablation A1).
 //!
 //! # Evaluation architecture
 //!
@@ -41,6 +43,24 @@
 //! probes ≈ 6× faster than full re-evaluation (see
 //! `crates/bench/benches/evaluator.rs`).
 //!
+//! # Streaming candidates
+//!
+//! The candidate pool itself is dynamic: the evaluator holds its problem
+//! behind a clone-on-write handle, and
+//! [`IncrementalEvaluator::add_candidate`] /
+//! [`IncrementalEvaluator::remove_candidate`] splice views into and out
+//! of the cached answer tables in O(m) — no rebuild — while
+//! `snapshot()` stays bit-identical to a from-scratch
+//! [`SelectionProblem::evaluate`] on the equivalent (grown or shrunk)
+//! problem at every step. That is what lets `mvcloud`'s
+//! `Advisor::solve_streaming` pull lattice candidates lazily from a
+//! benefit-ordered `CandidateStream`, admit each through one O(m)
+//! probe, repair with [`local_search`] moves, and retire dominated
+//! candidates mid-search instead of materializing and measuring the
+//! whole lattice up front. At n = 20, m = 30 an add + probe + retire
+//! cycle runs ≈ 7× faster than rebuilding the problem and re-evaluating
+//! (see `crates/bench/benches/candidate_churn.rs`).
+//!
 //! ```
 //! use mv_select::{fixtures, Scenario};
 //! use mv_units::Money;
@@ -58,6 +78,7 @@ mod exhaustive;
 pub mod fixtures;
 mod greedy;
 mod knapsack;
+pub mod local_search;
 pub mod pareto;
 mod problem;
 mod scenario;
@@ -71,6 +92,7 @@ pub use exhaustive::{
 };
 pub use greedy::solve_greedy;
 pub use knapsack::solve_knapsack;
+pub use local_search::{solve_local_search, solve_local_search_bounded};
 pub use mv_cost::SelectionSet;
 pub use problem::{Evaluation, SelectionProblem};
 pub use scenario::Scenario;
@@ -83,6 +105,7 @@ pub fn solve(problem: &SelectionProblem, scenario: Scenario, kind: SolverKind) -
         SolverKind::Exhaustive => solve_exhaustive(problem, scenario),
         SolverKind::Greedy => solve_greedy(problem, scenario),
         SolverKind::BranchAndBound => solve_bnb(problem, scenario),
+        SolverKind::LocalSearch => solve_local_search(problem, scenario),
     }
 }
 

@@ -1,0 +1,264 @@
+//! Local-search selection: flip and swap moves over the incremental
+//! evaluator's O(m) probes.
+//!
+//! Add-only greedy (HRU-style) gets stuck at local optima a single
+//! *swap* — retire one selected view, admit one unselected — would
+//! escape: the classic repair move in local-search view selection
+//! (Anderson & Sasaki's workload-acceleration search). Every move here
+//! is probed through the [`IncrementalEvaluator`], so a full
+//! best-improvement round over flips and swaps costs O(n²·m) probes of
+//! O(m) work each instead of O(n²) full re-evaluations.
+//!
+//! Two entry points:
+//!
+//! * [`solve_local_search`] — a standalone solver: greedy fill, then a
+//!   bounded improvement pass. By construction never worse than
+//!   [`crate::solve_greedy`] under the same scenario.
+//! * [`improve`] — the improvement pass alone, over any evaluator
+//!   position. The streaming advisor calls this after each admission
+//!   batch, which is what makes the streamed search *anytime*: the
+//!   current selection is always a locally-repaired answer.
+
+use crate::{Evaluation, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind};
+
+/// A candidate move over the current selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    /// Select `k`.
+    FlipOn(usize),
+    /// Deselect `k`.
+    FlipOff(usize),
+    /// Deselect `out`, select `in_` (one probe, two flips).
+    Swap { out: usize, in_: usize },
+}
+
+/// Applies `mv` to the evaluator.
+fn apply(ev: &mut IncrementalEvaluator<'_>, mv: Move) {
+    match mv {
+        Move::FlipOn(k) => ev.flip(k),
+        Move::FlipOff(k) => ev.unflip(k),
+        Move::Swap { out, in_ } => {
+            ev.unflip(out);
+            ev.flip(in_);
+        }
+    }
+}
+
+/// Undoes `mv` (moves are involutions up to order).
+fn revert(ev: &mut IncrementalEvaluator<'_>, mv: Move) {
+    match mv {
+        Move::FlipOn(k) => ev.unflip(k),
+        Move::FlipOff(k) => ev.flip(k),
+        Move::Swap { out, in_ } => {
+            ev.unflip(in_);
+            ev.flip(out);
+        }
+    }
+}
+
+/// Greedy fill from the evaluator's current position: repeatedly apply
+/// the single most-improving flip-on, stopping at a flip-on local
+/// optimum. Starting from the empty selection this reproduces
+/// [`crate::solve_greedy`]'s selection exactly (same move rule, same
+/// tie-breaks). Returns the resulting evaluation.
+pub fn greedy_fill(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+) -> Evaluation {
+    let mut current = ev.snapshot();
+    loop {
+        let n = ev.problem().len();
+        let mut best: Option<(usize, Evaluation)> = None;
+        for k in 0..n {
+            if ev.is_selected(k) {
+                continue;
+            }
+            ev.flip(k);
+            let e = ev.snapshot();
+            ev.unflip(k);
+            if scenario.better(&e, &current, baseline)
+                && best
+                    .as_ref()
+                    .is_none_or(|(_, b)| scenario.better(&e, b, baseline))
+            {
+                best = Some((k, e));
+            }
+        }
+        match best {
+            Some((k, e)) => {
+                ev.flip(k);
+                current = e;
+            }
+            None => return current,
+        }
+    }
+}
+
+/// Bounded best-improvement pass: each round probes every flip-on,
+/// flip-off and swap move, applies the best one that improves the
+/// scenario ordering, and stops at a local optimum or after `max_moves`
+/// applied moves. Returns the resulting evaluation (the evaluator is
+/// left positioned on it).
+pub fn improve(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+    max_moves: usize,
+) -> Evaluation {
+    let mut current = ev.snapshot();
+    for _ in 0..max_moves {
+        let n = ev.problem().len();
+        let selected: Vec<usize> = (0..n).filter(|&k| ev.is_selected(k)).collect();
+        let unselected: Vec<usize> = (0..n).filter(|&k| !ev.is_selected(k)).collect();
+        let mut moves: Vec<Move> = Vec::with_capacity(n + selected.len() * unselected.len());
+        moves.extend(unselected.iter().map(|&k| Move::FlipOn(k)));
+        moves.extend(selected.iter().map(|&k| Move::FlipOff(k)));
+        for &out in &selected {
+            for &in_ in &unselected {
+                moves.push(Move::Swap { out, in_ });
+            }
+        }
+        let mut best: Option<(Move, Evaluation)> = None;
+        for mv in moves {
+            apply(ev, mv);
+            let e = ev.snapshot();
+            revert(ev, mv);
+            if scenario.better(&e, &current, baseline)
+                && best
+                    .as_ref()
+                    .is_none_or(|(_, b)| scenario.better(&e, b, baseline))
+            {
+                best = Some((mv, e));
+            }
+        }
+        match best {
+            Some((mv, e)) => {
+                apply(ev, mv);
+                current = e;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+/// Default improvement budget for `n` candidates: enough rounds to turn
+/// over the whole selection once, with a floor for tiny problems.
+pub fn default_move_budget(n: usize) -> usize {
+    (2 * n).max(16)
+}
+
+/// Solves `scenario` by greedy fill plus a bounded flip/swap improvement
+/// pass. Never worse than [`crate::solve_greedy`]: the fill reproduces
+/// greedy's selection and every subsequent move must strictly improve
+/// the scenario ordering.
+pub fn solve_local_search(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
+    solve_local_search_bounded(problem, scenario, default_move_budget(problem.len()))
+}
+
+/// [`solve_local_search`] with an explicit improvement-move budget.
+pub fn solve_local_search_bounded(
+    problem: &SelectionProblem,
+    scenario: Scenario,
+    max_moves: usize,
+) -> Outcome {
+    let baseline = problem.baseline();
+    let mut ev = IncrementalEvaluator::new(problem);
+    greedy_fill(&mut ev, scenario, &baseline);
+    let best = improve(&mut ev, scenario, &baseline, max_moves);
+    Outcome::new(best, baseline, scenario, SolverKind::LocalSearch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_like_problem, random_problem};
+    use crate::{solve_exhaustive, solve_greedy};
+    use mv_units::{Hours, Money};
+
+    #[test]
+    fn never_worse_than_greedy() {
+        for seed in 0..25 {
+            let p = random_problem(seed, 4, 7);
+            for scenario in [
+                Scenario::budget(p.baseline().cost() + Money::from_cents(60)),
+                Scenario::time_limit(Hours::new(0.4)),
+                Scenario::tradeoff_normalized(0.5),
+            ] {
+                let g = solve_greedy(&p, scenario);
+                let l = solve_local_search(&p, scenario);
+                assert!(
+                    !scenario.better(&g.evaluation, &l.evaluation, &l.baseline),
+                    "seed {seed} {}: greedy beat local search",
+                    scenario.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_more_often_than_greedy() {
+        // Swap moves must recover at least every optimum greedy already
+        // finds, and strictly more on some instances.
+        let (mut greedy_hits, mut local_hits) = (0, 0);
+        for seed in 0..30 {
+            let p = random_problem(seed + 500, 3, 6);
+            let s = Scenario::tradeoff_normalized(0.35);
+            let x = solve_exhaustive(&p, s);
+            if solve_greedy(&p, s).objective() <= x.objective() + 1e-12 {
+                greedy_hits += 1;
+            }
+            if solve_local_search(&p, s).objective() <= x.objective() + 1e-12 {
+                local_hits += 1;
+            }
+        }
+        assert!(local_hits >= greedy_hits, "{local_hits} < {greedy_hits}");
+        assert!(local_hits >= 25, "local search optimal on {local_hits}/30");
+    }
+
+    #[test]
+    fn reported_evaluation_is_reproducible() {
+        for seed in 0..10 {
+            let p = random_problem(seed + 40, 4, 6);
+            let o = solve_local_search(&p, Scenario::tradeoff_normalized(0.6));
+            assert_eq!(o.evaluation, p.evaluate(&o.evaluation.selection));
+            assert_eq!(o.solver, SolverKind::LocalSearch);
+        }
+    }
+
+    #[test]
+    fn zero_move_budget_returns_greedy_fill() {
+        let p = paper_like_problem();
+        let s = Scenario::budget(p.baseline().cost() + Money::from_dollars(1));
+        let bounded = solve_local_search_bounded(&p, s, 0);
+        let greedy = solve_greedy(&p, s);
+        assert_eq!(bounded.evaluation, greedy.evaluation);
+    }
+
+    #[test]
+    fn improve_repairs_an_overfull_selection() {
+        // Start from everything selected under a tight budget: flip-off /
+        // swap moves must walk back to feasibility when possible.
+        let p = paper_like_problem();
+        let baseline = p.baseline();
+        let s = Scenario::budget(baseline.cost() + Money::from_cents(50));
+        let mut ev = IncrementalEvaluator::new(&p);
+        for k in 0..p.len() {
+            ev.flip(k);
+        }
+        let start = ev.snapshot();
+        let end = improve(&mut ev, s, &baseline, 32);
+        assert!(scenario_not_worse(s, &end, &start, &baseline));
+        assert!(s.feasible(&end), "improvement pass failed to repair");
+    }
+
+    fn scenario_not_worse(
+        s: Scenario,
+        a: &Evaluation,
+        b: &Evaluation,
+        baseline: &Evaluation,
+    ) -> bool {
+        !s.better(b, a, baseline)
+    }
+}

@@ -74,6 +74,32 @@ impl SelectionProblem {
         self.candidates.is_empty()
     }
 
+    /// Appends a candidate view, returning its index. Used by the dynamic
+    /// evaluator's `add_candidate` splice; the charge must align with the
+    /// model's workload.
+    pub fn push_candidate(&mut self, charge: ViewCharge) -> usize {
+        let m = self.model.context().workload.len();
+        assert_eq!(
+            charge.query_times.len(),
+            m,
+            "candidate {} has {} query times for a {}-query workload",
+            charge.name,
+            charge.query_times.len(),
+            m
+        );
+        self.candidates.push(charge);
+        self.candidates.len() - 1
+    }
+
+    /// Removes candidate `k` by swapping the last candidate into its slot
+    /// (`Vec::swap_remove` semantics — only the last index is renumbered),
+    /// returning the removed charge. Selections over the old index space
+    /// must be remapped by the caller ([`mv_cost::SelectionSet::swap_remove`]
+    /// applies the matching transform).
+    pub fn swap_remove_candidate(&mut self, k: usize) -> ViewCharge {
+        self.candidates.swap_remove(k)
+    }
+
     /// Evaluates a selection under the true interaction model.
     pub fn evaluate(&self, selection: &SelectionSet) -> Evaluation {
         assert_eq!(selection.len(), self.candidates.len());

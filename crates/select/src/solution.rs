@@ -16,6 +16,8 @@ pub enum SolverKind {
     Greedy,
     /// Depth-first branch-and-bound with admissible time/cost bounds.
     BranchAndBound,
+    /// Greedy fill plus bounded flip/swap local-search improvement.
+    LocalSearch,
 }
 
 impl SolverKind {
@@ -26,6 +28,7 @@ impl SolverKind {
             SolverKind::Exhaustive => "exhaustive",
             SolverKind::Greedy => "greedy",
             SolverKind::BranchAndBound => "branch-and-bound",
+            SolverKind::LocalSearch => "local-search",
         }
     }
 }

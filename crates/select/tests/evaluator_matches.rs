@@ -11,7 +11,7 @@ use mv_select::{fixtures, IncrementalEvaluator, SelectionSet};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// Arbitrary flip/unflip walks leave the evaluator bit-identical to
     /// `SelectionProblem::evaluate` at every step.
@@ -59,6 +59,84 @@ proptest! {
         let sel = SelectionSet::from_mask(mask, problem.len());
         let ev = IncrementalEvaluator::with_selection(&problem, &sel);
         prop_assert_eq!(ev.snapshot(), problem.evaluate(&sel));
+    }
+
+    /// Dynamic candidate churn: random interleavings of
+    /// `add_candidate` / `remove_candidate` / flip agree **bit-for-bit**
+    /// with rebuilding the evaluator from the equivalent static problem
+    /// after every single operation. The mirror applies the same ops to
+    /// a plain candidate vector (`Vec::swap_remove` ↔ the evaluator's
+    /// swap-remove index semantics) and re-evaluates from scratch.
+    ///
+    /// 128 cases × up to 30 ops ⇒ well over the 100 random
+    /// interleavings the acceptance bar asks for.
+    #[test]
+    fn dynamic_interleavings_match_rebuilt_static_problem(
+        seed in 0u64..10_000,
+        n_queries in 1usize..6,
+        mask in 0u64..(1 << 10),
+        ops in proptest::collection::vec((0u8..3, 0usize..64), 1..30),
+    ) {
+        let pool_problem = fixtures::random_problem(seed, n_queries, 10);
+        let model = pool_problem.model().clone();
+        let pool = pool_problem.candidates().to_vec();
+
+        // Start from a *borrowed* evaluator at a random position, so the
+        // first dynamic edit also exercises the copy-on-write promotion.
+        let start = SelectionSet::from_mask(mask & ((1 << 10) - 1), pool.len());
+        let mut ev = IncrementalEvaluator::with_selection(&pool_problem, &start);
+
+        // The independent mirror: same candidate vector + bool selection,
+        // rebuilt into a fresh problem after every op.
+        let mut mirror = pool.clone();
+        let mut mirror_sel: Vec<bool> = start.iter().collect();
+        let mut recycle = 0usize;
+
+        for (step, &(op, arg)) in ops.iter().enumerate() {
+            match op {
+                // Add: splice in a (possibly repeated) pool charge.
+                0 => {
+                    let charge = pool[recycle % pool.len()].clone();
+                    recycle += 1;
+                    let k = ev.add_candidate(charge.clone());
+                    prop_assert_eq!(k, mirror.len(), "add index at step {}", step);
+                    mirror.push(charge);
+                    mirror_sel.push(false);
+                }
+                // Remove: retire an arbitrary candidate (selected or not).
+                1 => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    let removed = ev.remove_candidate(j);
+                    let expected = mirror.swap_remove(j);
+                    mirror_sel.swap_remove(j);
+                    prop_assert_eq!(removed, expected, "removed charge at step {}", step);
+                }
+                // Flip: toggle an arbitrary candidate.
+                _ => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    ev.toggle(j);
+                    mirror_sel[j] = !mirror_sel[j];
+                }
+            }
+            let rebuilt = mv_select::SelectionProblem::new(model.clone(), mirror.clone());
+            let sel = SelectionSet::from_bools(&mirror_sel);
+            let incremental = ev.snapshot();
+            let full = rebuilt.evaluate(&sel);
+            prop_assert_eq!(&incremental.selection, &full.selection,
+                "selection diverged at step {}", step);
+            prop_assert_eq!(incremental.time, full.time,
+                "time diverged at step {}", step);
+            prop_assert_eq!(&incremental.breakdown, &full.breakdown,
+                "breakdown diverged at step {}", step);
+            prop_assert_eq!(incremental.cost(), full.cost(),
+                "cost diverged at step {}", step);
+        }
     }
 
     /// Problems with insert events exercise the evaluator's storage

@@ -15,6 +15,7 @@ pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -23,6 +24,7 @@ impl Default for Criterion {
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(1),
             sample_size: 20,
+            test_mode: false,
         }
     }
 }
@@ -47,8 +49,12 @@ impl Criterion {
     }
 
     /// Parses CLI options. The stand-in accepts and ignores cargo-bench's
-    /// arguments (`--bench`, filters), so `cargo bench` invocations work.
-    pub fn configure_from_args(self) -> Self {
+    /// arguments (`--bench`, filters) — except `--test`, which (like real
+    /// criterion) switches to smoke mode: every benchmark body runs once
+    /// to prove it still compiles and executes, with no timing loop. CI
+    /// runs the benches this way so bench bit-rot fails the build.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -67,6 +73,7 @@ impl Criterion {
             warm_up: self.warm_up,
             measurement: self.measurement,
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         BenchmarkGroup {
             _criterion: self,
@@ -169,12 +176,16 @@ pub struct Bencher {
 enum Mode {
     Calibrate,
     Measure,
+    Smoke,
 }
 
 impl Bencher {
     /// Runs `body` repeatedly, timing it.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
         match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(body());
+            }
             Mode::Calibrate => {
                 // Find a batch size that takes ≳1 ms so timer overhead
                 // stays negligible.
@@ -205,6 +216,18 @@ impl Bencher {
 }
 
 fn run_one(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if config.test_mode {
+        // Smoke mode (`cargo bench -- --test`): execute each body once,
+        // skip warm-up and timing entirely.
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            iters_per_batch: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {label:<56} smoke ok");
+        return;
+    }
     // Calibration (doubles as warm-up start).
     let mut b = Bencher {
         mode: Mode::Calibrate,
@@ -272,7 +295,10 @@ pub use std::hint::black_box;
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         fn $name() {
-            let mut criterion: $crate::Criterion = $config;
+            // Like real criterion: the group entry point picks up CLI
+            // options (notably `--test` smoke mode) on top of the
+            // caller's config.
+            let mut criterion: $crate::Criterion = $crate::Criterion::configure_from_args($config);
             $($target(&mut criterion);)+
         }
     };
