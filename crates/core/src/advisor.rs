@@ -126,9 +126,34 @@ pub struct StreamingConfig {
     pub moves_per_pull: usize,
     /// Improvement budget for each polish pass at stream drain.
     pub final_moves: usize,
-    /// Retire strictly-dominated, deselected candidates as they accrue,
-    /// bounding the live pool.
+    /// Retire dominated, deselected candidates as they accrue, bounding
+    /// the live pool.
     pub retire_dominated: bool,
+    /// Dominance slack for retirement, following Aouiche, Jouve &
+    /// Darmont's observation that near-duplicate candidate views (views
+    /// whose sizes and speedups differ only marginally) can be pruned
+    /// as a cluster without hurting the reachable optimum: candidate
+    /// `b` is retired when some live `a` is within a `(1 + ε)` factor
+    /// of `b` on every charge axis and strictly better somewhere. `0.0`
+    /// (the default) is exact strict Pareto dominance — retirement then
+    /// provably cannot push the reachable optimum up. Positive ε trades
+    /// a bounded optimum regression for a smaller live pool on lattices
+    /// full of near-duplicates.
+    pub retire_epsilon: f64,
+    /// Pull-adaptive stopping: when set, the stream stops early once
+    /// the marginal benefit per measurement — the improvement of the
+    /// scenario's objective (or, while infeasible, its violation)
+    /// produced by a pull's admission + repair — stays below this
+    /// threshold for [`StreamingConfig::stop_patience`] consecutive
+    /// pulls. `None` (the default) drains the stream fully. Because
+    /// streams yield in estimated-benefit order, a dry spell is
+    /// evidence the tail is dry too — huge lattices never need a full
+    /// drain.
+    pub stop_marginal: Option<f64>,
+    /// Consecutive below-threshold pulls tolerated before stopping
+    /// (only meaningful with `stop_marginal`; a benefit-ordered stream
+    /// can still interleave a few duds before a useful candidate).
+    pub stop_patience: usize,
 }
 
 impl Default for StreamingConfig {
@@ -138,6 +163,9 @@ impl Default for StreamingConfig {
             moves_per_pull: 2,
             final_moves: 64,
             retire_dominated: true,
+            retire_epsilon: 0.0,
+            stop_marginal: None,
+            stop_patience: 3,
         }
     }
 }
@@ -151,6 +179,9 @@ pub struct StreamingReport {
     pub admitted: usize,
     /// Dominated candidates retired mid-stream.
     pub retired: usize,
+    /// Whether the pull-adaptive stopping rule cut the stream before it
+    /// drained (always `false` when `stop_marginal` is `None`).
+    pub stopped_early: bool,
 }
 
 /// One measured candidate: the lattice cuboid, its engine view, and the
@@ -447,8 +478,13 @@ impl Advisor {
     /// [`CandidateStream`], materializes and meters each one *on
     /// admission*, splices it into a dynamic [`IncrementalEvaluator`]
     /// (O(m), no rebuild), keeps the running selection locally repaired
-    /// with bounded flip/swap local search, and retires strictly-dominated
-    /// candidates so the live pool stays small.
+    /// with bounded flip/swap local search, and retires (ε-)dominated
+    /// candidates so the live pool stays small
+    /// ([`StreamingConfig::retire_epsilon`]; 0 = strict dominance).
+    /// With [`StreamingConfig::stop_marginal`] set, the stream also
+    /// stops early once the marginal benefit per measurement stays
+    /// below the threshold for [`StreamingConfig::stop_patience`]
+    /// consecutive pulls — huge lattices never need a full drain.
     ///
     /// The search is *anytime* — after every pull the evaluator holds a
     /// feasibility-ranked answer — and at drain a greedy-restart
@@ -486,8 +522,11 @@ impl Advisor {
         let mut current = baseline.clone();
         let mut pulled = 0usize;
         let mut retired = 0usize;
+        let mut stalled = 0usize;
+        let mut stopped_early = false;
         for cuboid in stream.by_ref() {
             pulled += 1;
+            let before = current.clone();
             let mc = meter.measure(cuboid)?;
             let k = ev.add_candidate(mc.charge.clone());
             measured.push(mc);
@@ -507,7 +546,21 @@ impl Advisor {
                     local_search::improve(&mut ev, scenario, &baseline, streaming.moves_per_pull);
             }
             if streaming.retire_dominated {
-                retired += retire_dominated(&mut ev, &mut measured);
+                retired += retire_dominated(&mut ev, &mut measured, streaming.retire_epsilon);
+            }
+            // Pull-adaptive stopping: a measurement is "worth it" while
+            // it keeps buying progress in the scenario's own ordering.
+            if let Some(threshold) = streaming.stop_marginal {
+                let gain = marginal_gain(scenario, &before, &current, &baseline);
+                if gain < threshold {
+                    stalled += 1;
+                    if stalled >= streaming.stop_patience.max(1) {
+                        stopped_early = true;
+                        break;
+                    }
+                } else {
+                    stalled = 0;
+                }
             }
         }
         drop(stream);
@@ -547,6 +600,7 @@ impl Advisor {
             pulled,
             admitted: advisor.problem.len(),
             retired,
+            stopped_early,
         };
         Ok((advisor, outcome, report))
     }
@@ -654,22 +708,47 @@ impl Advisor {
     }
 }
 
-/// Retires every deselected candidate strictly dominated by a live one,
+/// The scenario-ordered improvement a pull bought: while either end is
+/// infeasible, progress is measured as constraint-violation reduction;
+/// once feasible, as objective reduction. Negative when the pull (plus
+/// repair) made things worse under that measure — the stopping rule
+/// treats that as a stalled pull too.
+fn marginal_gain(
+    scenario: Scenario,
+    before: &mv_select::Evaluation,
+    after: &mv_select::Evaluation,
+    baseline: &mv_select::Evaluation,
+) -> f64 {
+    let (vb, va) = (scenario.violation(before), scenario.violation(after));
+    if vb > 0.0 || va > 0.0 {
+        vb - va
+    } else {
+        scenario.objective(before, baseline) - scenario.objective(after, baseline)
+    }
+}
+
+/// Retires every deselected candidate (ε-)dominated by a live one,
 /// keeping `measured` aligned with the evaluator's candidate order
-/// (mirrored `swap_remove`s). Any selection using a dominated view maps
-/// to one using its dominator that is never slower, never costlier and
-/// never infeasible-when-the-original-was-feasible, so retirement cannot
-/// push the reachable optimum up. Returns how many were retired.
+/// (mirrored `swap_remove`s). With `epsilon == 0` this is strict Pareto
+/// dominance: any selection using a dominated view maps to one using
+/// its dominator that is never slower, never costlier and never
+/// infeasible-when-the-original-was-feasible, so retirement cannot push
+/// the reachable optimum up. Positive `epsilon` additionally collapses
+/// near-duplicates (Aouiche et al.-style pruning) at the cost of a
+/// bounded optimum regression. Returns how many were retired.
 fn retire_dominated(
     ev: &mut IncrementalEvaluator<'static>,
     measured: &mut Vec<MeasuredCandidate>,
+    epsilon: f64,
 ) -> usize {
     let mut removed = 0;
     // One descending pass suffices: removing index j swap-moves only the
-    // (already-checked) last index down, and dominance is transitive, so
-    // anything dominated by a victim is also dominated by the victim's
-    // own surviving dominator — no rescan needed. O(n²·m) total instead
-    // of O(n³·m) restart-per-removal.
+    // (already-checked) last index down, and strict dominance is
+    // transitive, so anything dominated by a victim is also dominated by
+    // the victim's own surviving dominator — no rescan needed. O(n²·m)
+    // total instead of O(n³·m) restart-per-removal. (ε-dominance is not
+    // transitive; a single pass may then retire fewer than a fixpoint
+    // would, which only errs on the safe side.)
     let mut j = ev.problem().len();
     while j > 0 {
         j -= 1;
@@ -677,7 +756,9 @@ fn retire_dominated(
             continue;
         }
         let candidates = ev.problem().candidates();
-        if (0..candidates.len()).any(|i| i != j && dominates(&candidates[i], &candidates[j])) {
+        if (0..candidates.len())
+            .any(|i| i != j && dominates_within(&candidates[i], &candidates[j], epsilon))
+        {
             ev.remove_candidate(j);
             measured.swap_remove(j);
             removed += 1;
@@ -686,12 +767,23 @@ fn retire_dominated(
     removed
 }
 
-/// Strict Pareto dominance of view charges: `a` answers every query `b`
-/// answers at least as fast, costs no more to store/maintain/build, and
-/// is strictly better somewhere. (Exact duplicates dominate in neither
-/// direction, so ties are never retired.)
-fn dominates(a: &ViewCharge, b: &ViewCharge) -> bool {
-    if a.size > b.size || a.maintenance > b.maintenance || a.materialization > b.materialization {
+/// (ε-)Pareto dominance of view charges: `a` ε-dominates `b` when, with
+/// slack factor `r = 1 + epsilon`, `a` answers every query `b` answers
+/// in at most `r×` the time, costs at most `r×` as much to
+/// store/maintain/build, and is *strictly* better somewhere in the
+/// unrelaxed comparison. At `epsilon == 0` this is exactly strict
+/// Pareto dominance: exact duplicates dominate in neither direction, so
+/// ties are never retired. (With `epsilon > 0`, two near-duplicates can
+/// ε-dominate each other; retirement order then decides which of the
+/// cluster survives — the clustering-based pruning rationale of Aouiche
+/// et al.)
+fn dominates_within(a: &ViewCharge, b: &ViewCharge, epsilon: f64) -> bool {
+    debug_assert!(epsilon >= 0.0, "dominance slack must be non-negative");
+    let r = 1.0 + epsilon;
+    if a.size.value() > b.size.value() * r
+        || a.maintenance.value() > b.maintenance.value() * r
+        || a.materialization.value() > b.materialization.value() * r
+    {
         return false;
     }
     let mut strict =
@@ -702,7 +794,7 @@ fn dominates(a: &ViewCharge, b: &ViewCharge) -> bool {
             (Some(_), None) => strict = true,
             (None, Some(_)) => return false,
             (Some(ta), Some(tb)) => {
-                if ta > tb {
+                if ta.value() > tb.value() * r {
                     return false;
                 }
                 if ta < tb {
@@ -907,15 +999,158 @@ mod tests {
         // Bigger, slower, answers nothing extra: dominated.
         let b = ViewCharge::new("b", Gb::new(2.0), Hours::new(0.1), Hours::new(0.1), 2)
             .answers(0, Hours::new(0.02));
-        assert!(dominates(&a, &b));
-        assert!(!dominates(&b, &a));
+        assert!(dominates_within(&a, &b, 0.0));
+        assert!(!dominates_within(&b, &a, 0.0));
         // Answering an extra query protects from domination.
         let c = ViewCharge::new("c", Gb::new(5.0), Hours::new(0.1), Hours::new(0.1), 2)
             .answers(0, Hours::new(0.02))
             .answers(1, Hours::new(0.5));
-        assert!(!dominates(&a, &c));
+        assert!(!dominates_within(&a, &c, 0.0));
         // Exact duplicates dominate in neither direction (never retired).
-        assert!(!dominates(&a, &a.clone()));
+        assert!(!dominates_within(&a, &a.clone(), 0.0));
+    }
+
+    #[test]
+    fn epsilon_dominance_collapses_near_duplicates() {
+        // `a` is marginally larger than `d` (within 5%) but strictly
+        // faster: strict dominance keeps both, ε-dominance retires `d`.
+        let a = ViewCharge::new("a", Gb::new(1.02), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.01));
+        let d = ViewCharge::new("d", Gb::new(1.0), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.02));
+        assert!(!dominates_within(&a, &d, 0.0));
+        assert!(dominates_within(&a, &d, 0.05));
+        // The slack is bounded: a 30% size premium still protects `d`.
+        let fat = ViewCharge::new("fat", Gb::new(1.3), Hours::new(0.1), Hours::new(0.1), 2)
+            .answers(0, Hours::new(0.01));
+        assert!(!dominates_within(&fat, &d, 0.05));
+        // Exact duplicates still dominate in neither direction: the
+        // strict-somewhere requirement is unrelaxed.
+        assert!(!dominates_within(&d, &d.clone(), 0.5));
+        // The slack never excuses being slower: `d` answers Q0 in 2×
+        // `a`'s time, far outside 5%.
+        assert!(!dominates_within(&d, &a, 0.05));
+    }
+
+    #[test]
+    fn epsilon_zero_streaming_matches_strict_default() {
+        // The ε knob's default must preserve the pre-ε behavior bit for
+        // bit: an explicit 0.0 is the same solve as the default config.
+        let domain = sales_domain(900, 4, 2.0, 13);
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let (a1, o1, r1) = Advisor::solve_streaming(
+            domain.clone(),
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig::default(),
+        )
+        .unwrap();
+        let (a2, o2, r2) = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig {
+                retire_epsilon: 0.0,
+                ..StreamingConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(o1.evaluation, o2.evaluation);
+        assert_eq!(a1.problem().len(), a2.problem().len());
+    }
+
+    #[test]
+    fn generous_epsilon_retires_at_least_as_many() {
+        let domain = sales_domain(900, 4, 2.0, 13);
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let strict = Advisor::solve_streaming(
+            domain.clone(),
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig::default(),
+        )
+        .unwrap()
+        .2;
+        let eps = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig {
+                retire_epsilon: 0.25,
+                ..StreamingConfig::default()
+            },
+        )
+        .unwrap()
+        .2;
+        assert!(eps.retired >= strict.retired);
+        assert_eq!(eps.admitted + eps.retired, eps.pulled);
+    }
+
+    #[test]
+    fn pull_adaptive_stopping_cuts_the_stream() {
+        let domain = sales_domain(1_000, 4, 2.0, 42);
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        // Reference: full drain.
+        let (_, _, full) = Advisor::solve_streaming(
+            domain.clone(),
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig::default(),
+        )
+        .unwrap();
+        assert!(!full.stopped_early);
+        // An impossible per-pull bar stops as soon as patience runs out.
+        let (advisor, outcome, cut) = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig {
+                stop_marginal: Some(f64::INFINITY),
+                stop_patience: 2,
+                ..StreamingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(cut.stopped_early);
+        assert_eq!(cut.pulled, 2, "patience bounds the pulls");
+        assert!(cut.pulled < full.pulled);
+        assert_eq!(cut.admitted + cut.retired, cut.pulled);
+        // The truncated solve still returns a coherent, usable advisor.
+        assert_eq!(advisor.problem().len(), cut.admitted);
+        assert_eq!(
+            outcome.evaluation,
+            advisor.problem().evaluate(&outcome.evaluation.selection)
+        );
+    }
+
+    #[test]
+    fn lenient_threshold_drains_like_default() {
+        // Every useful pull clears a tiny threshold, so the stream
+        // drains and the outcome matches the unstopped solve.
+        let domain = sales_domain(900, 3, 5.0, 7);
+        let scenario = Scenario::budget(Money::from_dollars(1_000));
+        let (_, o_full, r_full) = Advisor::solve_streaming(
+            domain.clone(),
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig::default(),
+        )
+        .unwrap();
+        let (_, o_stop, r_stop) = Advisor::solve_streaming(
+            domain,
+            AdvisorConfig::default(),
+            scenario,
+            StreamingConfig {
+                stop_marginal: Some(1e-12),
+                stop_patience: r_full.pulled,
+                ..StreamingConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!r_stop.stopped_early);
+        assert_eq!(r_stop.pulled, r_full.pulled);
+        assert_eq!(o_stop.evaluation, o_full.evaluation);
     }
 
     #[test]

@@ -4,10 +4,17 @@
 //! mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]
 //!                    (--budget $X | --time-limit H | --alpha A)
 //!                    [--solver knapsack|exhaustive|greedy|bnb|local]
+//! mvcloud-cli horizon [--epochs N] [--pattern static|drift|burst|seasonal]
+//!                     [--rate R | --factor F | --amplitude A] [--period P]
+//!                     [--queries N] [--rows N] [--commitment]
+//!                     (--budget $X | --time-limit H | --alpha A) [--myopic]
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
 //! ```
+//!
+//! `horizon` emits the per-epoch timeline as JSON (hand-rendered: the
+//! offline crate set has no serde_json).
 //!
 //! Argument parsing is deliberately dependency-free (the offline crate set
 //! has no CLI parser); flags are `--name value` pairs.
@@ -25,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("advise") => cmd_advise(&args[1..]),
+        Some("horizon") => cmd_horizon(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("pricing") => cmd_pricing(),
         Some("excerpt") => cmd_excerpt(),
@@ -50,6 +58,10 @@ fn print_usage() {
          USAGE:\n\
            mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]\n\
                               (--budget X | --time-limit H | --alpha A) [--solver S]\n\
+           mvcloud-cli horizon [--epochs N] [--pattern P] [--queries N] [--rows N]\n\
+                               (--budget X | --time-limit H | --alpha A)\n\
+                               [--period P] [--rate R | --factor F | --amplitude A]\n\
+                               [--commitment] [--myopic]\n\
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
@@ -62,7 +74,18 @@ fn print_usage() {
            --budget X       MV1: minimize time under $X total\n\
            --time-limit H   MV2: minimize cost under H hours\n\
            --alpha A        MV3: weighted tradeoff, A in [0,1]\n\
-           --solver S       knapsack|exhaustive|greedy|bnb|local [default knapsack]"
+           --solver S       knapsack|exhaustive|greedy|bnb|local [default knapsack]\n\
+         \n\
+         horizon flags (plus advise's workload/scenario flags):\n\
+           --epochs N       billing periods in the horizon       [default 12]\n\
+           --pattern P      static|drift|burst|seasonal          [default seasonal]\n\
+           --rate R         drift: per-epoch migration rate      [default 0.2]\n\
+           --factor F       burst: spike multiplier              [default 5]\n\
+           --amplitude A    seasonal: modulation depth in [0,1]  [default 0.6]\n\
+           --period P       burst/seasonal: epochs per cycle     [default 12]\n\
+           --commitment     compare on-demand vs reserved compute\n\
+           --myopic         re-solve each epoch from scratch (transition-blind)\n\
+         emits the per-epoch timeline as JSON"
     );
 }
 
@@ -133,26 +156,7 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown solver {other:?}")),
     };
 
-    let scenario = match (
-        flags.get("budget"),
-        flags.get("time-limit"),
-        flags.get("alpha"),
-    ) {
-        (Some(b), None, None) => {
-            Scenario::budget(Money::from_dollars_str(b).map_err(|e| format!("--budget: {e}"))?)
-        }
-        (None, Some(t), None) => Scenario::time_limit(Hours::new(
-            t.parse::<f64>().map_err(|_| "--time-limit: not a number")?,
-        )),
-        (None, None, Some(a)) => {
-            let alpha: f64 = a.parse().map_err(|_| "--alpha: not a number")?;
-            if !(0.0..=1.0).contains(&alpha) {
-                return Err("--alpha must be in [0,1]".to_string());
-            }
-            Scenario::tradeoff_normalized(alpha)
-        }
-        _ => return Err("choose exactly one of --budget, --time-limit, --alpha".to_string()),
-    };
+    let scenario = parse_scenario(&flags)?;
 
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());
@@ -177,6 +181,173 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         .collect();
     println!("{}", summarize(&outcome, &names));
     Ok(())
+}
+
+/// Removes a valueless `--switch` token, reporting whether it was there.
+fn extract_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != switch);
+    args.len() < before
+}
+
+/// Parses the shared MV1/MV2/MV3 scenario flags.
+fn parse_scenario(flags: &Flags<'_>) -> Result<Scenario, String> {
+    match (
+        flags.get("budget"),
+        flags.get("time-limit"),
+        flags.get("alpha"),
+    ) {
+        (Some(b), None, None) => Ok(Scenario::budget(
+            Money::from_dollars_str(b).map_err(|e| format!("--budget: {e}"))?,
+        )),
+        (None, Some(t), None) => Ok(Scenario::time_limit(Hours::new(
+            t.parse::<f64>().map_err(|_| "--time-limit: not a number")?,
+        ))),
+        (None, None, Some(a)) => {
+            let alpha: f64 = a.parse().map_err(|_| "--alpha: not a number")?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err("--alpha must be in [0,1]".to_string());
+            }
+            Ok(Scenario::tradeoff_normalized(alpha))
+        }
+        _ => Err("choose exactly one of --budget, --time-limit, --alpha".to_string()),
+    }
+}
+
+fn cmd_horizon(args: &[String]) -> Result<(), String> {
+    use mvcloud::lattice::WorkloadEvolution;
+    use mvcloud::pricing::CommitmentPlan;
+    use mvcloud::HorizonConfig;
+
+    // Valueless switches are peeled off before `--name value` parsing.
+    let mut args: Vec<String> = args.to_vec();
+    let commitment_flag = extract_switch(&mut args, "--commitment");
+    let myopic = extract_switch(&mut args, "--myopic");
+    let flags = parse_flags(&args)?;
+    let queries: usize = flags.parse_num("queries", 5)?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let epochs: usize = flags.parse_num("epochs", 12)?;
+    let period: usize = flags.parse_num("period", 12)?;
+    if !(1..=10).contains(&queries) {
+        return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if epochs == 0 {
+        return Err("--epochs must be ≥ 1".to_string());
+    }
+    let pattern = flags.get("pattern").unwrap_or("seasonal");
+    // Each drift knob belongs to one pattern; a knob supplied for a
+    // different pattern would be silently ignored — reject it instead.
+    let applicable: &[&str] = match pattern {
+        "static" => &[],
+        "drift" => &["rate"],
+        "burst" => &["factor", "period"],
+        "seasonal" => &["amplitude", "period"],
+        other => return Err(format!("unknown pattern {other:?}")),
+    };
+    for knob in ["rate", "factor", "amplitude", "period"] {
+        if flags.get(knob).is_some() && !applicable.contains(&knob) {
+            return Err(format!("--{knob} does not apply to --pattern {pattern}"));
+        }
+    }
+    let evolution = match pattern {
+        "static" => WorkloadEvolution::fixed(),
+        "drift" => WorkloadEvolution::drift(flags.parse_num("rate", 0.2)?),
+        "burst" => WorkloadEvolution::burst(period, flags.parse_num("factor", 5.0)?),
+        "seasonal" => WorkloadEvolution::seasonal(period, flags.parse_num("amplitude", 0.6)?),
+        _ => unreachable!("patterns validated above"),
+    };
+    let scenario = parse_scenario(&flags)?;
+    let commitment = commitment_flag.then(CommitmentPlan::aws_small_1yr);
+
+    let domain = sales_domain(rows, queries, 1.0, 42);
+    let advisor = Advisor::build(domain, AdvisorConfig::default()).map_err(|e| e.to_string())?;
+    let horizon = HorizonConfig {
+        epochs,
+        evolution,
+        commitment,
+    };
+    let report = if myopic {
+        advisor.solve_horizon_myopic(scenario, &horizon)
+    } else {
+        advisor.solve_horizon(scenario, &horizon)
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!("{}", horizon_json(&report, scenario, myopic));
+    Ok(())
+}
+
+/// Renders a horizon report as JSON (the vendored serde is a no-op
+/// marker crate, so the timeline is emitted by hand).
+fn horizon_json(report: &mvcloud::HorizonReport, scenario: Scenario, myopic: bool) -> String {
+    let str_list = |names: &[String]| -> String {
+        let quoted: Vec<String> = names.iter().map(|n| json_str(n)).collect();
+        format!("[{}]", quoted.join(","))
+    };
+    let epochs: Vec<String> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"epoch\":{},\"selected\":{},\"added\":{},\"kept\":{},\"dropped\":{},\
+                 \"time_hours\":{:.6},\"charged_cost\":{:.6},\"full_price_cost\":{:.6},\
+                 \"cumulative_cost\":{:.6}}}",
+                e.epoch,
+                str_list(&e.selected),
+                str_list(&e.added),
+                str_list(&e.kept),
+                str_list(&e.dropped),
+                e.time_hours,
+                e.charged_cost.to_dollars_f64(),
+                e.full_price_cost.to_dollars_f64(),
+                e.cumulative_cost.to_dollars_f64(),
+            )
+        })
+        .collect();
+    let commitment = match &report.commitment {
+        Some(c) => format!(
+            "{{\"plan\":{},\"billed_instance_hours\":{:.6},\"on_demand\":{:.6},\
+             \"reserved\":{:.6},\"saving\":{:.6},\"reserved_wins\":{}}}",
+            json_str(&c.plan),
+            c.billed_instance_hours.value(),
+            c.on_demand.to_dollars_f64(),
+            c.reserved.to_dollars_f64(),
+            c.saving().to_dollars_f64(),
+            c.reserved_wins(),
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"scenario\":{},\n  \"policy\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+         \"total_cost\":{:.6},\n  \"total_time_hours\":{:.6},\n  \
+         \"billed_instance_hours\":{:.6},\n  \"commitment\":{}\n}}",
+        json_str(scenario.label()),
+        json_str(if myopic { "myopic" } else { "chain" }),
+        epochs.join(",\n"),
+        report.total_cost.to_dollars_f64(),
+        report.total_time.value(),
+        report.billed_instance_hours.value(),
+        commitment,
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {

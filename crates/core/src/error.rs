@@ -4,6 +4,7 @@ use std::fmt;
 
 use mv_engine::EngineError;
 use mv_lattice::LatticeError;
+use mv_pricing::PricingError;
 
 /// Errors raised while building or running the advisor pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +13,18 @@ pub enum AdvisorError {
     Engine(EngineError),
     /// Lattice-side failure (bad cuboid, unmappable workload).
     Lattice(LatticeError),
+    /// Pricing-side failure (invoicing, catalog lookups).
+    Pricing(PricingError),
+    /// A commitment plan targets a different instance type than the
+    /// advisor rents.
+    CommitmentMismatch {
+        /// The plan's name.
+        plan: String,
+        /// The instance type the plan reserves.
+        plan_instance: String,
+        /// The instance type the advisor is configured with.
+        advisor_instance: String,
+    },
     /// The configured instance name is not in the pricing catalog.
     UnknownInstance {
         /// Requested configuration name.
@@ -24,6 +37,8 @@ pub enum AdvisorError {
     },
     /// The configuration requests zero queries or an empty workload.
     EmptyWorkload,
+    /// A horizon was configured with zero epochs.
+    EmptyHorizon,
 }
 
 impl fmt::Display for AdvisorError {
@@ -31,6 +46,15 @@ impl fmt::Display for AdvisorError {
         match self {
             AdvisorError::Engine(e) => write!(f, "engine error: {e}"),
             AdvisorError::Lattice(e) => write!(f, "lattice error: {e}"),
+            AdvisorError::Pricing(e) => write!(f, "pricing error: {e}"),
+            AdvisorError::CommitmentMismatch {
+                plan,
+                plan_instance,
+                advisor_instance,
+            } => write!(
+                f,
+                "commitment plan {plan:?} reserves {plan_instance:?} but the advisor rents {advisor_instance:?}"
+            ),
             AdvisorError::UnknownInstance { name } => {
                 write!(f, "instance {name:?} is not in the pricing catalog")
             }
@@ -38,6 +62,7 @@ impl fmt::Display for AdvisorError {
                 write!(f, "measure column {column:?} is not in the base table")
             }
             AdvisorError::EmptyWorkload => write!(f, "the workload has no queries"),
+            AdvisorError::EmptyHorizon => write!(f, "the horizon has no epochs"),
         }
     }
 }
@@ -47,6 +72,7 @@ impl std::error::Error for AdvisorError {
         match self {
             AdvisorError::Engine(e) => Some(e),
             AdvisorError::Lattice(e) => Some(e),
+            AdvisorError::Pricing(e) => Some(e),
             _ => None,
         }
     }
@@ -61,5 +87,11 @@ impl From<EngineError> for AdvisorError {
 impl From<LatticeError> for AdvisorError {
     fn from(e: LatticeError) -> Self {
         AdvisorError::Lattice(e)
+    }
+}
+
+impl From<PricingError> for AdvisorError {
+    fn from(e: PricingError) -> Self {
+        AdvisorError::Pricing(e)
     }
 }

@@ -1,0 +1,566 @@
+//! Multi-epoch advising: solve a billing *horizon* instead of a single
+//! period.
+//!
+//! [`Advisor::build`] measures the workload and candidate pool once;
+//! [`Advisor::solve_horizon`] then re-bills that measurement over a
+//! sequence of epochs whose query frequencies evolve (drift, bursts,
+//! seasonality — [`WorkloadEvolution`]), threading the selection state
+//! through `mv_select`'s transition-aware [`EpochChain`]: views kept
+//! across an epoch boundary pay maintenance and storage only, newly
+//! added views pay materialization, dropped views forfeit theirs. The
+//! result is a [`HorizonReport`]: the per-epoch timeline of selections
+//! and transitions, a provider-side [`UsageLedger`] invoice per epoch
+//! (reconciled against the predicted charges in `tests/horizon.rs`),
+//! the cumulative bill, and — because a horizon finally gives the
+//! upfront fee enough hours to amortize — an on-demand vs
+//! reserved-instance comparison over the horizon's billed compute.
+
+use mv_cost::CloudCostModel;
+use mv_lattice::WorkloadEvolution;
+use mv_pricing::{CommitmentComparison, CommitmentPlan, Invoice, UsageLedger};
+use mv_select::epoch::{horizon_cost, horizon_time, EpochChain, EpochStep};
+use mv_select::Scenario;
+use mv_units::{Hours, Money};
+use serde::Serialize;
+
+use crate::{Advisor, AdvisorError};
+
+/// Shape of a billing horizon.
+#[derive(Debug, Clone)]
+pub struct HorizonConfig {
+    /// Number of billing periods, each `AdvisorConfig::months` long.
+    pub epochs: usize,
+    /// How query frequencies evolve from the measured base workload.
+    pub evolution: WorkloadEvolution,
+    /// Optional reserved-capacity plan to price the horizon's compute
+    /// against (must target the advisor's instance type).
+    pub commitment: Option<CommitmentPlan>,
+}
+
+impl Default for HorizonConfig {
+    /// A year of identical monthly epochs, no reservation.
+    fn default() -> Self {
+        HorizonConfig {
+            epochs: 12,
+            evolution: WorkloadEvolution::fixed(),
+            commitment: None,
+        }
+    }
+}
+
+/// One epoch of the rendered timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Labels of the selected views.
+    pub selected: Vec<String>,
+    /// Labels of views newly materialized this epoch.
+    pub added: Vec<String>,
+    /// Labels of views carried over (maintenance + storage only).
+    pub kept: Vec<String>,
+    /// Labels of views dropped at this boundary (build cost forfeited).
+    pub dropped: Vec<String>,
+    /// Frequency-weighted workload processing hours this epoch.
+    pub time_hours: f64,
+    /// The transition-aware bill for this epoch.
+    pub charged_cost: Money,
+    /// What the same selection would bill if the epoch stood alone
+    /// (full materialization) — the single-period reference.
+    pub full_price_cost: Money,
+    /// Running total of charged costs through this epoch.
+    pub cumulative_cost: Money,
+    /// The provider-side invoice for this epoch's recorded usage. Its
+    /// total equals `charged_cost` (reconciled in `tests/horizon.rs`).
+    pub invoice: Invoice,
+}
+
+/// A solved horizon: the full chain state plus the rendered timeline.
+#[derive(Debug, Clone)]
+pub struct HorizonReport {
+    /// Raw per-epoch chain steps (selections, transitions, charged and
+    /// full-price evaluations).
+    pub steps: Vec<EpochStep>,
+    /// The rendered per-epoch timeline.
+    pub epochs: Vec<EpochReport>,
+    /// Total charged cost across the horizon.
+    pub total_cost: Money,
+    /// Total workload processing hours across the horizon.
+    pub total_time: Hours,
+    /// Total *billable* compute across the horizon, in instance-hours
+    /// (per-component rounding applied, fleet-multiplied) — the hours a
+    /// reservation would have to cover.
+    pub billed_instance_hours: Hours,
+    /// On-demand vs reserved pricing of those hours, when a plan was
+    /// supplied.
+    pub commitment: Option<CommitmentComparison>,
+}
+
+impl HorizonReport {
+    /// Renders the timeline as CSV (one row per epoch).
+    pub fn timeline_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                vec![
+                    e.epoch.to_string(),
+                    e.selected.join(" "),
+                    e.added.len().to_string(),
+                    e.kept.len().to_string(),
+                    e.dropped.len().to_string(),
+                    format!("{:.6}", e.time_hours),
+                    format!("{:.6}", e.charged_cost.to_dollars_f64()),
+                    format!("{:.6}", e.full_price_cost.to_dollars_f64()),
+                    format!("{:.6}", e.cumulative_cost.to_dollars_f64()),
+                ]
+            })
+            .collect();
+        crate::report::render_csv(
+            &[
+                "epoch",
+                "selected",
+                "added",
+                "kept",
+                "dropped",
+                "time_hours",
+                "charged_cost",
+                "full_price_cost",
+                "cumulative_cost",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Advisor {
+    /// The per-epoch costing models a horizon induces over this
+    /// advisor's measured workload: epoch `e` keeps every measured
+    /// charge but re-weights query frequencies by the evolution. The
+    /// query universe is fixed, so the measured candidate pool stays
+    /// aligned with every epoch.
+    pub fn epoch_models(&self, horizon: &HorizonConfig) -> Vec<CloudCostModel> {
+        let base_ctx = self.problem().model().context();
+        (0..horizon.epochs)
+            .map(|e| {
+                let mut ctx = base_ctx.clone();
+                let freqs = horizon.evolution.frequencies(&self.domain().workload, e);
+                for (q, f) in ctx.workload.iter_mut().zip(freqs) {
+                    q.frequency = f;
+                }
+                CloudCostModel::new(ctx)
+            })
+            .collect()
+    }
+
+    /// The transition-aware [`EpochChain`] for a horizon over this
+    /// advisor's measured pool.
+    pub fn epoch_chain(&self, horizon: &HorizonConfig) -> EpochChain {
+        EpochChain::new(
+            self.epoch_models(horizon),
+            self.problem().candidates().to_vec(),
+        )
+    }
+
+    /// Solves the horizon with the transition-aware chain and renders
+    /// the full report. See the module docs for semantics.
+    pub fn solve_horizon(
+        &self,
+        scenario: Scenario,
+        horizon: &HorizonConfig,
+    ) -> Result<HorizonReport, AdvisorError> {
+        if horizon.epochs == 0 {
+            return Err(AdvisorError::EmptyHorizon);
+        }
+        let chain = self.epoch_chain(horizon);
+        let steps = chain.solve(scenario);
+        self.render_horizon(horizon, &chain, steps)
+    }
+
+    /// The transition-blind comparator: every epoch re-solved from
+    /// scratch (the "run the single-period advisor each month" policy),
+    /// then billed under true transition accounting. Useful to quantify
+    /// what chain-awareness saves on a drifting horizon.
+    pub fn solve_horizon_myopic(
+        &self,
+        scenario: Scenario,
+        horizon: &HorizonConfig,
+    ) -> Result<HorizonReport, AdvisorError> {
+        if horizon.epochs == 0 {
+            return Err(AdvisorError::EmptyHorizon);
+        }
+        let chain = self.epoch_chain(horizon);
+        let steps = chain.solve_myopic(scenario);
+        self.render_horizon(horizon, &chain, steps)
+    }
+
+    /// Assembles a [`HorizonReport`] from solved chain steps: per-epoch
+    /// ledgers/invoices, cumulative totals, billable compute and the
+    /// optional commitment comparison.
+    fn render_horizon(
+        &self,
+        horizon: &HorizonConfig,
+        chain: &EpochChain,
+        steps: Vec<EpochStep>,
+    ) -> Result<HorizonReport, AdvisorError> {
+        let config = self.config();
+        let rounding = config.pricing.compute.rounding;
+        let labels: Vec<String> = self.candidates().iter().map(|m| m.label.clone()).collect();
+        let name = |ks: &[usize]| ks.iter().map(|&k| labels[k].clone()).collect::<Vec<_>>();
+        let mut epochs = Vec::with_capacity(steps.len());
+        let mut cumulative = Money::ZERO;
+        let mut billed = Hours::ZERO;
+        for (e, (step, model)) in steps.iter().zip(chain.epochs()).enumerate() {
+            let ledger = self.epoch_usage_ledger(model, step);
+            let invoice = ledger
+                .invoice(&config.pricing)
+                .map_err(AdvisorError::from)?;
+            let charged = step.outcome.evaluation.cost();
+            cumulative += charged;
+            // Billable instance-hours, rounded per component exactly as
+            // the bill computes them (zero components bill zero).
+            let pool = chain.pool();
+            let maintenance: Hours = step.selection().ones().map(|k| pool[k].maintenance).sum();
+            let materialization: Hours = step.added.iter().map(|&k| pool[k].materialization).sum();
+            for t in [step.outcome.evaluation.time, maintenance, materialization] {
+                if t > Hours::ZERO {
+                    billed += rounding.apply(t) * config.nb_instances as f64;
+                }
+            }
+            epochs.push(EpochReport {
+                epoch: e,
+                selected: name(&step.selection().ones().collect::<Vec<_>>()),
+                added: name(&step.added),
+                kept: name(&step.kept),
+                dropped: name(&step.dropped),
+                time_hours: step.outcome.evaluation.time.value(),
+                charged_cost: charged,
+                full_price_cost: step.full_price.cost(),
+                cumulative_cost: cumulative,
+                invoice,
+            });
+        }
+        let commitment = match &horizon.commitment {
+            Some(plan) => {
+                if plan.instance != config.instance {
+                    return Err(AdvisorError::CommitmentMismatch {
+                        plan: plan.name.clone(),
+                        plan_instance: plan.instance.clone(),
+                        advisor_instance: config.instance.clone(),
+                    });
+                }
+                let on_demand_hourly = config
+                    .pricing
+                    .compute
+                    .instance(&config.instance)
+                    .map_err(AdvisorError::from)?
+                    .hourly;
+                let total_months = config.months * steps.len() as f64;
+                Some(plan.compare_horizon(
+                    on_demand_hourly,
+                    total_months,
+                    billed,
+                    config.nb_instances,
+                ))
+            }
+            None => None,
+        };
+        let total_cost = horizon_cost(&steps);
+        let total_time = horizon_time(&steps);
+        Ok(HorizonReport {
+            steps,
+            epochs,
+            total_cost,
+            total_time,
+            billed_instance_hours: billed,
+            commitment,
+        })
+    }
+
+    /// The provider-side usage ledger for one epoch of a solved
+    /// horizon: the epoch's processing and maintenance for the whole
+    /// selection, materialization for the *newly added* views only
+    /// (carried views' builds are sunk in earlier epochs), storage of
+    /// dataset + selected views over the epoch, and the epoch's
+    /// outbound results. Its invoice reconciles with the chain's
+    /// charged evaluation.
+    pub fn epoch_usage_ledger(&self, model: &CloudCostModel, step: &EpochStep) -> UsageLedger {
+        let config = self.config();
+        let candidates = self.problem().candidates();
+        let selection = step.selection();
+        let mut ledger = UsageLedger::new();
+        ledger.record_compute(
+            "workload processing",
+            &config.instance,
+            config.nb_instances,
+            step.outcome.evaluation.time,
+        );
+        let maintenance: Hours = selection.ones().map(|k| candidates[k].maintenance).sum();
+        if maintenance > Hours::ZERO {
+            ledger.record_compute(
+                "view maintenance",
+                &config.instance,
+                config.nb_instances,
+                maintenance,
+            );
+        }
+        let materialization: Hours = step
+            .added
+            .iter()
+            .map(|&k| candidates[k].materialization)
+            .sum();
+        if materialization > Hours::ZERO {
+            ledger.record_compute(
+                "view materialization (new views)",
+                &config.instance,
+                config.nb_instances,
+                materialization,
+            );
+        }
+        let views_size = model.views_size(candidates, selection);
+        ledger.record_storage("dataset + views", model.storage_timeline(views_size));
+        ledger.record_transfer_out("query results", model.context().total_result_size());
+        ledger
+    }
+}
+
+/// One point of a horizon what-if sweep: cumulative chain vs myopic
+/// bills after `epochs` periods.
+#[derive(Debug, Clone, Serialize)]
+pub struct HorizonSweepPoint {
+    /// Horizon length this point represents (1-based epoch count).
+    pub epochs: usize,
+    /// Cumulative transition-aware cost.
+    pub chain_cost: f64,
+    /// Cumulative transition-blind (re-solve each period) cost.
+    pub myopic_cost: f64,
+    /// Cumulative chain processing hours.
+    pub chain_time: f64,
+    /// Cumulative myopic processing hours.
+    pub myopic_time: f64,
+}
+
+/// Sweeps the horizon length: for every prefix of the horizon, the
+/// cumulative chain-vs-myopic bill. Because both policies are
+/// sequential, an `E`-epoch horizon's trajectory is the prefix of the
+/// full one — one chain solve and one myopic solve cover every point.
+pub fn horizon_growth_sweep(
+    advisor: &Advisor,
+    scenario: Scenario,
+    horizon: &HorizonConfig,
+) -> Vec<HorizonSweepPoint> {
+    let chain = advisor.epoch_chain(horizon);
+    let aware = chain.solve(scenario);
+    let myopic = chain.solve_myopic(scenario);
+    let mut out = Vec::with_capacity(aware.len());
+    let (mut cc, mut mc) = (Money::ZERO, Money::ZERO);
+    let (mut ct, mut mt) = (Hours::ZERO, Hours::ZERO);
+    for (e, (a, m)) in aware.iter().zip(&myopic).enumerate() {
+        cc += a.outcome.evaluation.cost();
+        mc += m.outcome.evaluation.cost();
+        ct += a.outcome.evaluation.time;
+        mt += m.outcome.evaluation.time;
+        out.push(HorizonSweepPoint {
+            epochs: e + 1,
+            chain_cost: cc.to_dollars_f64(),
+            myopic_cost: mc.to_dollars_f64(),
+            chain_time: ct.value(),
+            myopic_time: mt.value(),
+        });
+    }
+    out
+}
+
+/// Renders horizon sweep points as CSV.
+pub fn horizon_sweep_csv(points: &[HorizonSweepPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.epochs.to_string(),
+                format!("{:.6}", p.chain_cost),
+                format!("{:.6}", p.myopic_cost),
+                format!("{:.6}", p.chain_time),
+                format!("{:.6}", p.myopic_time),
+            ]
+        })
+        .collect();
+    crate::report::render_csv(
+        &[
+            "epochs",
+            "chain_cost",
+            "myopic_cost",
+            "chain_time",
+            "myopic_time",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sales_domain, AdvisorConfig};
+    use mv_select::SolverKind;
+
+    fn advisor() -> Advisor {
+        Advisor::build(sales_domain(1_200, 4, 5.0, 42), AdvisorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn flat_horizon_repeats_the_single_period_solve() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let report = a
+            .solve_horizon(
+                scenario,
+                &HorizonConfig {
+                    epochs: 3,
+                    ..HorizonConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        let solo = a.solve(scenario, SolverKind::LocalSearch);
+        for (e, step) in report.steps.iter().enumerate() {
+            assert_eq!(
+                step.selection(),
+                &solo.evaluation.selection,
+                "epoch {e} drifted from the single-period selection"
+            );
+            assert_eq!(step.full_price, solo.evaluation, "epoch {e}");
+        }
+        // Carried epochs stop paying materialization, so the bill is
+        // monotone non-increasing and the cumulative total is exact.
+        assert!(report.epochs[1].charged_cost <= report.epochs[0].charged_cost);
+        assert_eq!(report.epochs[0].charged_cost, solo.evaluation.cost());
+        assert_eq!(
+            report.epochs.last().unwrap().cumulative_cost,
+            report.total_cost
+        );
+    }
+
+    #[test]
+    fn zero_epoch_horizon_is_an_error_not_a_panic() {
+        let a = advisor();
+        for solve in [Advisor::solve_horizon, Advisor::solve_horizon_myopic] {
+            let err = solve(
+                &a,
+                Scenario::tradeoff_normalized(0.5),
+                &HorizonConfig {
+                    epochs: 0,
+                    ..HorizonConfig::default()
+                },
+            );
+            assert!(matches!(err, Err(crate::AdvisorError::EmptyHorizon)));
+        }
+    }
+
+    #[test]
+    fn epoch_invoices_reconcile_with_charged_evaluations() {
+        let a = advisor();
+        let report = a
+            .solve_horizon(
+                Scenario::tradeoff_normalized(0.4),
+                &HorizonConfig {
+                    epochs: 4,
+                    evolution: mv_lattice::WorkloadEvolution::seasonal(4, 0.8),
+                    commitment: None,
+                },
+            )
+            .unwrap();
+        for e in &report.epochs {
+            assert_eq!(
+                e.invoice.total(),
+                e.charged_cost,
+                "epoch {}: invoice drifted from prediction",
+                e.epoch
+            );
+            assert!(e.full_price_cost >= e.charged_cost);
+        }
+    }
+
+    #[test]
+    fn commitment_comparison_prices_the_horizon() {
+        let a = advisor();
+        let report = a
+            .solve_horizon(
+                Scenario::tradeoff_normalized(0.5),
+                &HorizonConfig {
+                    epochs: 12,
+                    evolution: mv_lattice::WorkloadEvolution::fixed(),
+                    commitment: Some(mv_pricing::CommitmentPlan::aws_small_1yr()),
+                },
+            )
+            .unwrap();
+        let cmp = report.commitment.expect("plan supplied");
+        assert_eq!(cmp.billed_instance_hours, report.billed_instance_hours);
+        assert!(cmp.on_demand > Money::ZERO);
+        assert!(cmp.reserved > Money::ZERO);
+        // The on-demand side prices exactly the horizon's billed hours.
+        let hourly = a
+            .config()
+            .pricing
+            .compute
+            .instance(&a.config().instance)
+            .unwrap()
+            .hourly;
+        assert_eq!(
+            cmp.on_demand,
+            hourly.scale(report.billed_instance_hours.value())
+        );
+    }
+
+    #[test]
+    fn mismatched_commitment_instance_rejected() {
+        let a = advisor();
+        let mut plan = mv_pricing::CommitmentPlan::aws_small_1yr();
+        plan.instance = "large".to_string();
+        let err = a.solve_horizon(
+            Scenario::tradeoff_normalized(0.5),
+            &HorizonConfig {
+                epochs: 2,
+                evolution: mv_lattice::WorkloadEvolution::fixed(),
+                commitment: Some(plan),
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn growth_sweep_is_cumulative_and_chain_never_loses() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff(0.02);
+        let horizon = HorizonConfig {
+            epochs: 6,
+            evolution: mv_lattice::WorkloadEvolution::seasonal(3, 1.0),
+            commitment: None,
+        };
+        let points = horizon_growth_sweep(&a, scenario, &horizon);
+        assert_eq!(points.len(), 6);
+        for w in points.windows(2) {
+            assert!(w[1].chain_cost >= w[0].chain_cost);
+            assert!(w[1].myopic_cost >= w[0].myopic_cost);
+        }
+        let csv = horizon_sweep_csv(&points);
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.starts_with("epochs,chain_cost"));
+    }
+
+    #[test]
+    fn timeline_csv_shape() {
+        let a = advisor();
+        let report = a
+            .solve_horizon(
+                Scenario::tradeoff_normalized(0.5),
+                &HorizonConfig {
+                    epochs: 2,
+                    ..HorizonConfig::default()
+                },
+            )
+            .unwrap();
+        let csv = report.timeline_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("epoch,selected,added,kept,dropped,time_hours"));
+    }
+}

@@ -15,7 +15,11 @@
 //! * [`cost`] — the paper's cost formulas;
 //! * [`select`] — MV1/MV2/MV3 scenarios and the four solvers.
 //!
-//! The [`Advisor`] wires them together:
+//! The [`Advisor`] wires them together — measuring once, then solving a
+//! single period ([`Advisor::solve`]), a lazy candidate stream
+//! ([`Advisor::solve_streaming`]), or a whole multi-epoch billing
+//! horizon with drifting workloads and transition-aware carry-over
+//! ([`Advisor::solve_horizon`], [`horizon`]):
 //!
 //! ```
 //! use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
@@ -35,6 +39,7 @@
 mod advisor;
 mod domain;
 mod error;
+pub mod horizon;
 pub mod report;
 pub mod whatif;
 
@@ -44,6 +49,7 @@ pub use advisor::{
 };
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
+pub use horizon::{EpochReport, HorizonConfig, HorizonReport};
 
 // Re-export the sub-crates under stable names.
 pub use mv_cost as cost;

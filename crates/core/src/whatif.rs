@@ -7,7 +7,10 @@
 //! * **budget sweep** — how much faster does each extra dollar make the
 //!   workload (the curve behind the paper's Figure 5(a));
 //! * **deadline sweep** — the cheapest bill at each response-time target;
-//! * **α sweep** — the MV3 pivot between the two optima.
+//! * **α sweep** — the MV3 pivot between the two optima;
+//! * **horizon sweep** — cumulative chain-vs-myopic bills as a billing
+//!   horizon grows (re-exported from [`crate::horizon`]): where
+//!   transition-aware re-optimization starts paying for itself.
 //!
 //! Sweep points are independent solves over the same immutable problem,
 //! so they fan out across threads (contiguous chunks, results stitched
@@ -18,6 +21,8 @@ use mv_units::{Hours, Money};
 use serde::Serialize;
 
 use crate::Advisor;
+
+pub use crate::horizon::{horizon_growth_sweep, horizon_sweep_csv, HorizonSweepPoint};
 
 /// One point of a what-if sweep.
 #[derive(Debug, Clone, Serialize)]

@@ -74,6 +74,18 @@ impl ViewCharge {
         self.query_times[index] = Some(time);
         self
     }
+
+    /// The charge this view presents when *carried over* an epoch
+    /// boundary in a multi-period horizon: its one-time materialization
+    /// was paid in an earlier billing period and is sunk, so keeping the
+    /// view costs maintenance and storage only. Everything else — size,
+    /// refresh time, the per-query speedups — is unchanged.
+    pub fn carried(&self) -> ViewCharge {
+        ViewCharge {
+            materialization: Hours::ZERO,
+            ..self.clone()
+        }
+    }
 }
 
 /// The full costing context: everything the paper's formulas consume.

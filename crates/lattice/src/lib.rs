@@ -23,6 +23,7 @@ pub mod candidates;
 mod cuboid;
 mod error;
 mod estimate;
+mod evolution;
 mod hierarchy;
 #[allow(clippy::module_inception)]
 mod lattice;
@@ -32,6 +33,7 @@ mod workload;
 pub use cuboid::Cuboid;
 pub use error::LatticeError;
 pub use estimate::{cardenas, SizeEstimator};
+pub use evolution::{EvolutionKind, WorkloadEvolution};
 pub use hierarchy::{Dimension, Level};
 pub use lattice::Lattice;
 pub use stream::CandidateStream;

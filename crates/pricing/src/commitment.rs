@@ -73,6 +73,75 @@ impl CommitmentPlan {
     pub fn worthwhile(&self, used: Hours, on_demand: &InstanceType) -> bool {
         self.total_cost(used) < on_demand.hourly.scale(used.value())
     }
+
+    /// Consecutive reservation terms needed to cover a billing horizon
+    /// (partially-used final terms still pay their full upfront).
+    pub fn terms_for(&self, horizon: Months) -> u32 {
+        (horizon.value() / self.term.value()).ceil().max(1.0) as u32
+    }
+
+    /// Total cost of covering a multi-epoch horizon with this plan on a
+    /// fleet of `count` identical instances: one upfront per instance
+    /// per term, plus the discounted rate on every billed
+    /// instance-hour. `billed_instance_hours` is the horizon's total
+    /// *billable* compute (already rounded per the provider's rule and
+    /// multiplied by the fleet size), so the on-demand and reserved
+    /// sides of a comparison price exactly the same hours.
+    pub fn fleet_horizon_cost(
+        &self,
+        horizon: Months,
+        billed_instance_hours: Hours,
+        count: u32,
+    ) -> Money {
+        self.upfront * count * self.terms_for(horizon)
+            + self.hourly.scale(billed_instance_hours.value())
+    }
+
+    /// Prices a solved horizon's compute both ways — pay-as-you-go at
+    /// `on_demand_hourly` vs this reservation — over the same billed
+    /// instance-hours. The single-period paper never gives the upfront
+    /// fee enough hours to amortize; a multi-epoch horizon does.
+    pub fn compare_horizon(
+        &self,
+        on_demand_hourly: Money,
+        horizon: Months,
+        billed_instance_hours: Hours,
+        count: u32,
+    ) -> CommitmentComparison {
+        let on_demand = on_demand_hourly.scale(billed_instance_hours.value());
+        let reserved = self.fleet_horizon_cost(horizon, billed_instance_hours, count);
+        CommitmentComparison {
+            plan: self.name.clone(),
+            billed_instance_hours,
+            on_demand,
+            reserved,
+        }
+    }
+}
+
+/// On-demand vs reserved compute pricing for one solved horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitmentComparison {
+    /// The reservation plan compared.
+    pub plan: String,
+    /// Billed instance-hours the horizon consumed.
+    pub billed_instance_hours: Hours,
+    /// Compute bill at the on-demand hourly rate.
+    pub on_demand: Money,
+    /// Compute bill under the plan (upfronts + discounted hours).
+    pub reserved: Money,
+}
+
+impl CommitmentComparison {
+    /// What reserving saves (negative when the plan never pays off).
+    pub fn saving(&self) -> Money {
+        self.on_demand - self.reserved
+    }
+
+    /// Whether the reservation is the cheaper way to buy these hours.
+    pub fn reserved_wins(&self) -> bool {
+        self.reserved < self.on_demand
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +196,34 @@ mod tests {
         let plan = CommitmentPlan::aws_small_1yr();
         assert_eq!(plan.total_cost(Hours::ZERO), Money::from_dollars(160));
         assert_eq!(plan.total_cost(Hours::new(100.0)), Money::from_dollars(166));
+    }
+
+    #[test]
+    fn horizon_terms_round_up() {
+        let plan = CommitmentPlan::aws_small_1yr();
+        assert_eq!(plan.terms_for(Months::new(1.0)), 1);
+        assert_eq!(plan.terms_for(Months::new(12.0)), 1);
+        assert_eq!(plan.terms_for(Months::new(12.5)), 2);
+        assert_eq!(plan.terms_for(Months::new(36.0)), 3);
+    }
+
+    #[test]
+    fn horizon_comparison_amortizes_across_epochs() {
+        let plan = CommitmentPlan::aws_small_1yr();
+        let od = on_demand_small().hourly;
+        // One month of light dashboard use: upfront swamps the discount.
+        let light = plan.compare_horizon(od, Months::new(12.0), Hours::new(200.0), 2);
+        assert!(!light.reserved_wins());
+        assert!(light.saving() < Money::ZERO);
+        // A year of heavy epochs on 2 instances: 6000 billed
+        // instance-hours — on-demand $720 vs $320 upfront + $360.
+        let heavy = plan.compare_horizon(od, Months::new(12.0), Hours::new(6_000.0), 2);
+        assert_eq!(heavy.on_demand, Money::from_dollars(720));
+        assert_eq!(heavy.reserved, Money::from_dollars(680));
+        assert!(heavy.reserved_wins());
+        assert_eq!(heavy.saving(), Money::from_dollars(40));
+        // A 13-month horizon needs a second term's upfronts.
+        let spill = plan.fleet_horizon_cost(Months::new(13.0), Hours::new(6_000.0), 2);
+        assert_eq!(spill, Money::from_dollars(1_000));
     }
 }

@@ -39,7 +39,7 @@ mod transfer;
 pub use billing::{
     running_example_intro_ledger, Invoice, InvoiceLine, LineItem, UsageKind, UsageLedger,
 };
-pub use commitment::CommitmentPlan;
+pub use commitment::{CommitmentComparison, CommitmentPlan};
 pub use error::PricingError;
 pub use instance::{ComputePricing, InstanceCatalog, InstanceType};
 pub use rounding::{BillingRounding, RoundingScope};

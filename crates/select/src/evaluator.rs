@@ -48,7 +48,7 @@
 
 use std::borrow::Cow;
 
-use mv_cost::{CostBreakdown, SelectionSet, ViewCharge};
+use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge};
 use mv_units::{Gb, Hours, Money, Months};
 
 use crate::{Evaluation, SelectionProblem};
@@ -256,6 +256,67 @@ impl<'p> IncrementalEvaluator<'p> {
         self.per_view.swap_remove(k);
         self.selection.swap_remove(k);
         self.problem.to_mut().swap_remove_candidate(k)
+    }
+
+    /// Re-prices candidate `k` in place — the epoch-boundary splice.
+    ///
+    /// The general form removes the view's entries from the per-query
+    /// answer tables and splices the replacement's back in (evicting it
+    /// from the caches around the edit, so a changed answer profile can
+    /// never leave a stale best/runner-up slot). When only the
+    /// *non-cached* attributes change — size, materialization,
+    /// maintenance, exactly the carried-over re-pricing an epoch chain
+    /// performs — the answer tables are untouched and the whole splice
+    /// is the O(1) in-place replacement. Indices are stable either way,
+    /// and the selection state of `k` is preserved. Returns the old
+    /// charge.
+    pub fn update_charge(&mut self, k: usize, charge: ViewCharge) -> ViewCharge {
+        let n = self.per_view.len();
+        assert!(k < n, "candidate {k} out of {n}");
+        let same_answers = self.problem.candidates()[k].query_times == charge.query_times;
+        if same_answers {
+            return self.problem.to_mut().replace_candidate(k, charge);
+        }
+        let was_selected = self.selection.contains(k);
+        if was_selected {
+            self.unflip(k);
+        }
+        let kk = k as u32;
+        for idx in 0..self.per_view[k].len() {
+            let i = self.per_view[k][idx].0 as usize;
+            let list = &mut self.answers[i];
+            let pos = list
+                .iter()
+                .position(|&(v, _)| v == kk)
+                .expect("answer tables track every candidate entry");
+            list.swap_remove(pos);
+        }
+        let old = self.problem.to_mut().replace_candidate(k, charge);
+        let mut entries = Vec::new();
+        for (i, t) in self.problem.candidates()[k].query_times.iter().enumerate() {
+            if let Some(t) = t {
+                entries.push((i as u32, *t));
+                self.answers[i].push((kk, *t));
+            }
+        }
+        self.per_view[k] = entries;
+        if was_selected {
+            self.flip(k);
+        }
+        old
+    }
+
+    /// Swaps in a new costing model over the same workload shape — the
+    /// epoch-boundary *context* switch. The per-query best/runner-up
+    /// caches survive untouched: they hold only candidate answer times,
+    /// which do not depend on the model, while base times and
+    /// frequencies are read live from the model at snapshot time. Only
+    /// the two selection-independent caches — the transfer cost and the
+    /// storage-interval template — are recomputed, in O(m + inserts).
+    pub fn retarget(&mut self, model: CloudCostModel) {
+        self.problem.to_mut().set_model(model);
+        self.transfer = self.problem.model().transfer_cost();
+        self.storage_intervals = storage_interval_template(&self.problem);
     }
 
     /// The current selection.
@@ -661,6 +722,86 @@ mod tests {
         // problem — not the original — is the bit-exact reference.)
         let full = p.evaluate(&SelectionSet::full(p.len()));
         assert_eq!(ev.snapshot().time, full.time);
+    }
+
+    #[test]
+    fn update_charge_reprices_in_place() {
+        // The epoch-boundary fast path: same answer profile, different
+        // materialization. Indices, selection and caches all survive.
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(1);
+        ev.flip(2);
+        let carried = p.candidates()[1].carried();
+        let old = ev.update_charge(1, carried.clone());
+        assert_eq!(old, p.candidates()[1]);
+        assert!(ev.is_selected(1) && ev.is_selected(2));
+        // Parity with a from-scratch problem holding the carried charge.
+        let mut mirror_charges: Vec<ViewCharge> = p.candidates().to_vec();
+        mirror_charges[1] = carried;
+        let mirror = SelectionProblem::new(p.model().clone(), mirror_charges);
+        assert_eq!(ev.snapshot(), mirror.evaluate(ev.selection()));
+        // Restore full price: back to the original problem bit-for-bit.
+        ev.update_charge(1, p.candidates()[1].clone());
+        assert_eq!(ev.snapshot(), p.evaluate(ev.selection()));
+    }
+
+    #[test]
+    fn update_charge_with_new_answer_profile_resplices() {
+        let p = paper_like_problem();
+        let m = p.model().context().workload.len();
+        let mut ev = IncrementalEvaluator::new(&p);
+        for k in 0..p.len() {
+            ev.flip(k);
+        }
+        // Replace the all-query view with one answering only Q3, slower:
+        // every query's best/runner-up must be rebuilt correctly.
+        let replacement = ViewCharge::new(
+            "v-day-region-degraded",
+            Gb::new(0.9),
+            Hours::new(0.3),
+            Hours::new(0.06),
+            m,
+        )
+        .answers(2, Hours::new(0.05));
+        ev.update_charge(2, replacement.clone());
+        assert!(ev.is_selected(2), "selection preserved across resplice");
+        let mut mirror_charges: Vec<ViewCharge> = p.candidates().to_vec();
+        mirror_charges[2] = replacement;
+        let mirror = SelectionProblem::new(p.model().clone(), mirror_charges);
+        assert_eq!(ev.snapshot(), mirror.evaluate(ev.selection()));
+        // Subsequent flips still behave (no stale cache slots).
+        ev.unflip(0);
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+    }
+
+    #[test]
+    fn retarget_swaps_the_model_and_keeps_caches() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(0);
+        ev.flip(2);
+        // Next epoch: double Q2's frequency, halve the storage horizon.
+        let mut ctx = p.model().context().clone();
+        ctx.workload[1].frequency = 2.0;
+        ctx.months = Months::new(0.5);
+        let epoch_model = CloudCostModel::new(ctx);
+        ev.retarget(epoch_model.clone());
+        let mirror = SelectionProblem::new(epoch_model, p.candidates().to_vec());
+        assert_eq!(ev.snapshot(), mirror.evaluate(ev.selection()));
+        // Flips after the retarget stay bit-exact too.
+        ev.flip(1);
+        assert_eq!(ev.snapshot(), mirror.evaluate(ev.selection()));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload length")]
+    fn retarget_rejects_misaligned_model() {
+        let p = paper_like_problem();
+        let mut ev = IncrementalEvaluator::new(&p);
+        let mut ctx = p.model().context().clone();
+        ctx.workload.pop();
+        ev.retarget(CloudCostModel::new(ctx));
     }
 
     #[test]

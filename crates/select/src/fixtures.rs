@@ -5,6 +5,7 @@ use mv_cost::{CloudCostModel, CostContext, QueryCharge, ViewCharge};
 use mv_pricing::presets;
 use mv_units::{Gb, Hours, Months};
 
+use crate::epoch::EpochChain;
 use crate::SelectionProblem;
 
 /// A small deterministic problem shaped like the paper's experiment: a
@@ -69,6 +70,43 @@ pub fn paper_like_problem() -> SelectionProblem {
         .answers(2, Hours::new(0.2)),
     ];
     SelectionProblem::new(model, candidates)
+}
+
+/// The alternating two-specialist billing horizon used by the
+/// chain-vs-myopic regressions: each epoch one of two queries is hot
+/// (frequency 5) and the other cold (0.2), and each query has a
+/// specialist view with a hefty 8-hour build. A transition-blind solver
+/// flips between the specialists every epoch, re-paying a
+/// materialization the transition-aware chain treats as sunk once both
+/// are resident — so the chain's horizon total is strictly cheaper.
+pub fn churn_chain(epochs: usize) -> EpochChain {
+    let pricing = presets::aws_2012();
+    let instance = pricing.compute.instance("small").unwrap().clone();
+    let models: Vec<CloudCostModel> = (0..epochs)
+        .map(|e| {
+            let (f1, f2) = if e % 2 == 0 { (5.0, 0.2) } else { (0.2, 5.0) };
+            let mut q1 = QueryCharge::new("Q1", Gb::new(0.01), Hours::new(10.0));
+            q1.frequency = f1;
+            let mut q2 = QueryCharge::new("Q2", Gb::new(0.01), Hours::new(10.0));
+            q2.frequency = f2;
+            CloudCostModel::new(CostContext {
+                pricing: pricing.clone(),
+                instance: instance.clone(),
+                nb_instances: 1,
+                months: Months::new(1.0),
+                dataset_size: Gb::new(10.0),
+                inserts: vec![],
+                workload: vec![q1, q2],
+            })
+        })
+        .collect();
+    let pool = vec![
+        ViewCharge::new("spec-Q1", Gb::new(1.0), Hours::new(8.0), Hours::new(0.5), 2)
+            .answers(0, Hours::new(0.5)),
+        ViewCharge::new("spec-Q2", Gb::new(1.0), Hours::new(8.0), Hours::new(0.5), 2)
+            .answers(1, Hours::new(0.5)),
+    ];
+    EpochChain::new(models, pool)
 }
 
 /// Deterministic xorshift generator so fixtures need no external RNG.

@@ -61,6 +61,24 @@
 //! cycle runs ≈ 7× faster than rebuilding the problem and re-evaluating
 //! (see `crates/bench/benches/candidate_churn.rs`).
 //!
+//! # Multi-epoch horizons
+//!
+//! The [`epoch`] module chains single-period problems into a billing
+//! horizon with transition-aware charges: an [`EpochChain`] re-prices
+//! each epoch's candidates by what the *previous* epoch materialized
+//! (kept views pay maintenance only via [`mv_cost::ViewCharge::
+//! carried`]; added views pay full materialization; dropped views
+//! forfeit theirs), making the optimum path-dependent. Epoch
+//! boundaries reuse the live evaluator —
+//! [`IncrementalEvaluator::retarget`] swaps the costing model in O(m)
+//! while the answer caches survive, and
+//! [`IncrementalEvaluator::update_charge`] splices re-priced charges
+//! in place — instead of rebuilding the problem per epoch
+//! (`crates/bench/benches/horizon.rs` measures the difference;
+//! [`EpochChain::solve_rebuilding`] is the bit-identical rebuild
+//! reference). [`EpochChain::solve_myopic`] is the transition-blind
+//! re-solve-every-period comparator the regression tests beat.
+//!
 //! ```
 //! use mv_select::{fixtures, Scenario};
 //! use mv_units::Money;
@@ -73,6 +91,7 @@
 //! ```
 
 mod bnb;
+pub mod epoch;
 mod evaluator;
 mod exhaustive;
 pub mod fixtures;
@@ -86,6 +105,7 @@ mod solution;
 mod sweep;
 
 pub use bnb::{solve_bnb, solve_bnb_counted, BnbStats};
+pub use epoch::{EpochChain, EpochStep};
 pub use evaluator::IncrementalEvaluator;
 pub use exhaustive::{
     solve_exhaustive, solve_exhaustive_with_threads, MAX_CANDIDATES, PARALLEL_THRESHOLD,

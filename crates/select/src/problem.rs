@@ -91,6 +91,37 @@ impl SelectionProblem {
         self.candidates.len() - 1
     }
 
+    /// Replaces candidate `k`'s charge in place (indices are stable),
+    /// returning the old charge. The replacement must align with the
+    /// model's workload. Used by the epoch chain to re-price a carried
+    /// view at an epoch boundary without disturbing the pool order.
+    pub fn replace_candidate(&mut self, k: usize, charge: ViewCharge) -> ViewCharge {
+        let m = self.model.context().workload.len();
+        assert_eq!(
+            charge.query_times.len(),
+            m,
+            "candidate {} has {} query times for a {}-query workload",
+            charge.name,
+            charge.query_times.len(),
+            m
+        );
+        std::mem::replace(&mut self.candidates[k], charge)
+    }
+
+    /// Swaps in a new costing model over the *same workload shape*: the
+    /// query count must match so every candidate's `query_times` stays
+    /// aligned. Per-query frequencies, base times, pricing, horizon and
+    /// dataset size may all differ — that is exactly what changes between
+    /// epochs of a billing horizon.
+    pub fn set_model(&mut self, model: CloudCostModel) {
+        assert_eq!(
+            model.context().workload.len(),
+            self.model.context().workload.len(),
+            "replacement model must keep the workload length"
+        );
+        self.model = model;
+    }
+
     /// Removes candidate `k` by swapping the last candidate into its slot
     /// (`Vec::swap_remove` semantics — only the last index is renumbered),
     /// returning the removed charge. Selections over the old index space

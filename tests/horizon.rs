@@ -1,0 +1,134 @@
+//! End-to-end multi-epoch horizon: the myopic-vs-chain regression and
+//! the advisor's horizon report guarantees.
+//!
+//! The centerpiece pins the path-dependence claim from `mv_select::
+//! epoch`: on a drifting horizon, re-solving each epoch from scratch
+//! (the "run the single-period advisor every month" policy) churns
+//! views and re-pays materializations the transition-aware chain keeps
+//! sunk, so the chain's horizon total is *strictly* cheaper.
+
+use mvcloud::select::epoch::{horizon_cost, horizon_time};
+use mvcloud::select::fixtures::churn_chain;
+use mvcloud::units::{Money, Months};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, HorizonConfig, Scenario};
+
+#[test]
+fn transition_aware_chain_strictly_beats_myopic_resolving() {
+    // The alternating two-specialist horizon (see
+    // `mv_select::fixtures::churn_chain`): two queries swap hot/cold
+    // every epoch, each with a specialist view behind an 8-hour build.
+    let chain = churn_chain(6);
+    let scenario = Scenario::tradeoff(0.02);
+    let myopic = chain.solve_myopic(scenario);
+    let aware = chain.solve(scenario);
+
+    // The myopic policy really churns: every epoch it adds the hot
+    // specialist afresh (and pays its materialization again).
+    let rebuilds: usize = myopic.iter().map(|s| s.added.len()).sum();
+    assert!(
+        rebuilds >= 6,
+        "myopic re-materialized only {rebuilds} times"
+    );
+    // The chain stops buying builds once both specialists are resident.
+    let chain_builds: usize = aware.iter().map(|s| s.added.len()).sum();
+    assert!(chain_builds <= 2, "chain kept re-buying: {chain_builds}");
+
+    let chain_total = horizon_cost(&aware);
+    let myopic_total = horizon_cost(&myopic);
+    assert!(
+        chain_total < myopic_total,
+        "chain {chain_total} must be strictly cheaper than myopic {myopic_total}"
+    );
+    // On this horizon the chain is faster too: both specialists stay
+    // resident, so both hot and cold queries are always accelerated.
+    assert!(horizon_time(&aware) <= horizon_time(&myopic));
+}
+
+#[test]
+fn advisor_horizon_report_reconciles_end_to_end() {
+    let advisor = Advisor::build(sales_domain(1_500, 5, 10.0, 42), AdvisorConfig::default())
+        .expect("advisor builds");
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let horizon = HorizonConfig {
+        epochs: 12,
+        evolution: mvcloud::lattice::WorkloadEvolution::seasonal(12, 0.9),
+        commitment: Some(mvcloud::pricing::CommitmentPlan::aws_small_1yr()),
+    };
+    let report = advisor.solve_horizon(scenario, &horizon).expect("solves");
+    assert_eq!(report.epochs.len(), 12);
+
+    // Per-epoch: the provider-side invoice equals the chain's charged
+    // prediction, and the charged bill never exceeds full price.
+    let mut cumulative = Money::ZERO;
+    for e in &report.epochs {
+        assert_eq!(e.invoice.total(), e.charged_cost, "epoch {}", e.epoch);
+        assert!(e.charged_cost <= e.full_price_cost, "epoch {}", e.epoch);
+        cumulative += e.charged_cost;
+        assert_eq!(e.cumulative_cost, cumulative, "epoch {}", e.epoch);
+        // Transition bookkeeping partitions the selection.
+        assert_eq!(e.selected.len(), e.added.len() + e.kept.len());
+    }
+    assert_eq!(report.total_cost, cumulative);
+
+    // Epoch 0 carries nothing; every kept view this epoch was selected
+    // in the previous one.
+    assert!(report.epochs[0].kept.is_empty());
+    for w in report.epochs.windows(2) {
+        for kept in &w[1].kept {
+            assert!(w[0].selected.contains(kept));
+        }
+        for dropped in &w[1].dropped {
+            assert!(w[0].selected.contains(dropped));
+        }
+    }
+
+    // The commitment comparison prices exactly the horizon's billed
+    // compute, both ways.
+    let cmp = report.commitment.as_ref().expect("plan supplied");
+    let config = advisor.config();
+    let hourly = config
+        .pricing
+        .compute
+        .instance(&config.instance)
+        .unwrap()
+        .hourly;
+    assert_eq!(
+        cmp.on_demand,
+        hourly.scale(report.billed_instance_hours.value())
+    );
+    let plan = mvcloud::pricing::CommitmentPlan::aws_small_1yr();
+    assert_eq!(
+        cmp.reserved,
+        plan.fleet_horizon_cost(
+            Months::new(12.0),
+            report.billed_instance_hours,
+            config.nb_instances
+        )
+    );
+
+    // The rendered timeline has one row per epoch.
+    let csv = report.timeline_csv();
+    assert_eq!(csv.lines().count(), 13);
+}
+
+#[test]
+fn advisor_chain_never_loses_to_myopic_on_a_seasonal_year() {
+    let advisor = Advisor::build(sales_domain(1_000, 4, 8.0, 7), AdvisorConfig::default())
+        .expect("advisor builds");
+    let scenario = Scenario::tradeoff(0.05);
+    let horizon = HorizonConfig {
+        epochs: 8,
+        evolution: mvcloud::lattice::WorkloadEvolution::seasonal(4, 1.0),
+        commitment: None,
+    };
+    let aware = advisor.solve_horizon(scenario, &horizon).expect("chain");
+    let myopic = advisor
+        .solve_horizon_myopic(scenario, &horizon)
+        .expect("myopic");
+    assert!(
+        aware.total_cost <= myopic.total_cost,
+        "chain {} lost to myopic {}",
+        aware.total_cost,
+        myopic.total_cost
+    );
+}
