@@ -1,0 +1,213 @@
+//! Market sweep: retarget-based price-drift handoff vs rebuilding per
+//! epoch, across K sampled price paths.
+//!
+//! Two shapes, mirroring the horizon bench's machinery/end-to-end
+//! split:
+//!
+//! 1. **price-drift handoff** — one epoch boundary under price dynamics
+//!    alone: `retarget` to the re-priced model plus an `update_charge`
+//!    splice per candidate whose risk-adjusted charge moved (all of
+//!    them: the interruption premium re-risks the whole pool) and one
+//!    snapshot — vs re-pricing the charge vector, building a fresh
+//!    `SelectionProblem` and a fresh evaluator repositioned by O(n)
+//!    flips, and one snapshot.
+//! 2. **K-path sweep** — the `solve_market` hot loop at the `mv-select`
+//!    layer: K sampled spot paths, each solved over an 8-epoch horizon
+//!    by `EpochChain::solve_repriced` (one live evaluator per path) vs
+//!    `solve_repriced_rebuilding_bounded` (fresh problem + evaluator
+//!    every epoch). Identical outcomes (asserted before timing), only
+//!    the state handoff differs.
+//!
+//! The acceptance bar for this PR: warm-start measurably faster than
+//! rebuild in both groups (ratios recorded in ROADMAP.md).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_select::epoch::EpochChain;
+use mv_select::{fixtures, IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
+use mvcloud::cost::InterruptionRisk;
+use mvcloud::market::{MarketPath, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::{CloudCostModel, ViewCharge};
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+/// The streaming/churn hot-path shape: n = 20 candidates, m = 30 queries.
+const QUERIES: usize = 30;
+const CANDIDATES: usize = 20;
+const EPOCHS: usize = 8;
+const PATHS: usize = 8;
+
+/// A volatile discounted spot market over the bench horizon.
+fn spot_market(seed: u64) -> MarketScenario {
+    MarketScenario::constant(EPOCHS, seed)
+        .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4)))
+}
+
+/// Compiles one sampled path into per-epoch models + risks over the
+/// bench problem (the same shape `Advisor::solve_market` builds).
+fn compile_path(
+    problem: &SelectionProblem,
+    path: &MarketPath,
+) -> (Vec<CloudCostModel>, Vec<InterruptionRisk>) {
+    let base = problem.model().context();
+    let models = path
+        .quotes
+        .iter()
+        .map(|q| {
+            let mut ctx = base.clone();
+            ctx.pricing = q.reprice(&base.pricing);
+            ctx.instance = ctx
+                .pricing
+                .compute
+                .instance(&base.instance.name)
+                .expect("bench instance is in the catalog")
+                .clone();
+            CloudCostModel::new(ctx)
+        })
+        .collect();
+    let risks = path
+        .quotes
+        .iter()
+        .map(|q| InterruptionRisk::new(q.interruption))
+        .collect();
+    (models, risks)
+}
+
+fn bench_price_drift_handoff(c: &mut Criterion) {
+    let problem = fixtures::random_problem(41, QUERIES, CANDIDATES);
+    let path = spot_market(7).path(1);
+    let (models, _) = compile_path(&problem, &path);
+    let (model_a, model_b) = (models[0].clone(), models[1].clone());
+    // Alternating interruption regimes: every boundary re-risks the
+    // whole pool (the market worst case — nothing short-circuits).
+    let (risk_a, risk_b) = (InterruptionRisk::new(0.1), InterruptionRisk::new(0.4));
+    let mut selection = SelectionSet::empty(CANDIDATES);
+    for k in (0..CANDIDATES).step_by(2) {
+        selection.set(k, true);
+    }
+    let pool = problem.candidates().to_vec();
+    let mut group = c.benchmark_group(format!("market/price_drift_handoff_n{CANDIDATES}"));
+
+    group.bench_function(BenchmarkId::from_parameter("rebuild_reposition"), |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let (model, risk) = if flip {
+                (&model_b, &risk_b)
+            } else {
+                (&model_a, &risk_a)
+            };
+            let charged: Vec<ViewCharge> = pool
+                .iter()
+                .enumerate()
+                .map(|(k, v)| {
+                    if selection.contains(k) {
+                        risk.adjust(&v.carried())
+                    } else {
+                        risk.adjust(v)
+                    }
+                })
+                .collect();
+            let p = SelectionProblem::new(model.clone(), charged);
+            let ev = IncrementalEvaluator::with_selection(&p, &selection);
+            black_box(ev.snapshot().time.value())
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("warm_start"), |b| {
+        let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+            model_a.clone(),
+            pool.clone(),
+        ));
+        for k in selection.ones() {
+            ev.flip(k);
+        }
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let (model, risk) = if flip {
+                (&model_b, &risk_b)
+            } else {
+                (&model_a, &risk_a)
+            };
+            ev.retarget(model.clone());
+            for (k, v) in pool.iter().enumerate() {
+                let charge = if selection.contains(k) {
+                    risk.adjust(&v.carried())
+                } else {
+                    risk.adjust(v)
+                };
+                ev.update_charge(k, charge);
+            }
+            black_box(ev.snapshot().time.value())
+        })
+    });
+    group.finish();
+}
+
+fn bench_k_path_sweep(c: &mut Criterion) {
+    let problem = fixtures::random_problem(43, QUERIES, CANDIDATES);
+    let market = spot_market(99);
+    let paths: Vec<(EpochChain, Vec<InterruptionRisk>)> = (0..PATHS)
+        .map(|j| {
+            let path = market.path(j);
+            let (models, risks) = compile_path(&problem, &path);
+            (
+                EpochChain::new(models, problem.candidates().to_vec()),
+                risks,
+            )
+        })
+        .collect();
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let budget = 2 * CANDIDATES + 8;
+    // Sanity: warm and rebuild must agree before we time them.
+    for (chain, risks) in &paths {
+        let reprice = |e: usize, _k: usize, v: &ViewCharge| risks[e].adjust(v);
+        let warm = chain.solve_repriced_bounded(scenario, budget, &reprice);
+        let rebuilt = chain.solve_repriced_rebuilding_bounded(scenario, budget, &reprice);
+        for (w, r) in warm.iter().zip(&rebuilt) {
+            assert_eq!(w.outcome.evaluation, r.outcome.evaluation);
+        }
+    }
+    let mut group = c.benchmark_group(format!(
+        "market/k_path_sweep_k{PATHS}_e{EPOCHS}_n{CANDIDATES}"
+    ));
+    group.bench_function(BenchmarkId::from_parameter("rebuild_per_epoch"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (chain, risks) in &paths {
+                let reprice = |e: usize, _k: usize, v: &ViewCharge| risks[e].adjust(v);
+                total += chain
+                    .solve_repriced_rebuilding_bounded(scenario, budget, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("warm_start"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (chain, risks) in &paths {
+                let reprice = |e: usize, _k: usize, v: &ViewCharge| risks[e].adjust(v);
+                total += chain
+                    .solve_repriced_bounded(scenario, budget, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_price_drift_handoff, bench_k_path_sweep
+}
+criterion_main!(benches);

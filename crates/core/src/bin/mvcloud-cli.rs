@@ -8,6 +8,11 @@
 //!                     [--rate R | --factor F | --amplitude A] [--period P]
 //!                     [--queries N] [--rows N] [--commitment]
 //!                     (--budget $X | --time-limit H | --alpha A) [--myopic]
+//! mvcloud-cli market [--epochs N] [--paths K] [--seed S]
+//!                    [--volatility V] [--spot-mean M] [--bid B]
+//!                    [--cut-epoch E] [--cut-factor F] [--decay R]
+//!                    [--queries N] [--rows N] [--commitment]
+//!                    (--budget $X | --time-limit H | --alpha A)
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("advise") => cmd_advise(&args[1..]),
         Some("horizon") => cmd_horizon(&args[1..]),
+        Some("market") => cmd_market(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("pricing") => cmd_pricing(),
         Some("excerpt") => cmd_excerpt(),
@@ -62,6 +68,10 @@ fn print_usage() {
                                (--budget X | --time-limit H | --alpha A)\n\
                                [--period P] [--rate R | --factor F | --amplitude A]\n\
                                [--commitment] [--myopic]\n\
+           mvcloud-cli market [--epochs N] [--paths K] [--seed S] [--volatility V]\n\
+                              [--spot-mean M] [--bid B] [--cut-epoch E] [--cut-factor F]\n\
+                              [--decay R] [--queries N] [--rows N] [--commitment]\n\
+                              (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
@@ -85,7 +95,20 @@ fn print_usage() {
            --period P       burst/seasonal: epochs per cycle     [default 12]\n\
            --commitment     compare on-demand vs reserved compute\n\
            --myopic         re-solve each epoch from scratch (transition-blind)\n\
-         emits the per-epoch timeline as JSON"
+         emits the per-epoch timeline as JSON\n\
+         \n\
+         market flags (plus advise's workload/scenario flags):\n\
+           --epochs N       billing periods in the horizon       [default 12]\n\
+           --paths K        sampled price paths                  [default 16]\n\
+           --seed S         market seed (reproducible paths)     [default 42]\n\
+           --volatility V   spot shock half-width (0 = no spot)  [default 0.3]\n\
+           --spot-mean M    long-run spot compute factor         [default 1.0]\n\
+           --bid B          spot bid factor (risk above it)      [default 1.2]\n\
+           --cut-epoch E    announced compute cut effective at E\n\
+           --cut-factor F   the cut's compute factor             [default 0.8]\n\
+           --decay R        linear storage-rate decline/epoch    [default 0]\n\
+           --commitment     price each path vs a reservation\n\
+         emits the per-epoch quantile timeline as JSON"
     );
 }
 
@@ -275,6 +298,133 @@ fn cmd_horizon(args: &[String]) -> Result<(), String> {
 
     println!("{}", horizon_json(&report, scenario, myopic));
     Ok(())
+}
+
+fn cmd_market(args: &[String]) -> Result<(), String> {
+    use mvcloud::market::{
+        AnnouncedCut, MarketConfig, MarketScenario, PriceProcess, SpotMarket, StorageDecay,
+    };
+    use mvcloud::pricing::CommitmentPlan;
+
+    let mut args: Vec<String> = args.to_vec();
+    let commitment_flag = extract_switch(&mut args, "--commitment");
+    let flags = parse_flags(&args)?;
+    let queries: usize = flags.parse_num("queries", 5)?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let epochs: usize = flags.parse_num("epochs", 12)?;
+    let paths: usize = flags.parse_num("paths", 16)?;
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let volatility: f64 = flags.parse_num("volatility", 0.3)?;
+    let spot_mean: f64 = flags.parse_num("spot-mean", 1.0)?;
+    let bid: f64 = flags.parse_num("bid", 1.2)?;
+    let cut_factor: f64 = flags.parse_num("cut-factor", 0.8)?;
+    let decay: f64 = flags.parse_num("decay", 0.0)?;
+    if !(1..=10).contains(&queries) {
+        return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if epochs == 0 || paths == 0 {
+        return Err("--epochs and --paths must be ≥ 1".to_string());
+    }
+    let scenario = parse_scenario(&flags)?;
+
+    if volatility < 0.0 {
+        return Err("--volatility must be ≥ 0".to_string());
+    }
+    let mut market = MarketScenario::constant(epochs, seed);
+    if volatility > 0.0 || spot_mean != 1.0 {
+        // A zero-volatility spot with a non-unit mean is still a price
+        // regime (a flat discount); only the fully-default case means
+        // "no spot process at all".
+        market = market.with(PriceProcess::Spot(SpotMarket {
+            mean: spot_mean,
+            start: spot_mean,
+            bid,
+            ..SpotMarket::with_volatility(volatility)
+        }));
+    } else if flags.get("bid").is_some() {
+        return Err("--bid needs --volatility > 0 or a non-unit --spot-mean".to_string());
+    }
+    if let Some(e) = flags.get("cut-epoch") {
+        let effective: usize = e.parse().map_err(|_| "--cut-epoch: not an epoch index")?;
+        market = market.with(PriceProcess::Cut(AnnouncedCut::compute(
+            effective, cut_factor,
+        )));
+    } else if flags.get("cut-factor").is_some() {
+        return Err("--cut-factor needs --cut-epoch".to_string());
+    }
+    if decay > 0.0 {
+        market = market.with(PriceProcess::StorageDecay(StorageDecay::new(decay, 0.25)));
+    }
+
+    let domain = sales_domain(rows, queries, 1.0, 42);
+    let advisor = Advisor::build(domain, AdvisorConfig::default()).map_err(|e| e.to_string())?;
+    let config = MarketConfig {
+        market,
+        paths,
+        commitment: commitment_flag.then(CommitmentPlan::aws_small_1yr),
+        ..MarketConfig::default()
+    };
+    let report = advisor
+        .solve_market(scenario, &config)
+        .map_err(|e| e.to_string())?;
+    println!("{}", market_json(&report, scenario, paths));
+    Ok(())
+}
+
+/// Renders a market report's quantile timeline as JSON (hand-rendered,
+/// like [`horizon_json`]).
+fn market_json(report: &mvcloud::MarketReport, scenario: Scenario, paths: usize) -> String {
+    let q = |q: &mvcloud::Quantiles| -> String {
+        format!(
+            "{{\"min\":{:.6},\"p10\":{:.6},\"median\":{:.6},\"p90\":{:.6},\"max\":{:.6},\"mean\":{:.6}}}",
+            q.min, q.p10, q.median, q.p90, q.max, q.mean
+        )
+    };
+    let epochs: Vec<String> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            let modal: Vec<String> = e.modal_selection.iter().map(|n| json_str(n)).collect();
+            format!(
+                "    {{\"epoch\":{},\"charged_cost\":{},\"cumulative_cost\":{},\
+                 \"time_hours\":{},\"compute_factor\":{},\"interruption\":{},\
+                 \"distinct_plans\":{},\"modal_share\":{:.4},\"modal_selection\":[{}]}}",
+                e.epoch,
+                q(&e.charged_cost),
+                q(&e.cumulative_cost),
+                q(&e.time_hours),
+                q(&e.compute_factor),
+                q(&e.interruption),
+                e.distinct_plans,
+                e.modal_share,
+                modal.join(","),
+            )
+        })
+        .collect();
+    let commitment = match &report.commitment {
+        Some(c) => format!(
+            "{{\"plan\":{},\"spot_compute\":{},\"reserved\":{},\"saving\":{},\
+             \"reserved_wins_share\":{:.4}}}",
+            json_str(&c.plan),
+            q(&c.spot_compute),
+            q(&c.reserved),
+            q(&c.saving),
+            c.reserved_wins_share,
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"scenario\":{},\n  \"paths\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+         \"total_cost\":{},\n  \"total_time_hours\":{},\n  \
+         \"plan_stability\":{:.4},\n  \"commitment\":{}\n}}",
+        json_str(scenario.label()),
+        paths,
+        epochs.join(",\n"),
+        q(&report.total_cost),
+        q(&report.total_time_hours),
+        report.plan_stability,
+        commitment,
+    )
 }
 
 /// Renders a horizon report as JSON (the vendored serde is a no-op

@@ -39,6 +39,8 @@ pub enum AdvisorError {
     EmptyWorkload,
     /// A horizon was configured with zero epochs.
     EmptyHorizon,
+    /// A market solve was configured with zero sampled price paths.
+    NoMarketPaths,
 }
 
 impl fmt::Display for AdvisorError {
@@ -63,6 +65,9 @@ impl fmt::Display for AdvisorError {
             }
             AdvisorError::EmptyWorkload => write!(f, "the workload has no queries"),
             AdvisorError::EmptyHorizon => write!(f, "the horizon has no epochs"),
+            AdvisorError::NoMarketPaths => {
+                write!(f, "a market solve needs at least one sampled price path")
+            }
         }
     }
 }

@@ -15,7 +15,7 @@
 //! upfront fee enough hours to amortize — an on-demand vs
 //! reserved-instance comparison over the horizon's billed compute.
 
-use mv_cost::CloudCostModel;
+use mv_cost::{CloudCostModel, ViewCharge};
 use mv_lattice::WorkloadEvolution;
 use mv_pricing::{CommitmentComparison, CommitmentPlan, Invoice, UsageLedger};
 use mv_select::epoch::{horizon_cost, horizon_time, EpochChain, EpochStep};
@@ -204,7 +204,6 @@ impl Advisor {
         steps: Vec<EpochStep>,
     ) -> Result<HorizonReport, AdvisorError> {
         let config = self.config();
-        let rounding = config.pricing.compute.rounding;
         let labels: Vec<String> = self.candidates().iter().map(|m| m.label.clone()).collect();
         let name = |ks: &[usize]| ks.iter().map(|&k| labels[k].clone()).collect::<Vec<_>>();
         let mut epochs = Vec::with_capacity(steps.len());
@@ -217,16 +216,7 @@ impl Advisor {
                 .map_err(AdvisorError::from)?;
             let charged = step.outcome.evaluation.cost();
             cumulative += charged;
-            // Billable instance-hours, rounded per component exactly as
-            // the bill computes them (zero components bill zero).
-            let pool = chain.pool();
-            let maintenance: Hours = step.selection().ones().map(|k| pool[k].maintenance).sum();
-            let materialization: Hours = step.added.iter().map(|&k| pool[k].materialization).sum();
-            for t in [step.outcome.evaluation.time, maintenance, materialization] {
-                if t > Hours::ZERO {
-                    billed += rounding.apply(t) * config.nb_instances as f64;
-                }
-            }
+            billed += self.epoch_billed_instance_hours(chain.pool(), step, 1.0);
             epochs.push(EpochReport {
                 epoch: e,
                 selected: name(&step.selection().ones().collect::<Vec<_>>()),
@@ -275,6 +265,40 @@ impl Advisor {
             billed_instance_hours: billed,
             commitment,
         })
+    }
+
+    /// Billable instance-hours of one solved epoch step — processing,
+    /// the selection's maintenance and the added views'
+    /// materialization, each inflated by `attempts` (1.0 = risk-free),
+    /// rounded per the provider's rule when nonzero (zero components
+    /// bill zero) and fleet-multiplied. Shared by the horizon and
+    /// market reports so the two bill through identical arithmetic
+    /// (the zero-volatility market proptest pins them bit-for-bit).
+    pub(crate) fn epoch_billed_instance_hours(
+        &self,
+        pool: &[ViewCharge],
+        step: &EpochStep,
+        attempts: f64,
+    ) -> Hours {
+        let config = self.config();
+        let rounding = config.pricing.compute.rounding;
+        let maintenance: Hours = step
+            .selection()
+            .ones()
+            .map(|k| pool[k].maintenance * attempts)
+            .sum();
+        let materialization: Hours = step
+            .added
+            .iter()
+            .map(|&k| pool[k].materialization * attempts)
+            .sum();
+        let mut billed = Hours::ZERO;
+        for t in [step.outcome.evaluation.time, maintenance, materialization] {
+            if t > Hours::ZERO {
+                billed += rounding.apply(t) * config.nb_instances as f64;
+            }
+        }
+        billed
     }
 
     /// The provider-side usage ledger for one epoch of a solved

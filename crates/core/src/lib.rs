@@ -12,14 +12,19 @@
 //! * [`pricing`] — tiered CSP pricing, billing simulator, presets;
 //! * [`engine`] — the columnar aggregation engine (the "cluster");
 //! * [`lattice`] — cuboid lattice, size estimation, candidate generation;
-//! * [`cost`] — the paper's cost formulas;
-//! * [`select`] — MV1/MV2/MV3 scenarios and the four solvers.
+//! * [`cost`] — the paper's cost formulas (plus interruption-risk
+//!   charging);
+//! * [`select`] — MV1/MV2/MV3 scenarios and the four solvers;
+//! * [`market`] — cloud price dynamics (spot markets, announced cuts,
+//!   storage decay) and the Monte-Carlo market advisor.
 //!
 //! The [`Advisor`] wires them together — measuring once, then solving a
 //! single period ([`Advisor::solve`]), a lazy candidate stream
-//! ([`Advisor::solve_streaming`]), or a whole multi-epoch billing
+//! ([`Advisor::solve_streaming`]), a whole multi-epoch billing
 //! horizon with drifting workloads and transition-aware carry-over
-//! ([`Advisor::solve_horizon`], [`horizon`]):
+//! ([`Advisor::solve_horizon`], [`horizon`]), or that same horizon
+//! against `K` sampled price trajectories with risk-adjusted charging
+//! and quantile envelopes ([`Advisor::solve_market`], [`market`]):
 //!
 //! ```
 //! use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
@@ -40,6 +45,7 @@ mod advisor;
 mod domain;
 mod error;
 pub mod horizon;
+pub mod market;
 pub mod report;
 pub mod whatif;
 
@@ -50,6 +56,10 @@ pub use advisor::{
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
 pub use horizon::{EpochReport, HorizonConfig, HorizonReport};
+pub use market::{
+    MarketConfig, MarketEpochReport, MarketPathSummary, MarketReport, Quantiles,
+    SpotCommitmentReport,
+};
 
 // Re-export the sub-crates under stable names.
 pub use mv_cost as cost;

@@ -1,0 +1,706 @@
+//! Market-aware advising: solve the horizon against sampled price
+//! trajectories instead of a frozen price sheet.
+//!
+//! [`Advisor::solve_horizon`] already re-bills a measured workload over
+//! a multi-epoch horizon — but with one pricing policy for every epoch.
+//! [`Advisor::solve_market`] replaces that constant with an
+//! [`mv_market::MarketScenario`]: a stack of price processes (spot
+//! swings, announced cuts, storage decay) sampled into `K` reproducible
+//! price paths. Each path compiles into its own epoch-aligned sequence
+//! of [`CloudCostModel`]s (per-epoch re-priced policies) plus per-epoch
+//! interruption probabilities, and the transition-aware chain solves it
+//! with **risk-adjusted charging**: every candidate's
+//! materialization/maintenance charge is inflated by its expected
+//! re-run count under interruption ([`InterruptionRisk`]), spliced into
+//! the live evaluator through the O(m) `retarget`/`update_charge`
+//! primitives — one evaluator per path for the whole horizon, never a
+//! per-epoch rebuild (asserted via
+//! `IncrementalEvaluator::build_count` in `tests/market_no_rebuild.rs`).
+//!
+//! Paths fan out across threads like the existing sweeps (contiguous
+//! chunks, results merged in path order, so the report is identical for
+//! any thread count). The result is a Monte-Carlo envelope rather than
+//! a single bill: per-epoch cost quantiles, plan stability (how often
+//! the selected set agrees across paths), and a reserved-vs-spot
+//! commitment comparison priced per path.
+
+// The price-dynamics vocabulary, re-exported so downstream users reach
+// everything through `mvcloud::market::*`.
+pub use mv_market::{
+    AnnouncedCut, EpochQuote, MarketPath, MarketScenario, PriceFactors, PriceProcess, PriceTrace,
+    ProcessQuote, SpotMarket, StorageDecay,
+};
+
+use std::collections::HashMap;
+
+use mv_cost::{CloudCostModel, InterruptionRisk, SelectionSet};
+use mv_lattice::WorkloadEvolution;
+use mv_pricing::CommitmentPlan;
+use mv_select::epoch::{EpochChain, EpochStep};
+use mv_select::Scenario;
+use mv_units::{Hours, Money};
+use serde::Serialize;
+
+use crate::{Advisor, AdvisorError, HorizonConfig};
+
+/// Shape of a market-aware Monte-Carlo solve.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// The price-dynamics scenario (horizon length, seed, processes).
+    pub market: MarketScenario,
+    /// Number of sampled price paths `K`.
+    pub paths: usize,
+    /// How query frequencies evolve across epochs (composes with the
+    /// price dynamics; [`WorkloadEvolution::fixed`] isolates the price
+    /// effect).
+    pub evolution: WorkloadEvolution,
+    /// Optional reserved-capacity plan to price each path's compute
+    /// against (must target the advisor's instance type).
+    pub commitment: Option<CommitmentPlan>,
+}
+
+impl Default for MarketConfig {
+    /// 16 paths over a year of constant prices (seed 42), fixed
+    /// workload, no reservation.
+    fn default() -> Self {
+        MarketConfig {
+            market: MarketScenario::constant(12, 42),
+            paths: 16,
+            evolution: WorkloadEvolution::fixed(),
+            commitment: None,
+        }
+    }
+}
+
+/// Distribution summary of one per-path metric (nearest-rank
+/// quantiles over the K sampled paths).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Quantiles {
+    /// Smallest sampled value.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Quantiles {
+    /// Summarizes `values` (must be non-empty).
+    pub fn of(values: &[f64]) -> Quantiles {
+        assert!(!values.is_empty(), "quantiles need at least one sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+        let rank = |p: f64| -> f64 {
+            // Nearest-rank: the smallest value with at least p·K samples
+            // at or below it.
+            let k = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        Quantiles {
+            min: sorted[0],
+            p10: rank(0.10),
+            median: rank(0.50),
+            p90: rank(0.90),
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+
+    /// The p90 − p10 spread (0 for a deterministic market).
+    pub fn spread(&self) -> f64 {
+        self.p90 - self.p10
+    }
+}
+
+/// One epoch of the Monte-Carlo envelope.
+#[derive(Debug, Clone, Serialize)]
+pub struct MarketEpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Transition-aware charged cost across paths, in dollars.
+    pub charged_cost: Quantiles,
+    /// Running cumulative bill across paths, in dollars.
+    pub cumulative_cost: Quantiles,
+    /// Frequency-weighted processing hours across paths.
+    pub time_hours: Quantiles,
+    /// The sampled compute price factor across paths.
+    pub compute_factor: Quantiles,
+    /// The per-epoch interruption probability across paths.
+    pub interruption: Quantiles,
+    /// How many distinct selected sets the paths chose this epoch.
+    pub distinct_plans: usize,
+    /// Share of paths choosing the most common selected set (1.0 =
+    /// every path agrees).
+    pub modal_share: f64,
+    /// Labels of that most common selected set.
+    pub modal_selection: Vec<String>,
+}
+
+/// Per-path accounting of one sampled trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct MarketPathSummary {
+    /// Path index (aligned with [`MarketScenario::path`]).
+    pub path: usize,
+    /// Total charged cost along the path.
+    pub total_cost: Money,
+    /// Total processing hours along the path.
+    pub total_time: Hours,
+    /// Total billable instance-hours (per-component rounding applied,
+    /// fleet-multiplied, risk-adjusted work included).
+    pub billed_instance_hours: Hours,
+    /// The compute component of the path's bill, at the path's sampled
+    /// (spot) prices.
+    pub compute_bill: Money,
+    /// Epoch boundaries at which the selected set changed.
+    pub switches: usize,
+    /// Sampled interruption events along the path.
+    pub interruptions: usize,
+    /// Per-epoch charged cost.
+    pub epoch_costs: Vec<Money>,
+    /// Per-epoch selected sets.
+    pub selections: Vec<SelectionSet>,
+}
+
+/// Reserved-vs-spot pricing of the horizon's compute, across paths.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpotCommitmentReport {
+    /// The plan's name.
+    pub plan: String,
+    /// Per-path compute bill at the sampled spot prices, in dollars.
+    pub spot_compute: Quantiles,
+    /// Per-path cost of covering the same billed hours with the
+    /// reservation (upfronts + discounted rate), in dollars.
+    pub reserved: Quantiles,
+    /// Per-path saving of reserving over riding the spot market
+    /// (positive = the reservation wins), in dollars.
+    pub saving: Quantiles,
+    /// Share of paths on which the reservation was cheaper.
+    pub reserved_wins_share: f64,
+}
+
+/// The Monte-Carlo envelope of a market-aware horizon solve.
+#[derive(Debug, Clone, Serialize)]
+pub struct MarketReport {
+    /// Per-path accounting, in path order.
+    pub paths: Vec<MarketPathSummary>,
+    /// The per-epoch quantile timeline.
+    pub epochs: Vec<MarketEpochReport>,
+    /// Total charged cost across paths, in dollars.
+    pub total_cost: Quantiles,
+    /// Total processing hours across paths.
+    pub total_time_hours: Quantiles,
+    /// Mean modal share across epochs: 1.0 means the plan is immune to
+    /// the sampled price dynamics, lower values mean the money-optimal
+    /// selection genuinely depends on the price path.
+    pub plan_stability: f64,
+    /// Reserved-vs-spot comparison, when a plan was supplied.
+    pub commitment: Option<SpotCommitmentReport>,
+}
+
+impl MarketReport {
+    /// Renders the quantile timeline as CSV (one row per epoch).
+    pub fn timeline_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                vec![
+                    e.epoch.to_string(),
+                    format!("{:.6}", e.charged_cost.p10),
+                    format!("{:.6}", e.charged_cost.median),
+                    format!("{:.6}", e.charged_cost.p90),
+                    format!("{:.6}", e.cumulative_cost.median),
+                    format!("{:.6}", e.time_hours.median),
+                    format!("{:.6}", e.compute_factor.mean),
+                    format!("{:.6}", e.interruption.mean),
+                    e.distinct_plans.to_string(),
+                    format!("{:.4}", e.modal_share),
+                ]
+            })
+            .collect();
+        crate::report::render_csv(
+            &[
+                "epoch",
+                "cost_p10",
+                "cost_median",
+                "cost_p90",
+                "cumulative_median",
+                "time_median",
+                "compute_factor_mean",
+                "interruption_mean",
+                "distinct_plans",
+                "modal_share",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Advisor {
+    /// The per-epoch costing models one sampled price path induces: the
+    /// evolution-reweighted workload of [`Advisor::epoch_models`], with
+    /// each epoch's pricing re-priced by the path's quote. Unit quotes
+    /// reproduce the base models bit-for-bit.
+    pub fn market_epoch_models(
+        &self,
+        path: &MarketPath,
+        evolution: &WorkloadEvolution,
+    ) -> Vec<CloudCostModel> {
+        let horizon = HorizonConfig {
+            epochs: path.quotes.len(),
+            evolution: *evolution,
+            commitment: None,
+        };
+        let base_pricing = &self.config().pricing;
+        self.epoch_models(&horizon)
+            .into_iter()
+            .zip(&path.quotes)
+            .map(|(model, quote)| {
+                let mut ctx = model.context().clone();
+                ctx.pricing = quote.reprice(base_pricing);
+                // The context embeds the *resolved* instance (Formula 4
+                // prices through `ctx.instance.hourly`), so the rented
+                // configuration must be re-resolved from the re-priced
+                // catalog or compute drift would never reach the bill.
+                ctx.instance = ctx
+                    .pricing
+                    .compute
+                    .instance(&self.config().instance)
+                    .expect("advisor instance validated at build")
+                    .clone();
+                CloudCostModel::new(ctx)
+            })
+            .collect()
+    }
+
+    /// Solves the horizon across `K` sampled price paths and reports
+    /// the Monte-Carlo envelope. See the module docs for semantics; the
+    /// per-path hot loop is one warm-started
+    /// [`EpochChain::solve_repriced`] with risk-adjusted charges.
+    pub fn solve_market(
+        &self,
+        scenario: Scenario,
+        config: &MarketConfig,
+    ) -> Result<MarketReport, AdvisorError> {
+        if config.market.epochs == 0 {
+            return Err(AdvisorError::EmptyHorizon);
+        }
+        if config.paths == 0 {
+            return Err(AdvisorError::NoMarketPaths);
+        }
+        if let Some(plan) = &config.commitment {
+            if plan.instance != self.config().instance {
+                return Err(AdvisorError::CommitmentMismatch {
+                    plan: plan.name.clone(),
+                    plan_instance: plan.instance.clone(),
+                    advisor_instance: self.config().instance.clone(),
+                });
+            }
+        }
+
+        // A deterministic market makes every path identical: solve path
+        // 0 once and replicate, so "16 paths of constant prices" costs
+        // one chain solve (the quantiles then collapse, as they should).
+        let distinct = if config.market.is_stochastic() {
+            config.paths
+        } else {
+            1
+        };
+        let solved = self.solve_market_paths(scenario, config, distinct);
+        let mut paths = Vec::with_capacity(config.paths);
+        for j in 0..config.paths {
+            let mut p = solved[j.min(distinct - 1)].clone();
+            p.summary.path = j;
+            if j >= distinct {
+                // Factors and probabilities are path-independent here
+                // (that is what allowed the dedup), but interruption
+                // *events* are Bernoulli-sampled per path — re-derive
+                // the replica's own quotes so event reporting matches
+                // what `MarketScenario::path(j)` returns.
+                p.path = config.market.path(j);
+            }
+            paths.push(p);
+        }
+        Ok(self.render_market(scenario, config, paths))
+    }
+
+    /// Solves the first `distinct` paths, fanned out across threads in
+    /// contiguous chunks and merged in path order (identical results
+    /// for any thread count).
+    fn solve_market_paths(
+        &self,
+        scenario: Scenario,
+        config: &MarketConfig,
+        distinct: usize,
+    ) -> Vec<SolvedPath> {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |t| t.get())
+            .min(distinct);
+        let solve = |j: usize| -> SolvedPath { self.solve_market_path(scenario, config, j) };
+        if threads <= 1 {
+            return (0..distinct).map(solve).collect();
+        }
+        let chunk = distinct.div_ceil(threads);
+        let solve = &solve;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(distinct);
+                    (lo < hi).then(|| scope.spawn(move |_| (lo..hi).map(solve).collect::<Vec<_>>()))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("market path worker panicked"))
+                .collect()
+        })
+        .expect("market sweep scope failed")
+    }
+
+    /// Solves one sampled path: compile models, risk-adjust charges,
+    /// run the warm-started chain, account the result.
+    fn solve_market_path(&self, scenario: Scenario, config: &MarketConfig, j: usize) -> SolvedPath {
+        let path = config.market.path(j);
+        let models = self.market_epoch_models(&path, &config.evolution);
+        let risks: Vec<InterruptionRisk> = path
+            .quotes
+            .iter()
+            .map(|q| InterruptionRisk::new(q.interruption))
+            .collect();
+        let pool = self.problem().candidates().to_vec();
+        let chain = EpochChain::new(models, pool);
+        // The sampled-path hot loop: ONE evaluator per path, re-risked
+        // and re-priced per epoch through retarget/update_charge. The
+        // risk transform only moves materialization/maintenance, so
+        // every splice takes update_charge's O(1) same-answer fast path.
+        let steps =
+            chain.solve_repriced(scenario, &|e, _k, transition| risks[e].adjust(transition));
+        let summary = self.account_path(j, &chain, &steps, &risks);
+        SolvedPath {
+            summary,
+            path,
+            steps,
+        }
+    }
+
+    /// Per-path accounting: totals, billable hours (risk-adjusted work,
+    /// per-component rounding, fleet-multiplied) and plan churn.
+    fn account_path(
+        &self,
+        j: usize,
+        chain: &EpochChain,
+        steps: &[EpochStep],
+        risks: &[InterruptionRisk],
+    ) -> MarketPathSummary {
+        let pool = chain.pool();
+        let mut billed = Hours::ZERO;
+        let mut compute_bill = Money::ZERO;
+        let mut switches = 0;
+        let mut epoch_costs = Vec::with_capacity(steps.len());
+        let mut selections = Vec::with_capacity(steps.len());
+        for (e, step) in steps.iter().enumerate() {
+            // Billable hours include the risk premium: interrupted
+            // build/refresh work re-runs, and the re-runs bill too.
+            billed += self.epoch_billed_instance_hours(pool, step, risks[e].expected_attempts());
+            compute_bill += step.outcome.evaluation.breakdown.compute();
+            if e > 0 && !(step.added.is_empty() && step.dropped.is_empty()) {
+                switches += 1;
+            }
+            epoch_costs.push(step.outcome.evaluation.cost());
+            selections.push(step.selection().clone());
+        }
+        MarketPathSummary {
+            path: j,
+            total_cost: epoch_costs.iter().copied().sum(),
+            total_time: steps.iter().map(|s| s.outcome.evaluation.time).sum(),
+            billed_instance_hours: billed,
+            compute_bill,
+            switches,
+            interruptions: 0, // filled by the caller from the sampled path
+            epoch_costs,
+            selections,
+        }
+    }
+
+    /// Aggregates solved paths into the quantile envelope.
+    fn render_market(
+        &self,
+        _scenario: Scenario,
+        config: &MarketConfig,
+        mut solved: Vec<SolvedPath>,
+    ) -> MarketReport {
+        let epochs = config.market.epochs;
+        let labels: Vec<String> = self.candidates().iter().map(|m| m.label.clone()).collect();
+        for s in &mut solved {
+            s.summary.interruptions = s.path.interruptions();
+        }
+
+        let mut epoch_reports = Vec::with_capacity(epochs);
+        let mut cumulative: Vec<f64> = vec![0.0; solved.len()];
+        let mut stability_sum = 0.0;
+        for e in 0..epochs {
+            let costs: Vec<f64> = solved
+                .iter()
+                .map(|s| s.summary.epoch_costs[e].to_dollars_f64())
+                .collect();
+            for (c, s) in cumulative.iter_mut().zip(&solved) {
+                *c += s.summary.epoch_costs[e].to_dollars_f64();
+            }
+            let times: Vec<f64> = solved
+                .iter()
+                .map(|s| s.steps[e].outcome.evaluation.time.value())
+                .collect();
+            let factors: Vec<f64> = solved
+                .iter()
+                .map(|s| s.path.quotes[e].factors.compute)
+                .collect();
+            let probs: Vec<f64> = solved
+                .iter()
+                .map(|s| s.path.quotes[e].interruption)
+                .collect();
+            let mut plans: HashMap<&SelectionSet, usize> = HashMap::new();
+            for s in &solved {
+                *plans.entry(&s.summary.selections[e]).or_insert(0) += 1;
+            }
+            let (modal_set, modal_count) = plans
+                .iter()
+                .max_by_key(|(_, &count)| count)
+                .map(|(set, &count)| (*set, count))
+                .expect("at least one path");
+            let modal_share = modal_count as f64 / solved.len() as f64;
+            stability_sum += modal_share;
+            epoch_reports.push(MarketEpochReport {
+                epoch: e,
+                charged_cost: Quantiles::of(&costs),
+                cumulative_cost: Quantiles::of(&cumulative),
+                time_hours: Quantiles::of(&times),
+                compute_factor: Quantiles::of(&factors),
+                interruption: Quantiles::of(&probs),
+                distinct_plans: plans.len(),
+                modal_share,
+                modal_selection: modal_set.ones().map(|k| labels[k].clone()).collect(),
+            });
+        }
+
+        let totals: Vec<f64> = solved
+            .iter()
+            .map(|s| s.summary.total_cost.to_dollars_f64())
+            .collect();
+        let total_times: Vec<f64> = solved
+            .iter()
+            .map(|s| s.summary.total_time.value())
+            .collect();
+        let commitment = config.commitment.as_ref().map(|plan| {
+            let total_months = self.config().months * epochs as f64;
+            let spot: Vec<f64> = solved
+                .iter()
+                .map(|s| s.summary.compute_bill.to_dollars_f64())
+                .collect();
+            let reserved: Vec<f64> = solved
+                .iter()
+                .map(|s| {
+                    plan.fleet_horizon_cost(
+                        total_months,
+                        s.summary.billed_instance_hours,
+                        self.config().nb_instances,
+                    )
+                    .to_dollars_f64()
+                })
+                .collect();
+            let saving: Vec<f64> = spot.iter().zip(&reserved).map(|(s, r)| s - r).collect();
+            let wins = saving.iter().filter(|&&d| d > 0.0).count();
+            SpotCommitmentReport {
+                plan: plan.name.clone(),
+                spot_compute: Quantiles::of(&spot),
+                reserved: Quantiles::of(&reserved),
+                saving: Quantiles::of(&saving),
+                reserved_wins_share: wins as f64 / solved.len() as f64,
+            }
+        });
+        MarketReport {
+            paths: solved.into_iter().map(|s| s.summary).collect(),
+            epochs: epoch_reports,
+            total_cost: Quantiles::of(&totals),
+            total_time_hours: Quantiles::of(&total_times),
+            plan_stability: stability_sum / epochs as f64,
+            commitment,
+        }
+    }
+}
+
+/// One solved path: the sampled quotes, the chain steps, and the
+/// rendered summary.
+#[derive(Debug, Clone)]
+struct SolvedPath {
+    summary: MarketPathSummary,
+    path: MarketPath,
+    steps: Vec<EpochStep>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sales_domain, AdvisorConfig};
+    use mv_market::{AnnouncedCut, PriceProcess, SpotMarket};
+
+    fn advisor() -> Advisor {
+        Advisor::build(sales_domain(1_000, 4, 5.0, 42), AdvisorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn constant_market_collapses_quantiles_to_the_horizon_solve() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let config = MarketConfig {
+            market: MarketScenario::constant(4, 7),
+            paths: 16,
+            ..MarketConfig::default()
+        };
+        let report = a.solve_market(scenario, &config).unwrap();
+        let horizon = a
+            .solve_horizon(
+                scenario,
+                &HorizonConfig {
+                    epochs: 4,
+                    ..HorizonConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.paths.len(), 16);
+        assert_eq!(report.epochs.len(), 4);
+        assert_eq!(report.plan_stability, 1.0);
+        for (e, er) in report.epochs.iter().enumerate() {
+            let expected = horizon.epochs[e].charged_cost.to_dollars_f64();
+            assert_eq!(er.charged_cost.min, expected, "epoch {e}");
+            assert_eq!(er.charged_cost.max, expected, "epoch {e}");
+            assert_eq!(er.charged_cost.spread(), 0.0, "epoch {e}");
+            assert_eq!(er.distinct_plans, 1);
+            assert_eq!(er.interruption.max, 0.0);
+        }
+        for p in &report.paths {
+            assert_eq!(p.total_cost, horizon.total_cost);
+            assert_eq!(p.billed_instance_hours, horizon.billed_instance_hours);
+        }
+    }
+
+    #[test]
+    fn announced_cut_lowers_the_tail_of_the_bill() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let base = MarketConfig {
+            market: MarketScenario::constant(6, 1),
+            paths: 4,
+            ..MarketConfig::default()
+        };
+        let cut = MarketConfig {
+            market: MarketScenario::constant(6, 1)
+                .with(PriceProcess::Cut(AnnouncedCut::compute(3, 0.5))),
+            paths: 4,
+            ..MarketConfig::default()
+        };
+        let flat = a.solve_market(scenario, &base).unwrap();
+        let with_cut = a.solve_market(scenario, &cut).unwrap();
+        // Before the cut takes effect the bills agree; after, the cut
+        // path is never dearer.
+        for e in 0..3 {
+            assert_eq!(
+                flat.epochs[e].charged_cost.median,
+                with_cut.epochs[e].charged_cost.median
+            );
+        }
+        for e in 3..6 {
+            assert!(with_cut.epochs[e].charged_cost.median <= flat.epochs[e].charged_cost.median);
+        }
+        assert!(with_cut.total_cost.median < flat.total_cost.median);
+    }
+
+    #[test]
+    fn stochastic_spot_spreads_the_envelope_reproducibly() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let config = MarketConfig {
+            market: MarketScenario::constant(6, 99)
+                .with(PriceProcess::Spot(SpotMarket::with_volatility(0.5))),
+            paths: 16,
+            ..MarketConfig::default()
+        };
+        let r1 = a.solve_market(scenario, &config).unwrap();
+        let r2 = a.solve_market(scenario, &config).unwrap();
+        // Reproducible bit-for-bit from the seed.
+        assert_eq!(r1.total_cost, r2.total_cost);
+        assert_eq!(r1.plan_stability, r2.plan_stability);
+        // Volatility genuinely spreads the per-epoch envelope somewhere.
+        assert!(r1.epochs.iter().any(|e| e.charged_cost.spread() > 0.0));
+        // Quantiles are ordered.
+        for e in &r1.epochs {
+            assert!(e.charged_cost.min <= e.charged_cost.p10);
+            assert!(e.charged_cost.p10 <= e.charged_cost.median);
+            assert!(e.charged_cost.median <= e.charged_cost.p90);
+            assert!(e.charged_cost.p90 <= e.charged_cost.max);
+        }
+        let csv = r1.timeline_csv();
+        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.starts_with("epoch,cost_p10"));
+    }
+
+    #[test]
+    fn commitment_comparison_prices_each_path() {
+        let a = advisor();
+        let config = MarketConfig {
+            market: MarketScenario::constant(12, 3)
+                .with(PriceProcess::Spot(SpotMarket::discounted(0.4, 0.3))),
+            paths: 16,
+            commitment: Some(mv_pricing::CommitmentPlan::aws_small_1yr()),
+            ..MarketConfig::default()
+        };
+        let report = a
+            .solve_market(Scenario::tradeoff_normalized(0.5), &config)
+            .unwrap();
+        let cmp = report.commitment.expect("plan supplied");
+        assert!(cmp.spot_compute.min > 0.0);
+        assert!(cmp.reserved.min > 0.0);
+        assert!((0.0..=1.0).contains(&cmp.reserved_wins_share));
+        // At a deep average spot discount the spot market usually beats
+        // the (on-demand-anchored) reservation.
+        assert!(cmp.saving.median < 0.0);
+    }
+
+    #[test]
+    fn degenerate_configs_are_errors() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let zero_paths = MarketConfig {
+            paths: 0,
+            ..MarketConfig::default()
+        };
+        assert!(matches!(
+            a.solve_market(scenario, &zero_paths),
+            Err(AdvisorError::NoMarketPaths)
+        ));
+        let zero_epochs = MarketConfig {
+            market: MarketScenario::constant(0, 1),
+            ..MarketConfig::default()
+        };
+        assert!(matches!(
+            a.solve_market(scenario, &zero_epochs),
+            Err(AdvisorError::EmptyHorizon)
+        ));
+        let mut plan = mv_pricing::CommitmentPlan::aws_small_1yr();
+        plan.instance = "large".to_string();
+        let mismatch = MarketConfig {
+            commitment: Some(plan),
+            ..MarketConfig::default()
+        };
+        assert!(matches!(
+            a.solve_market(scenario, &mismatch),
+            Err(AdvisorError::CommitmentMismatch { .. })
+        ));
+    }
+}

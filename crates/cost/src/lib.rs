@@ -30,11 +30,13 @@
 mod breakdown;
 mod model;
 mod params;
+mod risk;
 mod selection;
 
 pub use breakdown::CostBreakdown;
 pub use model::CloudCostModel;
 pub use params::{CostContext, QueryCharge, ViewCharge};
+pub use risk::{InterruptionRisk, MAX_INTERRUPTION};
 pub use selection::SelectionSet;
 
 /// Historical alias: selections were `Vec<bool>` before the bitset.

@@ -1,0 +1,141 @@
+//! Risk-adjusted view charging under spot interruption.
+//!
+//! The paper's formulas assume the rented instances survive the whole
+//! billing period. Spot markets break that assumption: the provider can
+//! reclaim capacity mid-epoch, and work that was running — a view build,
+//! a refresh — must be re-run when capacity returns. A view's *expected*
+//! materialization charge under interruption is therefore higher than
+//! its nominal one, and a money-optimal selection should see that
+//! premium before committing to a build.
+//!
+//! [`InterruptionRisk`] models the classic retry process: an attempt
+//! survives the epoch with probability `1 − p`, an interrupted attempt
+//! is re-run from scratch, so the expected number of attempts is the
+//! geometric mean `1 / (1 − p)`. [`InterruptionRisk::adjust`] inflates a
+//! [`ViewCharge`]'s materialization and maintenance times by that
+//! factor — the two charges that buy *re-runnable work* — while size and
+//! the per-query answer times are untouched (stored bytes and query
+//! speedups are not lost to an interruption).
+//!
+//! Two properties the multi-epoch market machinery leans on:
+//!
+//! * **zero risk is the exact identity** — `adjust` at `p == 0` returns
+//!   a clone, bit for bit, so a zero-volatility market scenario
+//!   reproduces the risk-free horizon solve exactly (property-tested in
+//!   `tests/market.rs` at the workspace root);
+//! * **the answer profile never changes** — only `materialization` and
+//!   `maintenance` move, which is precisely the O(1) fast path of
+//!   `mv-select`'s `IncrementalEvaluator::update_charge`: re-risking a
+//!   whole pool at an epoch boundary costs one in-place splice per
+//!   candidate, no answer-table rebuilds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ViewCharge;
+
+/// Largest admissible per-epoch interruption probability, shared with
+/// the quoting side in `mv-market` via `mv-units`. Probabilities are
+/// clamped here so the geometric expected-attempt factor stays finite.
+pub use mv_units::MAX_INTERRUPTION;
+
+/// Per-epoch interruption risk: the probability that the fleet is
+/// reclaimed mid-epoch and in-flight build/refresh work must re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterruptionRisk {
+    probability: f64,
+}
+
+impl InterruptionRisk {
+    /// No interruption: every adjustment is the exact identity.
+    pub const NONE: InterruptionRisk = InterruptionRisk { probability: 0.0 };
+
+    /// Builds a risk from a probability, clamping to
+    /// `[0, MAX_INTERRUPTION]`. Non-finite input is treated as zero.
+    pub fn new(probability: f64) -> Self {
+        let p = if probability.is_finite() {
+            probability.clamp(0.0, MAX_INTERRUPTION)
+        } else {
+            0.0
+        };
+        InterruptionRisk { probability: p }
+    }
+
+    /// The clamped interruption probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Expected number of attempts until a build/refresh survives the
+    /// epoch: `1 / (1 − p)` (geometric). `1.0` exactly at zero risk.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.probability)
+    }
+
+    /// The risk-adjusted charge: materialization and maintenance times
+    /// inflated by [`InterruptionRisk::expected_attempts`]; size and
+    /// answer times unchanged. At zero risk this returns a bit-identical
+    /// clone (no float multiply touches the charge at all).
+    pub fn adjust(&self, charge: &ViewCharge) -> ViewCharge {
+        if self.probability == 0.0 {
+            return charge.clone();
+        }
+        let attempts = self.expected_attempts();
+        ViewCharge {
+            materialization: charge.materialization * attempts,
+            maintenance: charge.maintenance * attempts,
+            ..charge.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_units::{Gb, Hours};
+
+    fn charge() -> ViewCharge {
+        ViewCharge::new("v", Gb::new(2.0), Hours::new(4.0), Hours::new(0.5), 2)
+            .answers(1, Hours::new(0.25))
+    }
+
+    #[test]
+    fn zero_risk_is_bit_identity() {
+        let c = charge();
+        assert_eq!(InterruptionRisk::NONE.adjust(&c), c);
+        assert_eq!(InterruptionRisk::new(0.0).adjust(&c), c);
+        assert_eq!(InterruptionRisk::new(-3.0).adjust(&c), c);
+        assert_eq!(InterruptionRisk::new(f64::NAN).adjust(&c), c);
+        assert_eq!(InterruptionRisk::NONE.expected_attempts(), 1.0);
+    }
+
+    #[test]
+    fn geometric_inflation_hits_build_and_refresh_only() {
+        let c = charge();
+        let risk = InterruptionRisk::new(0.5);
+        assert_eq!(risk.expected_attempts(), 2.0);
+        let adjusted = risk.adjust(&c);
+        assert_eq!(adjusted.materialization, Hours::new(8.0));
+        assert_eq!(adjusted.maintenance, Hours::new(1.0));
+        assert_eq!(adjusted.size, c.size);
+        assert_eq!(adjusted.query_times, c.query_times);
+        assert_eq!(adjusted.name, c.name);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        assert_eq!(InterruptionRisk::new(2.0).probability(), MAX_INTERRUPTION);
+        assert_eq!(InterruptionRisk::new(-1.0).probability(), 0.0);
+        assert!(InterruptionRisk::new(1.0).expected_attempts().is_finite());
+    }
+
+    #[test]
+    fn monotone_in_probability() {
+        let c = charge();
+        let mut prev = Hours::ZERO;
+        for p in [0.0, 0.1, 0.3, 0.6, 0.9] {
+            let adj = InterruptionRisk::new(p).adjust(&c);
+            assert!(adj.materialization >= prev, "p={p}");
+            prev = adj.materialization;
+        }
+    }
+}

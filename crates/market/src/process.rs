@@ -1,0 +1,423 @@
+//! Composable price processes.
+//!
+//! Each process describes one force acting on a provider's price sheet
+//! over a billing horizon — a replayed historical trace, an announced
+//! price cut, the secular decline of storage rates, a fluctuating spot
+//! market. A process samples a whole horizon at once
+//! ([`PriceProcess::sample`]): per epoch it yields a [`PriceFactors`]
+//! multiplier triple plus an interruption probability, and a
+//! [`crate::MarketScenario`] multiplies the factors of its whole
+//! process stack together (probabilities combine as independent
+//! hazards).
+//!
+//! Everything is reproducible from an explicit seed: stochastic
+//! processes draw from the seeded generator they are handed, in a fixed
+//! order; deterministic processes ignore it (and consume no draws, so
+//! adding a deterministic process never perturbs a stochastic one's
+//! stream).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::MAX_INTERRUPTION;
+
+/// Multiplicative factors applied to the three billed components of a
+/// pricing policy for one epoch. `1.0` everywhere is the identity (and
+/// re-pricing through it is bit-exact, see
+/// `mv_pricing::PricingPolicy::scale_rates`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceFactors {
+    /// Instance-hour rate multiplier.
+    pub compute: f64,
+    /// $/GB-month storage rate multiplier.
+    pub storage: f64,
+    /// Transfer rate multiplier.
+    pub transfer: f64,
+}
+
+impl PriceFactors {
+    /// The identity: base prices unchanged.
+    pub const UNIT: PriceFactors = PriceFactors {
+        compute: 1.0,
+        storage: 1.0,
+        transfer: 1.0,
+    };
+
+    /// Component-wise product (stacked processes compose
+    /// multiplicatively).
+    pub fn combine(self, other: PriceFactors) -> PriceFactors {
+        PriceFactors {
+            compute: self.compute * other.compute,
+            storage: self.storage * other.storage,
+            transfer: self.transfer * other.transfer,
+        }
+    }
+
+    /// `true` when every factor is exactly `1.0`.
+    pub fn is_unit(self) -> bool {
+        self == PriceFactors::UNIT
+    }
+}
+
+/// One epoch of one process's output: price factors plus the epoch's
+/// interruption probability under that process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessQuote {
+    /// Multiplicative price factors for the epoch.
+    pub factors: PriceFactors,
+    /// Probability that the fleet is interrupted mid-epoch (0 for
+    /// everything but spot capacity).
+    pub interruption: f64,
+}
+
+impl ProcessQuote {
+    /// The do-nothing quote.
+    pub const UNIT: ProcessQuote = ProcessQuote {
+        factors: PriceFactors::UNIT,
+        interruption: 0.0,
+    };
+}
+
+/// A deterministic per-epoch factor trace (replayed history, a what-if
+/// schedule, a regulator-mandated price path). Traces shorter than the
+/// horizon hold their last value; empty traces are the identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTrace {
+    /// Per-epoch compute factors.
+    pub compute: Vec<f64>,
+    /// Per-epoch storage factors.
+    pub storage: Vec<f64>,
+    /// Per-epoch transfer factors.
+    pub transfer: Vec<f64>,
+    /// Per-epoch interruption probabilities.
+    pub interruption: Vec<f64>,
+}
+
+impl PriceTrace {
+    /// An empty (identity) trace.
+    pub fn new() -> Self {
+        PriceTrace {
+            compute: Vec::new(),
+            storage: Vec::new(),
+            transfer: Vec::new(),
+            interruption: Vec::new(),
+        }
+    }
+
+    /// A trace replaying the given compute factors.
+    pub fn compute(factors: Vec<f64>) -> Self {
+        PriceTrace {
+            compute: factors,
+            ..PriceTrace::new()
+        }
+    }
+
+    fn at(trace: &[f64], epoch: usize, default: f64) -> f64 {
+        match trace.get(epoch) {
+            Some(v) => *v,
+            None => *trace.last().unwrap_or(&default),
+        }
+    }
+
+    fn quote(&self, epoch: usize) -> ProcessQuote {
+        ProcessQuote {
+            factors: PriceFactors {
+                compute: Self::at(&self.compute, epoch, 1.0),
+                storage: Self::at(&self.storage, epoch, 1.0),
+                transfer: Self::at(&self.transfer, epoch, 1.0),
+            },
+            interruption: Self::at(&self.interruption, epoch, 0.0).clamp(0.0, MAX_INTERRUPTION),
+        }
+    }
+}
+
+impl Default for PriceTrace {
+    fn default() -> Self {
+        PriceTrace::new()
+    }
+}
+
+/// A provider-announced step change taking effect at a known epoch —
+/// the "we are cutting instance prices by 15% next quarter" pattern
+/// cloud vendors repeated throughout the 2010s. Factors apply from
+/// `effective_epoch` onward; earlier epochs are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnouncedCut {
+    /// First epoch the new prices apply to.
+    pub effective_epoch: usize,
+    /// Factors in force from that epoch on.
+    pub factors: PriceFactors,
+}
+
+impl AnnouncedCut {
+    /// A compute-only cut: hourly rates multiply by `factor` from
+    /// `effective_epoch` onward.
+    pub fn compute(effective_epoch: usize, factor: f64) -> Self {
+        AnnouncedCut {
+            effective_epoch,
+            factors: PriceFactors {
+                compute: factor,
+                ..PriceFactors::UNIT
+            },
+        }
+    }
+
+    fn quote(&self, epoch: usize) -> ProcessQuote {
+        if epoch >= self.effective_epoch {
+            ProcessQuote {
+                factors: self.factors,
+                interruption: 0.0,
+            }
+        } else {
+            ProcessQuote::UNIT
+        }
+    }
+}
+
+/// Secular storage-price decline: the storage factor decays linearly by
+/// `rate` per epoch down to `floor` (e.g. `rate = 0.02`, `floor = 0.5`
+/// models the steady multi-year slide of object-storage rates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageDecay {
+    /// Linear per-epoch decline of the storage factor.
+    pub rate: f64,
+    /// Lowest factor the decline can reach.
+    pub floor: f64,
+}
+
+impl StorageDecay {
+    /// Builds a decay, clamping to sane ranges.
+    pub fn new(rate: f64, floor: f64) -> Self {
+        StorageDecay {
+            rate: rate.max(0.0),
+            floor: floor.clamp(0.0, 1.0),
+        }
+    }
+
+    fn quote(&self, epoch: usize) -> ProcessQuote {
+        ProcessQuote {
+            factors: PriceFactors {
+                storage: (1.0 - self.rate * epoch as f64).max(self.floor),
+                ..PriceFactors::UNIT
+            },
+            interruption: 0.0,
+        }
+    }
+}
+
+/// A seeded mean-reverting spot market for compute, with interruption
+/// risk once the clearing price climbs toward the renter's bid.
+///
+/// The compute factor follows a discrete Ornstein–Uhlenbeck-style
+/// recurrence: `x ← x + reversion·(mean − x) + volatility·u` with `u`
+/// uniform on [−1, 1] drawn from the scenario's seeded generator, then
+/// floored at a small positive value. The interruption probability is 0
+/// while `x ≤ bid` and ramps linearly to `max_interruption` as `x`
+/// approaches `2·bid` — the classic spot contract: you keep capacity
+/// while the market clears under your bid, and the further the market
+/// moves past it the likelier a reclaim becomes.
+///
+/// With `volatility == 0` and `start == mean == 1 ≤ bid` the process is
+/// the exact identity (factor 1, probability 0) — the zero-volatility
+/// consistency guarantee leans on this.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarket {
+    /// Long-run mean of the compute factor (e.g. 0.35: spot clears at a
+    /// third of the on-demand rate on average).
+    pub mean: f64,
+    /// Initial compute factor.
+    pub start: f64,
+    /// Per-epoch pull toward the mean, in [0, 1].
+    pub reversion: f64,
+    /// Half-width of the uniform per-epoch shock.
+    pub volatility: f64,
+    /// Compute factor above which interruption risk begins.
+    pub bid: f64,
+    /// Interruption probability as the price reaches twice the bid.
+    pub max_interruption: f64,
+}
+
+impl SpotMarket {
+    /// Smallest admissible price factor (prices never reach zero).
+    pub const PRICE_FLOOR: f64 = 0.01;
+
+    /// A calm spot market centered on the on-demand price: mean and
+    /// start 1.0, mild reversion, the given volatility, interruptions
+    /// ramping above a 1.2× bid.
+    pub fn with_volatility(volatility: f64) -> Self {
+        SpotMarket {
+            mean: 1.0,
+            start: 1.0,
+            reversion: 0.35,
+            volatility,
+            bid: 1.2,
+            max_interruption: 0.6,
+        }
+    }
+
+    /// A discounted spot regime: clears well under on-demand on
+    /// average, but swings hard and reclaims capacity in spikes.
+    pub fn discounted(mean: f64, volatility: f64) -> Self {
+        SpotMarket {
+            mean,
+            start: mean,
+            reversion: 0.35,
+            volatility,
+            bid: 1.0,
+            max_interruption: 0.6,
+        }
+    }
+
+    /// Interruption probability at compute factor `x`.
+    fn interruption_at(&self, x: f64) -> f64 {
+        if x <= self.bid || self.bid <= 0.0 {
+            return 0.0;
+        }
+        let ramp = ((x - self.bid) / self.bid).min(1.0);
+        (self.max_interruption * ramp).clamp(0.0, MAX_INTERRUPTION)
+    }
+
+    fn sample(&self, epochs: usize, rng: &mut StdRng) -> Vec<ProcessQuote> {
+        let mut quotes = Vec::with_capacity(epochs);
+        let mut x = self.start.max(Self::PRICE_FLOOR);
+        for _ in 0..epochs {
+            quotes.push(ProcessQuote {
+                factors: PriceFactors {
+                    compute: x,
+                    ..PriceFactors::UNIT
+                },
+                interruption: self.interruption_at(x),
+            });
+            let shock = if self.volatility > 0.0 {
+                self.volatility * rng.random_range(-1.0f64..1.0)
+            } else {
+                // Draw nothing: a zero-volatility spot process must not
+                // perturb the stream of any stochastic process after it.
+                0.0
+            };
+            x = (x + self.reversion * (self.mean - x) + shock).max(Self::PRICE_FLOOR);
+        }
+        quotes
+    }
+}
+
+/// One composable force on the price sheet. See the variants' types for
+/// semantics; [`PriceProcess::sample`] yields the whole horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriceProcess {
+    /// Deterministic trace replay.
+    Trace(PriceTrace),
+    /// Announced step price change.
+    Cut(AnnouncedCut),
+    /// Linear storage-rate decline.
+    StorageDecay(StorageDecay),
+    /// Seeded mean-reverting spot market with interruption risk.
+    Spot(SpotMarket),
+}
+
+impl PriceProcess {
+    /// Samples the process over `epochs` epochs. Stochastic variants
+    /// draw from `rng` in a fixed order; deterministic variants consume
+    /// no draws.
+    pub fn sample(&self, epochs: usize, rng: &mut StdRng) -> Vec<ProcessQuote> {
+        match self {
+            PriceProcess::Trace(t) => (0..epochs).map(|e| t.quote(e)).collect(),
+            PriceProcess::Cut(c) => (0..epochs).map(|e| c.quote(e)).collect(),
+            PriceProcess::StorageDecay(d) => (0..epochs).map(|e| d.quote(e)).collect(),
+            PriceProcess::Spot(s) => s.sample(epochs, rng),
+        }
+    }
+
+    /// `true` when sampling draws from the generator — two paths of a
+    /// scenario can differ in *factors and probabilities* only through
+    /// such processes (the per-epoch interruption *event* draw is
+    /// always path-specific).
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, PriceProcess::Spot(s) if s.volatility > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn traces_hold_their_last_value() {
+        let t = PriceTrace::compute(vec![1.0, 0.9, 0.8]);
+        assert_eq!(t.quote(0).factors.compute, 1.0);
+        assert_eq!(t.quote(2).factors.compute, 0.8);
+        assert_eq!(t.quote(7).factors.compute, 0.8);
+        assert_eq!(t.quote(7).factors.storage, 1.0);
+        assert!(PriceTrace::new().quote(3).factors.is_unit());
+    }
+
+    #[test]
+    fn cuts_take_effect_on_schedule() {
+        let c = AnnouncedCut::compute(3, 0.85);
+        assert!(c.quote(2).factors.is_unit());
+        assert_eq!(c.quote(3).factors.compute, 0.85);
+        assert_eq!(c.quote(9).factors.compute, 0.85);
+    }
+
+    #[test]
+    fn storage_decay_is_floored() {
+        let d = StorageDecay::new(0.1, 0.5);
+        assert_eq!(d.quote(0).factors.storage, 1.0);
+        assert_eq!(d.quote(3).factors.storage, 0.7);
+        assert_eq!(d.quote(40).factors.storage, 0.5);
+        assert_eq!(d.quote(3).factors.compute, 1.0);
+    }
+
+    #[test]
+    fn zero_volatility_spot_is_identity_and_draws_nothing() {
+        let spot = SpotMarket::with_volatility(0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let quotes = spot.sample(6, &mut rng);
+        for q in &quotes {
+            assert!(q.factors.is_unit());
+            assert_eq!(q.interruption, 0.0);
+        }
+        // The generator was never touched.
+        let mut fresh = StdRng::seed_from_u64(7);
+        use rand::RngExt;
+        assert_eq!(rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn spot_reverts_to_the_mean_and_ramps_interruption() {
+        let spot = SpotMarket {
+            mean: 0.4,
+            start: 2.0,
+            reversion: 0.5,
+            volatility: 0.0,
+            bid: 1.0,
+            max_interruption: 0.6,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let quotes = spot.sample(12, &mut rng);
+        // Starts hot (interrupting), decays toward the mean and calms.
+        assert_eq!(quotes[0].factors.compute, 2.0);
+        assert!(quotes[0].interruption > 0.0);
+        assert!(quotes[11].factors.compute < 0.45);
+        assert_eq!(quotes[11].interruption, 0.0);
+        for w in quotes.windows(2) {
+            assert!(w[1].factors.compute <= w[0].factors.compute);
+        }
+    }
+
+    #[test]
+    fn spot_paths_are_seed_deterministic() {
+        let spot = SpotMarket::with_volatility(0.3);
+        let a = spot.sample(10, &mut StdRng::seed_from_u64(42));
+        let b = spot.sample(10, &mut StdRng::seed_from_u64(42));
+        let c = spot.sample(10, &mut StdRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for q in &a {
+            assert!(q.factors.compute >= SpotMarket::PRICE_FLOOR);
+            assert!((0.0..=MAX_INTERRUPTION).contains(&q.interruption));
+        }
+    }
+}

@@ -133,6 +133,36 @@ impl ComputePricing {
         let billable = self.scope.billable(self.rounding, jobs);
         instance.hourly.scale(billable.value()) * count
     }
+
+    /// Returns a copy with every instance's hourly rate multiplied by
+    /// `factor` (names, capacities, rounding rules unchanged) — the
+    /// price-drift hook used by `mv-market` to model spot swings and
+    /// announced price cuts. A factor of exactly `1.0` returns a
+    /// bit-identical clone.
+    pub fn scale_rates(&self, factor: f64) -> ComputePricing {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate factor must be finite and non-negative, got {factor}"
+        );
+        if factor == 1.0 {
+            return self.clone();
+        }
+        ComputePricing {
+            catalog: InstanceCatalog {
+                instances: self
+                    .catalog
+                    .instances
+                    .iter()
+                    .map(|i| InstanceType {
+                        hourly: i.hourly.scale(factor),
+                        ..i.clone()
+                    })
+                    .collect(),
+            },
+            rounding: self.rounding,
+            scope: self.scope,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,32 @@
 //! [`presets::aws_2012`]; three further fictional providers exercise the
 //! paper's "include pricing models from several CSPs" future-work item.
 //!
+//! # Module map
+//!
+//! * [`tier`](TierSchedule) — volume-tiered rate schedules (Tables 3–4's
+//!   shape), graduated or flat-by-volume, with [`TierSchedule::scale_rates`]
+//!   as the price-drift hook;
+//! * [`instance`](ComputePricing) — the instance catalog, billing rounding
+//!   rules and Formula 4 compute charges;
+//! * [`storage`](StoragePricing) — interval-based storage timelines and
+//!   Formula 5;
+//! * [`transfer`](TransferPricing) — inbound/outbound bandwidth (Formulas
+//!   2–3);
+//! * [`rounding`](BillingRounding) — per-started-hour/minute/second
+//!   billable-time rules and their scope;
+//! * [`billing`](UsageLedger) — the provider-side usage ledger and invoice
+//!   reconciliation;
+//! * [`commitment`](CommitmentPlan) — reserved-capacity plans and the
+//!   on-demand comparison;
+//! * [`presets`] — concrete providers (the paper's AWS-2012 plus fictional
+//!   CSPs).
+//!
+//! Every priced component also exposes a `scale_rates(factor)` hook
+//! ([`PricingPolicy::scale_rates`] composes them) so `mv-market` can compile
+//! per-epoch pricing models — spot swings, announced cuts, storage decay —
+//! without rebuilding policies by hand; a factor of exactly `1.0` is a
+//! bit-identical clone by construction.
+//!
 //! ```
 //! use mv_pricing::presets;
 //! use mv_units::{Gb, Hours};
@@ -79,6 +105,21 @@ impl PricingPolicy {
             compute,
             transfer,
             storage,
+        }
+    }
+
+    /// Returns a copy of this policy with each billed component's rates
+    /// multiplied by its own factor — the per-epoch re-pricing hook
+    /// `mv-market` compiles price trajectories through. Factors of
+    /// exactly `1.0` leave the component bit-identical (each component's
+    /// `scale_rates` clones on the identity), so a constant-price market
+    /// epoch reproduces the base policy exactly.
+    pub fn scale_rates(&self, compute: f64, storage: f64, transfer: f64) -> PricingPolicy {
+        PricingPolicy {
+            name: self.name.clone(),
+            compute: self.compute.scale_rates(compute),
+            transfer: self.transfer.scale_rates(transfer),
+            storage: self.storage.scale_rates(storage),
         }
     }
 }

@@ -43,6 +43,16 @@ impl StoragePricing {
             .map(|iv| self.cost(iv.size, iv.duration()))
             .sum()
     }
+
+    /// Returns a copy with every bracket's $/GB-month rate multiplied by
+    /// `factor` — the price-drift hook used by `mv-market` to model
+    /// storage-cost decay. A factor of exactly `1.0` returns a
+    /// bit-identical clone.
+    pub fn scale_rates(&self, factor: f64) -> StoragePricing {
+        StoragePricing {
+            monthly: self.monthly.scale_rates(factor),
+        }
+    }
 }
 
 /// One interval of constant stored size.

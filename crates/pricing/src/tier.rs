@@ -125,6 +125,32 @@ impl TierSchedule {
         &self.tiers
     }
 
+    /// Returns a copy of this schedule with every bracket's rate
+    /// multiplied by `factor` (volume thresholds unchanged) — the
+    /// price-drift hook used by `mv-market` to compile per-epoch pricing
+    /// models. A factor of exactly `1.0` returns a bit-identical clone,
+    /// so a zero-volatility market reproduces the base schedule exactly.
+    pub fn scale_rates(&self, factor: f64) -> TierSchedule {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate factor must be finite and non-negative, got {factor}"
+        );
+        if factor == 1.0 {
+            return self.clone();
+        }
+        TierSchedule {
+            tiers: self
+                .tiers
+                .iter()
+                .map(|t| Tier {
+                    upto: t.upto,
+                    rate: t.rate.scale(factor),
+                })
+                .collect(),
+            mode: self.mode,
+        }
+    }
+
     /// Total price of `volume` gigabytes under this schedule.
     pub fn cost_for(&self, volume: Gb) -> Money {
         if volume == Gb::ZERO {

@@ -44,6 +44,17 @@ impl TransferPricing {
     pub fn inbound_is_free(&self) -> bool {
         self.inbound.tiers().iter().all(|t| t.rate == Money::ZERO)
     }
+
+    /// Returns a copy with every inbound and outbound rate multiplied by
+    /// `factor` — the price-drift hook used by `mv-market`. A factor of
+    /// exactly `1.0` returns a bit-identical clone; free tiers stay free
+    /// under any factor.
+    pub fn scale_rates(&self, factor: f64) -> TransferPricing {
+        TransferPricing {
+            inbound: self.inbound.scale_rates(factor),
+            outbound: self.outbound.scale_rates(factor),
+        }
+    }
 }
 
 #[cfg(test)]

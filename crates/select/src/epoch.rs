@@ -96,6 +96,36 @@ pub fn horizon_time(steps: &[EpochStep]) -> Hours {
     steps.iter().map(|s| s.outcome.evaluation.time).sum()
 }
 
+/// Hard cap on the pool size [`EpochChain::solve_dp_exact`] accepts:
+/// the DP's state space is 2ⁿ per epoch and its transition relation 4ⁿ
+/// per boundary, so it is an oracle for tiny pools only.
+pub const DP_MAX_CANDIDATES: usize = 12;
+
+/// The exact finite-horizon optimum found by
+/// [`EpochChain::solve_dp_exact`].
+#[derive(Debug, Clone)]
+pub struct DpSolution {
+    /// The optimal selection per epoch.
+    pub selections: Vec<SelectionSet>,
+    /// The charged (transition-aware) evaluation of each epoch's
+    /// selection along the optimal trajectory, re-derived through
+    /// [`SelectionProblem::evaluate`] so it reproduces externally.
+    pub evaluations: Vec<Evaluation>,
+    /// Total constraint violation along the trajectory (0 when every
+    /// epoch is feasible).
+    pub total_violation: f64,
+    /// Total scenario objective along the trajectory — the number the
+    /// sequential chain's optimality gap is measured against.
+    pub total_objective: f64,
+}
+
+impl DpSolution {
+    /// Total charged cost of the optimal trajectory.
+    pub fn total_cost(&self) -> Money {
+        self.evaluations.iter().map(|e| e.cost()).sum()
+    }
+}
+
 /// A billing horizon: per-epoch costing models over one shared,
 /// full-price candidate pool.
 ///
@@ -161,30 +191,74 @@ impl EpochChain {
     /// for the mechanics; `max_moves` bounds the per-epoch improvement
     /// pass ([`EpochChain::solve`] uses the default budget).
     pub fn solve_bounded(&self, scenario: Scenario, max_moves: usize) -> Vec<EpochStep> {
+        self.solve_repriced_bounded(scenario, max_moves, &|_, _, charge| charge.clone())
+    }
+
+    /// [`EpochChain::solve_bounded`] with the default per-epoch move
+    /// budget.
+    pub fn solve(&self, scenario: Scenario) -> Vec<EpochStep> {
+        self.solve_bounded(scenario, local_search::default_move_budget(self.pool.len()))
+    }
+
+    /// The generalized transition-aware solve: each epoch's effective
+    /// charges pass through `reprice(epoch, candidate, transition)`
+    /// first, where `transition` is already the carry-aware charge (the
+    /// full-price pool entry, or its [`ViewCharge::carried`] form when
+    /// the candidate survived the previous epoch). This is the
+    /// price-dynamics hook: `mv-market` re-risks every candidate per
+    /// epoch (interruption premiums on materialization/maintenance)
+    /// without this module knowing anything about markets.
+    ///
+    /// The hot path is unchanged from [`EpochChain::solve_bounded`]
+    /// (which is this method with the identity transform): one
+    /// [`IncrementalEvaluator`] lives for the whole horizon, every
+    /// boundary costs one [`IncrementalEvaluator::retarget`] plus an
+    /// [`IncrementalEvaluator::update_charge`] splice per candidate
+    /// whose effective charge actually changed — never a rebuild
+    /// (asserted via `IncrementalEvaluator::build_count` in the market
+    /// tests). Transforms that only move materialization/maintenance
+    /// (the risk transform does exactly that) keep every splice on
+    /// `update_charge`'s O(1) same-answer-profile fast path.
+    pub fn solve_repriced_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        reprice: &F,
+    ) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge,
+    {
         let n = self.pool.len();
+        let mut current: Vec<ViewCharge> = self
+            .pool
+            .iter()
+            .enumerate()
+            .map(|(k, c)| reprice(0, k, c))
+            .collect();
         let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
             self.epochs[0].clone(),
-            self.pool.clone(),
+            current.clone(),
         ));
-        let mut carried = SelectionSet::empty(n);
         let mut prev = SelectionSet::empty(n);
         let mut steps = Vec::with_capacity(self.epochs.len());
         for (e, model) in self.epochs.iter().enumerate() {
             if e > 0 {
                 // The whole epoch transition: an O(m) context switch
-                // plus one splice per candidate whose carried state
-                // flipped. No rebuild, no repositioning.
+                // plus one splice per candidate whose effective charge
+                // changed. No rebuild, no repositioning.
                 ev.retarget(model.clone());
-                for k in 0..n {
-                    let want = prev.contains(k);
-                    if want != carried.contains(k) {
-                        let charge = if want {
-                            self.pool[k].carried()
-                        } else {
-                            self.pool[k].clone()
-                        };
-                        ev.update_charge(k, charge);
-                        carried.set(k, want);
+                for (k, slot) in current.iter_mut().enumerate() {
+                    // Borrow the full-price transition charge; only a
+                    // carried one needs constructing.
+                    let transition: std::borrow::Cow<'_, ViewCharge> = if prev.contains(k) {
+                        std::borrow::Cow::Owned(self.pool[k].carried())
+                    } else {
+                        std::borrow::Cow::Borrowed(&self.pool[k])
+                    };
+                    let want = reprice(e, k, transition.as_ref());
+                    if want != *slot {
+                        ev.update_charge(k, want.clone());
+                        *slot = want;
                     }
                 }
             }
@@ -199,27 +273,49 @@ impl EpochChain {
         steps
     }
 
-    /// [`EpochChain::solve_bounded`] with the default per-epoch move
-    /// budget.
-    pub fn solve(&self, scenario: Scenario) -> Vec<EpochStep> {
-        self.solve_bounded(scenario, local_search::default_move_budget(self.pool.len()))
+    /// [`EpochChain::solve_repriced_bounded`] with the default budget.
+    pub fn solve_repriced<F>(&self, scenario: Scenario, reprice: &F) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge,
+    {
+        self.solve_repriced_bounded(
+            scenario,
+            local_search::default_move_budget(self.pool.len()),
+            reprice,
+        )
     }
 
     /// The rebuild-per-epoch reference implementation of
-    /// [`EpochChain::solve`]: identical transition semantics and move
-    /// rules, but each epoch builds a fresh charged problem and a fresh
-    /// evaluator repositioned by O(n) flips. Produces bit-identical
-    /// steps (tested below); exists as the correctness anchor for the
-    /// warm-start machinery and as the baseline the horizon bench
-    /// measures against.
-    pub fn solve_rebuilding_bounded(&self, scenario: Scenario, max_moves: usize) -> Vec<EpochStep> {
+    /// [`EpochChain::solve_repriced_bounded`]: identical transition and
+    /// re-pricing semantics, but each epoch builds a fresh charged
+    /// problem and a fresh evaluator repositioned by O(n) flips.
+    /// Bit-identical steps (property-tested); exists as the correctness
+    /// anchor and as the baseline the market bench measures against.
+    pub fn solve_repriced_rebuilding_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        reprice: &F,
+    ) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge,
+    {
         let mut prev = SelectionSet::empty(self.pool.len());
         let mut steps = Vec::with_capacity(self.epochs.len());
         for (e, model) in self.epochs.iter().enumerate() {
-            let mut charged = self.pool.clone();
-            for k in prev.ones() {
-                charged[k] = self.pool[k].carried();
-            }
+            let charged: Vec<ViewCharge> = self
+                .pool
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    let transition = if prev.contains(k) {
+                        c.carried()
+                    } else {
+                        c.clone()
+                    };
+                    reprice(e, k, &transition)
+                })
+                .collect();
             let problem = SelectionProblem::new(model.clone(), charged);
             let baseline = problem.baseline();
             let mut ev = IncrementalEvaluator::with_selection(&problem, &prev);
@@ -231,6 +327,17 @@ impl EpochChain {
             prev = steps.last().expect("just pushed").selection().clone();
         }
         steps
+    }
+
+    /// The rebuild-per-epoch reference implementation of
+    /// [`EpochChain::solve`]: identical transition semantics and move
+    /// rules, but each epoch builds a fresh charged problem and a fresh
+    /// evaluator repositioned by O(n) flips. Produces bit-identical
+    /// steps (tested below); exists as the correctness anchor for the
+    /// warm-start machinery and as the baseline the horizon bench
+    /// measures against.
+    pub fn solve_rebuilding_bounded(&self, scenario: Scenario, max_moves: usize) -> Vec<EpochStep> {
+        self.solve_repriced_rebuilding_bounded(scenario, max_moves, &|_, _, charge| charge.clone())
     }
 
     /// [`EpochChain::solve_rebuilding_bounded`] with the default budget.
@@ -263,6 +370,150 @@ impl EpochChain {
             prev = steps.last().expect("just pushed").selection().clone();
         }
         steps
+    }
+
+    /// The exact finite-horizon optimum over a tiny pool: dynamic
+    /// programming over *selection states per epoch*. State = the subset
+    /// selected at epoch `e`; transition `(S_prev → S)` is charged with
+    /// materialization only for `S \ S_prev` (exactly the chain's
+    /// transition accounting); the value function minimizes total
+    /// constraint violation first, then total scenario objective — the
+    /// same lexicographic order [`Scenario::better`] ranks candidates
+    /// by, summed over the horizon.
+    ///
+    /// This is the oracle the sequential chain is measured against: the
+    /// chain commits each epoch greedily and can land on a
+    /// path-suboptimal trajectory (e.g. skipping a build that only pays
+    /// off two epochs later), while the DP considers every trajectory.
+    /// Its optimality gap is pinned in `tests/dp_oracle.rs`. Complexity
+    /// is O(E·4ⁿ) transitions over O(2ⁿ·m) sweep work, so the pool is
+    /// capped at [`DP_MAX_CANDIDATES`]; this is a reference solver for
+    /// small pools, not a production path.
+    ///
+    /// The returned per-epoch evaluations are re-derived through
+    /// [`SelectionProblem::evaluate`] on the chosen trajectory's charged
+    /// problems, so they reproduce externally bit-for-bit; the DP's
+    /// internal tallies only pick the trajectory.
+    pub fn solve_dp_exact(&self, scenario: Scenario) -> DpSolution {
+        let n = self.pool.len();
+        assert!(
+            n <= DP_MAX_CANDIDATES,
+            "DP reference solver supports at most {DP_MAX_CANDIDATES} candidates, got {n}"
+        );
+        let size: usize = 1 << n;
+        let epochs = self.epochs.len();
+
+        // Materialization hours of every subset, indexed by mask (the
+        // added-set lookup `mat[cur & !prev]` makes transitions O(1)).
+        let mut mat = vec![Hours::ZERO; size];
+        for mask in 1..size {
+            let low = mask.trailing_zeros() as usize;
+            mat[mask] = mat[mask & (mask - 1)] + self.pool[low].materialization;
+        }
+        let masks: Vec<SelectionSet> = (0..size)
+            .map(|m| SelectionSet::from_mask(m as u64, n))
+            .collect();
+
+        // Per-epoch, per-mask full-price evaluations via the incremental
+        // ascending-mask sweep (amortized two flips per subset).
+        let mut full: Vec<Vec<(Hours, CostBreakdown)>> = Vec::with_capacity(epochs);
+        let mut baselines = Vec::with_capacity(epochs);
+        for model in &self.epochs {
+            let problem = SelectionProblem::new(model.clone(), self.pool.clone());
+            baselines.push(problem.baseline());
+            let mut per_mask = Vec::with_capacity(size);
+            crate::sweep::sweep_masks(&problem, 0, size as u64, |_, ev| {
+                let e = ev.snapshot();
+                per_mask.push((e.time, e.breakdown));
+            });
+            full.push(per_mask);
+        }
+
+        // The charged evaluation of selecting `cur` after `prev` in
+        // epoch `e`: the full-price evaluation with materialization
+        // re-priced to the added set only.
+        let charged = |e: usize, prev: usize, cur: usize| -> Evaluation {
+            let (time, breakdown) = full[e][cur];
+            Evaluation {
+                time,
+                breakdown: CostBreakdown {
+                    compute_materialization: self.epochs[e].compute_cost(mat[cur & !prev]),
+                    ..breakdown
+                },
+                selection: masks[cur].clone(),
+            }
+        };
+
+        // value[cur] = (total violation, total objective) of the best
+        // trajectory ending in `cur`; ties break toward the
+        // first-visited predecessor, so the result is deterministic.
+        let better = |a: (f64, f64), b: (f64, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+        let mut value: Vec<(f64, f64)> = (0..size)
+            .map(|cur| {
+                let ev = charged(0, 0, cur);
+                (
+                    scenario.violation(&ev),
+                    scenario.objective(&ev, &baselines[0]),
+                )
+            })
+            .collect();
+        let mut back: Vec<Vec<u32>> = Vec::with_capacity(epochs.saturating_sub(1));
+        for (e, epoch_baseline) in baselines.iter().enumerate().skip(1) {
+            let mut next = vec![(f64::INFINITY, f64::INFINITY); size];
+            let mut prevptr = vec![0u32; size];
+            for (prev, &base) in value.iter().enumerate() {
+                for (cur, slot) in next.iter_mut().enumerate() {
+                    let ev = charged(e, prev, cur);
+                    let cand = (
+                        base.0 + scenario.violation(&ev),
+                        base.1 + scenario.objective(&ev, epoch_baseline),
+                    );
+                    if better(cand, *slot) {
+                        *slot = cand;
+                        prevptr[cur] = prev as u32;
+                    }
+                }
+            }
+            value = next;
+            back.push(prevptr);
+        }
+
+        // Best terminal state, then backtrack the trajectory.
+        let mut best = 0usize;
+        for cur in 1..size {
+            if better(value[cur], value[best]) {
+                best = cur;
+            }
+        }
+        let mut path = vec![best; epochs];
+        for e in (1..epochs).rev() {
+            path[e - 1] = back[e - 1][path[e]] as usize;
+        }
+
+        // Re-derive the chosen trajectory's evaluations exactly, through
+        // the same charged problems the chain would bill.
+        let mut evaluations = Vec::with_capacity(epochs);
+        let mut total_violation = 0.0;
+        let mut total_objective = 0.0;
+        let mut prev_mask = 0usize;
+        for (e, &cur) in path.iter().enumerate() {
+            let mut charges = self.pool.clone();
+            for k in masks[cur & prev_mask].ones() {
+                charges[k] = self.pool[k].carried();
+            }
+            let problem = SelectionProblem::new(self.epochs[e].clone(), charges);
+            let ev = problem.evaluate(&masks[cur]);
+            total_violation += scenario.violation(&ev);
+            total_objective += scenario.objective(&ev, &baselines[e]);
+            evaluations.push(ev);
+            prev_mask = cur;
+        }
+        DpSolution {
+            selections: path.into_iter().map(|m| masks[m].clone()).collect(),
+            evaluations,
+            total_violation,
+            total_objective,
+        }
     }
 
     /// Assembles one epoch's step: transition accounting against the
@@ -375,6 +626,50 @@ mod tests {
                 assert_eq!(w.added, r.added, "epoch {e}");
                 assert_eq!(w.kept, r.kept, "epoch {e}");
                 assert_eq!(w.dropped, r.dropped, "epoch {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn repriced_warm_start_matches_rebuild_bit_for_bit() {
+        let chain = drifting_chain(5);
+        // A per-epoch transform shaped like the market's interruption
+        // premium: build/refresh inflate with the epoch, answers don't.
+        let reprice = |e: usize, _k: usize, c: &ViewCharge| -> ViewCharge {
+            let attempts = 1.0 + 0.15 * e as f64;
+            ViewCharge {
+                materialization: c.materialization * attempts,
+                maintenance: c.maintenance * attempts,
+                ..c.clone()
+            }
+        };
+        let budget = crate::local_search::default_move_budget(chain.pool().len());
+        for scenario in [
+            Scenario::tradeoff(0.02),
+            Scenario::tradeoff_normalized(0.5),
+            Scenario::time_limit(Hours::new(20.0)),
+        ] {
+            let warm = chain.solve_repriced(scenario, &reprice);
+            let rebuilt = chain.solve_repriced_rebuilding_bounded(scenario, budget, &reprice);
+            assert_eq!(warm.len(), rebuilt.len());
+            for (e, (w, r)) in warm.iter().zip(&rebuilt).enumerate() {
+                assert_eq!(w.outcome.evaluation, r.outcome.evaluation, "epoch {e}");
+                assert_eq!(w.added, r.added, "epoch {e}");
+                assert_eq!(w.kept, r.kept, "epoch {e}");
+                assert_eq!(w.dropped, r.dropped, "epoch {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_reprice_is_solve_bounded_bit_for_bit() {
+        let chain = drifting_chain(4);
+        for scenario in [Scenario::tradeoff(0.02), Scenario::tradeoff_normalized(0.5)] {
+            let plain = chain.solve(scenario);
+            let repriced = chain.solve_repriced(scenario, &|_, _, c| c.clone());
+            for (e, (p, r)) in plain.iter().zip(&repriced).enumerate() {
+                assert_eq!(p.outcome.evaluation, r.outcome.evaluation, "epoch {e}");
+                assert_eq!(p.full_price, r.full_price, "epoch {e}");
             }
         }
     }

@@ -47,6 +47,7 @@
 //! add/remove/flip interleavings in `tests/evaluator_matches.rs`.
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge};
 use mv_units::{Gb, Hours, Money, Months};
@@ -55,6 +56,13 @@ use crate::{Evaluation, SelectionProblem};
 
 /// Sentinel candidate index meaning "no view".
 const NONE: u32 = u32::MAX;
+
+/// Process-wide count of full evaluator builds (every `new` /
+/// `from_problem` / `with_selection` construction — the O(n·m) work the
+/// warm-start machinery exists to avoid). Tests use deltas of this
+/// counter to *assert* that a hot loop reuses its evaluator through
+/// `retarget`/`update_charge` instead of silently rebuilding per epoch.
+static BUILDS: AtomicUsize = AtomicUsize::new(0);
 
 /// One cached (candidate, time) entry; `view == NONE` means empty.
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +142,16 @@ impl<'p> IncrementalEvaluator<'p> {
         IncrementalEvaluator::build(Cow::Owned(problem))
     }
 
+    /// Total evaluator builds in this process so far (monotone;
+    /// threads may interleave increments). Snapshot it around a hot
+    /// loop and compare deltas to prove the loop never paid an O(n·m)
+    /// rebuild — the no-rebuild assertions of the market tests.
+    pub fn build_count() -> usize {
+        BUILDS.load(Ordering::Relaxed)
+    }
+
     fn build(problem: Cow<'p, SelectionProblem>) -> Self {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         let m = problem.model().context().workload.len();
         let n = problem.len();
         let mut per_view = vec![Vec::new(); n];

@@ -79,6 +79,17 @@
 //! reference). [`EpochChain::solve_myopic`] is the transition-blind
 //! re-solve-every-period comparator the regression tests beat.
 //!
+//! Charges can additionally be re-priced per epoch:
+//! [`EpochChain::solve_repriced`] passes every transition charge
+//! through a caller-supplied transform on the same warm-started hot
+//! path (this is how `mv-market` splices spot-interruption risk
+//! premiums into the chain without this crate knowing about markets;
+//! the identity transform *is* [`EpochChain::solve`]). For tiny pools,
+//! [`EpochChain::solve_dp_exact`] is the finite-horizon DP oracle —
+//! exact over selection states per epoch — that quantifies how far the
+//! sequential chain sits from the true horizon optimum
+//! (`tests/dp_oracle.rs`).
+//!
 //! ```
 //! use mv_select::{fixtures, Scenario};
 //! use mv_units::Money;
@@ -105,7 +116,7 @@ mod solution;
 mod sweep;
 
 pub use bnb::{solve_bnb, solve_bnb_counted, BnbStats};
-pub use epoch::{EpochChain, EpochStep};
+pub use epoch::{DpSolution, EpochChain, EpochStep, DP_MAX_CANDIDATES};
 pub use evaluator::IncrementalEvaluator;
 pub use exhaustive::{
     solve_exhaustive, solve_exhaustive_with_threads, MAX_CANDIDATES, PARALLEL_THRESHOLD,

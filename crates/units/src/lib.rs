@@ -34,3 +34,13 @@ mod time;
 pub use money::{Money, MoneyParseError, MICROS_PER_DOLLAR};
 pub use size::{Gb, GB_PER_TB};
 pub use time::{Hours, Months, HOURS_PER_MONTH};
+
+/// Largest admissible per-epoch capacity-interruption probability —
+/// the shared clamp of the market layer (`mv-market`, which quotes
+/// interruption hazards) and the charging layer (`mv-cost`'s
+/// `InterruptionRisk`, which prices them). One constant so the two
+/// sides can never clamp at different ceilings; it lives here because
+/// `mv-units` is their only common dependency. At `p = 0.99` a build
+/// is already expected to run 100×, so nothing meaningful is lost by
+/// the cap.
+pub const MAX_INTERRUPTION: f64 = 0.99;

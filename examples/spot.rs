@@ -1,0 +1,121 @@
+//! A year of SSB dashboards on a spot market, priced against a
+//! reservation.
+//!
+//! The horizon example re-bills a measured workload over twelve months
+//! of *fixed* prices. This walkthrough drops the same setup into a
+//! moving market: compute clears on a discounted, mean-reverting spot
+//! process (average ≈45% of on-demand, hard swings, interruption risk
+//! when the market spikes past the bid), storage rates decline
+//! secularly, and a compute price cut is announced for mid-year. The
+//! advisor measures the candidate pool **once**, then
+//! `Advisor::solve_market` solves the transition-aware chain across 24
+//! sampled price paths — one warm-started evaluator per path,
+//! re-priced and re-risked at every epoch boundary through
+//! `retarget`/`update_charge` — and reports the Monte-Carlo envelope:
+//! per-epoch cost quantiles, plan stability across paths, and whether
+//! riding the spot market beat reserving capacity.
+//!
+//! Run with: `cargo run --example spot`
+
+use mvcloud::market::{
+    AnnouncedCut, MarketConfig, MarketScenario, PriceProcess, SpotMarket, StorageDecay,
+};
+use mvcloud::pricing::CommitmentPlan;
+use mvcloud::report::render_table;
+use mvcloud::{ssb_domain, Advisor, AdvisorConfig, CandidateStrategy, Scenario};
+
+fn main() {
+    println!("== 12-epoch spot-vs-reserved SSB market ==\n");
+    let domain = ssb_domain(8_000, 30.0, 7);
+    let advisor = Advisor::build(
+        domain,
+        AdvisorConfig {
+            candidates: CandidateStrategy::HruGreedy(8),
+            ..AdvisorConfig::default()
+        },
+    )
+    .expect("advisor builds");
+    println!(
+        "measured {} candidate views once; sampling 24 price paths over 12 months\n",
+        advisor.problem().len()
+    );
+
+    let market = MarketScenario::constant(12, 2012)
+        // Spot compute: deep average discount, violent swings.
+        .with(PriceProcess::Spot(SpotMarket::discounted(0.45, 0.35)))
+        // The provider announces a 20% compute cut effective in July.
+        .with(PriceProcess::Cut(AnnouncedCut::compute(6, 0.8)))
+        // Storage keeps getting cheaper, ~1.5%/month down to a floor.
+        .with(PriceProcess::StorageDecay(StorageDecay::new(0.015, 0.6)));
+    let config = MarketConfig {
+        market,
+        paths: 24,
+        commitment: Some(CommitmentPlan::aws_small_1yr()),
+        ..MarketConfig::default()
+    };
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let report = advisor.solve_market(scenario, &config).expect("solves");
+
+    let rows: Vec<Vec<String>> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            vec![
+                e.epoch.to_string(),
+                format!("{:.2}", e.compute_factor.mean),
+                format!("{:.0}%", e.interruption.mean * 100.0),
+                format!("${:.2}", e.charged_cost.p10),
+                format!("${:.2}", e.charged_cost.median),
+                format!("${:.2}", e.charged_cost.p90),
+                format!("{}/{}", e.distinct_plans, report.paths.len()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["month", "spot", "int", "p10", "median", "p90", "plans"],
+            &rows,
+        )
+    );
+
+    println!(
+        "\nyear total: ${:.2} (p10 ${:.2} — p90 ${:.2} across {} paths)",
+        report.total_cost.median,
+        report.total_cost.p10,
+        report.total_cost.p90,
+        report.paths.len()
+    );
+    println!(
+        "plan stability: {:.0}% of paths agree on the modal selection per month",
+        report.plan_stability * 100.0
+    );
+    let switches: usize = report.paths.iter().map(|p| p.switches).sum();
+    let interruptions: usize = report.paths.iter().map(|p| p.interruptions).sum();
+    println!(
+        "churn: {:.1} selection switches and {:.1} sampled interruptions per path",
+        switches as f64 / report.paths.len() as f64,
+        interruptions as f64 / report.paths.len() as f64,
+    );
+
+    let cmp = report.commitment.expect("plan supplied");
+    println!("\n-- reserved vs spot ({}) --", cmp.plan);
+    println!(
+        "compute on the spot market: median ${:.2} (p10 ${:.2} — p90 ${:.2})",
+        cmp.spot_compute.median, cmp.spot_compute.p10, cmp.spot_compute.p90
+    );
+    println!(
+        "same billed hours reserved: median ${:.2}",
+        cmp.reserved.median
+    );
+    println!(
+        "verdict: the reservation wins on {:.0}% of paths (median saving ${:.2})",
+        cmp.reserved_wins_share * 100.0,
+        cmp.saving.median
+    );
+    if cmp.reserved_wins_share < 0.5 {
+        println!("at this discount depth, riding the spot market is the better bet.");
+    } else {
+        println!("the spot swings are wild enough that locking in capacity pays.");
+    }
+}

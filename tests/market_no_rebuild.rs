@@ -1,0 +1,48 @@
+//! Acceptance: the sampled-path hot loop of `Advisor::solve_market`
+//! reuses evaluators via `retarget`/`update_charge` — no per-epoch
+//! rebuild.
+//!
+//! `IncrementalEvaluator::build_count` counts every full O(n·m)
+//! evaluator construction process-wide. A K-path, E-epoch market solve
+//! must build exactly K evaluators (one per path's chain, at epoch 0);
+//! a per-epoch rebuild would show up as K·E. This file holds exactly
+//! one test so the counter delta cannot be perturbed by concurrent
+//! tests in the same process.
+
+use mvcloud::market::{MarketConfig, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::select::IncrementalEvaluator;
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario};
+
+#[test]
+fn k_path_market_solve_builds_one_evaluator_per_path() {
+    const PATHS: usize = 16;
+    const EPOCHS: usize = 6;
+    let advisor =
+        Advisor::build(sales_domain(1_000, 4, 5.0, 42), AdvisorConfig::default()).unwrap();
+    // A stochastic market, so all K paths are genuinely distinct solves
+    // (a deterministic market is deduplicated to one chain solve). The
+    // spot premium also re-risks charges at every boundary, so the loop
+    // really does splice per epoch — through update_charge, not
+    // rebuilds.
+    let config = MarketConfig {
+        market: MarketScenario::constant(EPOCHS, 99)
+            .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4))),
+        paths: PATHS,
+        ..MarketConfig::default()
+    };
+
+    let before = IncrementalEvaluator::build_count();
+    let report = advisor
+        .solve_market(Scenario::tradeoff_normalized(0.5), &config)
+        .unwrap();
+    let built = IncrementalEvaluator::build_count() - before;
+
+    assert_eq!(report.paths.len(), PATHS);
+    assert_eq!(report.epochs.len(), EPOCHS);
+    assert_eq!(
+        built, PATHS,
+        "expected one evaluator build per sampled path; \
+         {built} builds for {PATHS} paths × {EPOCHS} epochs means the \
+         hot loop is rebuilding instead of retargeting"
+    );
+}
