@@ -1,0 +1,208 @@
+//! Fleet sweep: placement-flip probes vs rebuilds, and the K-path
+//! hedged joint solve vs the pinned pure-spot sweep.
+//!
+//! Two shapes, mirroring the market bench's machinery/end-to-end
+//! split:
+//!
+//! 1. **placement-flip probe** — the joint local search's `Place`
+//!    move: re-derive the view's effective charge for the other pool
+//!    and splice it with `update_charge` (O(1): the answer profile is
+//!    untouched) plus one snapshot — vs rebuilding the charged
+//!    problem and a fresh evaluator repositioned by O(n) flips.
+//! 2. **K-path hedged sweep** — the `solve_fleet` hot loop at the
+//!    `mv-select` layer: K sampled spot paths with a correlated
+//!    crunch regime, each solved over an 8-epoch horizon by
+//!    `EpochChain::solve_fleet` with free placement (the joint
+//!    neighborhood probes ~2n more moves per round) vs the same chain
+//!    pinned all-spot (the single-fleet neighborhood). The delta is
+//!    the price of the placement dimension itself.
+//!
+//! The acceptance bar: the placement-flip probe measurably faster
+//! than rebuild (ratios recorded in ROADMAP.md).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_select::epoch::EpochChain;
+use mv_select::{
+    fixtures, IncrementalEvaluator, Placement, Scenario, SelectionProblem, SelectionSet,
+};
+use mvcloud::cost::{InterruptionRisk, PoolCharge};
+use mvcloud::market::{CorrelatedHazard, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::ViewCharge;
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+/// The hot-path shape shared with the other benches.
+const QUERIES: usize = 30;
+const CANDIDATES: usize = 20;
+const EPOCHS: usize = 8;
+const PATHS: usize = 8;
+
+/// A volatile discounted spot market with a bursty crunch regime.
+fn crunchy_market(seed: u64) -> MarketScenario {
+    MarketScenario::constant(EPOCHS, seed)
+        .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4)))
+        .with(PriceProcess::Correlated(
+            CorrelatedHazard::bursty(0.3, 0.8, 0.6).with_crunch_compute(1.5),
+        ))
+}
+
+/// The effective charge of `charge` on `pool` under a fixed epoch's
+/// terms (spot at 60% rate with a 25% interruption premium).
+fn placed(charge: &ViewCharge, pool: Placement) -> ViewCharge {
+    let mut c = match pool {
+        Placement::Reserved => charge.clone(),
+        Placement::Spot => PoolCharge::new(0.6, 1.0, InterruptionRisk::new(0.25)).adjust(charge),
+    };
+    c.placement = pool;
+    c
+}
+
+fn bench_placement_flip_probe(c: &mut Criterion) {
+    let problem = fixtures::random_problem(47, QUERIES, CANDIDATES);
+    let mut selection = SelectionSet::empty(CANDIDATES);
+    for k in (0..CANDIDATES).step_by(2) {
+        selection.set(k, true);
+    }
+    let pool = problem.candidates().to_vec();
+    let mut group = c.benchmark_group(format!("fleet/placement_flip_probe_n{CANDIDATES}"));
+
+    // Rebuild: re-derive the whole charged vector with candidate 4 on
+    // the other pool, build a fresh problem + evaluator, snapshot.
+    group.bench_function(BenchmarkId::from_parameter("rebuild_reposition"), |b| {
+        let mut on_spot = false;
+        b.iter(|| {
+            on_spot = !on_spot;
+            let target = if on_spot {
+                Placement::Spot
+            } else {
+                Placement::Reserved
+            };
+            let charged: Vec<ViewCharge> = pool
+                .iter()
+                .enumerate()
+                .map(|(k, v)| if k == 4 { placed(v, target) } else { v.clone() })
+                .collect();
+            let p = SelectionProblem::new(problem.model().clone(), charged);
+            let ev = IncrementalEvaluator::with_selection(&p, &selection);
+            black_box(ev.snapshot().time.value())
+        })
+    });
+
+    // Warm: the joint search's Place move — one update_charge splice
+    // (same answer profile ⇒ O(1)) + snapshot on the live evaluator.
+    group.bench_function(BenchmarkId::from_parameter("warm_splice"), |b| {
+        let mut ev = IncrementalEvaluator::with_selection(&problem, &selection);
+        let mut on_spot = false;
+        b.iter(|| {
+            on_spot = !on_spot;
+            let target = if on_spot {
+                Placement::Spot
+            } else {
+                Placement::Reserved
+            };
+            ev.update_charge(4, placed(&pool[4], target));
+            black_box(ev.snapshot().time.value())
+        })
+    });
+    group.finish();
+}
+
+fn bench_k_path_hedged_sweep(c: &mut Criterion) {
+    let problem = fixtures::random_problem(53, QUERIES, CANDIDATES);
+    let market = crunchy_market(99);
+    let base = problem.model().context();
+    let paths: Vec<(EpochChain, Vec<(f64, InterruptionRisk)>)> = (0..PATHS)
+        .map(|j| {
+            let path = market.path(j);
+            let models = path
+                .quotes
+                .iter()
+                .map(|q| {
+                    let mut ctx = base.clone();
+                    ctx.pricing = q.reprice(&base.pricing);
+                    ctx.instance = ctx
+                        .pricing
+                        .compute
+                        .instance(&base.instance.name)
+                        .expect("bench instance is in the catalog")
+                        .clone();
+                    mvcloud::CloudCostModel::new(ctx)
+                })
+                .collect();
+            let pools = path
+                .quotes
+                .iter()
+                .map(|q| {
+                    (
+                        // Reserved rate over the spot-primary sheet.
+                        1.0 / q.factors.compute,
+                        InterruptionRisk::new(q.interruption),
+                    )
+                })
+                .collect();
+            (
+                EpochChain::new(models, problem.candidates().to_vec()),
+                pools,
+            )
+        })
+        .collect();
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let budget = 2 * CANDIDATES + 8;
+    let initial = vec![Placement::Spot; CANDIDATES];
+    fn reprice_for(
+        pools: &[(f64, InterruptionRisk)],
+    ) -> impl Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge + '_ {
+        move |e: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            let (reserved_rate, risk) = pools[e];
+            match p {
+                Placement::Spot => risk.adjust(c),
+                Placement::Reserved => {
+                    PoolCharge::new(reserved_rate, 1.0, InterruptionRisk::NONE).adjust(c)
+                }
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group(format!(
+        "fleet/k_path_sweep_k{PATHS}_e{EPOCHS}_n{CANDIDATES}"
+    ));
+    group.bench_function(BenchmarkId::from_parameter("pure_spot_pinned"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (chain, pools) in &paths {
+                let reprice = reprice_for(pools);
+                total += chain
+                    .solve_fleet_bounded(scenario, budget, &initial, false, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("hedged_joint"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (chain, pools) in &paths {
+                let reprice = reprice_for(pools);
+                total += chain
+                    .solve_fleet_bounded(scenario, budget, &initial, true, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_placement_flip_probe, bench_k_path_hedged_sweep
+}
+criterion_main!(benches);

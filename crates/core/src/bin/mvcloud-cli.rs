@@ -13,6 +13,12 @@
 //!                    [--cut-epoch E] [--cut-factor F] [--decay R]
 //!                    [--queries N] [--rows N] [--commitment]
 //!                    (--budget $X | --time-limit H | --alpha A)
+//! mvcloud-cli fleet [--epochs N] [--paths K] [--seed S]
+//!                   [--spot-mean M] [--volatility V]
+//!                   [--crunch-share S] [--persistence R] [--crunch-hazard H]
+//!                   [--crunch-factor F] [--reserved-rate R] [--pin spot|reserved]
+//!                   [--queries N] [--rows N] [--commitment] [--no-compare]
+//!                   (--budget $X | --time-limit H | --alpha A)
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
         Some("advise") => cmd_advise(&args[1..]),
         Some("horizon") => cmd_horizon(&args[1..]),
         Some("market") => cmd_market(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("pricing") => cmd_pricing(),
         Some("excerpt") => cmd_excerpt(),
@@ -72,6 +79,12 @@ fn print_usage() {
                               [--spot-mean M] [--bid B] [--cut-epoch E] [--cut-factor F]\n\
                               [--decay R] [--queries N] [--rows N] [--commitment]\n\
                               (--budget X | --time-limit H | --alpha A)\n\
+           mvcloud-cli fleet [--epochs N] [--paths K] [--seed S] [--spot-mean M]\n\
+                             [--volatility V] [--crunch-share S] [--persistence R]\n\
+                             [--crunch-hazard H] [--crunch-factor F] [--reserved-rate R]\n\
+                             [--pin spot|reserved] [--queries N] [--rows N]\n\
+                             [--commitment] [--no-compare]\n\
+                             (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
@@ -108,7 +121,23 @@ fn print_usage() {
            --cut-factor F   the cut's compute factor             [default 0.8]\n\
            --decay R        linear storage-rate decline/epoch    [default 0]\n\
            --commitment     price each path vs a reservation\n\
-         emits the per-epoch quantile timeline as JSON"
+         emits the per-epoch quantile timeline as JSON\n\
+         \n\
+         fleet flags (plus advise's workload/scenario flags):\n\
+           --epochs N        billing periods in the horizon          [default 12]\n\
+           --paths K         sampled price paths                     [default 16]\n\
+           --seed S          market seed (reproducible paths)        [default 42]\n\
+           --spot-mean M     long-run spot compute factor            [default 0.5]\n\
+           --volatility V    spot shock half-width                   [default 0.3]\n\
+           --crunch-share S  stationary share of crunch epochs       [default 0.25]\n\
+           --persistence R   crunch regime autocorrelation, 0=iid    [default 0.7]\n\
+           --crunch-hazard H interruption probability in a crunch    [default 0.5]\n\
+           --crunch-factor F spot compute multiplier in a crunch     [default 1.3]\n\
+           --reserved-rate R reserved pool rate vs on-demand         [default 1]\n\
+           --pin P           pin every view: spot|reserved (pure fleet)\n\
+           --commitment      price the reserved pool's reservation\n\
+           --no-compare      skip the pure-spot/pure-reserved comparison\n\
+         emits the per-epoch hedge/quantile timeline as JSON"
     );
 }
 
@@ -150,10 +179,31 @@ impl<'a> Flags<'a> {
                 .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
+
+    /// Rejects any flag outside `known` — a typo'd flag must fail
+    /// loudly, not silently fall back to its default.
+    fn expect_known(&self, known: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.pairs {
+            if !known.contains(name) {
+                return Err(format!("unknown flag --{name} (try --help)"));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// The MV1/MV2/MV3 scenario flag names every advising subcommand takes.
+const SCENARIO_FLAGS: [&str; 3] = ["budget", "time-limit", "alpha"];
 
 fn cmd_advise(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    flags.expect_known(
+        &[
+            &["queries", "rows", "provider", "instances", "solver"],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
     let queries: usize = flags.parse_num("queries", 5)?;
     let rows: usize = flags.parse_num("rows", 10_000)?;
     let instances: u32 = flags.parse_num("instances", 2)?;
@@ -247,6 +297,22 @@ fn cmd_horizon(args: &[String]) -> Result<(), String> {
     let commitment_flag = extract_switch(&mut args, "--commitment");
     let myopic = extract_switch(&mut args, "--myopic");
     let flags = parse_flags(&args)?;
+    flags.expect_known(
+        &[
+            &[
+                "queries",
+                "rows",
+                "epochs",
+                "pattern",
+                "rate",
+                "factor",
+                "amplitude",
+                "period",
+            ],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
     let queries: usize = flags.parse_num("queries", 5)?;
     let rows: usize = flags.parse_num("rows", 10_000)?;
     let epochs: usize = flags.parse_num("epochs", 12)?;
@@ -309,6 +375,25 @@ fn cmd_market(args: &[String]) -> Result<(), String> {
     let mut args: Vec<String> = args.to_vec();
     let commitment_flag = extract_switch(&mut args, "--commitment");
     let flags = parse_flags(&args)?;
+    flags.expect_known(
+        &[
+            &[
+                "queries",
+                "rows",
+                "epochs",
+                "paths",
+                "seed",
+                "volatility",
+                "spot-mean",
+                "bid",
+                "cut-epoch",
+                "cut-factor",
+                "decay",
+            ],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
     let queries: usize = flags.parse_num("queries", 5)?;
     let rows: usize = flags.parse_num("rows", 10_000)?;
     let epochs: usize = flags.parse_num("epochs", 12)?;
@@ -371,15 +456,181 @@ fn cmd_market(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use mvcloud::fleet::FleetConfig;
+    use mvcloud::market::{CorrelatedHazard, MarketScenario, PriceProcess, SpotMarket};
+    use mvcloud::pricing::{CommitmentPlan, FleetPlan};
+
+    let mut args: Vec<String> = args.to_vec();
+    let commitment_flag = extract_switch(&mut args, "--commitment");
+    let no_compare = extract_switch(&mut args, "--no-compare");
+    let flags = parse_flags(&args)?;
+    flags.expect_known(
+        &[
+            &[
+                "queries",
+                "rows",
+                "epochs",
+                "paths",
+                "seed",
+                "spot-mean",
+                "volatility",
+                "crunch-share",
+                "persistence",
+                "crunch-hazard",
+                "crunch-factor",
+                "reserved-rate",
+                "pin",
+            ],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
+    let queries: usize = flags.parse_num("queries", 5)?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let epochs: usize = flags.parse_num("epochs", 12)?;
+    let paths: usize = flags.parse_num("paths", 16)?;
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let spot_mean: f64 = flags.parse_num("spot-mean", 0.5)?;
+    let volatility: f64 = flags.parse_num("volatility", 0.3)?;
+    let crunch_share: f64 = flags.parse_num("crunch-share", 0.25)?;
+    let persistence: f64 = flags.parse_num("persistence", 0.7)?;
+    let crunch_hazard: f64 = flags.parse_num("crunch-hazard", 0.5)?;
+    let crunch_factor: f64 = flags.parse_num("crunch-factor", 1.3)?;
+    let reserved_rate: f64 = flags.parse_num("reserved-rate", 1.0)?;
+    if !(1..=10).contains(&queries) {
+        return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if epochs == 0 || paths == 0 {
+        return Err("--epochs and --paths must be ≥ 1".to_string());
+    }
+    if volatility < 0.0 {
+        return Err("--volatility must be ≥ 0".to_string());
+    }
+    let scenario = parse_scenario(&flags)?;
+
+    let mut market = MarketScenario::constant(epochs, seed);
+    if volatility > 0.0 || spot_mean != 1.0 {
+        market = market.with(PriceProcess::Spot(SpotMarket::discounted(
+            spot_mean, volatility,
+        )));
+    }
+    // A crunch regime matters as soon as crunch months exist and are
+    // distinguishable — by hazard OR by a compute spike (a hazard-free
+    // price-only crunch is a configuration CorrelatedHazard supports).
+    if crunch_share > 0.0 && (crunch_hazard > 0.0 || crunch_factor != 1.0) {
+        market = market.with(PriceProcess::Correlated(
+            CorrelatedHazard::bursty(crunch_share, persistence, crunch_hazard)
+                .with_crunch_compute(crunch_factor),
+        ));
+    }
+
+    let mut fleet = match flags.get("pin") {
+        None => FleetPlan::hedged("hedged"),
+        Some("spot") => FleetPlan::pure_spot(),
+        Some("reserved") => FleetPlan::pure_reserved(),
+        Some(other) => return Err(format!("--pin must be spot or reserved, got {other:?}")),
+    };
+    fleet.reserved.rate_factor = reserved_rate;
+    if commitment_flag {
+        fleet.reserved.commitment = Some(CommitmentPlan::aws_small_1yr());
+    }
+
+    let domain = sales_domain(rows, queries, 1.0, 42);
+    let advisor = Advisor::build(domain, AdvisorConfig::default()).map_err(|e| e.to_string())?;
+    let config = FleetConfig {
+        market,
+        paths,
+        fleet,
+        compare_pure: !no_compare,
+        ..FleetConfig::default()
+    };
+    let report = advisor
+        .solve_fleet(scenario, &config)
+        .map_err(|e| e.to_string())?;
+    println!("{}", fleet_json(&report, scenario, paths));
+    Ok(())
+}
+
+/// Renders one [`mvcloud::Quantiles`] as a JSON object — the ONE place
+/// the six-field schema lives; the market and fleet renderers share it.
+fn quantiles_json(q: &mvcloud::Quantiles) -> String {
+    format!(
+        "{{\"min\":{:.6},\"p10\":{:.6},\"median\":{:.6},\"p90\":{:.6},\"max\":{:.6},\"mean\":{:.6}}}",
+        q.min, q.p10, q.median, q.p90, q.max, q.mean
+    )
+}
+
+/// Renders a fleet report's hedge/quantile timeline as JSON
+/// (hand-rendered, like [`market_json`]).
+fn fleet_json(report: &mvcloud::FleetReport, scenario: Scenario, paths: usize) -> String {
+    let q = quantiles_json;
+    let epochs: Vec<String> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            let modal: Vec<String> = e.modal_selection.iter().map(|n| json_str(n)).collect();
+            format!(
+                "    {{\"epoch\":{},\"charged_cost\":{},\"cumulative_cost\":{},\
+                 \"hedge_ratio\":{},\"compute_factor\":{},\"interruption\":{},\
+                 \"distinct_plans\":{},\"modal_share\":{:.4},\"modal_selection\":[{}]}}",
+                e.epoch,
+                q(&e.charged_cost),
+                q(&e.cumulative_cost),
+                q(&e.hedge_ratio),
+                q(&e.compute_factor),
+                q(&e.interruption),
+                e.distinct_plans,
+                e.modal_share,
+                modal.join(","),
+            )
+        })
+        .collect();
+    let comparison = match &report.comparison {
+        Some(c) => format!(
+            "{{\"hedged\":{},\"pure_spot\":{},\"pure_reserved\":{},\
+             \"hedged_wins_share\":{:.4}}}",
+            q(&c.hedged),
+            q(&c.pure_spot),
+            q(&c.pure_reserved),
+            c.hedged_wins_share,
+        ),
+        None => "null".to_string(),
+    };
+    let commitment = match &report.commitment {
+        Some(c) => format!(
+            "{{\"plan\":{},\"spot_compute\":{},\"reserved\":{},\"saving\":{},\
+             \"reserved_wins_share\":{:.4}}}",
+            json_str(&c.plan),
+            q(&c.spot_compute),
+            q(&c.reserved),
+            q(&c.saving),
+            c.reserved_wins_share,
+        ),
+        None => "null".to_string(),
+    };
+    let moves: usize = report.paths.iter().map(|p| p.moves).sum();
+    format!(
+        "{{\n  \"scenario\":{},\n  \"fleet\":{},\n  \"paths\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+         \"total_cost\":{},\n  \"hedge_ratio\":{},\n  \"plan_stability\":{:.4},\n  \
+         \"placement_moves_per_path\":{:.2},\n  \"comparison\":{},\n  \"commitment\":{}\n}}",
+        json_str(scenario.label()),
+        json_str(&report.fleet),
+        paths,
+        epochs.join(",\n"),
+        q(&report.total_cost),
+        q(&report.hedge_ratio),
+        report.plan_stability,
+        moves as f64 / report.paths.len() as f64,
+        comparison,
+        commitment,
+    )
+}
+
 /// Renders a market report's quantile timeline as JSON (hand-rendered,
 /// like [`horizon_json`]).
 fn market_json(report: &mvcloud::MarketReport, scenario: Scenario, paths: usize) -> String {
-    let q = |q: &mvcloud::Quantiles| -> String {
-        format!(
-            "{{\"min\":{:.6},\"p10\":{:.6},\"median\":{:.6},\"p90\":{:.6},\"max\":{:.6},\"mean\":{:.6}}}",
-            q.min, q.p10, q.median, q.p90, q.max, q.mean
-        )
-    };
+    let q = quantiles_json;
     let epochs: Vec<String> = report
         .epochs
         .iter()
@@ -502,6 +753,7 @@ fn json_str(s: &str) -> String {
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
+    flags.expect_known(&["rows", "format"])?;
     let statement = flags
         .positional
         .first()

@@ -22,9 +22,12 @@
 //! single period ([`Advisor::solve`]), a lazy candidate stream
 //! ([`Advisor::solve_streaming`]), a whole multi-epoch billing
 //! horizon with drifting workloads and transition-aware carry-over
-//! ([`Advisor::solve_horizon`], [`horizon`]), or that same horizon
+//! ([`Advisor::solve_horizon`], [`horizon`]), that same horizon
 //! against `K` sampled price trajectories with risk-adjusted charging
-//! and quantile envelopes ([`Advisor::solve_market`], [`market`]):
+//! and quantile envelopes ([`Advisor::solve_market`], [`market`]), or
+//! a hedged **mixed fleet** where each view's reserved-vs-spot
+//! placement is searched jointly with the selection against correlated
+//! interruption epochs ([`Advisor::solve_fleet`], [`fleet`]):
 //!
 //! ```
 //! use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
@@ -44,6 +47,7 @@
 mod advisor;
 mod domain;
 mod error;
+pub mod fleet;
 pub mod horizon;
 pub mod market;
 pub mod report;
@@ -55,6 +59,7 @@ pub use advisor::{
 };
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
+pub use fleet::{FleetComparison, FleetConfig, FleetEpochReport, FleetPathSummary, FleetReport};
 pub use horizon::{EpochReport, HorizonConfig, HorizonReport};
 pub use market::{
     MarketConfig, MarketEpochReport, MarketPathSummary, MarketReport, Quantiles,

@@ -27,8 +27,8 @@
 // The price-dynamics vocabulary, re-exported so downstream users reach
 // everything through `mvcloud::market::*`.
 pub use mv_market::{
-    AnnouncedCut, EpochQuote, MarketPath, MarketScenario, PriceFactors, PriceProcess, PriceTrace,
-    ProcessQuote, SpotMarket, StorageDecay,
+    AnnouncedCut, CorrelatedHazard, EpochQuote, MarketPath, MarketScenario, PriceFactors,
+    PriceProcess, PriceTrace, ProcessQuote, SpotMarket, StorageDecay,
 };
 
 use std::collections::HashMap;
@@ -182,6 +182,33 @@ pub struct SpotCommitmentReport {
     pub saving: Quantiles,
     /// Share of paths on which the reservation was cheaper.
     pub reserved_wins_share: f64,
+}
+
+impl SpotCommitmentReport {
+    /// Assembles the report from aligned per-path bills: what the
+    /// compute actually cost on the sampled market vs covering the
+    /// same billed hours with the reservation. This is the ONE place
+    /// the comparison's arithmetic lives — `Advisor::solve_market` and
+    /// the mixed-fleet `Advisor::solve_fleet` both price through it,
+    /// so the single-fleet report is exactly the pure-fleet special
+    /// case of the fleet comparison (equality-tested in
+    /// `tests/fleet.rs`).
+    pub fn from_path_bills(plan: &str, spot: &[f64], reserved: &[f64]) -> SpotCommitmentReport {
+        assert_eq!(
+            spot.len(),
+            reserved.len(),
+            "per-path bills must align across the comparison"
+        );
+        let saving: Vec<f64> = spot.iter().zip(reserved).map(|(s, r)| s - r).collect();
+        let wins = saving.iter().filter(|&&d| d > 0.0).count();
+        SpotCommitmentReport {
+            plan: plan.to_string(),
+            spot_compute: Quantiles::of(spot),
+            reserved: Quantiles::of(reserved),
+            saving: Quantiles::of(&saving),
+            reserved_wins_share: wins as f64 / spot.len() as f64,
+        }
+    }
 }
 
 /// The Monte-Carlo envelope of a market-aware horizon solve.
@@ -469,12 +496,15 @@ impl Advisor {
             for s in &solved {
                 *plans.entry(&s.summary.selections[e]).or_insert(0) += 1;
             }
-            let (modal_set, modal_count) = plans
+            // Tie-break modal plans deterministically (last maximal in
+            // path order), not by HashMap iteration order — the report
+            // must reproduce bit-for-bit from the seed.
+            let modal_set = solved
                 .iter()
-                .max_by_key(|(_, &count)| count)
-                .map(|(set, &count)| (*set, count))
+                .map(|s| &s.summary.selections[e])
+                .max_by_key(|sel| plans[*sel])
                 .expect("at least one path");
-            let modal_share = modal_count as f64 / solved.len() as f64;
+            let modal_share = plans[modal_set] as f64 / solved.len() as f64;
             stability_sum += modal_share;
             epoch_reports.push(MarketEpochReport {
                 epoch: e,
@@ -514,15 +544,7 @@ impl Advisor {
                     .to_dollars_f64()
                 })
                 .collect();
-            let saving: Vec<f64> = spot.iter().zip(&reserved).map(|(s, r)| s - r).collect();
-            let wins = saving.iter().filter(|&&d| d > 0.0).count();
-            SpotCommitmentReport {
-                plan: plan.name.clone(),
-                spot_compute: Quantiles::of(&spot),
-                reserved: Quantiles::of(&reserved),
-                saving: Quantiles::of(&saving),
-                reserved_wins_share: wins as f64 / solved.len() as f64,
-            }
+            SpotCommitmentReport::from_path_bills(&plan.name, &spot, &reserved)
         });
         MarketReport {
             paths: solved.into_iter().map(|s| s.summary).collect(),

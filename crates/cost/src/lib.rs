@@ -7,6 +7,14 @@
 //! exactly reproducing every worked example of the paper (see
 //! `tests/paper_examples.rs` for Examples 1–9 as golden tests).
 //!
+//! Two extensions charge views beyond the paper's single static fleet,
+//! both as *charge transforms* that leave the answer profile untouched
+//! (the O(1) splice contract of `mv-select`'s `update_charge`):
+//! [`InterruptionRisk`] inflates build/refresh hours by the expected
+//! re-run count under spot interruption, and [`PoolCharge`] folds a
+//! mixed fleet's per-pool rate differentials into effective hours and
+//! bytes for views [`Placement`]-assigned to the non-primary pool.
+//!
 //! ```
 //! use mv_cost::{CloudCostModel, CostContext, QueryCharge};
 //! use mv_pricing::presets;
@@ -35,8 +43,9 @@ mod selection;
 
 pub use breakdown::CostBreakdown;
 pub use model::CloudCostModel;
+pub use mv_pricing::Placement;
 pub use params::{CostContext, QueryCharge, ViewCharge};
-pub use risk::{InterruptionRisk, MAX_INTERRUPTION};
+pub use risk::{InterruptionRisk, PoolCharge, MAX_INTERRUPTION};
 pub use selection::SelectionSet;
 
 /// Historical alias: selections were `Vec<bool>` before the bitset.

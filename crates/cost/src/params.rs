@@ -1,7 +1,7 @@
 //! Cost-model inputs (the paper's Table 5 parameters and Section 4 view
 //! attributes).
 
-use mv_pricing::{InstanceType, PricingPolicy};
+use mv_pricing::{InstanceType, Placement, PricingPolicy};
 use mv_units::{Gb, Hours, Months};
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +48,12 @@ pub struct ViewCharge {
     /// query `i` in that time; `None` when it cannot answer it. Indices
     /// align with the workload's query order.
     pub query_times: Vec<Option<Hours>>,
+    /// Which fleet pool this view's build/refresh work runs on. The
+    /// paper's single-fleet setting is all-[`Placement::Reserved`];
+    /// mixed-fleet solves treat it as a per-view decision dimension
+    /// (`mv_select`'s placement-flip moves) and charge the view through
+    /// its pool's terms ([`crate::PoolCharge`]).
+    pub placement: Placement,
 }
 
 impl ViewCharge {
@@ -66,12 +72,19 @@ impl ViewCharge {
             materialization,
             maintenance,
             query_times: vec![None; workload_len],
+            placement: Placement::default(),
         }
     }
 
     /// Declares that this view answers workload query `index` in `time`.
     pub fn answers(mut self, index: usize, time: Hours) -> Self {
         self.query_times[index] = Some(time);
+        self
+    }
+
+    /// Sets the view's fleet placement (builder style).
+    pub fn placed(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 

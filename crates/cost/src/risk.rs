@@ -88,6 +88,86 @@ impl InterruptionRisk {
     }
 }
 
+/// One fleet pool's effective per-epoch charging of a view: the pool's
+/// rate differential against the primary sheet folded into billable
+/// hours, plus the pool's interruption risk.
+///
+/// The cost model prices every hour through the *primary* pool's sheet
+/// (the epoch's `CostContext::pricing`). A view placed on the other
+/// pool really runs at that pool's rate, so its materialization and
+/// maintenance hours are scaled by `hour_factor` — the pool rate over
+/// the primary rate — before pricing, and its stored bytes by
+/// `size_factor` likewise. Rate differentials therefore reach the bill
+/// through the rounding rule exactly like the interruption premium
+/// does: per-minute providers see them exactly, whole-hour providers
+/// through the round-up (the `tests/market.rs` caveat).
+///
+/// Two identities the fleet conformance tests lean on:
+///
+/// * **the primary pool is the exact identity** — `hour_factor` and
+///   `size_factor` of `1.0` with zero risk return a bit-identical
+///   clone (no float touches the charge);
+/// * **the answer profile never changes** — only materialization,
+///   maintenance and size move, so every fleet splice (including a
+///   placement flip) stays on `update_charge`'s O(1) fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolCharge {
+    /// Pool compute rate over the primary sheet's rate this epoch.
+    hour_factor: f64,
+    /// Pool storage rate over the primary sheet's rate.
+    size_factor: f64,
+    /// The pool's interruption risk this epoch (zero on reserved
+    /// capacity).
+    risk: InterruptionRisk,
+}
+
+impl PoolCharge {
+    /// The do-nothing pool: primary-rate hours, no risk.
+    pub const IDENTITY: PoolCharge = PoolCharge {
+        hour_factor: 1.0,
+        size_factor: 1.0,
+        risk: InterruptionRisk::NONE,
+    };
+
+    /// Builds a pool charge. Non-finite or non-positive factors fall
+    /// back to `1.0` (a rate ratio is always positive).
+    pub fn new(hour_factor: f64, size_factor: f64, risk: InterruptionRisk) -> PoolCharge {
+        let sane = |f: f64| if f.is_finite() && f > 0.0 { f } else { 1.0 };
+        PoolCharge {
+            hour_factor: sane(hour_factor),
+            size_factor: sane(size_factor),
+            risk,
+        }
+    }
+
+    /// The pool's interruption risk.
+    pub fn risk(&self) -> InterruptionRisk {
+        self.risk
+    }
+
+    /// The pool's hour (compute-rate) factor.
+    pub fn hour_factor(&self) -> f64 {
+        self.hour_factor
+    }
+
+    /// The effective charge a view presents when placed on this pool:
+    /// risk premium first (build/refresh re-runs), then the rate
+    /// differential on the risk-adjusted hours. Identity factors and
+    /// zero risk return a bit-identical clone.
+    pub fn adjust(&self, charge: &ViewCharge) -> ViewCharge {
+        let risked = self.risk.adjust(charge);
+        if self.hour_factor == 1.0 && self.size_factor == 1.0 {
+            return risked;
+        }
+        ViewCharge {
+            materialization: risked.materialization * self.hour_factor,
+            maintenance: risked.maintenance * self.hour_factor,
+            size: risked.size * self.size_factor,
+            ..risked
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +206,45 @@ mod tests {
         assert_eq!(InterruptionRisk::new(2.0).probability(), MAX_INTERRUPTION);
         assert_eq!(InterruptionRisk::new(-1.0).probability(), 0.0);
         assert!(InterruptionRisk::new(1.0).expected_attempts().is_finite());
+    }
+
+    #[test]
+    fn identity_pool_is_bit_exact() {
+        let c = charge();
+        assert_eq!(PoolCharge::IDENTITY.adjust(&c), c);
+        assert_eq!(
+            PoolCharge::new(1.0, 1.0, InterruptionRisk::NONE).adjust(&c),
+            c
+        );
+        // Insane factors fall back to the identity.
+        assert_eq!(
+            PoolCharge::new(f64::NAN, -2.0, InterruptionRisk::NONE).adjust(&c),
+            c
+        );
+    }
+
+    #[test]
+    fn pool_factors_scale_hours_and_bytes_only() {
+        let c = charge();
+        let pool = PoolCharge::new(0.5, 2.0, InterruptionRisk::NONE);
+        let adjusted = pool.adjust(&c);
+        assert_eq!(adjusted.materialization, Hours::new(2.0));
+        assert_eq!(adjusted.maintenance, Hours::new(0.25));
+        assert_eq!(adjusted.size, Gb::new(4.0));
+        assert_eq!(adjusted.query_times, c.query_times);
+        assert_eq!(adjusted.placement, c.placement);
+    }
+
+    #[test]
+    fn risk_applies_before_the_rate_differential() {
+        let c = charge();
+        let pool = PoolCharge::new(0.5, 1.0, InterruptionRisk::new(0.5));
+        let adjusted = pool.adjust(&c);
+        // 4 h × 2 attempts × 0.5 rate = 4 h.
+        assert_eq!(adjusted.materialization, Hours::new(4.0));
+        assert_eq!(adjusted.maintenance, Hours::new(0.5));
+        assert_eq!(pool.risk().expected_attempts(), 2.0);
+        assert_eq!(pool.hour_factor(), 0.5);
     }
 
     #[test]

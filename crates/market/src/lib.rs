@@ -14,10 +14,13 @@
 //!
 //! * [`process`](PriceProcess) — the composable forces on a price
 //!   sheet: deterministic [`PriceTrace`] replay, [`AnnouncedCut`] step
-//!   changes, linear [`StorageDecay`], and the seeded mean-reverting
-//!   [`SpotMarket`] with interruption risk. Each samples a whole
-//!   horizon of [`ProcessQuote`]s (price factors + interruption
-//!   probability per epoch).
+//!   changes, linear [`StorageDecay`], the seeded mean-reverting
+//!   [`SpotMarket`] with interruption risk, and the two-state
+//!   calm/crunch [`CorrelatedHazard`] regime (bursty, *correlated*
+//!   interruption epochs — zero persistence degenerates to the i.i.d.
+//!   hazard exactly). Each samples a whole horizon of
+//!   [`ProcessQuote`]s (price factors + interruption probability per
+//!   epoch).
 //! * [`scenario`](MarketScenario) — a process stack compiled over a
 //!   horizon: [`MarketScenario::path`] samples one reproducible
 //!   trajectory ([`MarketPath`] of [`EpochQuote`]s; factors multiply
@@ -42,7 +45,8 @@ mod process;
 mod scenario;
 
 pub use process::{
-    AnnouncedCut, PriceFactors, PriceProcess, PriceTrace, ProcessQuote, SpotMarket, StorageDecay,
+    AnnouncedCut, CorrelatedHazard, PriceFactors, PriceProcess, PriceTrace, ProcessQuote,
+    SpotMarket, StorageDecay,
 };
 pub use scenario::{EpochQuote, MarketPath, MarketScenario};
 

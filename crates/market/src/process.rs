@@ -302,6 +302,124 @@ impl SpotMarket {
     }
 }
 
+/// Bursty, regime-switching interruption hazard: a two-state
+/// calm/crunch Markov chain modulating the quoted interruption
+/// probability (and optionally the compute factor) — capacity crunches
+/// hit *consecutive* epochs, unlike the i.i.d. hazards of
+/// [`PriceTrace`] and [`SpotMarket`].
+///
+/// The regime chain is parameterized by its stationary crunch share
+/// `π` and its epoch-to-epoch persistence `ρ` (the regime's lag-1
+/// autocorrelation): from any epoch, the next is a crunch with
+/// probability `π(1−ρ) + ρ·[current is crunch]`. Two boundary
+/// identities the conformance tests pin:
+///
+/// * **`ρ = 0` is the independent-hazard process exactly** — every
+///   epoch is an i.i.d. Bernoulli(π) crunch, one uniform draw per
+///   epoch, reproducible from the scenario's seeded generator
+///   (`tests/fleet.rs` reconstructs the draws by hand and matches the
+///   quotes bit-for-bit);
+/// * **a degenerate regime quotes deterministically** — `π ∈ {0, 1}`,
+///   or `calm == crunch` with a unit crunch factor, yields identical
+///   quotes on every path ([`PriceProcess::is_stochastic`] reports
+///   `false` and the Monte-Carlo dedup collapses to one solve).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelatedHazard {
+    /// Stationary probability `π` of an epoch being in the crunch
+    /// regime, in `[0, 1]`.
+    pub crunch_share: f64,
+    /// Epoch-to-epoch persistence `ρ` of the regime, in `[0, 1)`:
+    /// `0` = i.i.d. crunches, `→ 1` = long contiguous crunches.
+    pub persistence: f64,
+    /// Interruption probability quoted in calm epochs.
+    pub calm: f64,
+    /// Interruption probability quoted in crunch epochs.
+    pub crunch: f64,
+    /// Compute-factor multiplier during a crunch (capacity crunches
+    /// also spike clearing prices; `1.0` = hazard only).
+    pub crunch_compute: f64,
+}
+
+impl CorrelatedHazard {
+    /// A bursty spot-reclaim regime: calm epochs are risk-free, crunch
+    /// epochs interrupt with probability `crunch`, crunches cover
+    /// `share` of epochs on average and persist with autocorrelation
+    /// `persistence`.
+    pub fn bursty(share: f64, persistence: f64, crunch: f64) -> Self {
+        CorrelatedHazard {
+            crunch_share: share,
+            persistence,
+            calm: 0.0,
+            crunch,
+            crunch_compute: 1.0,
+        }
+    }
+
+    /// Sets the crunch-epoch compute multiplier (builder style).
+    pub fn with_crunch_compute(mut self, factor: f64) -> Self {
+        self.crunch_compute = factor;
+        self
+    }
+
+    /// The sanitized parameters the sampler actually uses.
+    fn sanitized(&self) -> (f64, f64, f64, f64, f64) {
+        let clamp01 = |x: f64| {
+            if x.is_finite() {
+                x.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        (
+            clamp01(self.crunch_share),
+            if self.persistence.is_finite() {
+                self.persistence.clamp(0.0, 0.999_999)
+            } else {
+                0.0
+            },
+            clamp01(self.calm).min(MAX_INTERRUPTION),
+            clamp01(self.crunch).min(MAX_INTERRUPTION),
+            if self.crunch_compute.is_finite() && self.crunch_compute > 0.0 {
+                self.crunch_compute
+            } else {
+                1.0
+            },
+        )
+    }
+
+    fn sample(&self, epochs: usize, rng: &mut StdRng) -> Vec<ProcessQuote> {
+        let (share, rho, calm, crunch, crunch_compute) = self.sanitized();
+        let mut quotes = Vec::with_capacity(epochs);
+        let mut in_crunch = false;
+        for e in 0..epochs {
+            // Epoch 0 draws the stationary distribution; later epochs
+            // mix persistence in. One uniform per epoch, so ρ = 0 is
+            // exactly the i.i.d. Bernoulli(π) draw sequence.
+            let p = if e == 0 {
+                share
+            } else {
+                share * (1.0 - rho) + rho * f64::from(in_crunch)
+            };
+            in_crunch = rng.random_range(0.0f64..1.0) < p;
+            quotes.push(ProcessQuote {
+                factors: PriceFactors {
+                    compute: if in_crunch { crunch_compute } else { 1.0 },
+                    ..PriceFactors::UNIT
+                },
+                interruption: if in_crunch { crunch } else { calm },
+            });
+        }
+        quotes
+    }
+
+    /// Whether two paths can quote differently: the regime must be
+    /// able to vary *and* the two regimes must quote differently.
+    fn is_stochastic(&self) -> bool {
+        let (share, _, calm, crunch, crunch_compute) = self.sanitized();
+        share > 0.0 && share < 1.0 && (calm != crunch || crunch_compute != 1.0)
+    }
+}
+
 /// One composable force on the price sheet. See the variants' types for
 /// semantics; [`PriceProcess::sample`] yields the whole horizon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -314,6 +432,9 @@ pub enum PriceProcess {
     StorageDecay(StorageDecay),
     /// Seeded mean-reverting spot market with interruption risk.
     Spot(SpotMarket),
+    /// Two-state calm/crunch Markov modulation of the interruption
+    /// hazard (correlated, bursty reclaims).
+    Correlated(CorrelatedHazard),
 }
 
 impl PriceProcess {
@@ -326,15 +447,22 @@ impl PriceProcess {
             PriceProcess::Cut(c) => (0..epochs).map(|e| c.quote(e)).collect(),
             PriceProcess::StorageDecay(d) => (0..epochs).map(|e| d.quote(e)).collect(),
             PriceProcess::Spot(s) => s.sample(epochs, rng),
+            PriceProcess::Correlated(h) => h.sample(epochs, rng),
         }
     }
 
-    /// `true` when sampling draws from the generator — two paths of a
-    /// scenario can differ in *factors and probabilities* only through
-    /// such processes (the per-epoch interruption *event* draw is
-    /// always path-specific).
+    /// `true` when sampling can yield *different quotes on different
+    /// paths* — only such processes spread the Monte-Carlo envelope
+    /// (the per-epoch interruption *event* draw is always
+    /// path-specific). A [`CorrelatedHazard`] always consumes draws,
+    /// but a degenerate regime quotes identically on every path and so
+    /// still reports `false`.
     pub fn is_stochastic(&self) -> bool {
-        matches!(self, PriceProcess::Spot(s) if s.volatility > 0.0)
+        match self {
+            PriceProcess::Spot(s) => s.volatility > 0.0,
+            PriceProcess::Correlated(h) => h.is_stochastic(),
+            _ => false,
+        }
     }
 }
 
@@ -404,6 +532,95 @@ mod tests {
         assert_eq!(quotes[11].interruption, 0.0);
         for w in quotes.windows(2) {
             assert!(w[1].factors.compute <= w[0].factors.compute);
+        }
+    }
+
+    #[test]
+    fn zero_persistence_hazard_is_iid_bernoulli() {
+        // ρ = 0: one uniform per epoch against the stationary share —
+        // reconstruct the draw sequence by hand and match bit-for-bit.
+        let hazard = CorrelatedHazard::bursty(0.3, 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(99);
+        let quotes = hazard.sample(32, &mut rng);
+        let mut mirror = StdRng::seed_from_u64(99);
+        for (e, q) in quotes.iter().enumerate() {
+            let crunch = mirror.random_range(0.0f64..1.0) < 0.3;
+            assert_eq!(q.interruption, if crunch { 0.5 } else { 0.0 }, "epoch {e}");
+            assert!(q.factors.is_unit());
+        }
+    }
+
+    #[test]
+    fn persistent_crunches_cluster() {
+        // High persistence: crunch epochs arrive in runs. Compare the
+        // number of regime switches against the i.i.d. variant at the
+        // same stationary share over a long horizon.
+        let switches = |quotes: &[ProcessQuote]| -> usize {
+            quotes
+                .windows(2)
+                .filter(|w| (w[0].interruption > 0.0) != (w[1].interruption > 0.0))
+                .count()
+        };
+        let sticky = CorrelatedHazard::bursty(0.4, 0.9, 0.6);
+        let iid = CorrelatedHazard::bursty(0.4, 0.0, 0.6);
+        let mut sticky_switches = 0;
+        let mut iid_switches = 0;
+        for seed in 0..20 {
+            sticky_switches += switches(&sticky.sample(64, &mut StdRng::seed_from_u64(seed)));
+            iid_switches += switches(&iid.sample(64, &mut StdRng::seed_from_u64(seed)));
+        }
+        assert!(
+            sticky_switches * 2 < iid_switches,
+            "persistent regimes should switch far less: {sticky_switches} vs {iid_switches}"
+        );
+    }
+
+    #[test]
+    fn crunch_factor_reaches_the_compute_quote() {
+        let hazard = CorrelatedHazard::bursty(1.0, 0.5, 0.4).with_crunch_compute(1.5);
+        let quotes = hazard.sample(4, &mut StdRng::seed_from_u64(1));
+        for q in &quotes {
+            assert_eq!(q.factors.compute, 1.5);
+            assert_eq!(q.interruption, 0.4);
+        }
+    }
+
+    #[test]
+    fn degenerate_hazards_are_deterministic() {
+        // π ∈ {0, 1} or indistinguishable regimes: not stochastic, and
+        // the quotes really are path-independent.
+        for h in [
+            CorrelatedHazard::bursty(0.0, 0.5, 0.6),
+            CorrelatedHazard::bursty(1.0, 0.5, 0.6),
+            CorrelatedHazard {
+                crunch_share: 0.4,
+                persistence: 0.5,
+                calm: 0.3,
+                crunch: 0.3,
+                crunch_compute: 1.0,
+            },
+        ] {
+            assert!(!PriceProcess::Correlated(h).is_stochastic());
+            let a = h.sample(12, &mut StdRng::seed_from_u64(7));
+            let b = h.sample(12, &mut StdRng::seed_from_u64(1234));
+            assert_eq!(a, b);
+        }
+        assert!(PriceProcess::Correlated(CorrelatedHazard::bursty(0.4, 0.5, 0.6)).is_stochastic());
+    }
+
+    #[test]
+    fn hazard_parameters_are_sanitized() {
+        let wild = CorrelatedHazard {
+            crunch_share: f64::NAN,
+            persistence: 2.0,
+            calm: -1.0,
+            crunch: 7.0,
+            crunch_compute: -3.0,
+        };
+        let quotes = wild.sample(6, &mut StdRng::seed_from_u64(3));
+        for q in &quotes {
+            assert!(q.factors.compute > 0.0);
+            assert!((0.0..=MAX_INTERRUPTION).contains(&q.interruption));
         }
     }
 

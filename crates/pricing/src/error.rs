@@ -34,6 +34,11 @@ pub enum PricingError {
         /// The duplicated configuration name.
         name: String,
     },
+    /// A fleet plan carries a non-positive or non-finite rate factor.
+    InvalidRate {
+        /// Which factor was rejected.
+        what: String,
+    },
     /// A storage timeline event was recorded out of chronological order.
     OutOfOrderEvent,
     /// A storage timeline removal exceeded the currently stored size.
@@ -63,6 +68,9 @@ impl fmt::Display for PricingError {
             }
             PricingError::DuplicateInstance { name } => {
                 write!(f, "duplicate instance configuration {name:?}")
+            }
+            PricingError::InvalidRate { what } => {
+                write!(f, "invalid rate factor: {what}")
             }
             PricingError::OutOfOrderEvent => {
                 write!(

@@ -26,6 +26,9 @@
 //!   reconciliation;
 //! * [`commitment`](CommitmentPlan) — reserved-capacity plans and the
 //!   on-demand comparison;
+//! * [`fleet`](FleetPlan) — mixed reserved+spot fleets: per-pool rate
+//!   terms, the per-view [`Placement`] dimension, and the pinned
+//!   pure-fleet degenerate plans the conformance tests lean on;
 //! * [`presets`] — concrete providers (the paper's AWS-2012 plus fictional
 //!   CSPs).
 //!
@@ -55,6 +58,7 @@
 mod billing;
 mod commitment;
 mod error;
+mod fleet;
 mod instance;
 pub mod presets;
 mod rounding;
@@ -67,6 +71,7 @@ pub use billing::{
 };
 pub use commitment::{CommitmentComparison, CommitmentPlan};
 pub use error::PricingError;
+pub use fleet::{FleetPlan, Placement, PoolTerms};
 pub use instance::{ComputePricing, InstanceCatalog, InstanceType};
 pub use rounding::{BillingRounding, RoundingScope};
 pub use storage::{StorageInterval, StoragePricing, StorageTimeline};

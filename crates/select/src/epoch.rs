@@ -47,7 +47,7 @@
 //! zero-drift horizon reproduces the single-period solve bit-for-bit
 //! (property-tested in `tests/horizon_consistency.rs`).
 
-use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge};
+use mv_cost::{CloudCostModel, CostBreakdown, Placement, SelectionSet, ViewCharge};
 use mv_units::{Hours, Money};
 
 use crate::{
@@ -71,11 +71,21 @@ pub struct EpochStep {
     /// materialization in `outcome`).
     pub added: Vec<usize>,
     /// Candidates carried over from the previous epoch's selection
-    /// (maintenance + storage only).
+    /// (maintenance + storage only; same pool as before).
     pub kept: Vec<usize>,
     /// Candidates selected in the previous epoch but not in this one
     /// (their build cost is forfeited).
     pub dropped: Vec<usize>,
+    /// Candidates selected in both epochs but *moved* to the other
+    /// fleet pool at this boundary — a move rebuilds the view on the
+    /// new pool's capacity, so they re-pay materialization like
+    /// `added`. Always empty outside the fleet solvers.
+    pub moved: Vec<usize>,
+    /// The standing per-candidate pool assignment at the end of this
+    /// epoch (single-fleet solvers record each pool charge's own
+    /// placement). Only the selected entries carry billing meaning;
+    /// unselected entries are sticky search state.
+    pub placements: Vec<Placement>,
 }
 
 impl EpochStep {
@@ -120,6 +130,39 @@ pub struct DpSolution {
 }
 
 impl DpSolution {
+    /// Total charged cost of the optimal trajectory.
+    pub fn total_cost(&self) -> Money {
+        self.evaluations.iter().map(|e| e.cost()).sum()
+    }
+}
+
+/// Hard cap on the pool size [`EpochChain::solve_dp_fleet`] accepts:
+/// the joint state space is 3ⁿ per epoch (unselected /
+/// selected-reserved / selected-spot per candidate) and the transition
+/// relation 9ⁿ per boundary — tighter than the selection-only DP's cap.
+pub const DP_FLEET_MAX_CANDIDATES: usize = 6;
+
+/// The exact joint selection+placement optimum found by
+/// [`EpochChain::solve_dp_fleet`].
+#[derive(Debug, Clone)]
+pub struct DpFleetSolution {
+    /// The optimal selection per epoch.
+    pub selections: Vec<SelectionSet>,
+    /// The optimal placement assignment per epoch (unselected
+    /// candidates are reported at the canonical
+    /// [`Placement::Reserved`]; only selected entries carry meaning).
+    pub placements: Vec<Vec<Placement>>,
+    /// The charged evaluation of each epoch along the optimal
+    /// trajectory, re-derived through [`SelectionProblem::evaluate`]
+    /// so it reproduces externally.
+    pub evaluations: Vec<Evaluation>,
+    /// Total constraint violation along the trajectory.
+    pub total_violation: f64,
+    /// Total scenario objective along the trajectory.
+    pub total_objective: f64,
+}
+
+impl DpFleetSolution {
     /// Total charged cost of the optimal trajectory.
     pub fn total_cost(&self) -> Money {
         self.evaluations.iter().map(|e| e.cost()).sum()
@@ -372,6 +415,217 @@ impl EpochChain {
         steps
     }
 
+    /// The joint **selection + placement** chain solve over a mixed
+    /// fleet: each candidate additionally carries a [`Placement`]
+    /// deciding which pool its build/refresh work bills against, and
+    /// the per-epoch improvement pass gains placement-flip moves
+    /// ([`local_search::improve_joint`]) alongside select-flip/swap.
+    ///
+    /// `reprice(epoch, candidate, placement, transition)` yields the
+    /// candidate's effective charge on that pool (the fleet hook:
+    /// `mv-cost`'s `PoolCharge` folds rate differentials and spot
+    /// interruption premiums into it); `transition` is already the
+    /// carry-aware charge — carried only when the candidate survived
+    /// the previous epoch *on the same pool*: a placement move rebuilds
+    /// the view on the new pool's capacity, so it re-pays
+    /// materialization (classified `moved` in the step). `initial`
+    /// seeds each candidate's placement; `rebalance == false` pins
+    /// them, degenerating to [`EpochChain::solve_repriced_bounded`]
+    /// with the per-pool transform — the pure-fleet conformance cases.
+    ///
+    /// The hot path is unchanged: ONE [`IncrementalEvaluator`] lives
+    /// for the whole horizon, every boundary costs one `retarget` plus
+    /// an `update_charge` splice per candidate whose effective charge
+    /// moved, and every placement flip is itself one O(1)
+    /// `update_charge` splice (the transform never touches the answer
+    /// profile) — never a rebuild, asserted via
+    /// `IncrementalEvaluator::build_count` in
+    /// `tests/market_no_rebuild.rs`.
+    pub fn solve_fleet_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge,
+    {
+        let n = self.pool.len();
+        assert_eq!(initial.len(), n, "initial placements must cover the pool");
+        let effective = |e: usize, k: usize, p: Placement, carried: bool| -> ViewCharge {
+            let transition = if carried {
+                self.pool[k].carried()
+            } else {
+                self.pool[k].clone()
+            };
+            let mut charge = reprice(e, k, p, &transition);
+            charge.placement = p;
+            charge
+        };
+        let mut placements: Vec<Placement> = initial.to_vec();
+        let mut current: Vec<ViewCharge> = (0..n)
+            .map(|k| effective(0, k, placements[k], false))
+            .collect();
+        let mut ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+            self.epochs[0].clone(),
+            current.clone(),
+        ));
+        let mut prev = SelectionSet::empty(n);
+        let mut prev_placements = placements.clone();
+        let mut steps = Vec::with_capacity(self.epochs.len());
+        for (e, model) in self.epochs.iter().enumerate() {
+            if e > 0 {
+                ev.retarget(model.clone());
+                for (k, slot) in current.iter_mut().enumerate() {
+                    let want = effective(e, k, placements[k], prev.contains(k));
+                    if want != *slot {
+                        ev.update_charge(k, want.clone());
+                        *slot = want;
+                    }
+                }
+            }
+            let baseline = ev.problem().baseline();
+            if e == 0 {
+                local_search::greedy_fill(&mut ev, scenario, &baseline);
+            }
+            let evaluation = if rebalance {
+                // Carried-ness during the search keys off the epoch's
+                // *entry* state: flipping a carried view's placement
+                // re-prices it full (rebuild on the new pool), flipping
+                // it back restores the carried charge bit-for-bit.
+                let entry_prev = prev.clone();
+                let entry_place = placements.clone();
+                let charge_for = |k: usize, p: Placement| -> ViewCharge {
+                    effective(e, k, p, entry_prev.contains(k) && p == entry_place[k])
+                };
+                let ev_ = local_search::improve_joint(
+                    &mut ev,
+                    scenario,
+                    &baseline,
+                    max_moves,
+                    &mut placements,
+                    &charge_for,
+                );
+                // Placement flips spliced new charges in; refresh the
+                // boundary-comparison cache from the live problem.
+                current.clone_from_slice(ev.problem().candidates());
+                ev_
+            } else {
+                local_search::improve(&mut ev, scenario, &baseline, max_moves)
+            };
+            steps.push(self.step_with_placements(
+                e,
+                evaluation,
+                baseline,
+                &prev,
+                &prev_placements,
+                placements.clone(),
+                scenario,
+            ));
+            prev = steps.last().expect("just pushed").selection().clone();
+            prev_placements.clone_from_slice(&placements);
+        }
+        steps
+    }
+
+    /// [`EpochChain::solve_fleet_bounded`] with the default per-epoch
+    /// move budget.
+    pub fn solve_fleet<F>(
+        &self,
+        scenario: Scenario,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge,
+    {
+        self.solve_fleet_bounded(
+            scenario,
+            local_search::default_move_budget(self.pool.len()),
+            initial,
+            rebalance,
+            reprice,
+        )
+    }
+
+    /// The rebuild-per-epoch reference implementation of
+    /// [`EpochChain::solve_fleet_bounded`]: identical transition,
+    /// placement and re-pricing semantics, but each epoch builds a
+    /// fresh charged problem and a fresh evaluator repositioned by
+    /// O(n) flips. Bit-identical steps (property-tested below); the
+    /// fleet bench measures against it.
+    pub fn solve_fleet_rebuilding_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<EpochStep>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge,
+    {
+        let n = self.pool.len();
+        assert_eq!(initial.len(), n, "initial placements must cover the pool");
+        let effective = |e: usize, k: usize, p: Placement, carried: bool| -> ViewCharge {
+            let transition = if carried {
+                self.pool[k].carried()
+            } else {
+                self.pool[k].clone()
+            };
+            let mut charge = reprice(e, k, p, &transition);
+            charge.placement = p;
+            charge
+        };
+        let mut placements: Vec<Placement> = initial.to_vec();
+        let mut prev = SelectionSet::empty(n);
+        let mut prev_placements = placements.clone();
+        let mut steps = Vec::with_capacity(self.epochs.len());
+        for (e, model) in self.epochs.iter().enumerate() {
+            let charged: Vec<ViewCharge> = (0..n)
+                .map(|k| effective(e, k, placements[k], prev.contains(k)))
+                .collect();
+            let problem = SelectionProblem::new(model.clone(), charged);
+            let baseline = problem.baseline();
+            let mut ev = IncrementalEvaluator::with_selection(&problem, &prev);
+            if e == 0 {
+                local_search::greedy_fill(&mut ev, scenario, &baseline);
+            }
+            let evaluation = if rebalance {
+                let entry_prev = prev.clone();
+                let entry_place = placements.clone();
+                let charge_for = |k: usize, p: Placement| -> ViewCharge {
+                    effective(e, k, p, entry_prev.contains(k) && p == entry_place[k])
+                };
+                local_search::improve_joint(
+                    &mut ev,
+                    scenario,
+                    &baseline,
+                    max_moves,
+                    &mut placements,
+                    &charge_for,
+                )
+            } else {
+                local_search::improve(&mut ev, scenario, &baseline, max_moves)
+            };
+            steps.push(self.step_with_placements(
+                e,
+                evaluation,
+                baseline,
+                &prev,
+                &prev_placements,
+                placements.clone(),
+                scenario,
+            ));
+            prev = steps.last().expect("just pushed").selection().clone();
+            prev_placements.clone_from_slice(&placements);
+        }
+        steps
+    }
+
     /// The exact finite-horizon optimum over a tiny pool: dynamic
     /// programming over *selection states per epoch*. State = the subset
     /// selected at epoch `e`; transition `(S_prev → S)` is charged with
@@ -516,8 +770,215 @@ impl EpochChain {
         }
     }
 
+    /// The exact finite-horizon optimum over the **joint** selection +
+    /// placement state — the mixed-fleet counterpart of
+    /// [`EpochChain::solve_dp_exact`]. Each candidate's per-epoch state
+    /// is a trit (unselected / selected-reserved / selected-spot);
+    /// transition `(s_prev → s)` charges materialization for every
+    /// candidate selected in `s` that was not selected *on the same
+    /// pool* in `s_prev` — exactly the fleet chain's transition
+    /// accounting, where a placement move rebuilds the view. The value
+    /// function minimizes total violation first, then total objective,
+    /// as in [`Scenario::better`]'s lexicographic order.
+    ///
+    /// `reprice` has the [`EpochChain::solve_fleet_bounded`] contract
+    /// plus the two properties the factored state tables rely on (both
+    /// hold for every pool/risk transform): it scales materialization
+    /// multiplicatively (zero in, zero out — so carried charges need no
+    /// separate table) and never touches the answer profile (so the
+    /// per-mask time table is placement-independent).
+    ///
+    /// This is the oracle that exposes the sequential chain's
+    /// *lookahead* gap on placement: committing each epoch greedily,
+    /// the chain parks a view on cheap spot capacity and only moves it
+    /// when the crunch premium already bites, while the DP pre-places
+    /// it on reserved ahead of the crunch (`tests/dp_oracle.rs` pins a
+    /// strictly positive gap). State space is 3ⁿ per epoch, so the
+    /// pool is capped at [`DP_FLEET_MAX_CANDIDATES`].
+    pub fn solve_dp_fleet<F>(&self, scenario: Scenario, reprice: &F) -> DpFleetSolution
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge,
+    {
+        let n = self.pool.len();
+        assert!(
+            n <= DP_FLEET_MAX_CANDIDATES,
+            "joint DP reference solver supports at most {DP_FLEET_MAX_CANDIDATES} candidates, got {n}"
+        );
+        let states: usize = 3usize.pow(n as u32);
+        let epochs = self.epochs.len();
+        let trit = |s: usize, k: usize| -> usize { s / 3usize.pow(k as u32) % 3 };
+        let placement_of = |t: usize| -> Placement {
+            match t {
+                1 => Placement::Reserved,
+                _ => Placement::Spot,
+            }
+        };
+        let sel_mask = |s: usize| -> usize {
+            (0..n).fold(0usize, |m, k| m | usize::from(trit(s, k) != 0) << k)
+        };
+        let masks: Vec<SelectionSet> = (0..1usize << n)
+            .map(|m| SelectionSet::from_mask(m as u64, n))
+            .collect();
+
+        // Per-epoch effective full-price charges per (candidate, pool),
+        // per-mask times (placement-independent: transforms never touch
+        // answers), and per-state partial breakdowns.
+        let mut eff: Vec<Vec<[ViewCharge; 2]>> = Vec::with_capacity(epochs);
+        let mut times: Vec<Vec<Hours>> = Vec::with_capacity(epochs);
+        let mut baselines = Vec::with_capacity(epochs);
+        for (e, model) in self.epochs.iter().enumerate() {
+            eff.push(
+                (0..n)
+                    .map(|k| {
+                        [
+                            reprice(e, k, Placement::Reserved, &self.pool[k]),
+                            reprice(e, k, Placement::Spot, &self.pool[k]),
+                        ]
+                    })
+                    .collect(),
+            );
+            let problem = SelectionProblem::new(model.clone(), self.pool.clone());
+            baselines.push(problem.baseline());
+            let mut per_mask = Vec::with_capacity(1usize << n);
+            crate::sweep::sweep_masks(&problem, 0, 1u64 << n, |_, ev| {
+                per_mask.push(ev.snapshot().time);
+            });
+            times.push(per_mask);
+        }
+        let eff_of = |e: usize, k: usize, t: usize| &eff[e][k][usize::from(t == 2)];
+        // partial[e][s]: the state's breakdown with materialization
+        // zeroed (the only transition-dependent component).
+        let mut partial: Vec<Vec<(Hours, CostBreakdown)>> = Vec::with_capacity(epochs);
+        for (e, model) in self.epochs.iter().enumerate() {
+            let mut per_state = Vec::with_capacity(states);
+            for s in 0..states {
+                let mut maint = Hours::ZERO;
+                let mut size = mv_units::Gb::ZERO;
+                for k in 0..n {
+                    let t = trit(s, k);
+                    if t != 0 {
+                        let c = eff_of(e, k, t);
+                        maint += c.maintenance;
+                        size += c.size;
+                    }
+                }
+                let time = times[e][sel_mask(s)];
+                per_state.push((
+                    time,
+                    model.breakdown_from_totals(time, maint, Hours::ZERO, size),
+                ));
+            }
+            partial.push(per_state);
+        }
+
+        // Charged evaluation of entering state `cur` from `prev`.
+        let charged = |e: usize, prev: usize, cur: usize| -> Evaluation {
+            let mut mat = Hours::ZERO;
+            for k in 0..n {
+                let t = trit(cur, k);
+                if t != 0 && trit(prev, k) != t {
+                    mat += eff_of(e, k, t).materialization;
+                }
+            }
+            let (time, breakdown) = partial[e][cur];
+            Evaluation {
+                time,
+                breakdown: CostBreakdown {
+                    compute_materialization: self.epochs[e].compute_cost(mat),
+                    ..breakdown
+                },
+                selection: masks[sel_mask(cur)].clone(),
+            }
+        };
+
+        let better = |a: (f64, f64), b: (f64, f64)| a.0 < b.0 || (a.0 == b.0 && a.1 < b.1);
+        let mut value: Vec<(f64, f64)> = (0..states)
+            .map(|cur| {
+                let ev = charged(0, 0, cur);
+                (
+                    scenario.violation(&ev),
+                    scenario.objective(&ev, &baselines[0]),
+                )
+            })
+            .collect();
+        let mut back: Vec<Vec<u32>> = Vec::with_capacity(epochs.saturating_sub(1));
+        for (e, epoch_baseline) in baselines.iter().enumerate().skip(1) {
+            let mut next = vec![(f64::INFINITY, f64::INFINITY); states];
+            let mut prevptr = vec![0u32; states];
+            for (prev, &base) in value.iter().enumerate() {
+                for (cur, slot) in next.iter_mut().enumerate() {
+                    let ev = charged(e, prev, cur);
+                    let cand = (
+                        base.0 + scenario.violation(&ev),
+                        base.1 + scenario.objective(&ev, epoch_baseline),
+                    );
+                    if better(cand, *slot) {
+                        *slot = cand;
+                        prevptr[cur] = prev as u32;
+                    }
+                }
+            }
+            value = next;
+            back.push(prevptr);
+        }
+        let mut best = 0usize;
+        for cur in 1..states {
+            if better(value[cur], value[best]) {
+                best = cur;
+            }
+        }
+        let mut path = vec![best; epochs];
+        for e in (1..epochs).rev() {
+            path[e - 1] = back[e - 1][path[e]] as usize;
+        }
+
+        // Re-derive the chosen trajectory's evaluations exactly through
+        // charged problems (the internal tallies only pick it).
+        let mut evaluations = Vec::with_capacity(epochs);
+        let mut placements = Vec::with_capacity(epochs);
+        let mut total_violation = 0.0;
+        let mut total_objective = 0.0;
+        let mut prev_state = 0usize;
+        for (e, &cur) in path.iter().enumerate() {
+            let mut charges = self.pool.clone();
+            let mut assignment = vec![Placement::Reserved; n];
+            for (k, slot) in charges.iter_mut().enumerate() {
+                let t = trit(cur, k);
+                if t == 0 {
+                    continue;
+                }
+                let p = placement_of(t);
+                assignment[k] = p;
+                let transition = if trit(prev_state, k) == t {
+                    self.pool[k].carried()
+                } else {
+                    self.pool[k].clone()
+                };
+                let mut charge = reprice(e, k, p, &transition);
+                charge.placement = p;
+                *slot = charge;
+            }
+            let problem = SelectionProblem::new(self.epochs[e].clone(), charges);
+            let ev = problem.evaluate(&masks[sel_mask(cur)]);
+            total_violation += scenario.violation(&ev);
+            total_objective += scenario.objective(&ev, &baselines[e]);
+            evaluations.push(ev);
+            placements.push(assignment);
+            prev_state = cur;
+        }
+        DpFleetSolution {
+            selections: path.iter().map(|&s| masks[sel_mask(s)].clone()).collect(),
+            placements,
+            evaluations,
+            total_violation,
+            total_objective,
+        }
+    }
+
     /// Assembles one epoch's step: transition accounting against the
     /// previous selection plus the full-price reference evaluation.
+    /// Single-fleet solvers: every candidate keeps its pool charge's
+    /// own placement, so the `moved` partition is always empty.
     fn step(
         &self,
         epoch: usize,
@@ -526,14 +987,44 @@ impl EpochChain {
         prev: &SelectionSet,
         scenario: Scenario,
     ) -> EpochStep {
+        let placements: Vec<Placement> = self.pool.iter().map(|c| c.placement).collect();
+        self.step_with_placements(
+            epoch,
+            evaluation,
+            baseline,
+            prev,
+            &placements.clone(),
+            placements,
+            scenario,
+        )
+    }
+
+    /// [`EpochChain::step`] with explicit placement state: a candidate
+    /// selected in both epochs whose placement changed is classified
+    /// `moved` (it re-paid materialization on the new pool) instead of
+    /// `kept`.
+    #[allow(clippy::too_many_arguments)]
+    fn step_with_placements(
+        &self,
+        epoch: usize,
+        evaluation: Evaluation,
+        baseline: Evaluation,
+        prev: &SelectionSet,
+        prev_placements: &[Placement],
+        placements: Vec<Placement>,
+        scenario: Scenario,
+    ) -> EpochStep {
         let selection = evaluation.selection.clone();
         let mut added = Vec::new();
         let mut kept = Vec::new();
+        let mut moved = Vec::new();
         for k in selection.ones() {
-            if prev.contains(k) {
-                kept.push(k);
-            } else {
+            if !prev.contains(k) {
                 added.push(k);
+            } else if placements[k] != prev_placements[k] {
+                moved.push(k);
+            } else {
+                kept.push(k);
             }
         }
         let dropped: Vec<usize> = prev.ones().filter(|&k| !selection.contains(k)).collect();
@@ -560,6 +1051,8 @@ impl EpochChain {
             added,
             kept,
             dropped,
+            moved,
+            placements,
         }
     }
 }
@@ -767,6 +1260,245 @@ mod tests {
             }
             prev = sel;
         }
+    }
+
+    /// A fleet transform shaped like the market's: spot work rides a
+    /// per-epoch rate factor and an interruption premium, reserved work
+    /// bills at the primary sheet.
+    fn fleet_reprice(
+        spot_factor: &'static [f64],
+        spot_attempts: &'static [f64],
+    ) -> impl Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge {
+        move |e, _k, p, c| match p {
+            Placement::Reserved => c.clone(),
+            Placement::Spot => ViewCharge {
+                materialization: c.materialization * (spot_factor[e] * spot_attempts[e]),
+                maintenance: c.maintenance * (spot_factor[e] * spot_attempts[e]),
+                ..c.clone()
+            },
+        }
+    }
+
+    #[test]
+    fn fleet_warm_start_matches_rebuild_bit_for_bit() {
+        let chain = drifting_chain(5);
+        let factors: &[f64] = &[0.4, 0.5, 0.9, 0.6, 0.4];
+        let attempts: &[f64] = &[1.0, 1.5, 2.0, 1.25, 1.0];
+        let reprice = fleet_reprice(factors, attempts);
+        let initial = vec![Placement::Reserved; chain.pool().len()];
+        let budget = crate::local_search::default_move_budget(chain.pool().len());
+        for scenario in [
+            Scenario::tradeoff(0.02),
+            Scenario::tradeoff_normalized(0.5),
+            Scenario::time_limit(Hours::new(20.0)),
+        ] {
+            for rebalance in [false, true] {
+                let warm =
+                    chain.solve_fleet_bounded(scenario, budget, &initial, rebalance, &reprice);
+                let rebuilt = chain.solve_fleet_rebuilding_bounded(
+                    scenario, budget, &initial, rebalance, &reprice,
+                );
+                assert_eq!(warm.len(), rebuilt.len());
+                for (e, (w, r)) in warm.iter().zip(&rebuilt).enumerate() {
+                    assert_eq!(w.outcome.evaluation, r.outcome.evaluation, "epoch {e}");
+                    assert_eq!(w.placements, r.placements, "epoch {e}");
+                    assert_eq!(w.added, r.added, "epoch {e}");
+                    assert_eq!(w.kept, r.kept, "epoch {e}");
+                    assert_eq!(w.moved, r.moved, "epoch {e}");
+                    assert_eq!(w.dropped, r.dropped, "epoch {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_fleet_is_solve_repriced_bit_for_bit() {
+        // A fleet that cannot rebalance, with every view on the primary
+        // pool, is the single-fleet repriced chain exactly — the
+        // degenerate case the workspace-level conformance tests extend
+        // to `Advisor::solve_market`.
+        let chain = drifting_chain(4);
+        let n = chain.pool().len();
+        let attempts: &[f64] = &[1.0, 1.6, 2.2, 1.3];
+        let single = |e: usize, _k: usize, c: &ViewCharge| -> ViewCharge {
+            ViewCharge {
+                materialization: c.materialization * attempts[e],
+                maintenance: c.maintenance * attempts[e],
+                ..c.clone()
+            }
+        };
+        let fleet = move |e: usize, k: usize, _p: Placement, c: &ViewCharge| single(e, k, c);
+        for scenario in [Scenario::tradeoff(0.02), Scenario::tradeoff_normalized(0.5)] {
+            let plain = chain.solve_repriced(scenario, &single);
+            let pinned = chain.solve_fleet(scenario, &vec![Placement::Reserved; n], false, &fleet);
+            for (e, (p, f)) in plain.iter().zip(&pinned).enumerate() {
+                assert_eq!(p.outcome.evaluation, f.outcome.evaluation, "epoch {e}");
+                assert_eq!(p.added, f.added, "epoch {e}");
+                assert_eq!(p.kept, f.kept, "epoch {e}");
+                assert!(f.moved.is_empty(), "epoch {e}");
+            }
+        }
+    }
+
+    /// Two always-hot specialist queries with hefty multi-hour builds,
+    /// so pool-rate differentials survive AWS whole-hour rounding (the
+    /// paper-like pool's sub-hour charges round to the same billed hour
+    /// on either pool).
+    fn hot_chain(epochs: usize) -> EpochChain {
+        use mv_cost::{CostContext, QueryCharge};
+        let pricing = mv_pricing::presets::aws_2012();
+        let instance = pricing.compute.instance("small").unwrap().clone();
+        let models: Vec<CloudCostModel> = (0..epochs)
+            .map(|_| {
+                let mut q1 = QueryCharge::new("Q1", mv_units::Gb::new(0.01), Hours::new(10.0));
+                q1.frequency = 5.0;
+                let mut q2 = QueryCharge::new("Q2", mv_units::Gb::new(0.01), Hours::new(10.0));
+                q2.frequency = 5.0;
+                CloudCostModel::new(CostContext {
+                    pricing: pricing.clone(),
+                    instance: instance.clone(),
+                    nb_instances: 1,
+                    months: mv_units::Months::new(1.0),
+                    dataset_size: mv_units::Gb::new(10.0),
+                    inserts: vec![],
+                    workload: vec![q1, q2],
+                })
+            })
+            .collect();
+        let pool = vec![
+            ViewCharge::new(
+                "spec-Q1",
+                mv_units::Gb::new(1.0),
+                Hours::new(8.0),
+                Hours::new(2.0),
+                2,
+            )
+            .answers(0, Hours::new(0.5)),
+            ViewCharge::new(
+                "spec-Q2",
+                mv_units::Gb::new(1.0),
+                Hours::new(8.0),
+                Hours::new(2.0),
+                2,
+            )
+            .answers(1, Hours::new(0.5)),
+        ];
+        EpochChain::new(models, pool)
+    }
+
+    #[test]
+    fn rebalancing_moves_views_to_the_cheaper_pool() {
+        // Spot work at 40% of the reserved rate and no interruption:
+        // every selected view should end up spot-placed, and flipping
+        // placement must never rebuild the evaluator.
+        let chain = hot_chain(3);
+        let n = chain.pool().len();
+        let factors: &[f64] = &[0.4, 0.4, 0.4];
+        let attempts: &[f64] = &[1.0, 1.0, 1.0];
+        let reprice = fleet_reprice(factors, attempts);
+        let before = crate::IncrementalEvaluator::build_count();
+        let steps = chain.solve_fleet(
+            Scenario::tradeoff(0.02),
+            &vec![Placement::Reserved; n],
+            true,
+            &reprice,
+        );
+        assert_eq!(
+            crate::IncrementalEvaluator::build_count() - before,
+            1,
+            "fleet chain must keep one evaluator for the whole horizon"
+        );
+        for (e, s) in steps.iter().enumerate() {
+            for k in s.selection().ones() {
+                assert_eq!(s.placements[k], Placement::Spot, "epoch {e} view {k}");
+            }
+        }
+        // The spot-placed horizon is strictly cheaper than the pinned
+        // reserved one.
+        let pinned = chain.solve_fleet(
+            Scenario::tradeoff(0.02),
+            &vec![Placement::Reserved; n],
+            false,
+            &reprice,
+        );
+        assert!(horizon_cost(&steps) < horizon_cost(&pinned));
+    }
+
+    #[test]
+    fn placement_moves_repay_materialization() {
+        // Epoch 0 spot is cheap; from epoch 1 a crunch inflates spot
+        // work 8×. The chain moves the resident views to reserved at
+        // the boundary — classified `moved`, re-paying materialization.
+        let chain = hot_chain(3);
+        let n = chain.pool().len();
+        let factors: &[f64] = &[0.2, 1.0, 1.0];
+        let attempts: &[f64] = &[1.0, 8.0, 8.0];
+        let reprice = fleet_reprice(factors, attempts);
+        let steps = chain.solve_fleet(
+            Scenario::tradeoff(0.02),
+            &vec![Placement::Spot; n],
+            true,
+            &reprice,
+        );
+        let selected: Vec<usize> = steps[0].selection().ones().collect();
+        assert!(!selected.is_empty());
+        for k in &selected {
+            assert_eq!(steps[0].placements[*k], Placement::Spot);
+        }
+        // The boundary move re-pays the build: moved non-empty and the
+        // epoch bills materialization again.
+        let moved_epoch = steps
+            .iter()
+            .position(|s| !s.moved.is_empty())
+            .expect("the crunch should force a placement move");
+        assert!(
+            steps[moved_epoch]
+                .outcome
+                .evaluation
+                .breakdown
+                .compute_materialization
+                > Money::ZERO
+        );
+        for k in steps[moved_epoch].selection().ones() {
+            assert_eq!(steps[moved_epoch].placements[k], Placement::Reserved);
+        }
+    }
+
+    #[test]
+    fn dp_fleet_single_epoch_matches_selection_dp_on_a_neutral_fleet() {
+        // With both pools charging identically, the joint DP must land
+        // on the selection-only DP's numbers.
+        let p = paper_like_problem();
+        let chain = EpochChain::new(vec![p.model().clone(); 3], p.candidates().to_vec());
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let dp = chain.solve_dp_exact(scenario);
+        let joint = chain.solve_dp_fleet(scenario, &|_, _, _, c| c.clone());
+        assert_eq!(joint.total_violation, dp.total_violation);
+        assert_eq!(joint.total_objective, dp.total_objective);
+        assert_eq!(joint.total_cost(), dp.total_cost());
+        for (e, (a, b)) in joint.selections.iter().zip(&dp.selections).enumerate() {
+            assert_eq!(a, b, "epoch {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6 candidates")]
+    fn dp_fleet_rejects_oversized_pools() {
+        let p = crate::fixtures::random_problem(1, 3, 7);
+        let chain = EpochChain::new(vec![p.model().clone()], p.candidates().to_vec());
+        chain.solve_dp_fleet(Scenario::tradeoff_normalized(0.5), &|_, _, _, c| c.clone());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial placements must cover")]
+    fn fleet_initial_must_align() {
+        let chain = flat_chain(2);
+        chain.solve_fleet(
+            Scenario::tradeoff(0.02),
+            &[Placement::Spot],
+            true,
+            &|_, _, _, c: &ViewCharge| c.clone(),
+        );
     }
 
     #[test]

@@ -90,6 +90,28 @@
 //! sequential chain sits from the true horizon optimum
 //! (`tests/dp_oracle.rs`).
 //!
+//! # Mixed-fleet placement
+//!
+//! On a hedged fleet (part reserved, part spot capacity) each view
+//! additionally carries a [`Placement`] deciding which pool its
+//! build/refresh work bills against. [`EpochChain::solve_fleet`]
+//! searches placements **jointly** with the selection: the improvement
+//! pass ([`local_search::improve_joint`]) gains a placement-flip move
+//! alongside select-flip/swap, and because the per-pool transform only
+//! moves materialization/maintenance/size (never the answer profile),
+//! every placement flip is one O(1) [`IncrementalEvaluator::
+//! update_charge`] splice on the same live evaluator — measured ≈ 38×
+//! faster than rebuilding the charged problem per probe
+//! (`crates/bench/benches/fleet.rs`). Transition accounting extends
+//! naturally: a view kept *on the same pool* is carried; a view moved
+//! across pools re-pays materialization ([`EpochStep::moved`]).
+//! [`EpochChain::solve_dp_fleet`] is the joint selection+placement DP
+//! oracle (3ⁿ states per epoch, n ≤ [`DP_FLEET_MAX_CANDIDATES`]); on
+//! the crunch fixture it exposes the chain's placement *lookahead*
+//! gap — the DP pre-places a view on reserved capacity ahead of a
+//! correlated interruption crunch the greedy chain only reacts to
+//! (`tests/dp_oracle.rs`).
+//!
 //! ```
 //! use mv_select::{fixtures, Scenario};
 //! use mv_units::Money;
@@ -116,7 +138,9 @@ mod solution;
 mod sweep;
 
 pub use bnb::{solve_bnb, solve_bnb_counted, BnbStats};
-pub use epoch::{DpSolution, EpochChain, EpochStep, DP_MAX_CANDIDATES};
+pub use epoch::{
+    DpFleetSolution, DpSolution, EpochChain, EpochStep, DP_FLEET_MAX_CANDIDATES, DP_MAX_CANDIDATES,
+};
 pub use evaluator::IncrementalEvaluator;
 pub use exhaustive::{
     solve_exhaustive, solve_exhaustive_with_threads, MAX_CANDIDATES, PARALLEL_THRESHOLD,
@@ -124,6 +148,7 @@ pub use exhaustive::{
 pub use greedy::solve_greedy;
 pub use knapsack::solve_knapsack;
 pub use local_search::{solve_local_search, solve_local_search_bounded};
+pub use mv_cost::Placement;
 pub use mv_cost::SelectionSet;
 pub use problem::{Evaluation, SelectionProblem};
 pub use scenario::Scenario;

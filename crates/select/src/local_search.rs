@@ -19,9 +19,21 @@
 //!   batch, which is what makes the streamed search *anytime*: the
 //!   current selection is always a locally-repaired answer.
 
+use mv_cost::{Placement, ViewCharge};
+
 use crate::{Evaluation, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind};
 
-/// A candidate move over the current selection.
+/// The effective charge candidate `k` would carry under placement `p`
+/// this epoch — the hook the joint selection+placement pass
+/// ([`improve_joint`]) probes placement moves through. Implementations
+/// must be deterministic in `(k, p)` (a flip probed and reverted must
+/// restore the exact prior charge) and must not change the answer
+/// profile (so every placement splice stays on
+/// [`IncrementalEvaluator::update_charge`]'s O(1) fast path).
+pub type ChargeFor<'a> = &'a dyn Fn(usize, Placement) -> ViewCharge;
+
+/// A candidate move over the current selection (and, in joint mode,
+/// the current placement assignment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Move {
     /// Select `k`.
@@ -30,28 +42,65 @@ enum Move {
     FlipOff(usize),
     /// Deselect `out`, select `in_` (one probe, two flips).
     Swap { out: usize, in_: usize },
+    /// Move the *selected* view `k` to the other fleet pool: one O(1)
+    /// charge splice, selection unchanged.
+    Place(usize),
+    /// Select the unselected view `k` directly on the other pool
+    /// (charge splice + flip) — the compound move that admits a view
+    /// whose current placement alone would never pay off.
+    FlipOnPlaced(usize),
 }
 
-/// Applies `mv` to the evaluator.
-fn apply(ev: &mut IncrementalEvaluator<'_>, mv: Move) {
+/// Applies `mv`, returning the displaced charge for placement moves
+/// (needed to revert them bit-exactly).
+fn apply(
+    ev: &mut IncrementalEvaluator<'_>,
+    mv: Move,
+    joint: Option<(&[Placement], ChargeFor<'_>)>,
+) -> Option<ViewCharge> {
     match mv {
-        Move::FlipOn(k) => ev.flip(k),
-        Move::FlipOff(k) => ev.unflip(k),
+        Move::FlipOn(k) => {
+            ev.flip(k);
+            None
+        }
+        Move::FlipOff(k) => {
+            ev.unflip(k);
+            None
+        }
         Move::Swap { out, in_ } => {
             ev.unflip(out);
             ev.flip(in_);
+            None
+        }
+        Move::Place(k) => {
+            let (placements, charge_for) = joint.expect("placement move outside joint mode");
+            Some(ev.update_charge(k, charge_for(k, placements[k].flipped())))
+        }
+        Move::FlipOnPlaced(k) => {
+            let (placements, charge_for) = joint.expect("placement move outside joint mode");
+            let old = ev.update_charge(k, charge_for(k, placements[k].flipped()));
+            ev.flip(k);
+            Some(old)
         }
     }
 }
 
-/// Undoes `mv` (moves are involutions up to order).
-fn revert(ev: &mut IncrementalEvaluator<'_>, mv: Move) {
+/// Undoes `mv` (moves are involutions up to order); `undo` is the
+/// charge [`apply`] displaced, for placement moves.
+fn revert(ev: &mut IncrementalEvaluator<'_>, mv: Move, undo: Option<ViewCharge>) {
     match mv {
         Move::FlipOn(k) => ev.unflip(k),
         Move::FlipOff(k) => ev.flip(k),
         Move::Swap { out, in_ } => {
             ev.unflip(in_);
             ev.flip(out);
+        }
+        Move::Place(k) => {
+            ev.update_charge(k, undo.expect("placement move displaced a charge"));
+        }
+        Move::FlipOnPlaced(k) => {
+            ev.unflip(k);
+            ev.update_charge(k, undo.expect("placement move displaced a charge"));
         }
     }
 }
@@ -106,6 +155,42 @@ pub fn improve(
     baseline: &Evaluation,
     max_moves: usize,
 ) -> Evaluation {
+    improve_inner(ev, scenario, baseline, max_moves, None)
+}
+
+/// [`improve`] extended with the mixed-fleet placement dimension: on
+/// top of the flip/swap neighborhood, each round probes moving any
+/// *selected* view to the other pool ([`Move::Place`]) and admitting
+/// any unselected view directly on the other pool
+/// ([`Move::FlipOnPlaced`]). `placements` is the standing per-view
+/// assignment (updated in place as moves are applied); `charge_for`
+/// yields the effective charge of a view under either placement. With
+/// the placement moves never improving, this is [`improve`] exactly —
+/// same neighborhood enumeration order, same tie-breaks.
+pub fn improve_joint(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+    max_moves: usize,
+    placements: &mut [Placement],
+    charge_for: ChargeFor<'_>,
+) -> Evaluation {
+    improve_inner(
+        ev,
+        scenario,
+        baseline,
+        max_moves,
+        Some((placements, charge_for)),
+    )
+}
+
+fn improve_inner(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+    max_moves: usize,
+    mut joint: Option<(&mut [Placement], ChargeFor<'_>)>,
+) -> Evaluation {
     let mut current = ev.snapshot();
     for _ in 0..max_moves {
         let n = ev.problem().len();
@@ -119,11 +204,19 @@ pub fn improve(
                 moves.push(Move::Swap { out, in_ });
             }
         }
+        if joint.is_some() {
+            // Placement moves probe after the selection neighborhood, so
+            // joint mode with no improving placement move reproduces the
+            // plain pass exactly (same enumeration, same tie-breaks).
+            moves.extend(selected.iter().map(|&k| Move::Place(k)));
+            moves.extend(unselected.iter().map(|&k| Move::FlipOnPlaced(k)));
+        }
         let mut best: Option<(Move, Evaluation)> = None;
         for mv in moves {
-            apply(ev, mv);
+            let shared = joint.as_ref().map(|(p, f)| (&**p, *f));
+            let undo = apply(ev, mv, shared);
             let e = ev.snapshot();
-            revert(ev, mv);
+            revert(ev, mv, undo);
             if scenario.better(&e, &current, baseline)
                 && best
                     .as_ref()
@@ -134,7 +227,13 @@ pub fn improve(
         }
         match best {
             Some((mv, e)) => {
-                apply(ev, mv);
+                let shared = joint.as_ref().map(|(p, f)| (&**p, *f));
+                apply(ev, mv, shared);
+                if let (Move::Place(k) | Move::FlipOnPlaced(k), Some((placements, _))) =
+                    (mv, joint.as_mut())
+                {
+                    placements[k] = placements[k].flipped();
+                }
                 current = e;
             }
             None => break,
@@ -260,5 +359,101 @@ mod tests {
         baseline: &Evaluation,
     ) -> bool {
         !s.better(b, a, baseline)
+    }
+
+    #[test]
+    fn joint_pass_with_neutral_placements_matches_improve_exactly() {
+        // Both pools charging identically: no placement move can ever
+        // improve, so the joint pass must land on improve()'s selection
+        // bit-for-bit and leave every placement untouched.
+        for seed in 0..10 {
+            let p = random_problem(seed + 90, 4, 7);
+            let baseline = p.baseline();
+            let s = Scenario::tradeoff_normalized(0.4);
+            let mut plain_ev = IncrementalEvaluator::new(&p);
+            let plain = improve(&mut plain_ev, s, &baseline, 32);
+            let mut joint_ev = IncrementalEvaluator::new(&p);
+            let mut placements = vec![Placement::Reserved; p.len()];
+            let charge_for = |k: usize, _p: Placement| p.candidates()[k].clone();
+            let joint = improve_joint(
+                &mut joint_ev,
+                s,
+                &baseline,
+                32,
+                &mut placements,
+                &charge_for,
+            );
+            assert_eq!(plain, joint, "seed {seed}");
+            assert!(placements.iter().all(|&pl| pl == Placement::Reserved));
+        }
+    }
+
+    #[test]
+    fn placement_flip_moves_a_view_to_the_cheaper_pool() {
+        // Spot charges half the build/refresh hours: the joint pass
+        // should place selected views on spot, through O(1) splices,
+        // and the result must reproduce on a mirror problem holding the
+        // spot-priced charges. Multi-hour charges, so the differential
+        // survives AWS whole-hour rounding.
+        let pricing = mv_pricing::presets::aws_2012();
+        let instance = pricing.compute.instance("small").unwrap().clone();
+        let mut q =
+            mv_cost::QueryCharge::new("Q", mv_units::Gb::new(0.01), mv_units::Hours::new(10.0));
+        q.frequency = 5.0;
+        let model = mv_cost::CloudCostModel::new(mv_cost::CostContext {
+            pricing,
+            instance,
+            nb_instances: 1,
+            months: mv_units::Months::new(1.0),
+            dataset_size: mv_units::Gb::new(10.0),
+            inserts: vec![],
+            workload: vec![q],
+        });
+        let p = SelectionProblem::new(
+            model,
+            vec![mv_cost::ViewCharge::new(
+                "spec-Q",
+                mv_units::Gb::new(1.0),
+                mv_units::Hours::new(8.0),
+                mv_units::Hours::new(2.0),
+                1,
+            )
+            .answers(0, mv_units::Hours::new(0.5))],
+        );
+        let baseline = p.baseline();
+        let s = Scenario::tradeoff(0.02);
+        let charge_for = |k: usize, place: Placement| -> mv_cost::ViewCharge {
+            let base = &p.candidates()[k];
+            let mut c = match place {
+                Placement::Reserved => base.clone(),
+                Placement::Spot => mv_cost::ViewCharge {
+                    materialization: base.materialization * 0.5,
+                    maintenance: base.maintenance * 0.5,
+                    ..base.clone()
+                },
+            };
+            c.placement = place;
+            c
+        };
+        let mut ev = IncrementalEvaluator::from_problem(p.clone());
+        let mut placements = vec![Placement::Reserved; p.len()];
+        let before = IncrementalEvaluator::build_count();
+        let end = improve_joint(&mut ev, s, &baseline, 64, &mut placements, &charge_for);
+        assert_eq!(
+            IncrementalEvaluator::build_count() - before,
+            0,
+            "placement flips must splice, not rebuild"
+        );
+        // Whatever got selected ended up on the half-price pool.
+        let any_selected = end.selection.count_ones() > 0;
+        assert!(any_selected);
+        for k in end.selection.ones() {
+            assert_eq!(placements[k], Placement::Spot, "view {k}");
+        }
+        // The end state reproduces on an equivalent static problem.
+        let mirror_charges: Vec<mv_cost::ViewCharge> =
+            (0..p.len()).map(|k| charge_for(k, placements[k])).collect();
+        let mirror = SelectionProblem::new(p.model().clone(), mirror_charges);
+        assert_eq!(end, mirror.evaluate(&end.selection));
     }
 }

@@ -11,9 +11,10 @@
 //! sequential chain sits from the true horizon optimum on small
 //! pools").
 
+use mv_cost::{CloudCostModel, CostContext, Placement, QueryCharge, ViewCharge};
 use mv_select::epoch::EpochChain;
 use mv_select::{fixtures, Scenario};
-use mv_units::{Hours, Money};
+use mv_units::{Gb, Hours, Money, Months};
 use proptest::prelude::*;
 
 /// Total (violation, objective) of solved chain steps under `scenario`
@@ -98,6 +99,68 @@ proptest! {
         }
     }
 
+    /// The joint selection+placement DP never loses to the fleet chain
+    /// in the lexicographic (violation, objective) order it optimizes —
+    /// the mixed-fleet extension of the PR 4 pin.
+    #[test]
+    fn dp_fleet_lower_bounds_the_joint_chain(
+        seed in 0u64..10_000,
+        n_queries in 2usize..5,
+        n_candidates in 2usize..6,
+        epochs in 2usize..5,
+        spot_rate in 0.3f64..1.2,
+        crunch_epoch in 0usize..4,
+        kind in 0u8..3,
+        knob in 0.0f64..1.0,
+    ) {
+        let p = fixtures::random_problem(seed, n_queries, n_candidates);
+        let baseline = p.baseline();
+        let scenario = match kind {
+            0 => Scenario::budget(
+                baseline.cost() + Money::from_dollars(1) + baseline.cost().scale(knob),
+            ),
+            1 => Scenario::time_limit(Hours::new(baseline.time.value() * (0.05 + 0.9 * knob))),
+            _ => Scenario::tradeoff_normalized(knob),
+        };
+        let chain = drifting_chain(&p, epochs);
+        // A fleet transform with a calm/crunch break: spot work is
+        // discounted (or dear) and doubles once the crunch arrives.
+        let reprice = |e: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            match p {
+                Placement::Reserved => c.clone(),
+                Placement::Spot => {
+                    let factor = spot_rate * if e >= crunch_epoch { 2.0 } else { 1.0 };
+                    ViewCharge {
+                        materialization: c.materialization * factor,
+                        maintenance: c.maintenance * factor,
+                        ..c.clone()
+                    }
+                }
+            }
+        };
+        let initial = vec![Placement::Reserved; n_candidates];
+        let steps = chain.solve_fleet(scenario, &initial, true, &reprice);
+        let (chain_viol, chain_obj) = chain_totals(&steps, scenario);
+        let dp = chain.solve_dp_fleet(scenario, &reprice);
+        prop_assert_eq!(dp.selections.len(), epochs);
+        prop_assert_eq!(dp.placements.len(), epochs);
+        prop_assert!(
+            dp.total_violation <= chain_viol + EPS,
+            "joint DP violation {} exceeds chain {}",
+            dp.total_violation,
+            chain_viol
+        );
+        if (dp.total_violation - chain_viol).abs() <= EPS {
+            prop_assert!(
+                dp.total_objective <= chain_obj + EPS,
+                "joint DP objective {} exceeds chain {} (gap {})",
+                dp.total_objective,
+                chain_obj,
+                chain_obj - dp.total_objective
+            );
+        }
+    }
+
     /// On a single-epoch horizon the DP degenerates to the exhaustive
     /// single-period optimum.
     #[test]
@@ -165,4 +228,93 @@ fn dp_rejects_oversized_pools() {
     let p = fixtures::random_problem(1, 3, 13);
     let chain = EpochChain::new(vec![p.model().clone()], p.candidates().to_vec());
     chain.solve_dp_exact(Scenario::tradeoff_normalized(0.5));
+}
+
+/// One always-hot query whose specialist view is mandatory under the
+/// time limit; placement is the only real decision. Spot work clears
+/// at 90% of reserved until a capacity crunch doubles it from epoch 1
+/// onward. Integer-hour charges so AWS hour rounding is exact.
+fn crunch_fleet_chain(epochs: usize) -> EpochChain {
+    let pricing = mv_pricing::presets::aws_2012();
+    let instance = pricing.compute.instance("small").unwrap().clone();
+    let models: Vec<CloudCostModel> = (0..epochs)
+        .map(|_| {
+            let mut q = QueryCharge::new("Q", Gb::new(0.01), Hours::new(10.0));
+            q.frequency = 5.0;
+            CloudCostModel::new(CostContext {
+                pricing: pricing.clone(),
+                instance: instance.clone(),
+                nb_instances: 1,
+                months: Months::new(1.0),
+                dataset_size: Gb::new(10.0),
+                inserts: vec![],
+                workload: vec![q],
+            })
+        })
+        .collect();
+    let pool = vec![ViewCharge::new(
+        "spec-Q",
+        Gb::new(1.0),
+        Hours::new(10.0),
+        Hours::new(10.0),
+        1,
+    )
+    .answers(0, Hours::new(0.5))];
+    EpochChain::new(models, pool)
+}
+
+/// The placement lookahead gap, pinned strictly positive: spot is the
+/// myopically cheaper pool in epoch 0 (18 h of effective work vs 20 h
+/// reserved), so the greedy chain parks the specialist on spot — and
+/// once the crunch doubles spot work, staying put (18 h/epoch) is
+/// always locally cheaper than moving (a 20 h rebuild+refresh), so the
+/// chain never escapes. The DP sees the whole horizon and pre-places
+/// the view on reserved **ahead of the crunch**, paying 2 h more up
+/// front to save 8 h every crunch epoch.
+#[test]
+fn dp_fleet_pre_places_on_reserved_ahead_of_a_crunch() {
+    let chain = crunch_fleet_chain(4);
+    // The view is mandatory: 50 h of base processing vs a 10 h limit.
+    let scenario = Scenario::time_limit(Hours::new(10.0));
+    let reprice = |e: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+        match p {
+            Placement::Reserved => c.clone(),
+            Placement::Spot => {
+                let factor = 0.9 * if e >= 1 { 2.0 } else { 1.0 };
+                ViewCharge {
+                    materialization: c.materialization * factor,
+                    maintenance: c.maintenance * factor,
+                    ..c.clone()
+                }
+            }
+        }
+    };
+    let steps = chain.solve_fleet(scenario, &[Placement::Reserved], true, &reprice);
+    let (chain_viol, chain_obj) = chain_totals(&steps, scenario);
+    // The chain takes the myopic bait: spot in epoch 0, spot forever.
+    for (e, s) in steps.iter().enumerate() {
+        assert_eq!(s.selection().count_ones(), 1, "epoch {e}");
+        assert_eq!(s.placements[0], Placement::Spot, "epoch {e}");
+    }
+    let dp = chain.solve_dp_fleet(scenario, &reprice);
+    assert_eq!(dp.total_violation, 0.0);
+    assert_eq!(chain_viol, 0.0);
+    // The DP keeps the view reserved from epoch 0 and never moves it.
+    for (e, assignment) in dp.placements.iter().enumerate() {
+        assert_eq!(dp.selections[e].count_ones(), 1, "epoch {e}");
+        assert_eq!(assignment[0], Placement::Reserved, "epoch {e}");
+    }
+    let gap = chain_obj - dp.total_objective;
+    assert!(
+        gap > 0.0,
+        "the chain should trail the joint DP here, gap {gap}"
+    );
+    // And the bills agree with the hour arithmetic: chain 18 h/epoch of
+    // view work vs DP 20 h then 10 h/epoch — a 22 h horizon saving at
+    // $0.12/h.
+    let chain_cost: Money = steps.iter().map(|s| s.outcome.evaluation.cost()).sum();
+    assert_eq!(
+        chain_cost - dp.total_cost(),
+        Money::from_dollars_str("2.64").unwrap()
+    );
 }

@@ -62,11 +62,18 @@ proptest! {
     }
 
     /// Dynamic candidate churn: random interleavings of
-    /// `add_candidate` / `remove_candidate` / flip agree **bit-for-bit**
-    /// with rebuilding the evaluator from the equivalent static problem
-    /// after every single operation. The mirror applies the same ops to
-    /// a plain candidate vector (`Vec::swap_remove` ↔ the evaluator's
-    /// swap-remove index semantics) and re-evaluates from scratch.
+    /// `add_candidate` / `remove_candidate` / selection flips /
+    /// **placement flips** agree **bit-for-bit** with rebuilding the
+    /// evaluator from the equivalent static problem after every single
+    /// operation. The mirror applies the same ops to a plain candidate
+    /// vector (`Vec::swap_remove` ↔ the evaluator's swap-remove index
+    /// semantics) and re-evaluates from scratch.
+    ///
+    /// A placement flip is what the mixed-fleet solver's `Place` move
+    /// does: re-derive the view's effective charge for the other pool
+    /// from its pristine pool entry (spot here: half-rate hours plus an
+    /// interruption premium) and splice it with `update_charge` — the
+    /// O(1) same-answer-profile path, selected or not.
     ///
     /// 128 cases × up to 30 ops ⇒ well over the 100 random
     /// interleavings the acceptance bar asks for.
@@ -75,8 +82,10 @@ proptest! {
         seed in 0u64..10_000,
         n_queries in 1usize..6,
         mask in 0u64..(1 << 10),
-        ops in proptest::collection::vec((0u8..3, 0usize..64), 1..30),
+        ops in proptest::collection::vec((0u8..4, 0usize..64), 1..30),
     ) {
+        use mv_cost::{InterruptionRisk, Placement, PoolCharge, ViewCharge};
+
         let pool_problem = fixtures::random_problem(seed, n_queries, 10);
         let model = pool_problem.model().clone();
         let pool = pool_problem.candidates().to_vec();
@@ -87,10 +96,23 @@ proptest! {
         let mut ev = IncrementalEvaluator::with_selection(&pool_problem, &start);
 
         // The independent mirror: same candidate vector + bool selection,
-        // rebuilt into a fresh problem after every op.
+        // rebuilt into a fresh problem after every op. `pristine` tracks
+        // each slot's full-price pool entry so a placement flip always
+        // derives from the same base (flip twice = bit-identical
+        // restore).
         let mut mirror = pool.clone();
+        let mut pristine = pool.clone();
         let mut mirror_sel: Vec<bool> = start.iter().collect();
         let mut recycle = 0usize;
+        let spot_pool = PoolCharge::new(0.5, 1.25, InterruptionRisk::new(0.25));
+        let placed = |base: &ViewCharge, p: Placement| -> ViewCharge {
+            let mut c = match p {
+                Placement::Reserved => base.clone(),
+                Placement::Spot => spot_pool.adjust(base),
+            };
+            c.placement = p;
+            c
+        };
 
         for (step, &(op, arg)) in ops.iter().enumerate() {
             match op {
@@ -100,7 +122,8 @@ proptest! {
                     recycle += 1;
                     let k = ev.add_candidate(charge.clone());
                     prop_assert_eq!(k, mirror.len(), "add index at step {}", step);
-                    mirror.push(charge);
+                    mirror.push(charge.clone());
+                    pristine.push(charge);
                     mirror_sel.push(false);
                 }
                 // Remove: retire an arbitrary candidate (selected or not).
@@ -111,17 +134,31 @@ proptest! {
                     let j = arg % mirror.len();
                     let removed = ev.remove_candidate(j);
                     let expected = mirror.swap_remove(j);
+                    pristine.swap_remove(j);
                     mirror_sel.swap_remove(j);
                     prop_assert_eq!(removed, expected, "removed charge at step {}", step);
                 }
-                // Flip: toggle an arbitrary candidate.
-                _ => {
+                // Flip: toggle an arbitrary candidate's selection.
+                2 => {
                     if mirror.is_empty() {
                         continue;
                     }
                     let j = arg % mirror.len();
                     ev.toggle(j);
                     mirror_sel[j] = !mirror_sel[j];
+                }
+                // Placement flip: move an arbitrary candidate to the
+                // other pool via an update_charge splice.
+                _ => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    let flipped = mirror[j].placement.flipped();
+                    let charge = placed(&pristine[j], flipped);
+                    let old = ev.update_charge(j, charge.clone());
+                    prop_assert_eq!(&old, &mirror[j], "displaced charge at step {}", step);
+                    mirror[j] = charge;
                 }
             }
             let rebuilt = mv_select::SelectionProblem::new(model.clone(), mirror.clone());

@@ -9,7 +9,8 @@
 //! one test so the counter delta cannot be perturbed by concurrent
 //! tests in the same process.
 
-use mvcloud::market::{MarketConfig, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::fleet::FleetConfig;
+use mvcloud::market::{CorrelatedHazard, MarketConfig, MarketScenario, PriceProcess, SpotMarket};
 use mvcloud::select::IncrementalEvaluator;
 use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario};
 
@@ -24,9 +25,10 @@ fn k_path_market_solve_builds_one_evaluator_per_path() {
     // spot premium also re-risks charges at every boundary, so the loop
     // really does splice per epoch — through update_charge, not
     // rebuilds.
+    let market = MarketScenario::constant(EPOCHS, 99)
+        .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4)));
     let config = MarketConfig {
-        market: MarketScenario::constant(EPOCHS, 99)
-            .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4))),
+        market: market.clone(),
         paths: PATHS,
         ..MarketConfig::default()
     };
@@ -44,5 +46,32 @@ fn k_path_market_solve_builds_one_evaluator_per_path() {
         "expected one evaluator build per sampled path; \
          {built} builds for {PATHS} paths × {EPOCHS} epochs means the \
          hot loop is rebuilding instead of retargeting"
+    );
+
+    // The mixed-fleet case: joint selection + placement over a hedged
+    // fleet with correlated crunch epochs. Placement flips are charge
+    // splices on the same warm evaluator, so the bound is identical —
+    // one build per path, no matter how many views move pools.
+    let fleet_config = FleetConfig {
+        market: market.with(PriceProcess::Correlated(
+            CorrelatedHazard::bursty(0.35, 0.8, 0.6).with_crunch_compute(1.5),
+        )),
+        paths: PATHS,
+        compare_pure: false,
+        ..FleetConfig::default()
+    };
+    let before = IncrementalEvaluator::build_count();
+    let fleet_report = advisor
+        .solve_fleet(Scenario::tradeoff_normalized(0.5), &fleet_config)
+        .unwrap();
+    let built = IncrementalEvaluator::build_count() - before;
+
+    assert_eq!(fleet_report.paths.len(), PATHS);
+    assert_eq!(fleet_report.epochs.len(), EPOCHS);
+    assert_eq!(
+        built, PATHS,
+        "expected one evaluator build per sampled fleet path; \
+         {built} builds for {PATHS} paths × {EPOCHS} epochs means \
+         placement moves are rebuilding instead of splicing"
     );
 }
