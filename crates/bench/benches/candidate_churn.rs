@@ -17,24 +17,12 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mv_select::{fixtures, IncrementalEvaluator, SelectionProblem, SelectionSet};
-
-/// Short measurement windows keep `cargo bench --workspace` minutes,
-/// not hours; absolute numbers matter less than the relative shapes.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-/// The streaming hot-path workload size (matches the evaluator bench).
-const CHURN_QUERIES: usize = 30;
+use mv_select::{IncrementalEvaluator, SelectionProblem, SelectionSet};
 
 fn bench_add_probe(c: &mut Criterion) {
     for n in [12usize, 20] {
         // n resident candidates plus one newcomer to churn.
-        let seeded = fixtures::random_problem(31, CHURN_QUERIES, n + 1);
+        let seeded = mv_bench::shapes::hot_problem_sized(31, n + 1);
         let resident = seeded.candidates()[..n].to_vec();
         let newcomer = seeded.candidates()[n].clone();
         let model = seeded.model().clone();
@@ -70,7 +58,7 @@ fn bench_add_probe(c: &mut Criterion) {
 
 fn bench_remove_readd_middle(c: &mut Criterion) {
     let n = 20usize;
-    let problem = fixtures::random_problem(37, CHURN_QUERIES, n);
+    let problem = mv_bench::shapes::hot_problem_sized(37, n);
     let model = problem.model().clone();
     let mut group = c.benchmark_group("churn/remove_readd_middle_n20");
 
@@ -114,7 +102,7 @@ fn bench_remove_readd_middle(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = fast_config();
+    config = mv_bench::shapes::fast_config();
     targets = bench_add_probe, bench_remove_readd_middle
 }
 criterion_main!(benches);

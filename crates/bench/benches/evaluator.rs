@@ -17,26 +17,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mv_select::{fixtures, IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
 use mv_units::Money;
 
-/// Short measurement windows keep `cargo bench --workspace` minutes,
-/// not hours; absolute numbers matter less than the relative shapes.
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-/// Workload size for the probe benches: the paper's larger experiment
-/// workloads run tens of queries, and m is the dimension a probe must
-/// *not* rescan per candidate.
-const PROBE_QUERIES: usize = 30;
-
 /// A probe cycle over every candidate: flip k on, read the evaluation,
 /// flip k back — the inner loop of greedy and the knapsack repair. The
 /// evaluator is built once (as every solver does) and probed repeatedly.
 fn bench_single_flip_probes(c: &mut Criterion) {
     for n in [12usize, 16, 20] {
-        let problem = fixtures::random_problem(17, PROBE_QUERIES, n);
+        let problem = mv_bench::shapes::hot_problem_sized(17, n);
         let mut group = c.benchmark_group(format!("evaluator/probe_all_n{n}"));
 
         group.bench_function(BenchmarkId::from_parameter("full_evaluate"), |b| {
@@ -136,7 +122,7 @@ fn bench_large_sweep(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = fast_config();
+    config = mv_bench::shapes::fast_config();
     targets = bench_single_flip_probes, bench_exhaustive_sweep, bench_large_sweep
 }
 criterion_main!(benches);

@@ -24,23 +24,13 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mv_select::epoch::EpochChain;
-use mv_select::{
-    fixtures, IncrementalEvaluator, Placement, Scenario, SelectionProblem, SelectionSet,
-};
+use mv_select::{IncrementalEvaluator, Placement, Scenario, SelectionProblem, SelectionSet};
 use mvcloud::cost::{InterruptionRisk, PoolCharge};
 use mvcloud::market::{CorrelatedHazard, MarketScenario, PriceProcess, SpotMarket};
 use mvcloud::ViewCharge;
 
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-/// The hot-path shape shared with the other benches.
-const QUERIES: usize = 30;
-const CANDIDATES: usize = 20;
+/// The hot-path shape shared with the other benches (`mv_bench::shapes`).
+const CANDIDATES: usize = mv_bench::shapes::HOT_CANDIDATES;
 const EPOCHS: usize = 8;
 const PATHS: usize = 8;
 
@@ -65,7 +55,7 @@ fn placed(charge: &ViewCharge, pool: Placement) -> ViewCharge {
 }
 
 fn bench_placement_flip_probe(c: &mut Criterion) {
-    let problem = fixtures::random_problem(47, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(47);
     let mut selection = SelectionSet::empty(CANDIDATES);
     for k in (0..CANDIDATES).step_by(2) {
         selection.set(k, true);
@@ -115,7 +105,7 @@ fn bench_placement_flip_probe(c: &mut Criterion) {
 }
 
 fn bench_k_path_hedged_sweep(c: &mut Criterion) {
-    let problem = fixtures::random_problem(53, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(53);
     let market = crunchy_market(99);
     let base = problem.model().context();
     let paths: Vec<(EpochChain, Vec<(f64, InterruptionRisk)>)> = (0..PATHS)
@@ -202,7 +192,7 @@ fn bench_k_path_hedged_sweep(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = fast_config();
+    config = mv_bench::shapes::fast_config();
     targets = bench_placement_flip_probe, bench_k_path_hedged_sweep
 }
 criterion_main!(benches);

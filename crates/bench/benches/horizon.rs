@@ -24,19 +24,11 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mv_select::epoch::EpochChain;
-use mv_select::{fixtures, IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
+use mv_select::{IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
 use mvcloud::CloudCostModel;
 
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-/// The streaming/churn hot-path shape: n = 20 candidates, m = 30 queries.
-const QUERIES: usize = 30;
-const CANDIDATES: usize = 20;
+/// The streaming/churn hot-path shape (shared: `mv_bench::shapes`).
+const CANDIDATES: usize = mv_bench::shapes::HOT_CANDIDATES;
 
 /// Two epoch models over the same workload with drifted frequencies.
 fn epoch_models(problem: &SelectionProblem) -> (CloudCostModel, CloudCostModel) {
@@ -49,7 +41,7 @@ fn epoch_models(problem: &SelectionProblem) -> (CloudCostModel, CloudCostModel) 
 }
 
 fn bench_epoch_transition(c: &mut Criterion) {
-    let problem = fixtures::random_problem(41, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(41);
     let (model_a, model_b) = epoch_models(&problem);
     // Half the pool selected → half the charges flip carried state at
     // every boundary.
@@ -111,7 +103,7 @@ fn bench_epoch_transition(c: &mut Criterion) {
 
 fn bench_chain_solve(c: &mut Criterion) {
     const EPOCHS: usize = 8;
-    let problem = fixtures::random_problem(43, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(43);
     let models: Vec<CloudCostModel> = (0..EPOCHS)
         .map(|e| {
             let mut ctx = problem.model().context().clone();
@@ -168,7 +160,7 @@ fn bench_chain_solve(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = fast_config();
+    config = mv_bench::shapes::fast_config();
     targets = bench_epoch_transition, bench_chain_solve
 }
 criterion_main!(benches);

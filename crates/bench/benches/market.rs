@@ -25,21 +25,13 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mv_select::epoch::EpochChain;
-use mv_select::{fixtures, IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
+use mv_select::{IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
 use mvcloud::cost::InterruptionRisk;
 use mvcloud::market::{MarketPath, MarketScenario, PriceProcess, SpotMarket};
 use mvcloud::{CloudCostModel, ViewCharge};
 
-fn fast_config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20)
-}
-
-/// The streaming/churn hot-path shape: n = 20 candidates, m = 30 queries.
-const QUERIES: usize = 30;
-const CANDIDATES: usize = 20;
+/// The streaming/churn hot-path shape (shared: `mv_bench::shapes`).
+const CANDIDATES: usize = mv_bench::shapes::HOT_CANDIDATES;
 const EPOCHS: usize = 8;
 const PATHS: usize = 8;
 
@@ -80,7 +72,7 @@ fn compile_path(
 }
 
 fn bench_price_drift_handoff(c: &mut Criterion) {
-    let problem = fixtures::random_problem(41, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(41);
     let path = spot_market(7).path(1);
     let (models, _) = compile_path(&problem, &path);
     let (model_a, model_b) = (models[0].clone(), models[1].clone());
@@ -152,7 +144,7 @@ fn bench_price_drift_handoff(c: &mut Criterion) {
 }
 
 fn bench_k_path_sweep(c: &mut Criterion) {
-    let problem = fixtures::random_problem(43, QUERIES, CANDIDATES);
+    let problem = mv_bench::shapes::hot_problem(43);
     let market = spot_market(99);
     let paths: Vec<(EpochChain, Vec<InterruptionRisk>)> = (0..PATHS)
         .map(|j| {
@@ -207,7 +199,7 @@ fn bench_k_path_sweep(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = fast_config();
+    config = mv_bench::shapes::fast_config();
     targets = bench_price_drift_handoff, bench_k_path_sweep
 }
 criterion_main!(benches);

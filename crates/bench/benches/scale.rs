@@ -1,0 +1,139 @@
+//! The sparse evaluator at benchmark scale: n = 2 000 candidates over
+//! an m = 50 000-query workload (ISSUE 6's headline shape — 100× the
+//! paper's pools, where a dense answer table would hold 10⁸ slots).
+//!
+//! What must hold for the sparse struct-of-arrays refactor to count:
+//!
+//! 1. **probe** — flip + snapshot + unflip stays in *microseconds*:
+//!    the flip itself is O(deg) against the top-k tables and the
+//!    snapshot is O(n + m) over the cached per-query bests, never
+//!    O(n·m). The `full_evaluate` reference is the dense-era cost of
+//!    the same read (one from-scratch evaluation).
+//! 2. **churn** — an add + probe + retire cycle (the streaming
+//!    advisor's inner loop) stays O(deg + m), not a rebuild.
+//! 3. **solve** — a bounded LNS pass completes on the full shape;
+//!    flip/swap local search's O(n²) swap neighborhood is hopeless
+//!    here (n² = 4·10⁶ probes *per round*).
+//!
+//! Measured numbers live in ROADMAP.md's perf ledger. CI runs this
+//! bench in `-- --test` smoke mode (one iteration per bench) to keep
+//! the shape compiling and completing.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_bench::shapes;
+use mv_select::lns::{solve_lns_with, LnsConfig};
+use mv_select::{IncrementalEvaluator, Scenario, SelectionSet};
+
+fn bench_probe(c: &mut Criterion) {
+    let problem = shapes::scale_problem(&shapes::scale_shape());
+    let (n, m) = (problem.len(), problem.model().context().workload.len());
+    let mut group = c.benchmark_group(format!("scale/probe_n{n}_m{m}"));
+
+    // The dense-era reference: one from-scratch evaluation per probe.
+    // O(n·m) — expected in the hundreds of milliseconds, so it gets the
+    // minimum sample count.
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("full_evaluate"), |b| {
+        let mut sel = SelectionSet::empty(n);
+        for k in (0..n).step_by(7) {
+            sel.set(k, true);
+        }
+        b.iter(|| black_box(problem.evaluate(black_box(&sel)).time.value()))
+    });
+
+    // flip + snapshot + unflip — the solver probe. One probe per
+    // iteration, rotating the flipped candidate over the unselected
+    // pool so the top-k hit pattern varies.
+    let probes: Vec<usize> = (0..n).filter(|k| k % 7 != 0).collect();
+    group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        for k in (0..n).step_by(7) {
+            ev.flip(k);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            let k = probes[i];
+            ev.flip(k);
+            let t = ev.snapshot().time.value();
+            ev.unflip(k);
+            black_box(t)
+        })
+    });
+
+    // flip + unflip alone — the O(deg) core without the O(n + m)
+    // snapshot fold; this is the per-move cost inside greedy fills.
+    group.bench_function(BenchmarkId::from_parameter("flip_unflip"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        for k in (0..n).step_by(7) {
+            ev.flip(k);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            let k = probes[i];
+            ev.flip(k);
+            ev.unflip(k);
+            black_box(k)
+        })
+    });
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let problem = shapes::scale_problem(&shapes::scale_shape());
+    let n = problem.len();
+    let newcomer = problem.candidates()[n - 1].clone();
+    let mut group = c.benchmark_group("scale/add_probe_n2000_m50000");
+
+    group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        for k in (0..n).step_by(7) {
+            ev.flip(k);
+        }
+        b.iter(|| {
+            let k = ev.add_candidate(newcomer.clone());
+            ev.flip(k);
+            let t = ev.snapshot().time.value();
+            ev.remove_candidate(k);
+            black_box(t)
+        })
+    });
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let problem = shapes::scale_problem(&shapes::scale_shape());
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let mut group = c.benchmark_group("scale/solve_n2000_m50000");
+    group.sample_size(10);
+
+    // Bounded LNS: shortlist repair, no O(n²) polish. Rounds are kept
+    // low — the bench certifies the *shape* completes, the ledger
+    // records the wall-clock.
+    group.bench_function(BenchmarkId::from_parameter("lns_bounded"), |b| {
+        let cfg = LnsConfig {
+            rounds: 4,
+            polish_moves: 0,
+            ..LnsConfig::for_problem(problem.len())
+        };
+        b.iter(|| {
+            black_box(
+                solve_lns_with(&problem, scenario, &cfg)
+                    .evaluation
+                    .time
+                    .value(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = mv_bench::shapes::fast_config_samples(10);
+    targets = bench_probe, bench_churn, bench_solve
+}
+criterion_main!(benches);

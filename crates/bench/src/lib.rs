@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod shapes;
 
 use experiments::ScenarioRow;
 use mvcloud::report;

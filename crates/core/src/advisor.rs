@@ -788,19 +788,33 @@ fn dominates_within(a: &ViewCharge, b: &ViewCharge, epsilon: f64) -> bool {
     }
     let mut strict =
         a.size < b.size || a.maintenance < b.maintenance || a.materialization < b.materialization;
-    for (ta, tb) in a.query_times.iter().zip(&b.query_times) {
-        match (ta, tb) {
-            (None, None) => {}
-            (Some(_), None) => strict = true,
-            (None, Some(_)) => return false,
-            (Some(ta), Some(tb)) => {
-                if ta.value() > tb.value() * r {
+    // Merge-join the two sparse profiles (both ascending by query id):
+    // a query answered only by `a` is a strict win, only by `b` kills
+    // the dominance, answered by both compares under the slack factor.
+    let (aq, at) = (a.profile.query_ids(), a.profile.times());
+    let (bq, bt) = (b.profile.query_ids(), b.profile.times());
+    let (mut i, mut j) = (0, 0);
+    while i < aq.len() || j < bq.len() {
+        match (aq.get(i), bq.get(j)) {
+            (Some(qa), Some(qb)) if qa == qb => {
+                if at[i].value() > bt[j].value() * r {
                     return false;
                 }
-                if ta < tb {
+                if at[i] < bt[j] {
                     strict = true;
                 }
+                i += 1;
+                j += 1;
             }
+            (Some(qa), Some(qb)) if qa < qb => {
+                strict = true;
+                i += 1;
+            }
+            (Some(_), None) => {
+                strict = true;
+                i += 1;
+            }
+            _ => return false,
         }
     }
     strict
@@ -858,7 +872,7 @@ mod tests {
         // Every candidate that covers a query answers it faster than base
         // (coarser views scan fewer bytes).
         for m in a.candidates() {
-            for t in m.charge.query_times.iter().flatten() {
+            for t in m.charge.profile.times() {
                 assert!(*t > Hours::ZERO);
             }
         }

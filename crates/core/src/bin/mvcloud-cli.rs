@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]
+//!                    [--candidates N] [--seed S]
 //!                    (--budget $X | --time-limit H | --alpha A)
-//!                    [--solver knapsack|exhaustive|greedy|bnb|local]
+//!                    [--solver knapsack|exhaustive|greedy|bnb|local|lns]
 //! mvcloud-cli horizon [--epochs N] [--pattern static|drift|burst|seasonal]
 //!                     [--rate R | --factor F | --amplitude A] [--period P]
 //!                     [--queries N] [--rows N] [--commitment]
@@ -70,6 +71,7 @@ fn print_usage() {
          \n\
          USAGE:\n\
            mvcloud-cli advise [--queries N] [--rows N] [--provider P] [--instances K]\n\
+                              [--candidates N] [--seed S]\n\
                               (--budget X | --time-limit H | --alpha A) [--solver S]\n\
            mvcloud-cli horizon [--epochs N] [--pattern P] [--queries N] [--rows N]\n\
                                (--budget X | --time-limit H | --alpha A)\n\
@@ -97,7 +99,13 @@ fn print_usage() {
            --budget X       MV1: minimize time under $X total\n\
            --time-limit H   MV2: minimize cost under H hours\n\
            --alpha A        MV3: weighted tradeoff, A in [0,1]\n\
-           --solver S       knapsack|exhaustive|greedy|bnb|local [default knapsack]\n\
+           --solver S       knapsack|exhaustive|greedy|bnb|local|lns\n\
+                            [default knapsack; lns is the large-pool tier]\n\
+           --candidates N   synthetic scale mode: solve an N-candidate\n\
+                            sparse-coverage problem instead of measuring\n\
+                            the paper lattice (lifts --queries past 10;\n\
+                            e.g. --candidates 2000 --queries 50000)\n\
+           --seed S         scale mode generation seed           [default 42]\n\
          \n\
          horizon flags (plus advise's workload/scenario flags):\n\
            --epochs N       billing periods in the horizon       [default 12]\n\
@@ -199,7 +207,15 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     flags.expect_known(
         &[
-            &["queries", "rows", "provider", "instances", "solver"],
+            &[
+                "queries",
+                "rows",
+                "provider",
+                "instances",
+                "solver",
+                "candidates",
+                "seed",
+            ],
             &SCENARIO_FLAGS[..],
         ]
         .concat(),
@@ -226,10 +242,47 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
         "greedy" => SolverKind::Greedy,
         "bnb" => SolverKind::BranchAndBound,
         "local" => SolverKind::LocalSearch,
+        "lns" => SolverKind::Lns,
         other => return Err(format!("unknown solver {other:?}")),
     };
 
     let scenario = parse_scenario(&flags)?;
+
+    // Synthetic scale mode: a sparse-coverage problem of arbitrary size
+    // (n candidates × m queries) instead of the measured paper lattice.
+    if let Some(n) = flags.get("candidates") {
+        let candidates: usize = n
+            .parse()
+            .map_err(|_| format!("--candidates: cannot parse {n:?}"))?;
+        if candidates == 0 || queries == 0 {
+            return Err("--candidates and --queries must be ≥ 1".to_string());
+        }
+        for inapplicable in ["rows", "provider", "instances"] {
+            if flags.get(inapplicable).is_some() {
+                return Err(format!(
+                    "--{inapplicable} does not apply with --candidates (synthetic scale mode)"
+                ));
+            }
+        }
+        let shape = mvcloud::lattice::ScaleShape {
+            queries,
+            candidates,
+            mean_coverage: 12,
+            seed: flags.parse_num("seed", 42u64)?,
+        };
+        let problem = mvcloud::scale_problem(&shape);
+        let outcome = mvcloud::select::solve(&problem, scenario, solver);
+        let names: Vec<String> = problem
+            .candidates()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        println!("{}", summarize(&outcome, &names));
+        return Ok(());
+    }
+    if flags.get("seed").is_some() {
+        return Err("--seed needs --candidates (synthetic scale mode)".to_string());
+    }
 
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());

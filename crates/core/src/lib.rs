@@ -51,6 +51,7 @@ pub mod fleet;
 pub mod horizon;
 pub mod market;
 pub mod report;
+pub mod scale;
 pub mod whatif;
 
 pub use advisor::{
@@ -65,6 +66,7 @@ pub use market::{
     MarketConfig, MarketEpochReport, MarketPathSummary, MarketReport, Quantiles,
     SpotCommitmentReport,
 };
+pub use scale::scale_problem;
 
 // Re-export the sub-crates under stable names.
 pub use mv_cost as cost;

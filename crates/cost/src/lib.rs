@@ -35,12 +35,14 @@
 //! assert_eq!(model.without_views().compute().to_string(), "$12.00");
 //! ```
 
+mod answers;
 mod breakdown;
 mod model;
 mod params;
 mod risk;
 mod selection;
 
+pub use answers::AnswerProfile;
 pub use breakdown::CostBreakdown;
 pub use model::CloudCostModel;
 pub use mv_pricing::Placement;

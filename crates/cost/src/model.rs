@@ -95,7 +95,7 @@ impl CloudCostModel {
     ) -> Hours {
         let mut best = self.ctx.workload[index].base_time;
         for k in selected.ones() {
-            if let Some(t) = views[k].query_times[index] {
+            if let Some(t) = views[k].profile.get(index) {
                 best = best.min(t);
             }
         }

@@ -5,6 +5,8 @@ use mv_pricing::{InstanceType, Placement, PricingPolicy};
 use mv_units::{Gb, Hours, Months};
 use serde::{Deserialize, Serialize};
 
+use crate::AnswerProfile;
+
 /// One workload query's chargeable characteristics: the paper's `Q_i`,
 /// `s(R_i)` and `t_i`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,10 +46,11 @@ pub struct ViewCharge {
     pub materialization: Hours,
     /// Refresh time per billing period `t_maintenance(V_k)`.
     pub maintenance: Hours,
-    /// `query_times[i]` = `Some(t_iV)` if this view can answer workload
-    /// query `i` in that time; `None` when it cannot answer it. Indices
-    /// align with the workload's query order.
-    pub query_times: Vec<Option<Hours>>,
+    /// Which workload queries this view can answer, and in what time
+    /// `t_iV` — a sparse profile keyed by workload index (most views in
+    /// a large lattice answer only a few queries). Its workload length
+    /// must align with the costing context's workload.
+    pub profile: AnswerProfile,
     /// Which fleet pool this view's build/refresh work runs on. The
     /// paper's single-fleet setting is all-[`Placement::Reserved`];
     /// mixed-fleet solves treat it as a per-view decision dimension
@@ -57,7 +60,7 @@ pub struct ViewCharge {
 }
 
 impl ViewCharge {
-    /// Convenience constructor; `query_times` defaults to "answers
+    /// Convenience constructor; the profile defaults to "answers
     /// nothing" and is filled per query with [`ViewCharge::answers`].
     pub fn new(
         name: impl Into<String>,
@@ -71,14 +74,14 @@ impl ViewCharge {
             size,
             materialization,
             maintenance,
-            query_times: vec![None; workload_len],
+            profile: AnswerProfile::none(workload_len),
             placement: Placement::default(),
         }
     }
 
     /// Declares that this view answers workload query `index` in `time`.
     pub fn answers(mut self, index: usize, time: Hours) -> Self {
-        self.query_times[index] = Some(time);
+        self.profile.set(index, time);
         self
     }
 
@@ -173,6 +176,10 @@ mod tests {
     fn view_charge_builder() {
         let v = ViewCharge::new("V1", Gb::new(50.0), Hours::new(1.0), Hours::new(5.0), 3)
             .answers(1, Hours::new(0.1));
-        assert_eq!(v.query_times, vec![None, Some(Hours::new(0.1)), None]);
+        assert_eq!(
+            v.profile.to_dense(),
+            vec![None, Some(Hours::new(0.1)), None]
+        );
+        assert_eq!(v.profile.workload_len(), 3);
     }
 }

@@ -197,7 +197,7 @@ mod tests {
         assert_eq!(adjusted.materialization, Hours::new(8.0));
         assert_eq!(adjusted.maintenance, Hours::new(1.0));
         assert_eq!(adjusted.size, c.size);
-        assert_eq!(adjusted.query_times, c.query_times);
+        assert_eq!(adjusted.profile, c.profile);
         assert_eq!(adjusted.name, c.name);
     }
 
@@ -231,7 +231,7 @@ mod tests {
         assert_eq!(adjusted.materialization, Hours::new(2.0));
         assert_eq!(adjusted.maintenance, Hours::new(0.25));
         assert_eq!(adjusted.size, Gb::new(4.0));
-        assert_eq!(adjusted.query_times, c.query_times);
+        assert_eq!(adjusted.profile, c.profile);
         assert_eq!(adjusted.placement, c.placement);
     }
 

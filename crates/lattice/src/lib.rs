@@ -27,6 +27,7 @@ mod evolution;
 mod hierarchy;
 #[allow(clippy::module_inception)]
 mod lattice;
+pub mod scale;
 mod stream;
 mod workload;
 
@@ -36,5 +37,6 @@ pub use estimate::{cardenas, SizeEstimator};
 pub use evolution::{EvolutionKind, WorkloadEvolution};
 pub use hierarchy::{Dimension, Level};
 pub use lattice::Lattice;
+pub use scale::{ScaleShape, SparseCoverage};
 pub use stream::CandidateStream;
 pub use workload::{paper_workload, LatticeQuery, LatticeWorkload};

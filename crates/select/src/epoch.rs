@@ -174,7 +174,7 @@ impl DpFleetSolution {
 ///
 /// Every epoch model must cover the same query universe (same workload
 /// length; frequencies, base times, pricing and storage horizon are
-/// free to differ per epoch) so the pool's `query_times` stay aligned
+/// free to differ per epoch) so the pool's answer profiles stay aligned
 /// throughout — that is also what makes the warm-started evaluator's
 /// caches valid across [`IncrementalEvaluator::retarget`].
 #[derive(Debug, Clone)]
@@ -197,11 +197,11 @@ impl EpochChain {
         }
         for c in &pool {
             assert_eq!(
-                c.query_times.len(),
+                c.profile.workload_len(),
                 m,
                 "candidate {} has {} query times for a {}-query workload",
                 c.name,
-                c.query_times.len(),
+                c.profile.workload_len(),
                 m
             );
         }

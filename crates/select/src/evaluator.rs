@@ -11,11 +11,31 @@
 //! queries the flipped view can answer:
 //!
 //! * flipping **on** is a constant-time best/second update per affected
-//!   query — O(m) per flip;
+//!   query — O(deg) for a view answering `deg` queries;
 //! * flipping **off** falls back to the cached runner-up, and only
-//!   rescans a query's answer list when the flipped view was one of its
-//!   two fastest — O(m) typical, O(n·m) only in adversarial flip
-//!   sequences.
+//!   rescans a query's answer table when the flipped view was one of its
+//!   two fastest.
+//!
+//! # Sparse struct-of-arrays layout
+//!
+//! At production scale (n = 2 000 candidates, m = 50 000 queries) most
+//! views answer a handful of queries, so every table here is sparse and
+//! flat:
+//!
+//! * the per-view answer lists live in one shared **CSR arena** — two
+//!   parallel `Vec`s of query ids and times, with a `(start, len)` span
+//!   per view — so a flip walks one contiguous slice, no per-view `Vec`
+//!   pointer chasing;
+//! * the per-query reverse index is a **top-k pruned answer table**
+//!   (fixed stride [`ANSWER_TOP_K`], parallel id/time arrays): only the
+//!   k fastest answerers of each query are indexed. A per-query
+//!   `pruned` flag records whether any answerer was ever left out;
+//!   rescans that find no selected member in a pruned table fall back
+//!   to an exact sweep of the selected views' spans, so pruning can
+//!   never lose the true runner-up (see `topk_insert` for the
+//!   invariant);
+//! * the best/runner-up cache is four parallel arrays, not an
+//!   array-of-structs.
 //!
 //! [`IncrementalEvaluator::snapshot`] rebuilds a full [`Evaluation`] in
 //! O(n + m) from the cached per-query minima, summing in exactly the
@@ -30,13 +50,15 @@
 //! the advisor *stream* lattice candidates instead of materializing all
 //! of them up front:
 //!
-//! * [`IncrementalEvaluator::add_candidate`] splices a new view into the
-//!   per-query answer tables in O(m) — no rebuild;
+//! * [`IncrementalEvaluator::add_candidate`] appends a new view's span
+//!   to the arena and offers its entries to the per-query top-k tables —
+//!   O(deg), no rebuild;
 //! * [`IncrementalEvaluator::remove_candidate`] retires a candidate with
 //!   `Vec::swap_remove` index semantics (only the last index is
 //!   renumbered), auto-deselecting it first so no best/runner-up slot is
-//!   left pointing at the retired index — O(m + a) where `a` is the
-//!   total length of the answer lists the view appears in.
+//!   left pointing at the retired index. Its arena span is abandoned in
+//!   place; the arena compacts itself once dead entries outnumber live
+//!   ones.
 //!
 //! The evaluator holds its problem as a clone-on-write handle: solvers
 //! probing a fixed problem borrow it (zero copies, as before), while the
@@ -57,6 +79,16 @@ use crate::{Evaluation, SelectionProblem};
 /// Sentinel candidate index meaning "no view".
 const NONE: u32 = u32::MAX;
 
+/// Answerers indexed per query before pruning kicks in. Eight covers
+/// every selected-best plus runner-up pattern the solvers probe while
+/// keeping the table one cache line of ids; queries with more answerers
+/// set their `pruned` flag and keep the exact-fallback path honest.
+pub const ANSWER_TOP_K: usize = 8;
+
+/// Compact the arena only past this many dead entries (tiny problems
+/// never bother).
+const COMPACT_MIN_DEAD: usize = 1024;
+
 /// Process-wide count of full evaluator builds (every `new` /
 /// `from_problem` / `with_selection` construction — the O(n·m) work the
 /// warm-start machinery exists to avoid). Tests use deltas of this
@@ -64,33 +96,14 @@ const NONE: u32 = u32::MAX;
 /// `retarget`/`update_charge` instead of silently rebuilding per epoch.
 static BUILDS: AtomicUsize = AtomicUsize::new(0);
 
-/// One cached (candidate, time) entry; `view == NONE` means empty.
+/// One view's slice of the CSR arena.
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    view: u32,
-    time: Hours,
+struct Span {
+    start: u32,
+    len: u32,
 }
 
-impl Slot {
-    const EMPTY: Slot = Slot {
-        view: NONE,
-        time: Hours::ZERO,
-    };
-
-    #[inline]
-    fn is_empty(self) -> bool {
-        self.view == NONE
-    }
-}
-
-/// Per-query cache: the two fastest *selected* views able to answer it.
-#[derive(Debug, Clone, Copy)]
-struct QueryCache {
-    best: Slot,
-    second: Slot,
-}
-
-/// O(m)-per-flip evaluator over a [`SelectionProblem`].
+/// O(deg)-per-flip evaluator over a [`SelectionProblem`].
 ///
 /// ```
 /// use mv_select::{fixtures, IncrementalEvaluator};
@@ -108,16 +121,33 @@ struct QueryCache {
 pub struct IncrementalEvaluator<'p> {
     problem: Cow<'p, SelectionProblem>,
     selection: SelectionSet,
-    /// `per_view[k]` = the queries view `k` answers, as `(query, time)`.
-    per_view: Vec<Vec<(u32, Hours)>>,
-    /// `answers[i]` = the views answering query `i`, as `(view, time)`
-    /// (used for runner-up rescans). Built ascending by view index, but
-    /// the order becomes unspecified once `add_candidate` /
-    /// `remove_candidate` splice entries (swap-removes don't preserve
-    /// it); rescans are order-insensitive on times, so only which of two
-    /// time-tied views gets cached can differ — never a snapshot value.
-    answers: Vec<Vec<(u32, Hours)>>,
-    queries: Vec<QueryCache>,
+    /// Per-view spans into the shared answer arena.
+    spans: Vec<Span>,
+    /// Arena: query ids, ascending within each span.
+    arena_q: Vec<u32>,
+    /// Arena: answer times, parallel to `arena_q`.
+    arena_t: Vec<Hours>,
+    /// Arena entries abandoned by removals/resplices; triggers
+    /// compaction once they outnumber the live entries.
+    dead: usize,
+    /// Top-k answer table: view ids, `ANSWER_TOP_K` slots per query.
+    top_view: Vec<u32>,
+    /// Top-k answer table: times, parallel to `top_view`.
+    top_time: Vec<Hours>,
+    /// Occupied top-k slots per query.
+    top_len: Vec<u8>,
+    /// Whether query `i` ever had an answerer kept *out* of its top-k
+    /// table. Once set, an empty-handed table rescan must fall back to
+    /// the exact sweep; never reset (outsiders are untracked).
+    pruned: Vec<bool>,
+    /// Fastest selected view per query (`NONE` = none selected).
+    best_view: Vec<u32>,
+    /// Its time; meaningless where `best_view` is `NONE`.
+    best_time: Vec<Hours>,
+    /// Runner-up selected view per query.
+    second_view: Vec<u32>,
+    /// Its time; meaningless where `second_view` is `NONE`.
+    second_time: Vec<Hours>,
     /// Transfer cost is selection-independent: cached once.
     transfer: Money,
     /// Storage-interval template: `(inserts_applied, duration)` per
@@ -129,7 +159,7 @@ pub struct IncrementalEvaluator<'p> {
 
 impl<'p> IncrementalEvaluator<'p> {
     /// Builds an evaluator positioned at the empty selection, borrowing
-    /// `problem`. O(n·m).
+    /// `problem`. O(Σ deg + m).
     pub fn new(problem: &'p SelectionProblem) -> Self {
         Self::build(Cow::Borrowed(problem))
     }
@@ -144,7 +174,7 @@ impl<'p> IncrementalEvaluator<'p> {
 
     /// Total evaluator builds in this process so far (monotone;
     /// threads may interleave increments). Snapshot it around a hot
-    /// loop and compare deltas to prove the loop never paid an O(n·m)
+    /// loop and compare deltas to prove the loop never paid a full
     /// rebuild — the no-rebuild assertions of the market tests.
     pub fn build_count() -> usize {
         BUILDS.load(Ordering::Relaxed)
@@ -154,32 +184,53 @@ impl<'p> IncrementalEvaluator<'p> {
         BUILDS.fetch_add(1, Ordering::Relaxed);
         let m = problem.model().context().workload.len();
         let n = problem.len();
-        let mut per_view = vec![Vec::new(); n];
-        let mut answers = vec![Vec::new(); m];
-        for (k, v) in problem.candidates().iter().enumerate() {
-            for (i, t) in v.query_times.iter().enumerate() {
-                if let Some(t) = t {
-                    per_view[k].push((i as u32, *t));
-                    answers[i].push((k as u32, *t));
-                }
-            }
-        }
+        let total: usize = problem
+            .candidates()
+            .iter()
+            .map(|v| v.profile.answered())
+            .sum();
         let transfer = problem.model().transfer_cost();
         let storage_intervals = storage_interval_template(&problem);
-        IncrementalEvaluator {
+        let mut ev = IncrementalEvaluator {
             problem,
             selection: SelectionSet::empty(n),
-            per_view,
-            answers,
-            queries: vec![
-                QueryCache {
-                    best: Slot::EMPTY,
-                    second: Slot::EMPTY,
-                };
-                m
-            ],
+            spans: Vec::with_capacity(n),
+            arena_q: Vec::with_capacity(total),
+            arena_t: Vec::with_capacity(total),
+            dead: 0,
+            top_view: vec![NONE; m * ANSWER_TOP_K],
+            top_time: vec![Hours::ZERO; m * ANSWER_TOP_K],
+            top_len: vec![0; m],
+            pruned: vec![false; m],
+            best_view: vec![NONE; m],
+            best_time: vec![Hours::ZERO; m],
+            second_view: vec![NONE; m],
+            second_time: vec![Hours::ZERO; m],
             transfer,
             storage_intervals,
+        };
+        for k in 0..n {
+            ev.push_span(k);
+        }
+        ev
+    }
+
+    /// Appends candidate `k`'s profile to the arena and offers its
+    /// entries to the top-k tables. The span must not exist yet.
+    fn push_span(&mut self, k: usize) {
+        debug_assert_eq!(self.spans.len(), k);
+        let start = self.arena_q.len();
+        let profile = &self.problem.candidates()[k].profile;
+        self.arena_q.extend_from_slice(profile.query_ids());
+        self.arena_t.extend_from_slice(profile.times());
+        self.spans.push(Span {
+            start: u32::try_from(start).expect("arena fits in u32"),
+            len: profile.answered() as u32,
+        });
+        let kk = k as u32;
+        for idx in start..self.arena_q.len() {
+            let (i, t) = (self.arena_q[idx] as usize, self.arena_t[idx]);
+            self.topk_insert(i, kk, t);
         }
     }
 
@@ -205,22 +256,139 @@ impl<'p> IncrementalEvaluator<'p> {
         self.problem.into_owned()
     }
 
+    // ------------------------------------------------------------------
+    // Top-k pruned answer tables.
+    // ------------------------------------------------------------------
+
+    /// Offers `(v, t)` to query `i`'s top-k table, preserving the
+    /// pruning invariant: **every answerer outside the table has a time
+    /// ≥ the largest time inside it**. A table rescan that finds any
+    /// selected member is therefore exact — no outsider can beat it —
+    /// and an empty-handed rescan of a pruned table falls back to the
+    /// exact sweep.
+    ///
+    /// Concretely: an unpruned table below capacity holds *all*
+    /// answerers, so admission is unconditional. Otherwise the entry is
+    /// admitted only if it does not exceed the current member maximum
+    /// (evicting that maximum when full); a pruned *empty* table admits
+    /// nobody, because the invariant then says nothing about the
+    /// untracked outsiders.
+    fn topk_insert(&mut self, i: usize, v: u32, t: Hours) {
+        let base = i * ANSWER_TOP_K;
+        let len = self.top_len[i] as usize;
+        if !self.pruned[i] && len < ANSWER_TOP_K {
+            self.top_view[base + len] = v;
+            self.top_time[base + len] = t;
+            self.top_len[i] = (len + 1) as u8;
+            return;
+        }
+        self.pruned[i] = true;
+        if len == 0 {
+            return;
+        }
+        let (mut max_at, mut max_t) = (0, self.top_time[base]);
+        for j in 1..len {
+            if self.top_time[base + j] > max_t {
+                max_at = j;
+                max_t = self.top_time[base + j];
+            }
+        }
+        if t > max_t {
+            return;
+        }
+        if len < ANSWER_TOP_K {
+            self.top_view[base + len] = v;
+            self.top_time[base + len] = t;
+            self.top_len[i] = (len + 1) as u8;
+        } else {
+            self.top_view[base + max_at] = v;
+            self.top_time[base + max_at] = t;
+        }
+    }
+
+    /// Drops view `v` from query `i`'s top-k table if present (it may
+    /// legitimately be an untracked outsider).
+    fn topk_remove(&mut self, i: usize, v: u32) {
+        let base = i * ANSWER_TOP_K;
+        let len = self.top_len[i] as usize;
+        for j in 0..len {
+            if self.top_view[base + j] == v {
+                self.top_view[base + j] = self.top_view[base + len - 1];
+                self.top_time[base + j] = self.top_time[base + len - 1];
+                self.top_view[base + len - 1] = NONE;
+                self.top_len[i] = (len - 1) as u8;
+                return;
+            }
+        }
+    }
+
+    /// The answer time of view `k` for query `i`, by binary search over
+    /// `k`'s arena span. O(log deg).
+    fn span_time(&self, k: usize, i: u32) -> Option<Hours> {
+        let span = self.spans[k];
+        let (s, e) = (span.start as usize, (span.start + span.len) as usize);
+        self.arena_q[s..e]
+            .binary_search(&i)
+            .ok()
+            .map(|pos| self.arena_t[s + pos])
+    }
+
+    /// Finds the fastest selected view answering query `i`, excluding
+    /// `except` (the current best). Scans the top-k table first — exact
+    /// whenever it yields anyone, by the pruning invariant — and only
+    /// falls back to the exact sweep over the selected views' spans when
+    /// a pruned table comes up empty. Returns `(view, time)` with
+    /// `view == NONE` for "nobody".
+    fn rescan_runner_up(&self, i: usize, except: u32) -> (u32, Hours) {
+        let base = i * ANSWER_TOP_K;
+        let len = self.top_len[i] as usize;
+        let (mut view, mut time) = (NONE, Hours::ZERO);
+        for j in 0..len {
+            let v = self.top_view[base + j];
+            if v == except || !self.selection.contains(v as usize) {
+                continue;
+            }
+            let t = self.top_time[base + j];
+            if view == NONE || t < time {
+                view = v;
+                time = t;
+            }
+        }
+        if view == NONE && self.pruned[i] {
+            // Exact fallback: the pruned outsiders are untracked, so
+            // sweep every selected view's span. Rare by construction —
+            // it needs > ANSWER_TOP_K answerers of one query *and* none
+            // of the k fastest selected.
+            let iq = i as u32;
+            for k in self.selection.ones() {
+                if k as u32 == except {
+                    continue;
+                }
+                if let Some(t) = self.span_time(k, iq) {
+                    if view == NONE || t < time {
+                        view = k as u32;
+                        time = t;
+                    }
+                }
+            }
+        }
+        (view, time)
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic candidates.
+    // ------------------------------------------------------------------
+
     /// Splices a new candidate into the evaluator — and into its problem —
-    /// returning the new index. The view starts **deselected**; its entries
-    /// join the per-query answer tables in O(m), with no rebuild of the
-    /// cached best/runner-up state. On a borrowed evaluator the first edit
+    /// returning the new index. The view starts **deselected**; its span
+    /// joins the arena and its entries are offered to the per-query
+    /// top-k tables in O(deg), with no rebuild of the cached
+    /// best/runner-up state. On a borrowed evaluator the first edit
     /// clones the problem (copy-on-write); [`IncrementalEvaluator::
     /// from_problem`] avoids even that.
     pub fn add_candidate(&mut self, charge: ViewCharge) -> usize {
         let k = self.problem.to_mut().push_candidate(charge);
-        let mut entries = Vec::new();
-        for (i, t) in self.problem.candidates()[k].query_times.iter().enumerate() {
-            if let Some(t) = t {
-                entries.push((i as u32, *t));
-                self.answers[i].push((k as u32, *t));
-            }
-        }
-        self.per_view.push(entries);
+        self.push_span(k);
         self.selection.push(false);
         k
     }
@@ -229,57 +397,56 @@ impl<'p> IncrementalEvaluator<'p> {
     /// deselected first (the `unflip` eviction leaves no best/runner-up
     /// slot pointing at the retired index). Indices follow
     /// `Vec::swap_remove` semantics: the last candidate takes index `k`
-    /// (renumbered in the answer tables and query caches); all other
-    /// indices are stable. O(m + a) for `a` total answer-list entries the
-    /// retired view participates in.
+    /// (renumbered in the top-k tables and query caches); all other
+    /// indices are stable. O(deg(k) + deg(last)); the abandoned arena
+    /// span is reclaimed by a later compaction.
     pub fn remove_candidate(&mut self, k: usize) -> ViewCharge {
-        let n = self.per_view.len();
+        let n = self.spans.len();
         assert!(k < n, "candidate {k} out of {n}");
         if self.selection.contains(k) {
             self.unflip(k);
         }
         let last = n - 1;
         let kk = k as u32;
-        // Drop the retired view's entries from its queries' answer lists.
-        for idx in 0..self.per_view[k].len() {
-            let i = self.per_view[k][idx].0 as usize;
-            let list = &mut self.answers[i];
-            let pos = list
-                .iter()
-                .position(|&(v, _)| v == kk)
-                .expect("answer tables track every candidate entry");
-            list.swap_remove(pos);
+        let span = self.spans[k];
+        for idx in span.start as usize..(span.start + span.len) as usize {
+            let i = self.arena_q[idx] as usize;
+            self.topk_remove(i, kk);
         }
+        self.dead += span.len as usize;
         if k != last {
-            // The last candidate takes index k: renumber its answer entries
-            // and any cache slots currently naming it.
+            // The last candidate takes index k: renumber its table
+            // entries and any cache slots currently naming it.
             let lk = last as u32;
-            for idx in 0..self.per_view[last].len() {
-                let i = self.per_view[last][idx].0 as usize;
-                for e in &mut self.answers[i] {
-                    if e.0 == lk {
-                        e.0 = kk;
+            let lspan = self.spans[last];
+            for idx in lspan.start as usize..(lspan.start + lspan.len) as usize {
+                let i = self.arena_q[idx] as usize;
+                let base = i * ANSWER_TOP_K;
+                for j in 0..self.top_len[i] as usize {
+                    if self.top_view[base + j] == lk {
+                        self.top_view[base + j] = kk;
                     }
                 }
-                let q = &mut self.queries[i];
-                if q.best.view == lk {
-                    q.best.view = kk;
+                if self.best_view[i] == lk {
+                    self.best_view[i] = kk;
                 }
-                if q.second.view == lk {
-                    q.second.view = kk;
+                if self.second_view[i] == lk {
+                    self.second_view[i] = kk;
                 }
             }
         }
-        self.per_view.swap_remove(k);
+        self.spans.swap_remove(k);
         self.selection.swap_remove(k);
-        self.problem.to_mut().swap_remove_candidate(k)
+        let charge = self.problem.to_mut().swap_remove_candidate(k);
+        self.maybe_compact();
+        charge
     }
 
     /// Re-prices candidate `k` in place — the epoch-boundary splice.
     ///
-    /// The general form removes the view's entries from the per-query
-    /// answer tables and splices the replacement's back in (evicting it
-    /// from the caches around the edit, so a changed answer profile can
+    /// The general form removes the view's entries from the top-k
+    /// tables and splices the replacement's back in (evicting it from
+    /// the caches around the edit, so a changed answer profile can
     /// never leave a stale best/runner-up slot). When only the
     /// *non-cached* attributes change — size, materialization,
     /// maintenance, exactly the carried-over re-pricing an epoch chain
@@ -288,9 +455,9 @@ impl<'p> IncrementalEvaluator<'p> {
     /// and the selection state of `k` is preserved. Returns the old
     /// charge.
     pub fn update_charge(&mut self, k: usize, charge: ViewCharge) -> ViewCharge {
-        let n = self.per_view.len();
+        let n = self.spans.len();
         assert!(k < n, "candidate {k} out of {n}");
-        let same_answers = self.problem.candidates()[k].query_times == charge.query_times;
+        let same_answers = self.problem.candidates()[k].profile == charge.profile;
         if same_answers {
             return self.problem.to_mut().replace_candidate(k, charge);
         }
@@ -299,28 +466,54 @@ impl<'p> IncrementalEvaluator<'p> {
             self.unflip(k);
         }
         let kk = k as u32;
-        for idx in 0..self.per_view[k].len() {
-            let i = self.per_view[k][idx].0 as usize;
-            let list = &mut self.answers[i];
-            let pos = list
-                .iter()
-                .position(|&(v, _)| v == kk)
-                .expect("answer tables track every candidate entry");
-            list.swap_remove(pos);
+        let span = self.spans[k];
+        for idx in span.start as usize..(span.start + span.len) as usize {
+            let i = self.arena_q[idx] as usize;
+            self.topk_remove(i, kk);
         }
+        self.dead += span.len as usize;
         let old = self.problem.to_mut().replace_candidate(k, charge);
-        let mut entries = Vec::new();
-        for (i, t) in self.problem.candidates()[k].query_times.iter().enumerate() {
-            if let Some(t) = t {
-                entries.push((i as u32, *t));
-                self.answers[i].push((kk, *t));
-            }
+        // Append the replacement profile as a fresh arena span.
+        let start = self.arena_q.len();
+        let profile = &self.problem.candidates()[k].profile;
+        self.arena_q.extend_from_slice(profile.query_ids());
+        self.arena_t.extend_from_slice(profile.times());
+        self.spans[k] = Span {
+            start: u32::try_from(start).expect("arena fits in u32"),
+            len: profile.answered() as u32,
+        };
+        for idx in start..self.arena_q.len() {
+            let (i, t) = (self.arena_q[idx] as usize, self.arena_t[idx]);
+            self.topk_insert(i, kk, t);
         }
-        self.per_view[k] = entries;
         if was_selected {
             self.flip(k);
         }
+        self.maybe_compact();
         old
+    }
+
+    /// Rebuilds the arena without the abandoned spans once they
+    /// outnumber the live entries (and amount to more than
+    /// [`COMPACT_MIN_DEAD`]). Spans are rewritten in view order; the
+    /// top-k tables and caches hold indices, not arena positions, so
+    /// they survive untouched.
+    fn maybe_compact(&mut self) {
+        let live = self.arena_q.len() - self.dead;
+        if self.dead <= COMPACT_MIN_DEAD || self.dead <= live {
+            return;
+        }
+        let mut q = Vec::with_capacity(live);
+        let mut t = Vec::with_capacity(live);
+        for span in &mut self.spans {
+            let (s, e) = (span.start as usize, (span.start + span.len) as usize);
+            span.start = q.len() as u32;
+            q.extend_from_slice(&self.arena_q[s..e]);
+            t.extend_from_slice(&self.arena_t[s..e]);
+        }
+        self.arena_q = q;
+        self.arena_t = t;
+        self.dead = 0;
     }
 
     /// Swaps in a new costing model over the same workload shape — the
@@ -346,7 +539,7 @@ impl<'p> IncrementalEvaluator<'p> {
         self.selection.contains(k)
     }
 
-    /// Selects candidate `k` (must currently be deselected). O(m).
+    /// Selects candidate `k` (must currently be deselected). O(deg).
     pub fn flip(&mut self, k: usize) {
         assert!(
             !self.selection.contains(k),
@@ -354,40 +547,49 @@ impl<'p> IncrementalEvaluator<'p> {
         );
         self.selection.set(k, true);
         let kk = k as u32;
-        for &(i, t) in &self.per_view[k] {
-            let q = &mut self.queries[i as usize];
-            if q.best.is_empty() || t < q.best.time {
-                q.second = q.best;
-                q.best = Slot { view: kk, time: t };
-            } else if q.second.is_empty() || t < q.second.time {
-                q.second = Slot { view: kk, time: t };
+        let span = self.spans[k];
+        for idx in span.start as usize..(span.start + span.len) as usize {
+            let i = self.arena_q[idx] as usize;
+            let t = self.arena_t[idx];
+            if self.best_view[i] == NONE || t < self.best_time[i] {
+                self.second_view[i] = self.best_view[i];
+                self.second_time[i] = self.best_time[i];
+                self.best_view[i] = kk;
+                self.best_time[i] = t;
+            } else if self.second_view[i] == NONE || t < self.second_time[i] {
+                self.second_view[i] = kk;
+                self.second_time[i] = t;
             }
         }
     }
 
-    /// Deselects candidate `k` (must currently be selected). O(m) unless
-    /// `k` was a query's best or runner-up, in which case that query's
-    /// answer list is rescanned.
+    /// Deselects candidate `k` (must currently be selected). O(deg)
+    /// unless `k` was a query's best or runner-up, in which case that
+    /// query's top-k table is rescanned (exact fallback only on pruned
+    /// tables that come up empty).
     pub fn unflip(&mut self, k: usize) {
         assert!(self.selection.contains(k), "candidate {k} not selected");
         self.selection.set(k, false);
         let kk = k as u32;
-        for idx in 0..self.per_view[k].len() {
-            let i = self.per_view[k][idx].0 as usize;
-            let q = self.queries[i];
-            if q.best.view == kk {
-                let second = q.second;
-                let new_second = if second.is_empty() {
-                    Slot::EMPTY
+        let span = self.spans[k];
+        for idx in span.start as usize..(span.start + span.len) as usize {
+            let i = self.arena_q[idx] as usize;
+            if self.best_view[i] == kk {
+                let (sv, st) = (self.second_view[i], self.second_time[i]);
+                self.best_view[i] = sv;
+                self.best_time[i] = st;
+                if sv == NONE {
+                    self.second_view[i] = NONE;
+                    self.second_time[i] = Hours::ZERO;
                 } else {
-                    self.rescan_runner_up(i, second.view)
-                };
-                self.queries[i] = QueryCache {
-                    best: second,
-                    second: new_second,
-                };
-            } else if q.second.view == kk {
-                self.queries[i].second = self.rescan_runner_up(i, q.best.view);
+                    let (nv, nt) = self.rescan_runner_up(i, sv);
+                    self.second_view[i] = nv;
+                    self.second_time[i] = nt;
+                }
+            } else if self.second_view[i] == kk {
+                let (nv, nt) = self.rescan_runner_up(i, self.best_view[i]);
+                self.second_view[i] = nv;
+                self.second_time[i] = nt;
             }
         }
     }
@@ -401,30 +603,14 @@ impl<'p> IncrementalEvaluator<'p> {
         }
     }
 
-    /// Finds the fastest selected view answering query `i`, excluding
-    /// `except` (the current best). O(answers(i)).
-    fn rescan_runner_up(&self, i: usize, except: u32) -> Slot {
-        let mut out = Slot::EMPTY;
-        for &(v, t) in &self.answers[i] {
-            if v == except || !self.selection.contains(v as usize) {
-                continue;
-            }
-            if out.is_empty() || t < out.time {
-                out = Slot { view: v, time: t };
-            }
-        }
-        out
-    }
-
     /// Effective time of query `i` under the current selection: the
     /// cached best selected view, else the query's base time. O(1).
     pub fn query_time(&self, i: usize) -> Hours {
         let base = self.problem.model().context().workload[i].base_time;
-        let best = self.queries[i].best;
-        if best.is_empty() {
+        if self.best_view[i] == NONE {
             base
         } else {
-            base.min(best.time)
+            base.min(self.best_time[i])
         }
     }
 
@@ -590,6 +776,30 @@ mod tests {
         }
     }
 
+    /// More answerers per query than `ANSWER_TOP_K` slots: the pruned
+    /// tables must stay exact through flips and unflips (the fallback
+    /// sweep path).
+    #[test]
+    fn pruned_tables_stay_exact_past_top_k() {
+        for seed in 0..5 {
+            // 20 candidates over 2 queries at ~60% density ⇒ ~12
+            // answerers per query, well past the 8 table slots.
+            let p = random_problem(seed + 300, 2, 20);
+            let mut ev = IncrementalEvaluator::new(&p);
+            let mut sel = SelectionSet::empty(p.len());
+            let mut state = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+            for step in 0..128 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let k = (state as usize) % p.len();
+                ev.toggle(k);
+                sel.set(k, !sel.contains(k));
+                assert_eq!(ev.snapshot(), p.evaluate(&sel), "seed {seed} step {step}");
+            }
+        }
+    }
+
     #[test]
     fn with_selection_positions_correctly() {
         let p = paper_like_problem();
@@ -691,29 +901,30 @@ mod tests {
         // (v-bulky answers Q3 slower than v-day-region, so it is Q3's
         // runner-up).
         assert!(ev
-            .queries
+            .best_view
             .iter()
-            .any(|q| q.best.view == lk || q.second.view == lk));
+            .zip(&ev.second_view)
+            .any(|(&b, &s)| b == lk || s == lk));
         ev.remove_candidate(last);
-        let n = ev.per_view.len();
-        for (i, q) in ev.queries.iter().enumerate() {
+        let n = ev.spans.len();
+        for i in 0..ev.best_view.len() {
             // Every surviving slot either holds the NONE sentinel or a
             // live index — never the retired one.
             assert!(
-                q.best.view == NONE || (q.best.view as usize) < n,
+                ev.best_view[i] == NONE || (ev.best_view[i] as usize) < n,
                 "query {i}: stale best {}",
-                q.best.view
+                ev.best_view[i]
             );
             assert!(
-                q.second.view == NONE || (q.second.view as usize) < n,
+                ev.second_view[i] == NONE || (ev.second_view[i] as usize) < n,
                 "query {i}: stale runner-up {}",
-                q.second.view
+                ev.second_view[i]
             );
         }
         // Q3's runner-up specifically collapsed to the NONE sentinel: only
         // v-day-region (still index 2) answers it now.
-        assert_eq!(ev.queries[2].best.view, 2);
-        assert_eq!(ev.queries[2].second.view, NONE);
+        assert_eq!(ev.best_view[2], 2);
+        assert_eq!(ev.second_view[2], NONE);
         assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
         // A fresh unflip of the moved-into-place views still behaves.
         ev.unflip(2);
@@ -739,6 +950,32 @@ mod tests {
         // problem — not the original — is the bit-exact reference.)
         let full = p.evaluate(&SelectionSet::full(p.len()));
         assert_eq!(ev.snapshot().time, full.time);
+    }
+
+    /// Heavy churn crosses the arena's compaction threshold; parity and
+    /// span integrity must survive the rebuild.
+    #[test]
+    fn arena_compaction_preserves_parity() {
+        let p = random_problem(7, 4, 6);
+        let mut ev = IncrementalEvaluator::new(&p);
+        ev.flip(0);
+        ev.flip(3);
+        // Enough add/remove cycles to push `dead` past COMPACT_MIN_DEAD.
+        let mut spin = 0usize;
+        for round in 0..800 {
+            let charge = p.candidates()[round % p.len()].clone();
+            let k = ev.add_candidate(charge);
+            if round % 3 == 0 {
+                ev.flip(k);
+                spin += 1;
+            }
+            let victim = (round * 5) % ev.problem().len();
+            ev.remove_candidate(victim);
+            if spin.is_multiple_of(7) {
+                assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
+            }
+        }
+        assert_eq!(ev.snapshot(), ev.problem().evaluate(ev.selection()));
     }
 
     #[test]

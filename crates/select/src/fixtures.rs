@@ -181,6 +181,71 @@ pub fn random_problem(seed: u64, n_queries: usize, n_candidates: usize) -> Selec
     SelectionProblem::new(model, candidates)
 }
 
+/// A random problem in the *sparse* regime the scaled evaluator is
+/// built for: each candidate answers roughly `density`·`n_queries`
+/// queries (clamped to at least one for positive densities), with
+/// non-uniform query frequencies so the frequency-weighted folds are
+/// exercised. At low densities most queries have few answerers, which
+/// drives the evaluator's top-k tables through their empty, partially
+/// filled and pruned states.
+pub fn random_sparse_problem(
+    seed: u64,
+    n_queries: usize,
+    n_candidates: usize,
+    density: f64,
+) -> SelectionProblem {
+    let mut rng = XorShift(seed ^ 0x5370_6172_7365);
+    let pricing = presets::aws_2012();
+    let instance = pricing.compute.instance("small").unwrap().clone();
+    let workload: Vec<QueryCharge> = (0..n_queries)
+        .map(|i| {
+            let mut q = QueryCharge::new(
+                format!("Q{i}"),
+                Gb::new(rng.range(0.05, 2.0)),
+                Hours::new(rng.range(0.05, 1.0)),
+            );
+            q.frequency = rng.range(0.2, 5.0);
+            q
+        })
+        .collect();
+    let model = CloudCostModel::new(CostContext {
+        pricing,
+        instance,
+        nb_instances: 1 + (seed % 3) as u32,
+        months: Months::new(1.0),
+        dataset_size: Gb::new(rng.range(1.0, 50.0)),
+        inserts: vec![],
+        workload: workload.clone(),
+    });
+    let candidates: Vec<ViewCharge> = (0..n_candidates)
+        .map(|k| {
+            let mut v = ViewCharge::new(
+                format!("v{k}"),
+                Gb::new(rng.range(0.001, 8.0)),
+                Hours::new(rng.range(0.01, 0.4)),
+                Hours::new(rng.range(0.0, 0.2)),
+                n_queries,
+            );
+            let mut answered = 0;
+            for (i, q) in workload.iter().enumerate() {
+                if rng.next_f64() < density {
+                    let t = q.base_time.value() / rng.range(2.0, 50.0);
+                    v = v.answers(i, Hours::new(t));
+                    answered += 1;
+                }
+            }
+            if answered == 0 && density > 0.0 && n_queries > 0 {
+                // Keep every candidate relevant: answer one random query.
+                let i = (rng.next_u64() as usize) % n_queries;
+                let t = workload[i].base_time.value() / rng.range(2.0, 50.0);
+                v = v.answers(i, Hours::new(t));
+            }
+            v
+        })
+        .collect();
+    SelectionProblem::new(model, candidates)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +257,23 @@ mod tests {
         assert_eq!(a.candidates(), b.candidates());
         let c = random_problem(10, 3, 4);
         assert_ne!(a.candidates(), c.candidates());
+    }
+
+    #[test]
+    fn sparse_fixture_is_deterministic_and_sparse() {
+        let a = random_sparse_problem(5, 40, 12, 0.1);
+        let b = random_sparse_problem(5, 40, 12, 0.1);
+        assert_eq!(a.candidates(), b.candidates());
+        // Every candidate answers something, and the pool is far from
+        // dense overall.
+        let degrees: Vec<usize> = a
+            .candidates()
+            .iter()
+            .map(|c| c.profile.answered())
+            .collect();
+        assert!(degrees.iter().all(|&d| d >= 1));
+        let total: usize = degrees.iter().sum();
+        assert!(total < 40 * 12 / 2, "unexpectedly dense: {total}");
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! * **MV2** — minimize monetary cost under a response-time limit;
 //! * **MV3** — minimize the α-weighted combination of both.
 //!
-//! Five solvers: the paper's dynamic-programming 0/1 knapsack
+//! Six solvers: the paper's dynamic-programming 0/1 knapsack
 //! ([`solve_knapsack`]), exhaustive enumeration ([`solve_exhaustive`],
 //! ground truth), greedy hill climbing ([`solve_greedy`]),
-//! branch-and-bound ([`solve_bnb`]) and flip/swap local search
-//! ([`solve_local_search`], never worse than greedy by construction).
+//! branch-and-bound ([`solve_bnb`]), flip/swap local search
+//! ([`solve_local_search`], never worse than greedy by construction)
+//! and large-neighborhood search ([`solve_lns`], the destroy-and-repair
+//! tier for candidate pools where the O(n²) swap neighborhood stalls —
+//! never worse than local search while its polish pass is on).
 //! All evaluate selections under the *true* interaction model — each
 //! query uses its fastest selected view — so solver quality can be
 //! compared honestly (DESIGN.md ablation A1).
@@ -23,17 +26,34 @@
 //!
 //! Every solver probes neighboring selections through the
 //! [`IncrementalEvaluator`], which caches each query's fastest selected
-//! view plus the runner-up. Against n candidates and m workload queries:
+//! view plus the runner-up over **sparse struct-of-arrays answer
+//! tables**: the per-view answer lists live in one flat CSR arena
+//! (parallel query-id/time vectors with a span per view), and the
+//! per-query reverse index keeps only the [`ANSWER_TOP_K`] fastest
+//! answerers, under the invariant that every answerer left outside a
+//! table is at least as slow as everything inside it — so a table
+//! rescan is exact whenever it finds anyone, and falls back to an exact
+//! sweep of the selected views' spans only when a pruned table comes up
+//! empty. Against n candidates and m workload queries, with `deg` the
+//! number of queries a view answers:
 //!
-//! * `flip`/`unflip` — O(m) (a runner-up rescan only when the flipped
+//! * `flip`/`unflip` — O(deg) (a runner-up rescan only when the flipped
 //!   view was among a query's two fastest);
 //! * `snapshot` — O(n + m), summing in the model's own fold orders and
 //!   pricing through the model's own routines, so results are
 //!   **bit-identical** to [`SelectionProblem::evaluate`] (property-tested
-//!   in `tests/evaluator_matches.rs`);
+//!   in `tests/evaluator_matches.rs`, including random sparse profiles
+//!   and dynamic add/remove/placement interleavings);
 //! * a greedy pass is therefore O(n·(n + m)) instead of O(n²·m), and the
 //!   exhaustive sweep O(2ⁿ·m) instead of O(2ⁿ·n·m) by walking masks in
 //!   ascending order (amortized two flips per subset).
+//!
+//! The sparse layout is what scales the evaluator 100–1000× past the
+//! paper's shape: at n = 2 000 candidates and m = 50 000 queries a
+//! single-flip probe still answers in microseconds
+//! (`crates/bench/benches/scale.rs`), where the historical dense
+//! per-view `Vec<Option<Hours>>` representation alone would hold 10⁸
+//! slots.
 //!
 //! The exhaustive and Pareto sweeps fan out across threads above
 //! [`PARALLEL_THRESHOLD`] candidates: contiguous mask ranges per thread,
@@ -42,6 +62,17 @@
 //! any thread count. At n = 20, m = 30 the evaluator answers single-flip
 //! probes ≈ 6× faster than full re-evaluation (see
 //! `crates/bench/benches/evaluator.rs`).
+//!
+//! # Large-neighborhood search
+//!
+//! The [`lns`] module is the solver tier for large pools:
+//! destroy-and-repair rounds over the live evaluator, alternating
+//! random and worst-charge destroy sets with a greedy repair restricted
+//! to a benefit-ranked shortlist ([`LnsConfig`]). Rounds are accepted
+//! only on strict improvement and rolled back flip-for-flip otherwise,
+//! so with the polish pass enabled [`solve_lns`] is never worse than
+//! [`solve_local_search`] from the same start
+//! (`tests/lns_never_worse.rs`).
 //!
 //! # Streaming candidates
 //!
@@ -130,6 +161,7 @@ mod exhaustive;
 pub mod fixtures;
 mod greedy;
 mod knapsack;
+pub mod lns;
 pub mod local_search;
 pub mod pareto;
 mod problem;
@@ -141,12 +173,13 @@ pub use bnb::{solve_bnb, solve_bnb_counted, BnbStats};
 pub use epoch::{
     DpFleetSolution, DpSolution, EpochChain, EpochStep, DP_FLEET_MAX_CANDIDATES, DP_MAX_CANDIDATES,
 };
-pub use evaluator::IncrementalEvaluator;
+pub use evaluator::{IncrementalEvaluator, ANSWER_TOP_K};
 pub use exhaustive::{
     solve_exhaustive, solve_exhaustive_with_threads, MAX_CANDIDATES, PARALLEL_THRESHOLD,
 };
 pub use greedy::solve_greedy;
 pub use knapsack::solve_knapsack;
+pub use lns::{solve_lns, solve_lns_with, LnsConfig};
 pub use local_search::{solve_local_search, solve_local_search_bounded};
 pub use mv_cost::Placement;
 pub use mv_cost::SelectionSet;
@@ -162,6 +195,7 @@ pub fn solve(problem: &SelectionProblem, scenario: Scenario, kind: SolverKind) -
         SolverKind::Greedy => solve_greedy(problem, scenario),
         SolverKind::BranchAndBound => solve_bnb(problem, scenario),
         SolverKind::LocalSearch => solve_local_search(problem, scenario),
+        SolverKind::Lns => solve_lns(problem, scenario),
     }
 }
 

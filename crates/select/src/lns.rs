@@ -1,0 +1,356 @@
+//! Large-neighborhood search: destroy-and-repair over the incremental
+//! evaluator.
+//!
+//! Flip/swap local search ([`crate::local_search`]) probes an O(n²)
+//! swap neighborhood per round — fine at the paper's n = 20, hopeless
+//! at n = 2 000. LNS trades the exhaustive neighborhood for *structured
+//! perturbation*: each round deselects a slice of the incumbent (the
+//! destroy set), then greedily refills from a benefit-ranked shortlist
+//! (the repair), accepting the round only when it strictly improves the
+//! scenario ordering. Destroy sets alternate between **random** (escape
+//! direction diversity) and **worst-charge** (evict the views paying
+//! the most materialization/maintenance/storage — the slots most likely
+//! misallocated). Every probe rides the evaluator's O(deg) flips, so a
+//! round costs O(shortlist² · (n + m)) instead of the full-neighborhood
+//! O(n² · (n + m)).
+//!
+//! When [`LnsConfig::polish_moves`] is nonzero, the search *starts*
+//! from a full [`local_search::improve`] pass with that budget, making
+//! [`solve_lns`] never worse than [`crate::solve_local_search`] under
+//! the same scenario by construction (rounds only ever replace the
+//! incumbent with strictly better evaluations, and a rejected round is
+//! rolled back flip-for-flip). The regression pin lives in
+//! `tests/lns_never_worse.rs`.
+
+use crate::local_search::{self, default_move_budget};
+use crate::{Evaluation, IncrementalEvaluator, Outcome, Scenario, SelectionProblem, SolverKind};
+
+/// Tuning knobs for [`solve_lns_with`] / [`refine`].
+#[derive(Debug, Clone)]
+pub struct LnsConfig {
+    /// Destroy-and-repair rounds to run.
+    pub rounds: usize,
+    /// Fraction of the selected views each destroy set evicts
+    /// (at least one).
+    pub destroy_fraction: f64,
+    /// Unselected candidates the repair pass considers, ranked by
+    /// standalone benefit (`0` = all of them — exact repair, large-n
+    /// hostile).
+    pub shortlist: usize,
+    /// Budget for the flip/swap improvement pass run *before* the
+    /// rounds; `0` skips it. With at least [`default_move_budget`]
+    /// moves, the final result is never worse than
+    /// [`crate::solve_local_search`]'s.
+    pub polish_moves: usize,
+    /// Seed for the random destroy sets (deterministic search).
+    pub seed: u64,
+}
+
+impl LnsConfig {
+    /// Defaults scaled to `n` candidates: small pools keep the full
+    /// polish pass (and with it the never-worse-than-local-search
+    /// guarantee); large pools skip the O(n²) swap neighborhood and
+    /// lean on the rounds alone.
+    pub fn for_problem(n: usize) -> Self {
+        LnsConfig {
+            rounds: 12,
+            destroy_fraction: 0.3,
+            shortlist: 64,
+            polish_moves: if n <= 256 { default_move_budget(n) } else { 0 },
+            seed: 0x6d_7663_6c6f_7564,
+        }
+    }
+}
+
+/// The xorshift-based splitmix step the fixtures use; kept private so
+/// the search is deterministic without an RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+/// Standalone benefit score of each candidate: frequency-weighted hours
+/// it would shave off the workload if it were the only selected view.
+/// Interactions make this optimistic, but it ranks repair shortlists
+/// and worst-charge evictions well — and it is selection-independent,
+/// so it is computed once per search.
+fn standalone_gains(problem: &SelectionProblem) -> Vec<f64> {
+    let workload = &problem.model().context().workload;
+    problem
+        .candidates()
+        .iter()
+        .map(|c| {
+            c.profile
+                .entries()
+                .map(|(i, t)| {
+                    let q = &workload[i];
+                    (q.base_time.value() - t.value()).max(0.0) * q.frequency
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Charge weight of a candidate: the cost-side hours and bytes keeping
+/// it selected burns per period. The worst-charge destroy set evicts
+/// the heaviest.
+fn charge_weight(problem: &SelectionProblem, k: usize) -> f64 {
+    let c = &problem.candidates()[k];
+    c.maintenance.value() + c.materialization.value() + c.size.value()
+}
+
+/// Greedy best-improvement fill restricted to `pool`: repeatedly flip
+/// on the pool candidate that improves the scenario ordering the most,
+/// until none does. The restriction is what keeps repair affordable at
+/// large n.
+fn greedy_fill_pool(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+    pool: &[usize],
+) -> Evaluation {
+    let mut current = ev.snapshot();
+    loop {
+        let mut best: Option<(usize, Evaluation)> = None;
+        for &k in pool {
+            if ev.is_selected(k) {
+                continue;
+            }
+            ev.flip(k);
+            let e = ev.snapshot();
+            ev.unflip(k);
+            if scenario.better(&e, &current, baseline)
+                && best
+                    .as_ref()
+                    .is_none_or(|(_, b)| scenario.better(&e, b, baseline))
+            {
+                best = Some((k, e));
+            }
+        }
+        match best {
+            Some((k, e)) => {
+                ev.flip(k);
+                current = e;
+            }
+            None => return current,
+        }
+    }
+}
+
+/// Runs the LNS rounds from the evaluator's current position, returning
+/// the best evaluation found (the evaluator is left positioned on it).
+///
+/// Acceptance is strict: a round's result replaces the incumbent only
+/// when [`Scenario::better`] says so; otherwise the selection is rolled
+/// back to the incumbent before the next round. With
+/// `cfg.polish_moves > 0` the incumbent starts from a full
+/// [`local_search::improve`] pass, so the result is never worse than
+/// that pass's.
+pub fn refine(
+    ev: &mut IncrementalEvaluator<'_>,
+    scenario: Scenario,
+    baseline: &Evaluation,
+    cfg: &LnsConfig,
+) -> Evaluation {
+    let mut incumbent = if cfg.polish_moves > 0 {
+        local_search::improve(ev, scenario, baseline, cfg.polish_moves)
+    } else {
+        ev.snapshot()
+    };
+    if cfg.rounds == 0 {
+        return incumbent;
+    }
+    let gains = standalone_gains(ev.problem());
+    let mut rng = XorShift(cfg.seed);
+    for round in 0..cfg.rounds {
+        let n = ev.problem().len();
+        let mut selected: Vec<usize> = ev.selection().ones().collect();
+        // Destroy: evict part of the incumbent. Even rounds draw the
+        // set uniformly (diversification); odd rounds evict the
+        // heaviest charges (intensification on likely misallocations).
+        let mut destroyed: Vec<usize> = Vec::new();
+        if !selected.is_empty() {
+            let want = ((selected.len() as f64 * cfg.destroy_fraction).ceil() as usize)
+                .clamp(1, selected.len());
+            if round % 2 == 0 {
+                for d in 0..want {
+                    let j = d + (rng.next_u64() as usize) % (selected.len() - d);
+                    selected.swap(d, j);
+                }
+                destroyed.extend_from_slice(&selected[..want]);
+            } else {
+                let problem = ev.problem();
+                selected.sort_by(|&a, &b| {
+                    charge_weight(problem, b)
+                        .partial_cmp(&charge_weight(problem, a))
+                        .expect("charge weights are finite")
+                        .then(a.cmp(&b))
+                });
+                destroyed.extend_from_slice(&selected[..want]);
+            }
+            for &k in &destroyed {
+                ev.unflip(k);
+            }
+        }
+        // Repair pool: the evicted views themselves plus the
+        // highest-gain unselected candidates.
+        let mut pool = destroyed.clone();
+        let mut rest: Vec<usize> = (0..n)
+            .filter(|&k| !ev.is_selected(k) && !destroyed.contains(&k))
+            .collect();
+        if cfg.shortlist > 0 && rest.len() > cfg.shortlist {
+            rest.sort_by(|&a, &b| {
+                gains[b]
+                    .partial_cmp(&gains[a])
+                    .expect("gains are finite")
+                    .then(a.cmp(&b))
+            });
+            rest.truncate(cfg.shortlist);
+        }
+        pool.extend(rest);
+        let candidate = greedy_fill_pool(ev, scenario, baseline, &pool);
+        if scenario.better(&candidate, &incumbent, baseline) {
+            incumbent = candidate;
+        } else {
+            // Roll the evaluator back to the incumbent flip-for-flip.
+            for k in 0..n {
+                if ev.is_selected(k) != incumbent.selection.contains(k) {
+                    ev.toggle(k);
+                }
+            }
+        }
+    }
+    incumbent
+}
+
+/// Solves `scenario` by greedy fill, a polish pass, then
+/// destroy-and-repair rounds — the large-n tier above
+/// [`crate::solve_local_search`]. Deterministic for a fixed config.
+pub fn solve_lns(problem: &SelectionProblem, scenario: Scenario) -> Outcome {
+    solve_lns_with(problem, scenario, &LnsConfig::for_problem(problem.len()))
+}
+
+/// [`solve_lns`] with explicit tuning.
+pub fn solve_lns_with(problem: &SelectionProblem, scenario: Scenario, cfg: &LnsConfig) -> Outcome {
+    let baseline = problem.baseline();
+    let mut ev = IncrementalEvaluator::new(problem);
+    if cfg.polish_moves > 0 {
+        // Small-pool path: full greedy fill, so the polish pass starts
+        // where solve_local_search starts (the never-worse guarantee).
+        local_search::greedy_fill(&mut ev, scenario, &baseline);
+    } else {
+        // Large-pool path: shortlist-restricted fill.
+        let gains = standalone_gains(problem);
+        let mut pool: Vec<usize> = (0..problem.len()).collect();
+        if cfg.shortlist > 0 && pool.len() > cfg.shortlist {
+            pool.sort_by(|&a, &b| {
+                gains[b]
+                    .partial_cmp(&gains[a])
+                    .expect("gains are finite")
+                    .then(a.cmp(&b))
+            });
+            pool.truncate(cfg.shortlist);
+        }
+        greedy_fill_pool(&mut ev, scenario, &baseline, &pool);
+    }
+    let best = refine(&mut ev, scenario, &baseline, cfg);
+    Outcome::new(best, baseline, scenario, SolverKind::Lns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_like_problem, random_problem};
+    use crate::solve_greedy;
+    use mv_units::{Hours, Money};
+
+    #[test]
+    fn solves_the_paper_fixture_feasibly() {
+        let p = paper_like_problem();
+        let budget = p.baseline().cost() + Money::from_cents(60);
+        let o = solve_lns(&p, Scenario::budget(budget));
+        assert!(o.feasible());
+        assert_eq!(o.solver, SolverKind::Lns);
+        assert_eq!(o.evaluation, p.evaluate(&o.evaluation.selection));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_config() {
+        let p = random_problem(11, 4, 9);
+        let s = Scenario::tradeoff_normalized(0.5);
+        let a = solve_lns(&p, s);
+        let b = solve_lns(&p, s);
+        assert_eq!(a.evaluation, b.evaluation);
+    }
+
+    #[test]
+    fn never_worse_than_greedy() {
+        for seed in 0..15 {
+            let p = random_problem(seed + 70, 4, 7);
+            for scenario in [
+                Scenario::budget(p.baseline().cost() + Money::from_cents(60)),
+                Scenario::time_limit(Hours::new(0.4)),
+                Scenario::tradeoff_normalized(0.5),
+            ] {
+                let g = solve_greedy(&p, scenario);
+                let l = solve_lns(&p, scenario);
+                assert!(
+                    !scenario.better(&g.evaluation, &l.evaluation, &l.baseline),
+                    "seed {seed} {}: greedy beat LNS",
+                    scenario.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rounds_zero_polish_is_shortlist_greedy() {
+        let p = random_problem(3, 4, 8);
+        let s = Scenario::tradeoff_normalized(0.4);
+        let cfg = LnsConfig {
+            rounds: 0,
+            polish_moves: 0,
+            shortlist: 0,
+            destroy_fraction: 0.3,
+            seed: 1,
+        };
+        let o = solve_lns_with(&p, s, &cfg);
+        // Unrestricted pool + no rounds ⇒ exactly the greedy fill.
+        let g = solve_greedy(&p, s);
+        assert_eq!(o.evaluation, g.evaluation);
+    }
+
+    #[test]
+    fn refine_respects_the_incumbent_on_rejected_rounds() {
+        let p = random_problem(21, 4, 10);
+        let baseline = p.baseline();
+        let s = Scenario::tradeoff_normalized(0.5);
+        let mut ev = IncrementalEvaluator::new(&p);
+        let cfg = LnsConfig::for_problem(p.len());
+        let end = refine(&mut ev, s, &baseline, &cfg);
+        // The evaluator ends positioned exactly on the reported result.
+        assert_eq!(ev.snapshot(), end);
+        assert_eq!(end, p.evaluate(&end.selection));
+    }
+
+    #[test]
+    fn tiny_shortlist_still_repairs() {
+        let p = random_problem(5, 3, 12);
+        let s = Scenario::tradeoff_normalized(0.5);
+        let cfg = LnsConfig {
+            shortlist: 2,
+            ..LnsConfig::for_problem(p.len())
+        };
+        let o = solve_lns_with(&p, s, &cfg);
+        assert_eq!(o.evaluation, p.evaluate(&o.evaluation.selection));
+    }
+}

@@ -43,11 +43,11 @@ impl SelectionProblem {
         let m = model.context().workload.len();
         for c in &candidates {
             assert_eq!(
-                c.query_times.len(),
+                c.profile.workload_len(),
                 m,
                 "candidate {} has {} query times for a {}-query workload",
                 c.name,
-                c.query_times.len(),
+                c.profile.workload_len(),
                 m
             );
         }
@@ -80,11 +80,11 @@ impl SelectionProblem {
     pub fn push_candidate(&mut self, charge: ViewCharge) -> usize {
         let m = self.model.context().workload.len();
         assert_eq!(
-            charge.query_times.len(),
+            charge.profile.workload_len(),
             m,
             "candidate {} has {} query times for a {}-query workload",
             charge.name,
-            charge.query_times.len(),
+            charge.profile.workload_len(),
             m
         );
         self.candidates.push(charge);
@@ -98,11 +98,11 @@ impl SelectionProblem {
     pub fn replace_candidate(&mut self, k: usize, charge: ViewCharge) -> ViewCharge {
         let m = self.model.context().workload.len();
         assert_eq!(
-            charge.query_times.len(),
+            charge.profile.workload_len(),
             m,
             "candidate {} has {} query times for a {}-query workload",
             charge.name,
-            charge.query_times.len(),
+            charge.profile.workload_len(),
             m
         );
         std::mem::replace(&mut self.candidates[k], charge)
@@ -207,7 +207,7 @@ mod tests {
     fn misaligned_candidate_panics() {
         let p = paper_like_problem();
         let mut bad = p.candidates()[0].clone();
-        bad.query_times.push(None);
+        bad.profile = mv_cost::AnswerProfile::none(p.model().context().workload.len() + 1);
         SelectionProblem::new(p.model().clone(), vec![bad]);
     }
 

@@ -18,6 +18,10 @@ pub enum SolverKind {
     BranchAndBound,
     /// Greedy fill plus bounded flip/swap local-search improvement.
     LocalSearch,
+    /// Large-neighborhood search: destroy-and-repair rounds over the
+    /// incremental evaluator, for candidate pools where the O(n²) swap
+    /// neighborhood stalls.
+    Lns,
 }
 
 impl SolverKind {
@@ -29,6 +33,7 @@ impl SolverKind {
             SolverKind::Greedy => "greedy",
             SolverKind::BranchAndBound => "branch-and-bound",
             SolverKind::LocalSearch => "local-search",
+            SolverKind::Lns => "lns",
         }
     }
 }
@@ -162,5 +167,6 @@ mod tests {
         assert_eq!(SolverKind::Exhaustive.name(), "exhaustive");
         assert_eq!(SolverKind::Greedy.name(), "greedy");
         assert_eq!(SolverKind::BranchAndBound.name(), "branch-and-bound");
+        assert_eq!(SolverKind::Lns.name(), "lns");
     }
 }

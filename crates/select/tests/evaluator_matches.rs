@@ -176,6 +176,131 @@ proptest! {
         }
     }
 
+    /// Random **sparse** answer profiles — the regime the struct-of-
+    /// arrays top-k tables exist for: larger workloads where most views
+    /// answer a few queries (density down to 3%) and some queries have
+    /// more answerers than `ANSWER_TOP_K` slots (density up to 90%).
+    /// Arbitrary flip walks must stay bit-identical to the dense-path
+    /// `SelectionProblem::evaluate` at every step.
+    #[test]
+    fn sparse_flip_walks_match_full_evaluation(
+        seed in 0u64..10_000,
+        n_queries in 1usize..40,
+        n_candidates in 1usize..24,
+        density_pct in 3u8..90,
+        flips in proptest::collection::vec(0usize..24, 1..48),
+    ) {
+        let problem =
+            fixtures::random_sparse_problem(seed, n_queries, n_candidates, density_pct as f64 / 100.0);
+        let mut ev = IncrementalEvaluator::new(&problem);
+        let mut sel = SelectionSet::empty(problem.len());
+        for (step, &raw) in flips.iter().enumerate() {
+            let k = raw % problem.len();
+            ev.toggle(k);
+            sel.set(k, !sel.contains(k));
+            let incremental = ev.snapshot();
+            let full = problem.evaluate(&sel);
+            prop_assert_eq!(incremental.time, full.time,
+                "time diverged at step {}", step);
+            prop_assert_eq!(&incremental.breakdown, &full.breakdown,
+                "breakdown diverged at step {}", step);
+            prop_assert_eq!(incremental.cost(), full.cost(),
+                "cost diverged at step {}", step);
+        }
+    }
+
+    /// Sparse profiles under dynamic churn: the same
+    /// add/remove/flip/placement-flip interleavings as the dense suite,
+    /// over a sparse pool with a wide workload — so the top-k tables see
+    /// entry removal, swap-remove renumbering and resplices, not just
+    /// flips. Mirrors against a rebuilt static problem after every op.
+    #[test]
+    fn sparse_dynamic_interleavings_match_rebuilt_static_problem(
+        seed in 0u64..10_000,
+        n_queries in 1usize..32,
+        density_pct in 5u8..80,
+        mask in 0u64..(1 << 10),
+        ops in proptest::collection::vec((0u8..4, 0usize..64), 1..30),
+    ) {
+        use mv_cost::{InterruptionRisk, Placement, PoolCharge, ViewCharge};
+
+        let pool_problem =
+            fixtures::random_sparse_problem(seed, n_queries, 10, density_pct as f64 / 100.0);
+        let model = pool_problem.model().clone();
+        let pool = pool_problem.candidates().to_vec();
+
+        let start = SelectionSet::from_mask(mask & ((1 << 10) - 1), pool.len());
+        let mut ev = IncrementalEvaluator::with_selection(&pool_problem, &start);
+
+        let mut mirror = pool.clone();
+        let mut pristine = pool.clone();
+        let mut mirror_sel: Vec<bool> = start.iter().collect();
+        let mut recycle = 0usize;
+        let spot_pool = PoolCharge::new(0.5, 1.25, InterruptionRisk::new(0.25));
+        let placed = |base: &ViewCharge, p: Placement| -> ViewCharge {
+            let mut c = match p {
+                Placement::Reserved => base.clone(),
+                Placement::Spot => spot_pool.adjust(base),
+            };
+            c.placement = p;
+            c
+        };
+
+        for (step, &(op, arg)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let charge = pool[recycle % pool.len()].clone();
+                    recycle += 1;
+                    let k = ev.add_candidate(charge.clone());
+                    prop_assert_eq!(k, mirror.len(), "add index at step {}", step);
+                    mirror.push(charge.clone());
+                    pristine.push(charge);
+                    mirror_sel.push(false);
+                }
+                1 => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    let removed = ev.remove_candidate(j);
+                    let expected = mirror.swap_remove(j);
+                    pristine.swap_remove(j);
+                    mirror_sel.swap_remove(j);
+                    prop_assert_eq!(removed, expected, "removed charge at step {}", step);
+                }
+                2 => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    ev.toggle(j);
+                    mirror_sel[j] = !mirror_sel[j];
+                }
+                _ => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let j = arg % mirror.len();
+                    let flipped = mirror[j].placement.flipped();
+                    let charge = placed(&pristine[j], flipped);
+                    let old = ev.update_charge(j, charge.clone());
+                    prop_assert_eq!(&old, &mirror[j], "displaced charge at step {}", step);
+                    mirror[j] = charge;
+                }
+            }
+            let rebuilt = mv_select::SelectionProblem::new(model.clone(), mirror.clone());
+            let sel = SelectionSet::from_bools(&mirror_sel);
+            let incremental = ev.snapshot();
+            let full = rebuilt.evaluate(&sel);
+            prop_assert_eq!(incremental.time, full.time,
+                "time diverged at step {}", step);
+            prop_assert_eq!(&incremental.breakdown, &full.breakdown,
+                "breakdown diverged at step {}", step);
+            prop_assert_eq!(incremental.cost(), full.cost(),
+                "cost diverged at step {}", step);
+        }
+    }
+
     /// Problems with insert events exercise the evaluator's storage
     /// interval template (multi-interval timelines).
     #[test]
