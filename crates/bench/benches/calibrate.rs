@@ -1,0 +1,73 @@
+//! The calibration loop end-to-end: solve the horizon plan, replay it
+//! through the engine, fit the throughput law, reconcile the bills.
+//!
+//! Two shapes:
+//!
+//! 1. **loop** — `Advisor::calibrate` over the sales domain at two
+//!    epoch counts: the replay (engine scans, builds, refreshes) is the
+//!    dominant term and should scale roughly linearly in epochs.
+//! 2. **fit** — `CalibratedParams::fit` alone over a synthetic metered
+//!    sample set, isolating the least-squares core from the engine.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcloud::cost::{CalibratedParams, MeterSample, WorkKind};
+use mvcloud::lattice::WorkloadEvolution;
+use mvcloud::units::{Gb, Hours};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, CalibrationConfig, Scenario};
+
+fn bench_calibration_loop(c: &mut Criterion) {
+    let advisor = Advisor::build(
+        sales_domain(1_000, 3, 2.0, 42),
+        AdvisorConfig {
+            simulated_dataset: Gb::new(500.0),
+            ..AdvisorConfig::default()
+        },
+    )
+    .expect("advisor builds");
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let mut group = c.benchmark_group("calibrate/loop_sales_r1000_q3");
+    for epochs in [2usize, 6] {
+        let config = CalibrationConfig {
+            epochs,
+            evolution: WorkloadEvolution::fixed(),
+            ..CalibrationConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(format!("e{epochs}")), |b| {
+            b.iter(|| {
+                let report = advisor.calibrate(scenario, &config).expect("calibrates");
+                black_box(report.holdout_fitted_rel_error)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    // A deterministic metered sample cloud around the default law
+    // (25 GB/h/unit, 0.01 h overhead, 2 units).
+    let samples: Vec<MeterSample> = (0..512)
+        .map(|i| {
+            let gb = 1.0 + (i % 97) as f64 * 5.0;
+            let kind = match i % 3 {
+                0 => WorkKind::Scan,
+                1 => WorkKind::Materialize,
+                _ => WorkKind::Refresh,
+            };
+            MeterSample::new(kind, Gb::new(gb), Hours::new(0.01 + gb / 50.0))
+        })
+        .collect();
+    let mut group = c.benchmark_group("calibrate/fit");
+    group.bench_function(BenchmarkId::from_parameter("n512"), |b| {
+        b.iter(|| black_box(CalibratedParams::fit(black_box(&samples), 2.0)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = mv_bench::shapes::fast_config();
+    targets = bench_calibration_loop, bench_fit
+}
+criterion_main!(benches);

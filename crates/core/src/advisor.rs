@@ -216,12 +216,12 @@ pub struct Advisor {
 /// ([`Advisor::solve_streaming`]) meter candidates through one of
 /// these, so a streamed candidate's [`ViewCharge`] is bit-identical to
 /// the batch measurement of the same cuboid.
-struct CandidateMeter<'a> {
+pub(crate) struct CandidateMeter<'a> {
     domain: &'a Domain,
     config: &'a AdvisorConfig,
     instance: mv_pricing::InstanceType,
     scale: SimScale,
-    units: f64,
+    pub(crate) units: f64,
     engine_rows: f64,
     cloud_rows: f64,
     queries: Vec<AggQuery>,
@@ -231,8 +231,11 @@ struct CandidateMeter<'a> {
 impl<'a> CandidateMeter<'a> {
     /// Validates the domain/config pair and precomputes the projection
     /// parameters.
-    fn new(domain: &'a Domain, config: &'a AdvisorConfig) -> Result<Self, AdvisorError> {
+    pub(crate) fn new(domain: &'a Domain, config: &'a AdvisorConfig) -> Result<Self, AdvisorError> {
         domain.validate()?;
+        if domain.base.num_rows() == 0 {
+            return Err(AdvisorError::EmptyDataset);
+        }
         let instance = config
             .pricing
             .compute
@@ -242,6 +245,11 @@ impl<'a> CandidateMeter<'a> {
             })?
             .clone();
         let units = instance.compute_units * config.nb_instances as f64;
+        if units.is_nan() || units <= 0.0 {
+            return Err(AdvisorError::InvalidComputeUnits {
+                instance: config.instance.clone(),
+            });
+        }
         let scale = SimScale::mapping(domain.base.size(), config.simulated_dataset);
         // Extrapolation parameters: the cloud-side fact table has the same
         // per-row width as the engine table but `cloud_rows` rows; group
@@ -249,15 +257,17 @@ impl<'a> CandidateMeter<'a> {
         let engine_rows = domain.base.num_rows().max(1) as f64;
         let row_bytes = domain.base.heap_bytes() as f64 / engine_rows;
         let cloud_rows = config.simulated_dataset.as_bytes() as f64 / row_bytes.max(1.0);
+        // Lower the lattice workload to executable group-bys in ONE place
+        // (`LatticeWorkload::lower`), so calibration replays exactly the
+        // queries the advisor metered.
         let queries: Vec<AggQuery> = domain
             .workload
-            .queries
-            .iter()
-            .map(|q| {
-                let cols = domain.lattice.key_columns(&q.cuboid);
-                let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            .lower(&domain.lattice)
+            .into_iter()
+            .map(|lq| {
+                let col_refs: Vec<&str> = lq.group_by.iter().map(String::as_str).collect();
                 AggQuery::new(
-                    q.name.clone(),
+                    lq.name,
                     &col_refs,
                     vec![AggSpec::sum(domain.measure.clone())],
                 )
@@ -285,23 +295,25 @@ impl<'a> CandidateMeter<'a> {
         )
     }
 
-    /// Scan work projected to cloud scale: engine bytes × how many more
-    /// input rows the cloud table has.
+    /// Scan work projected to cloud scale (engine bytes × how many more
+    /// input rows the cloud table has) and converted to simulated
+    /// cluster-hours under the configured throughput model.
     fn scan_hours(
         &self,
         bytes_scanned: u64,
         input_rows_engine: f64,
         input_rows_cloud: f64,
-    ) -> Hours {
+    ) -> Result<Hours, AdvisorError> {
         let bytes = bytes_scanned as f64 * (input_rows_cloud / input_rows_engine.max(1.0));
         self.config
             .throughput
             .hours_for_scan(Gb::from_bytes(bytes as u64), self.units)
+            .map_err(AdvisorError::from)
     }
 
     /// Executes the workload on the base table and derives its charges
     /// (the paper's step 1).
-    fn workload_charges(&self) -> Result<Vec<QueryCharge>, AdvisorError> {
+    pub(crate) fn workload_charges(&self) -> Result<Vec<QueryCharge>, AdvisorError> {
         let mut charges = Vec::with_capacity(self.queries.len());
         for (q, lq) in self.queries.iter().zip(&self.domain.workload.queries) {
             let (out, stats) = q
@@ -312,14 +324,14 @@ impl<'a> CandidateMeter<'a> {
                     self.scale.bytes_to_cloud(stats.bytes_out),
                     self.config
                         .throughput
-                        .hours_for(&stats, self.units, self.scale),
+                        .hours_for(&stats, self.units, self.scale)?,
                 ),
                 SizingMode::Extrapolated => {
                     let rows_cloud = self.cloud_groups(&lq.cuboid);
                     let width = out.schema().row_byte_width() as f64;
                     (
                         Gb::from_bytes((rows_cloud * width) as u64),
-                        self.scan_hours(stats.bytes_scanned, self.engine_rows, self.cloud_rows),
+                        self.scan_hours(stats.bytes_scanned, self.engine_rows, self.cloud_rows)?,
                     )
                 }
             };
@@ -335,7 +347,7 @@ impl<'a> CandidateMeter<'a> {
 
     /// Materializes and meters one candidate cuboid (the paper's steps
     /// 3 & 4 for a single view).
-    fn measure(&self, cuboid: Cuboid) -> Result<MeasuredCandidate, AdvisorError> {
+    pub(crate) fn measure(&self, cuboid: Cuboid) -> Result<MeasuredCandidate, AdvisorError> {
         let label = self.domain.lattice.label(&cuboid);
         let cols = self.domain.lattice.key_columns(&cuboid);
         let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
@@ -360,12 +372,12 @@ impl<'a> CandidateMeter<'a> {
                     SizingMode::MeasuredScaled => self
                         .config
                         .throughput
-                        .hours_for(&stats, self.units, self.scale),
+                        .hours_for(&stats, self.units, self.scale)?,
                     SizingMode::Extrapolated => self.scan_hours(
                         stats.bytes_scanned,
                         d.num_rows().max(1) as f64,
                         self.cloud_rows * self.config.maintenance_delta_fraction,
-                    ),
+                    )?,
                 }
             }
             _ => Hours::ZERO,
@@ -376,14 +388,14 @@ impl<'a> CandidateMeter<'a> {
                 self.scale.bytes_to_cloud(view.data().heap_bytes()),
                 self.config
                     .throughput
-                    .hours_for(&build, self.units, self.scale),
+                    .hours_for(&build, self.units, self.scale)?,
             ),
             SizingMode::Extrapolated => {
                 let width = view.data().heap_bytes() as f64 / view_rows_engine;
                 (
                     Gb::from_bytes((view_rows_cloud * width) as u64),
                     // Building a view scans the whole base table.
-                    self.scan_hours(build.bytes_scanned, self.engine_rows, self.cloud_rows),
+                    self.scan_hours(build.bytes_scanned, self.engine_rows, self.cloud_rows)?,
                 )
             }
         };
@@ -401,9 +413,9 @@ impl<'a> CandidateMeter<'a> {
                     SizingMode::MeasuredScaled => self
                         .config
                         .throughput
-                        .hours_for(&stats, self.units, self.scale),
+                        .hours_for(&stats, self.units, self.scale)?,
                     SizingMode::Extrapolated => {
-                        self.scan_hours(stats.bytes_scanned, view_rows_engine, view_rows_cloud)
+                        self.scan_hours(stats.bytes_scanned, view_rows_engine, view_rows_cloud)?
                     }
                 };
                 charge = charge.answers(i, t);
@@ -418,7 +430,7 @@ impl<'a> CandidateMeter<'a> {
     }
 
     /// Assembles the paper's cost model over the metered workload.
-    fn cost_model(&self, charges: Vec<QueryCharge>) -> CloudCostModel {
+    pub(crate) fn cost_model(&self, charges: Vec<QueryCharge>) -> CloudCostModel {
         CloudCostModel::new(CostContext {
             pricing: self.config.pricing.clone(),
             instance: self.instance.clone(),
@@ -823,7 +835,7 @@ fn dominates_within(a: &ViewCharge, b: &ViewCharge, epsilon: f64) -> bool {
 /// A monthly insert batch for maintenance metering: `fraction` of the base
 /// rows, landing in the month after the dataset's range (sales domain) or
 /// a replayed sample (other domains). `fraction == 0` disables maintenance.
-fn monthly_delta(domain: &Domain, fraction: f64) -> Option<Table> {
+pub(crate) fn monthly_delta(domain: &Domain, fraction: f64) -> Option<Table> {
     if fraction <= 0.0 {
         return None;
     }
@@ -1165,6 +1177,29 @@ mod tests {
         assert!(!r_stop.stopped_early);
         assert_eq!(r_stop.pulled, r_full.pulled);
         assert_eq!(o_stop.evaluation, o_full.evaluation);
+    }
+
+    #[test]
+    fn zero_instances_is_a_typed_error() {
+        // Reachable from `mvcloud-cli advise --instances 0`: must surface
+        // as an error, not divide metered work by zero.
+        let domain = sales_domain(100, 3, 1.0, 1);
+        let err = Advisor::build(
+            domain,
+            AdvisorConfig {
+                nb_instances: 0,
+                ..AdvisorConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(AdvisorError::InvalidComputeUnits { .. })));
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        // Reachable from `--rows 0`: must not trip the SimScale assert.
+        let domain = sales_domain(0, 3, 1.0, 1);
+        let err = Advisor::build(domain, AdvisorConfig::default());
+        assert!(matches!(err, Err(AdvisorError::EmptyDataset)));
     }
 
     #[test]

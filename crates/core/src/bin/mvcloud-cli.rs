@@ -20,6 +20,13 @@
 //!                   [--crunch-factor F] [--reserved-rate R] [--pin spot|reserved]
 //!                   [--queries N] [--rows N] [--commitment] [--no-compare]
 //!                   (--budget $X | --time-limit H | --alpha A)
+//! mvcloud-cli calibrate [--domain sales|ssb] [--queries N] [--rows N]
+//!                       [--frequency F] [--seed S] [--epochs N]
+//!                       [--scale GB] [--instances K]
+//!                       [--pattern static|drift|burst|seasonal]
+//!                       [--rate R | --factor F | --amplitude A] [--period P]
+//!                       [--synthetic-rate R] [--synthetic-overhead H]
+//!                       (--budget $X | --time-limit H | --alpha A)
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
@@ -47,6 +54,7 @@ fn main() -> ExitCode {
         Some("horizon") => cmd_horizon(&args[1..]),
         Some("market") => cmd_market(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("calibrate") => cmd_calibrate(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("pricing") => cmd_pricing(),
         Some("excerpt") => cmd_excerpt(),
@@ -87,6 +95,12 @@ fn print_usage() {
                              [--pin spot|reserved] [--queries N] [--rows N]\n\
                              [--commitment] [--no-compare]\n\
                              (--budget X | --time-limit H | --alpha A)\n\
+           mvcloud-cli calibrate [--domain sales|ssb] [--queries N] [--rows N]\n\
+                                 [--frequency F] [--seed S] [--epochs N] [--scale GB]\n\
+                                 [--instances K] [--pattern P] [--period P]\n\
+                                 [--rate R | --factor F | --amplitude A]\n\
+                                 [--synthetic-rate R] [--synthetic-overhead H]\n\
+                                 (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
@@ -145,7 +159,24 @@ fn print_usage() {
            --pin P           pin every view: spot|reserved (pure fleet)\n\
            --commitment      price the reserved pool's reservation\n\
            --no-compare      skip the pure-spot/pure-reserved comparison\n\
-         emits the per-epoch hedge/quantile timeline as JSON"
+         emits the per-epoch hedge/quantile timeline as JSON\n\
+         \n\
+         calibrate flags (plus the scenario flags):\n\
+           --domain D        sales|ssb workload domain            [default sales]\n\
+           --queries N       sales workload size, 1-10            [default 5]\n\
+           --rows N          generated fact rows                  [default 10000]\n\
+           --frequency F     per-epoch runs of each query         [default 1]\n\
+           --seed S          data generation seed                 [default 42]\n\
+           --epochs N        replayed epochs, last one held out   [default 6]\n\
+           --scale GB        simulated cloud dataset size         [default 500]\n\
+           --instances K     number of identical instances        [default 2]\n\
+           --pattern P       static|drift|burst|seasonal          [default static]\n\
+                             (plus horizon's --rate/--factor/--amplitude/--period)\n\
+           --synthetic-rate R     mis-specified prior GB/h/unit   [default 100]\n\
+           --synthetic-overhead H prior per-job overhead hours    [default 0]\n\
+         replays the horizon plan through the engine, fits the throughput\n\
+         law from the metered samples, and emits the per-epoch\n\
+         predicted-vs-metered reconciliation as JSON"
     );
 }
 
@@ -287,6 +318,12 @@ fn cmd_advise(args: &[String]) -> Result<(), String> {
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());
     }
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
+    }
+    if instances == 0 {
+        return Err("--instances must be ≥ 1".to_string());
+    }
     let domain = sales_domain(rows, queries, 1.0, 42);
     let advisor = Advisor::build(
         domain,
@@ -341,7 +378,6 @@ fn parse_scenario(flags: &Flags<'_>) -> Result<Scenario, String> {
 }
 
 fn cmd_horizon(args: &[String]) -> Result<(), String> {
-    use mvcloud::lattice::WorkloadEvolution;
     use mvcloud::pricing::CommitmentPlan;
     use mvcloud::HorizonConfig;
 
@@ -369,35 +405,16 @@ fn cmd_horizon(args: &[String]) -> Result<(), String> {
     let queries: usize = flags.parse_num("queries", 5)?;
     let rows: usize = flags.parse_num("rows", 10_000)?;
     let epochs: usize = flags.parse_num("epochs", 12)?;
-    let period: usize = flags.parse_num("period", 12)?;
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
     }
     if epochs == 0 {
         return Err("--epochs must be ≥ 1".to_string());
     }
-    let pattern = flags.get("pattern").unwrap_or("seasonal");
-    // Each drift knob belongs to one pattern; a knob supplied for a
-    // different pattern would be silently ignored — reject it instead.
-    let applicable: &[&str] = match pattern {
-        "static" => &[],
-        "drift" => &["rate"],
-        "burst" => &["factor", "period"],
-        "seasonal" => &["amplitude", "period"],
-        other => return Err(format!("unknown pattern {other:?}")),
-    };
-    for knob in ["rate", "factor", "amplitude", "period"] {
-        if flags.get(knob).is_some() && !applicable.contains(&knob) {
-            return Err(format!("--{knob} does not apply to --pattern {pattern}"));
-        }
-    }
-    let evolution = match pattern {
-        "static" => WorkloadEvolution::fixed(),
-        "drift" => WorkloadEvolution::drift(flags.parse_num("rate", 0.2)?),
-        "burst" => WorkloadEvolution::burst(period, flags.parse_num("factor", 5.0)?),
-        "seasonal" => WorkloadEvolution::seasonal(period, flags.parse_num("amplitude", 0.6)?),
-        _ => unreachable!("patterns validated above"),
-    };
+    let evolution = parse_evolution(&flags, "seasonal")?;
     let scenario = parse_scenario(&flags)?;
     let commitment = commitment_flag.then(CommitmentPlan::aws_small_1yr);
 
@@ -417,6 +434,186 @@ fn cmd_horizon(args: &[String]) -> Result<(), String> {
 
     println!("{}", horizon_json(&report, scenario, myopic));
     Ok(())
+}
+
+/// Parses the shared workload-evolution flags (`--pattern` plus its
+/// per-pattern knobs). Each drift knob belongs to one pattern; a knob
+/// supplied for a different pattern would be silently ignored — reject
+/// it instead.
+fn parse_evolution(
+    flags: &Flags<'_>,
+    default_pattern: &str,
+) -> Result<mvcloud::lattice::WorkloadEvolution, String> {
+    use mvcloud::lattice::WorkloadEvolution;
+    let pattern = flags.get("pattern").unwrap_or(default_pattern);
+    let period: usize = flags.parse_num("period", 12)?;
+    let applicable: &[&str] = match pattern {
+        "static" => &[],
+        "drift" => &["rate"],
+        "burst" => &["factor", "period"],
+        "seasonal" => &["amplitude", "period"],
+        other => return Err(format!("unknown pattern {other:?}")),
+    };
+    for knob in ["rate", "factor", "amplitude", "period"] {
+        if flags.get(knob).is_some() && !applicable.contains(&knob) {
+            return Err(format!("--{knob} does not apply to --pattern {pattern}"));
+        }
+    }
+    if period == 0 {
+        // WorkloadEvolution::burst/seasonal assert a positive cycle
+        // length; turn the would-be panic into a flag error.
+        return Err("--period must be ≥ 1".to_string());
+    }
+    Ok(match pattern {
+        "static" => WorkloadEvolution::fixed(),
+        "drift" => WorkloadEvolution::drift(flags.parse_num("rate", 0.2)?),
+        "burst" => WorkloadEvolution::burst(period, flags.parse_num("factor", 5.0)?),
+        "seasonal" => WorkloadEvolution::seasonal(period, flags.parse_num("amplitude", 0.6)?),
+        _ => unreachable!("patterns validated above"),
+    })
+}
+
+fn cmd_calibrate(args: &[String]) -> Result<(), String> {
+    use mvcloud::engine::ThroughputModel;
+    use mvcloud::units::Gb;
+    use mvcloud::CalibrationConfig;
+
+    let flags = parse_flags(args)?;
+    flags.expect_known(
+        &[
+            &[
+                "domain",
+                "queries",
+                "rows",
+                "frequency",
+                "seed",
+                "epochs",
+                "scale",
+                "instances",
+                "pattern",
+                "rate",
+                "factor",
+                "amplitude",
+                "period",
+                "synthetic-rate",
+                "synthetic-overhead",
+            ],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
+    let queries: usize = flags.parse_num("queries", 5)?;
+    let rows: usize = flags.parse_num("rows", 10_000)?;
+    let frequency: f64 = flags.parse_num("frequency", 1.0)?;
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let epochs: usize = flags.parse_num("epochs", 6)?;
+    let scale: f64 = flags.parse_num("scale", 500.0)?;
+    let instances: u32 = flags.parse_num("instances", 2)?;
+    let synthetic_rate: f64 = flags.parse_num("synthetic-rate", 100.0)?;
+    let synthetic_overhead: f64 = flags.parse_num("synthetic-overhead", 0.0)?;
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
+    }
+    if epochs < 2 {
+        return Err("--epochs must be ≥ 2 (the last epoch is held out of the fit)".to_string());
+    }
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err("--scale must be a positive number of simulated GB".to_string());
+    }
+    if instances == 0 {
+        return Err("--instances must be ≥ 1".to_string());
+    }
+    if !(synthetic_rate > 0.0 && synthetic_rate.is_finite()) {
+        return Err("--synthetic-rate must be a positive GB/h/unit rate".to_string());
+    }
+    if !(synthetic_overhead >= 0.0 && synthetic_overhead.is_finite()) {
+        return Err("--synthetic-overhead must be ≥ 0 hours".to_string());
+    }
+    let evolution = parse_evolution(&flags, "static")?;
+    let scenario = parse_scenario(&flags)?;
+
+    let domain = match flags.get("domain").unwrap_or("sales") {
+        "sales" => {
+            if !(1..=10).contains(&queries) {
+                return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+            }
+            sales_domain(rows, queries, frequency, seed)
+        }
+        "ssb" => {
+            if flags.get("queries").is_some() {
+                return Err(
+                    "--queries does not apply to --domain ssb (fixed 13-query flight workload)"
+                        .to_string(),
+                );
+            }
+            mvcloud::ssb_domain(rows, frequency, seed)
+        }
+        other => return Err(format!("--domain must be sales or ssb, got {other:?}")),
+    };
+    let advisor = Advisor::build(
+        domain,
+        AdvisorConfig {
+            nb_instances: instances,
+            simulated_dataset: Gb::new(scale),
+            ..AdvisorConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let config = CalibrationConfig {
+        epochs,
+        evolution,
+        synthetic: ThroughputModel::calibrated(synthetic_rate, Hours::new(synthetic_overhead)),
+    };
+    let report = advisor
+        .calibrate(scenario, &config)
+        .map_err(|e| e.to_string())?;
+    println!("{}", calibrate_json(&report, scenario));
+    Ok(())
+}
+
+/// Renders a calibration report's reconciliation timeline as JSON
+/// (hand-rendered, like [`horizon_json`]).
+fn calibrate_json(report: &mvcloud::CalibrationReport, scenario: Scenario) -> String {
+    let epochs: Vec<String> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"epoch\":{},\"queries_via_views\":{},\"metered_gb\":{:.6},\
+                 \"measured_bill\":{:.6},\"planned_bill\":{:.6},\"fitted_bill\":{:.6},\
+                 \"synthetic_bill\":{:.6},\"planned_rel_error\":{:.6},\
+                 \"fitted_rel_error\":{:.6},\"synthetic_rel_error\":{:.6}}}",
+                e.epoch,
+                e.queries_via_views,
+                e.metered_gb,
+                e.measured_bill.to_dollars_f64(),
+                e.planned_bill.to_dollars_f64(),
+                e.fitted_bill.to_dollars_f64(),
+                e.synthetic_bill.to_dollars_f64(),
+                e.planned_rel_error,
+                e.fitted_rel_error,
+                e.synthetic_rel_error,
+            )
+        })
+        .collect();
+    let fitted = report.fitted_throughput();
+    format!(
+        "{{\n  \"scenario\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+         \"fitted\":{{\"scan_gb_per_hour_per_unit\":{:.6},\"job_overhead_hours\":{:.6}}},\n  \
+         \"samples\":{},\n  \"holdout_epoch\":{},\n  \
+         \"holdout_fitted_rel_error\":{:.6},\n  \"holdout_synthetic_rel_error\":{:.6},\n  \
+         \"mean_planned_rel_error\":{:.6},\n  \"mean_fitted_rel_error\":{:.6}\n}}",
+        json_str(scenario.label()),
+        epochs.join(",\n"),
+        fitted.scan_gb_per_hour_per_unit,
+        fitted.job_overhead.value(),
+        report.samples,
+        report.holdout_epoch,
+        report.holdout_fitted_rel_error,
+        report.holdout_synthetic_rel_error,
+        report.mean_planned_rel_error,
+        report.mean_fitted_rel_error,
+    )
 }
 
 fn cmd_market(args: &[String]) -> Result<(), String> {
@@ -459,6 +656,9 @@ fn cmd_market(args: &[String]) -> Result<(), String> {
     let decay: f64 = flags.parse_num("decay", 0.0)?;
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
     }
     if epochs == 0 || paths == 0 {
         return Err("--epochs and --paths must be ≥ 1".to_string());
@@ -553,6 +753,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let reserved_rate: f64 = flags.parse_num("reserved-rate", 1.0)?;
     if !(1..=10).contains(&queries) {
         return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
     }
     if epochs == 0 || paths == 0 {
         return Err("--epochs and --paths must be ≥ 1".to_string());
@@ -812,6 +1015,9 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
         .first()
         .ok_or("sql requires a statement argument")?;
     let rows: usize = flags.parse_num("rows", 10_000)?;
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
+    }
     let parsed = parse_query(statement).map_err(|e| e.to_string())?;
     let table = match parsed.table.as_str() {
         "sales" => datagen::generate_sales(&SalesConfig::with_rows(rows)),

@@ -41,6 +41,22 @@ pub enum AdvisorError {
     EmptyHorizon,
     /// A market solve was configured with zero sampled price paths.
     NoMarketPaths,
+    /// The domain's base table has no rows — nothing to meter or scale.
+    EmptyDataset,
+    /// The rented configuration resolves to zero (or negative) compute
+    /// units, so metered work cannot be converted to hours.
+    InvalidComputeUnits {
+        /// The instance configuration name.
+        instance: String,
+    },
+    /// A metric fed to summary statistics was NaN or infinite.
+    NonFiniteMetric {
+        /// Which metric misbehaved.
+        metric: String,
+    },
+    /// Calibration could not fit the throughput law (too few metered
+    /// samples, or no spread in the metered work).
+    CalibrationUnderdetermined,
 }
 
 impl fmt::Display for AdvisorError {
@@ -68,6 +84,20 @@ impl fmt::Display for AdvisorError {
             AdvisorError::NoMarketPaths => {
                 write!(f, "a market solve needs at least one sampled price path")
             }
+            AdvisorError::EmptyDataset => {
+                write!(f, "the base dataset has no rows (need --rows >= 1)")
+            }
+            AdvisorError::InvalidComputeUnits { instance } => write!(
+                f,
+                "instance configuration {instance:?} yields zero compute units (need at least one instance)"
+            ),
+            AdvisorError::NonFiniteMetric { metric } => {
+                write!(f, "metric {metric:?} is NaN or infinite")
+            }
+            AdvisorError::CalibrationUnderdetermined => write!(
+                f,
+                "calibration could not fit the throughput law: too few metered samples or no spread in metered work"
+            ),
         }
     }
 }

@@ -45,6 +45,7 @@
 //! ```
 
 mod advisor;
+pub mod calibrate;
 mod domain;
 mod error;
 pub mod fleet;
@@ -58,6 +59,7 @@ pub use advisor::{
     Advisor, AdvisorConfig, CandidateStrategy, MeasuredCandidate, SizingMode, StreamStrategy,
     StreamingConfig, StreamingReport,
 };
+pub use calibrate::{CalibrationConfig, CalibrationReport, EpochCalibration};
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
 pub use fleet::{FleetComparison, FleetConfig, FleetEpochReport, FleetPathSummary, FleetReport};

@@ -91,11 +91,15 @@ pub struct Quantiles {
 }
 
 impl Quantiles {
-    /// Summarizes `values` (must be non-empty).
+    /// Summarizes `values` (must be non-empty). NaNs are tolerated (they
+    /// order last under IEEE total order, never panic); callers with
+    /// user-supplied inputs should prefer [`Quantiles::checked`], which
+    /// rejects non-finite samples with a typed error instead of letting
+    /// them poison the summary.
     pub fn of(values: &[f64]) -> Quantiles {
         assert!(!values.is_empty(), "quantiles need at least one sample");
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+        sorted.sort_by(f64::total_cmp);
         let rank = |p: f64| -> f64 {
             // Nearest-rank: the smallest value with at least p·K samples
             // at or below it.
@@ -110,6 +114,19 @@ impl Quantiles {
             max: *sorted.last().expect("non-empty"),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         }
+    }
+
+    /// Like [`Quantiles::of`], but surfaces non-finite samples as
+    /// [`AdvisorError::NonFiniteMetric`] (tagged with `metric`) instead
+    /// of summarizing garbage — the entry point for metrics derived from
+    /// user-supplied configuration.
+    pub fn checked(metric: &str, values: &[f64]) -> Result<Quantiles, AdvisorError> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(AdvisorError::NonFiniteMetric {
+                metric: metric.to_string(),
+            });
+        }
+        Ok(Quantiles::of(values))
     }
 
     /// The p90 − p10 spread (0 for a deterministic market).
@@ -327,6 +344,23 @@ impl Advisor {
                     plan: plan.name.clone(),
                     plan_instance: plan.instance.clone(),
                     advisor_instance: self.config().instance.clone(),
+                });
+            }
+        }
+        // A NaN volatility (or similar user-supplied process parameter)
+        // poisons every sampled price; fail up front with the offending
+        // metric named instead of summarizing garbage quantiles later.
+        let probe = config.market.path(0);
+        for q in &probe.quotes {
+            let f = &q.factors;
+            if !(f.compute.is_finite() && f.storage.is_finite() && f.transfer.is_finite()) {
+                return Err(AdvisorError::NonFiniteMetric {
+                    metric: "price factor".to_string(),
+                });
+            }
+            if !q.interruption.is_finite() {
+                return Err(AdvisorError::NonFiniteMetric {
+                    metric: "interruption probability".to_string(),
                 });
             }
         }
@@ -692,6 +726,51 @@ mod tests {
         // At a deep average spot discount the spot market usually beats
         // the (on-demand-anchored) reservation.
         assert!(cmp.saving.median < 0.0);
+    }
+
+    #[test]
+    fn quantiles_tolerate_nan_without_panicking() {
+        // Regression: `Quantiles::of` used to sort with
+        // `partial_cmp(..).expect(..)` and abort on the first NaN.
+        let q = Quantiles::of(&[1.0, f64::NAN, 0.5]);
+        assert_eq!(q.min, 0.5);
+        assert!(q.max.is_nan(), "NaN orders last under total order");
+        // The checked entry point surfaces the problem as a typed error.
+        assert!(matches!(
+            Quantiles::checked("bill", &[1.0, f64::NAN]),
+            Err(AdvisorError::NonFiniteMetric { metric }) if metric == "bill"
+        ));
+        assert!(Quantiles::checked("bill", &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn non_finite_price_inputs_are_typed_errors_not_aborts() {
+        let a = advisor();
+        // A NaN in a user-supplied price trace used to survive until the
+        // quantile sort's `partial_cmp(..).expect(..)` and abort there.
+        let config = MarketConfig {
+            market: MarketScenario::constant(4, 1).with(PriceProcess::Trace(
+                super::PriceTrace::compute(vec![1.0, f64::NAN, 1.0]),
+            )),
+            paths: 4,
+            ..MarketConfig::default()
+        };
+        assert!(matches!(
+            a.solve_market(Scenario::tradeoff_normalized(0.5), &config),
+            Err(AdvisorError::NonFiniteMetric { .. })
+        ));
+        // A NaN volatility is sanitized by the spot sampler itself
+        // (IEEE max drops the NaN at the price floor): no abort, and the
+        // sampled factors stay finite, so the solve succeeds.
+        let nan_vol = MarketConfig {
+            market: MarketScenario::constant(4, 1)
+                .with(PriceProcess::Spot(SpotMarket::with_volatility(f64::NAN))),
+            paths: 2,
+            ..MarketConfig::default()
+        };
+        assert!(a
+            .solve_market(Scenario::tradeoff_normalized(0.5), &nan_vol)
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Exit-code contract for `mvcloud-cli`: user-reachable bad arguments
+//! must exit nonzero with an `error:` diagnostic on stderr — never a
+//! panic/abort — and a well-formed invocation must exit zero.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mvcloud-cli"))
+        .args(args)
+        .output()
+        .expect("spawn mvcloud-cli")
+}
+
+/// Asserts a clean, typed CLI failure: status 1, a human diagnostic on
+/// stderr, and no panic backtrace anywhere.
+fn assert_clean_error(args: &[&str]) {
+    let out = run(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{args:?} should exit 1, got {:?} (stderr: {stderr})",
+        out.status
+    );
+    assert!(
+        stderr.starts_with("error:"),
+        "{args:?} stderr should be an `error:` diagnostic, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} must not panic: {stderr}"
+    );
+}
+
+#[test]
+fn bad_arguments_are_clean_errors_not_panics() {
+    // Zero-sized inputs that used to be reachable panics deeper in the
+    // pipeline are now flag errors at the edge.
+    assert_clean_error(&["advise", "--rows", "0", "--alpha", "0.5"]);
+    assert_clean_error(&["advise", "--instances", "0", "--alpha", "0.5"]);
+    assert_clean_error(&["horizon", "--period", "0", "--alpha", "0.5"]);
+    assert_clean_error(&["market", "--rows", "0", "--alpha", "0.5"]);
+    assert_clean_error(&["sql", "SELECT sum(profit) FROM sales", "--rows", "0"]);
+    assert_clean_error(&["calibrate", "--rows", "0", "--alpha", "0.5"]);
+    assert_clean_error(&["calibrate", "--epochs", "1", "--alpha", "0.5"]);
+    // Typos and contradictions fail loudly instead of falling back.
+    assert_clean_error(&["advise", "--bogus", "1", "--alpha", "0.5"]);
+    assert_clean_error(&["advise", "--alpha", "2.0"]);
+    assert_clean_error(&["advise"]);
+    assert_clean_error(&["frobnicate"]);
+}
+
+#[test]
+fn advise_succeeds_on_a_small_workload() {
+    let out = run(&[
+        "advise",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--alpha",
+        "0.5",
+    ]);
+    assert!(out.status.success(), "advise should exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected"), "summary output: {stdout}");
+}
+
+#[test]
+fn calibrate_emits_a_reconciliation_report() {
+    let out = run(&[
+        "calibrate",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--epochs",
+        "2",
+        "--alpha",
+        "0.5",
+    ]);
+    assert!(out.status.success(), "calibrate should exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for field in [
+        "\"holdout_fitted_rel_error\"",
+        "\"holdout_synthetic_rel_error\"",
+        "\"fitted\"",
+        "\"measured_bill\"",
+    ] {
+        assert!(stdout.contains(field), "missing {field} in: {stdout}");
+    }
+}

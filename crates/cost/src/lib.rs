@@ -37,6 +37,7 @@
 
 mod answers;
 mod breakdown;
+mod fit;
 mod model;
 mod params;
 mod risk;
@@ -44,6 +45,7 @@ mod selection;
 
 pub use answers::AnswerProfile;
 pub use breakdown::CostBreakdown;
+pub use fit::{CalibratedParams, LinearFit, MeterSample, WorkKind};
 pub use model::CloudCostModel;
 pub use mv_pricing::Placement;
 pub use params::{CostContext, QueryCharge, ViewCharge};

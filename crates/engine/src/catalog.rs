@@ -74,6 +74,23 @@ impl ViewCatalog {
         self.views.read().is_empty()
     }
 
+    /// Incrementally refreshes every registered view with one insert
+    /// batch, in registration order, returning each view's metered
+    /// refresh work. Views are copy-on-write (`Arc::make_mut`), so
+    /// readers holding a pre-refresh `Arc` keep a consistent snapshot.
+    pub fn refresh_incremental_all(
+        &self,
+        delta: &Table,
+    ) -> Result<Vec<(String, ExecStats)>, EngineError> {
+        let mut views = self.views.write();
+        let mut metered = Vec::with_capacity(views.len());
+        for (name, view) in views.iter_mut() {
+            let stats = Arc::make_mut(view).refresh_incremental(delta)?;
+            metered.push((name.clone(), stats));
+        }
+        Ok(metered)
+    }
+
     /// The smallest registered view able to answer `query`, if any —
     /// smallest by stored row count, which minimises the scan and therefore
     /// the simulated processing time.

@@ -55,6 +55,10 @@ pub enum EngineError {
     NoAggregates,
     /// The maintenance delta's schema differs from the base table's.
     SchemaMismatch,
+    /// A throughput conversion was asked to divide work across zero (or
+    /// negative, or NaN) compute units — reachable from user-supplied
+    /// instance counts, so it is an error, not an invariant.
+    NonPositiveComputeUnits,
 }
 
 impl fmt::Display for EngineError {
@@ -89,6 +93,9 @@ impl fmt::Display for EngineError {
             EngineError::NoAggregates => write!(f, "query must request at least one aggregate"),
             EngineError::SchemaMismatch => {
                 write!(f, "delta schema does not match the base table schema")
+            }
+            EngineError::NonPositiveComputeUnits => {
+                write!(f, "compute units must be positive")
             }
         }
     }

@@ -8,6 +8,26 @@
 //! ([`ExecStats`]); a [`ThroughputModel`] turns work into deterministic
 //! simulated cluster-hours for the cost models (see `crates/cost`).
 //!
+//! ## Module map — the replay/metering path
+//!
+//! The calibration loop (`mvcloud::calibrate`) drives these modules, in
+//! order:
+//!
+//! * [`ssb`] / [`datagen`] — generate the fact table the replay runs on;
+//! * [`query`](AggQuery) — the roll-up query class, executed with full
+//!   per-operator metering;
+//! * [`view`](MaterializedView) — materialize candidates (build work is
+//!   metered) and answer queries from them;
+//! * [`catalog`](ViewCatalog) — best-view routing with base-table
+//!   fallback, plus [`ViewCatalog::refresh_incremental_all`] for
+//!   epoch-boundary maintenance;
+//! * [`replay`](ReplayDriver) — the epoch driver: apply a plan's view
+//!   transitions, run the query stream, refresh, and return the metered
+//!   [`EpochReplay`];
+//! * [`metering`](ThroughputModel) — convert metered bytes into
+//!   simulated cluster-hours ([`SimScale`] maps engine bytes to cloud
+//!   gigabytes).
+//!
 //! ```
 //! use mv_engine::{
 //!     datagen, AggQuery, AggSpec, MaterializedView, SalesConfig, ViewDefinition,
@@ -42,6 +62,7 @@ mod maintenance;
 mod metering;
 mod predicate;
 mod query;
+pub mod replay;
 mod schema;
 pub mod sql;
 pub mod ssb;
@@ -60,6 +81,7 @@ pub use maintenance::RefreshStrategy;
 pub use metering::{ExecStats, SimScale, ThroughputModel};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{AggQuery, QueryShape};
+pub use replay::{EpochReplay, QueryExecution, ReplayDriver};
 pub use schema::{DataType, Field, Schema};
 pub use sql::{parse_query, ParsedQuery, SqlError};
 pub use ssb::SsbConfig;

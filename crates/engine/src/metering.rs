@@ -18,6 +18,8 @@
 use mv_units::{Gb, Hours};
 use serde::{Deserialize, Serialize};
 
+use crate::EngineError;
+
 /// Work performed by one operator or query execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
@@ -117,21 +119,36 @@ impl Default for ThroughputModel {
 }
 
 impl ThroughputModel {
+    /// A model with explicitly fitted parameters — the constructor the
+    /// calibration loop uses once it has recovered the scan rate and job
+    /// overhead from metered samples (`mvcloud::calibrate`).
+    pub fn calibrated(scan_gb_per_hour_per_unit: f64, job_overhead: Hours) -> Self {
+        ThroughputModel {
+            scan_gb_per_hour_per_unit,
+            job_overhead,
+        }
+    }
+
     /// Simulated duration of a job that performed `stats` worth of work on
     /// `compute_units` total capacity (instance units × instance count),
-    /// with engine bytes scaled through `scale`.
-    pub fn hours_for(&self, stats: &ExecStats, compute_units: f64, scale: SimScale) -> Hours {
-        assert!(compute_units > 0.0, "compute units must be positive");
-        let gb = scale.bytes_to_cloud(stats.bytes_scanned);
-        self.job_overhead
-            + Hours::new(gb.value() / (self.scan_gb_per_hour_per_unit * compute_units))
+    /// with engine bytes scaled through `scale`. Non-positive (or NaN)
+    /// capacity is user input, not an invariant — it is a typed error.
+    pub fn hours_for(
+        &self,
+        stats: &ExecStats,
+        compute_units: f64,
+        scale: SimScale,
+    ) -> Result<Hours, EngineError> {
+        self.hours_for_scan(scale.bytes_to_cloud(stats.bytes_scanned), compute_units)
     }
 
     /// Simulated duration of scanning `cloud_gb` directly (no stats record).
-    pub fn hours_for_scan(&self, cloud_gb: Gb, compute_units: f64) -> Hours {
-        assert!(compute_units > 0.0, "compute units must be positive");
-        self.job_overhead
-            + Hours::new(cloud_gb.value() / (self.scan_gb_per_hour_per_unit * compute_units))
+    pub fn hours_for_scan(&self, cloud_gb: Gb, compute_units: f64) -> Result<Hours, EngineError> {
+        if compute_units.is_nan() || compute_units <= 0.0 {
+            return Err(EngineError::NonPositiveComputeUnits);
+        }
+        Ok(self.job_overhead
+            + Hours::new(cloud_gb.value() / (self.scan_gb_per_hour_per_unit * compute_units)))
     }
 }
 
@@ -167,31 +184,40 @@ mod tests {
     fn default_model_matches_paper_q1() {
         // Full scan of 10 GB on two small instances ≈ 0.2 h.
         let m = ThroughputModel::default();
-        let t = m.hours_for_scan(Gb::new(10.0), 2.0);
+        let t = m.hours_for_scan(Gb::new(10.0), 2.0).unwrap();
         assert!((t.value() - 0.21).abs() < 1e-9, "got {t:?}");
     }
 
     #[test]
     fn hours_scale_with_units_and_bytes() {
-        let m = ThroughputModel {
-            scan_gb_per_hour_per_unit: 10.0,
-            job_overhead: Hours::ZERO,
-        };
+        let m = ThroughputModel::calibrated(10.0, Hours::ZERO);
         let stats = ExecStats {
             bytes_scanned: 10 << 30,
             ..ExecStats::default()
         };
-        assert_eq!(m.hours_for(&stats, 1.0, SimScale::identity()).value(), 1.0);
-        assert_eq!(m.hours_for(&stats, 2.0, SimScale::identity()).value(), 0.5);
-        assert_eq!(
-            m.hours_for(&stats, 1.0, SimScale { factor: 2.0 }).value(),
-            2.0
-        );
+        let hours =
+            |units: f64, scale: SimScale| m.hours_for(&stats, units, scale).unwrap().value();
+        assert_eq!(hours(1.0, SimScale::identity()), 1.0);
+        assert_eq!(hours(2.0, SimScale::identity()), 0.5);
+        assert_eq!(hours(1.0, SimScale { factor: 2.0 }), 2.0);
     }
 
     #[test]
-    #[should_panic(expected = "compute units must be positive")]
-    fn zero_units_panics() {
-        ThroughputModel::default().hours_for_scan(Gb::new(1.0), 0.0);
+    fn non_positive_units_are_a_typed_error() {
+        // User-reachable input (instance counts, custom catalogs) must
+        // surface as an error, never a panic.
+        let m = ThroughputModel::default();
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert_eq!(
+                m.hours_for_scan(Gb::new(1.0), bad),
+                Err(EngineError::NonPositiveComputeUnits),
+                "units = {bad}"
+            );
+            assert_eq!(
+                m.hours_for(&ExecStats::default(), bad, SimScale::identity()),
+                Err(EngineError::NonPositiveComputeUnits),
+                "units = {bad}"
+            );
+        }
     }
 }

@@ -39,4 +39,4 @@ pub use hierarchy::{Dimension, Level};
 pub use lattice::Lattice;
 pub use scale::{ScaleShape, SparseCoverage};
 pub use stream::CandidateStream;
-pub use workload::{paper_workload, LatticeQuery, LatticeWorkload};
+pub use workload::{paper_workload, LatticeQuery, LatticeWorkload, LoweredQuery};

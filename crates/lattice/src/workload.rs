@@ -65,6 +65,38 @@ impl LatticeWorkload {
             queries: self.queries.iter().take(n).cloned().collect(),
         }
     }
+
+    /// Lowers the workload to engine-executable roll-up descriptions:
+    /// each lattice-level query becomes its concrete group-by column
+    /// set (the cuboid's key columns under `lattice`'s hierarchy
+    /// encoding). This is the ONE place workload cuboids turn into
+    /// group-by keys — the advisor's measurement pipeline and the
+    /// calibration replay both lower through it, so they are guaranteed
+    /// to execute the same queries.
+    pub fn lower(&self, lattice: &Lattice) -> Vec<LoweredQuery> {
+        self.queries
+            .iter()
+            .map(|q| LoweredQuery {
+                name: q.name.clone(),
+                group_by: lattice.key_columns(&q.cuboid),
+                frequency: q.frequency,
+            })
+            .collect()
+    }
+}
+
+/// A workload query lowered to its executable shape: a named group-by
+/// over concrete columns, with its per-period frequency. Engine-agnostic
+/// on purpose — the lattice crate does not depend on the engine; callers
+/// turn this into an `AggQuery` by adding the measure aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredQuery {
+    /// Query identifier.
+    pub name: String,
+    /// The concrete group-by key (hierarchy prefix columns).
+    pub group_by: Vec<String>,
+    /// Executions per billing period.
+    pub frequency: f64,
 }
 
 /// The paper's 10-query workload over the running-example lattice, ordered

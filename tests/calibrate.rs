@@ -1,0 +1,95 @@
+//! Calibration-loop acceptance: the default throughput law reproduces
+//! the paper's timing anchors, and parameters fitted from engine-metered
+//! samples generalize to a held-out epoch better than the synthetic
+//! spec-sheet prior they replace.
+
+use mvcloud::engine::ThroughputModel;
+use mvcloud::lattice::WorkloadEvolution;
+use mvcloud::units::{Gb, Money};
+use mvcloud::{ssb_domain, Advisor, AdvisorConfig, CalibrationConfig, Scenario};
+
+/// Paper §6: Q1 over the 10 GB dataset on two small instances (2 ECU)
+/// takes ≈ 0.2 h on the reference Hadoop cluster.
+#[test]
+fn default_throughput_reproduces_the_q1_anchor() {
+    let t = ThroughputModel::default();
+    let q1 = t.hours_for_scan(Gb::new(10.0), 2.0).unwrap();
+    assert!(
+        (q1.value() - 0.2).abs() < 0.05,
+        "Q1 anchor: got {} h, want ≈ 0.2 h",
+        q1.value()
+    );
+}
+
+/// Paper §6: the five-query workload over the 500 GB running example
+/// lands near 50 cluster-hours when every query scans the full dataset.
+#[test]
+fn default_throughput_reproduces_the_workload_anchor() {
+    let t = ThroughputModel::default();
+    let full_scan = t.hours_for_scan(Gb::new(500.0), 2.0).unwrap();
+    let workload = full_scan.value() * 5.0;
+    assert!(
+        (45.0..55.0).contains(&workload),
+        "workload anchor: got {workload} h, want ≈ 50 h"
+    );
+}
+
+/// The acceptance bar for the calibration loop: parameters fitted from
+/// the engine-metered epochs predict the held-out SSB epoch's metered
+/// bill strictly better than the mis-specified synthetic defaults.
+///
+/// The 500 GB simulated scale matters: at the paper's 10 GB evaluation
+/// scale, per-record compute-hour rounding collapses the fitted and
+/// synthetic bills to the same invoice and the comparison is vacuous.
+#[test]
+fn fitted_parameters_beat_synthetic_defaults_on_held_out_ssb_epoch() {
+    let advisor = Advisor::build(
+        ssb_domain(2_000, 1.0, 7),
+        AdvisorConfig {
+            simulated_dataset: Gb::new(500.0),
+            ..AdvisorConfig::default()
+        },
+    )
+    .unwrap();
+    let config = CalibrationConfig {
+        epochs: 3,
+        // Drifting frequencies: the held-out epoch reweights the
+        // workload, so beating the prior requires the fitted *law* to
+        // generalize, not just memorize one epoch's mix.
+        evolution: WorkloadEvolution::drift(0.2),
+        ..CalibrationConfig::default()
+    };
+    let report = advisor
+        .calibrate(Scenario::tradeoff_normalized(0.5), &config)
+        .unwrap();
+
+    assert_eq!(report.epochs.len(), 3);
+    assert_eq!(report.holdout_epoch, 2);
+    assert!(report.samples > 0);
+    for e in &report.epochs {
+        assert!(e.measured_bill > Money::ZERO, "epoch {} unbilled", e.epoch);
+        assert!(e.metered_gb > 0.0, "epoch {} metered nothing", e.epoch);
+        assert!(e.fitted_rel_error.is_finite());
+        assert!(e.synthetic_rel_error.is_finite());
+    }
+    assert!(
+        report.holdout_fitted_rel_error < report.holdout_synthetic_rel_error,
+        "fitted {} must beat synthetic {} on the held-out epoch",
+        report.holdout_fitted_rel_error,
+        report.holdout_synthetic_rel_error
+    );
+    assert!(
+        report.holdout_fitted_rel_error < 0.05,
+        "fitted held-out error {} should be small",
+        report.holdout_fitted_rel_error
+    );
+    // The fit recovers the reference oracle's scan law.
+    let fitted = report.fitted_throughput();
+    let oracle = ThroughputModel::default();
+    assert!(
+        (fitted.scan_gb_per_hour_per_unit - oracle.scan_gb_per_hour_per_unit).abs() < 1.0,
+        "fitted rate {} vs oracle {}",
+        fitted.scan_gb_per_hour_per_unit,
+        oracle.scan_gb_per_hour_per_unit
+    );
+}
