@@ -23,7 +23,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mv_select::epoch::EpochChain;
+use mv_select::epoch::{EpochChain, EpochTree, EpochTreeNode};
 use mv_select::{IncrementalEvaluator, Placement, Scenario, SelectionProblem, SelectionSet};
 use mvcloud::cost::{InterruptionRisk, PoolCharge};
 use mvcloud::market::{CorrelatedHazard, MarketScenario, PriceProcess, SpotMarket};
@@ -33,6 +33,9 @@ use mvcloud::ViewCharge;
 const CANDIDATES: usize = mv_bench::shapes::HOT_CANDIDATES;
 const EPOCHS: usize = 8;
 const PATHS: usize = 8;
+
+/// The scenario-tree sweep width (the tentpole's acceptance shape).
+const TREE_PATHS: usize = 32;
 
 /// A volatile discounted spot market with a bursty crunch regime.
 fn crunchy_market(seed: u64) -> MarketScenario {
@@ -80,7 +83,7 @@ fn bench_placement_flip_probe(c: &mut Criterion) {
                 .map(|(k, v)| if k == 4 { placed(v, target) } else { v.clone() })
                 .collect();
             let p = SelectionProblem::new(problem.model().clone(), charged);
-            let ev = IncrementalEvaluator::with_selection(&p, &selection);
+            let mut ev = IncrementalEvaluator::with_selection(&p, &selection);
             black_box(ev.snapshot().time.value())
         })
     });
@@ -190,9 +193,140 @@ fn bench_k_path_hedged_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tree vs flat at K = 32 for the hedged *joint* solve: the flat sweep
+/// pays one evaluator build (greedy fill) plus 7 warm transitions per
+/// path; the scenario tree pays one build per root, one transition per
+/// tree edge and a cheap fork per extra sibling — the correlated crunch
+/// regime is discrete, so sampled paths share long quote prefixes and
+/// the tree is much smaller than K × epochs. Identical outcomes are
+/// asserted before timing.
+fn bench_scenario_tree_vs_flat(c: &mut Criterion) {
+    let problem = mv_bench::shapes::hot_problem(59);
+    let market = crunchy_market(101);
+    let sampled: Vec<mvcloud::market::MarketPath> =
+        (0..TREE_PATHS).map(|j| market.path(j)).collect();
+    let base = problem.model().context();
+    let compile = |q: &mvcloud::market::EpochQuote| -> mvcloud::CloudCostModel {
+        let mut ctx = base.clone();
+        ctx.pricing = q.reprice(&base.pricing);
+        ctx.instance = ctx
+            .pricing
+            .compute
+            .instance(&base.instance.name)
+            .expect("bench instance is in the catalog")
+            .clone();
+        mvcloud::CloudCostModel::new(ctx)
+    };
+    let pool_of = |q: &mvcloud::market::EpochQuote| -> (f64, InterruptionRisk) {
+        (
+            1.0 / q.factors.compute,
+            InterruptionRisk::new(q.interruption),
+        )
+    };
+
+    // Flat reference: one chain + per-epoch pool terms per path.
+    let flat: Vec<(EpochChain, Vec<(f64, InterruptionRisk)>)> = sampled
+        .iter()
+        .map(|p| {
+            (
+                EpochChain::new(
+                    p.quotes.iter().map(&compile).collect(),
+                    problem.candidates().to_vec(),
+                ),
+                p.quotes.iter().map(&pool_of).collect(),
+            )
+        })
+        .collect();
+
+    // Tree route: one model + pool terms per *node*.
+    let stree = mvcloud::market::ScenarioTree::from_paths(&sampled);
+    assert!(
+        stree.len() < TREE_PATHS * EPOCHS,
+        "fixture must actually share prefixes"
+    );
+    let nodes: Vec<EpochTreeNode> = stree
+        .nodes()
+        .iter()
+        .map(|n| EpochTreeNode {
+            parent: n.parent,
+            epoch: n.epoch,
+            model: compile(&n.quote),
+        })
+        .collect();
+    let node_pools: Vec<(f64, InterruptionRisk)> =
+        stree.nodes().iter().map(|n| pool_of(&n.quote)).collect();
+    let leaves: Vec<usize> = (0..TREE_PATHS).map(|j| stree.leaf_of(j)).collect();
+    let tree = EpochTree::new(nodes, leaves);
+    let chain = EpochChain::new(
+        vec![problem.model().clone(); EPOCHS],
+        problem.candidates().to_vec(),
+    );
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let budget = 2 * CANDIDATES + 8;
+    let initial = vec![Placement::Spot; CANDIDATES];
+    fn pool_reprice(
+        pools: &[(f64, InterruptionRisk)],
+    ) -> impl Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge + '_ {
+        move |i: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            let (reserved_rate, risk) = pools[i];
+            match p {
+                Placement::Spot => risk.adjust(c),
+                Placement::Reserved => {
+                    PoolCharge::new(reserved_rate, 1.0, InterruptionRisk::NONE).adjust(c)
+                }
+            }
+        }
+    }
+
+    // Sanity: tree and flat must agree before we time them.
+    let tree_reprice = pool_reprice(&node_pools);
+    let tree_steps =
+        chain.solve_tree_fleet_bounded(scenario, budget, &tree, &initial, true, &tree_reprice);
+    for (j, (fchain, pools)) in flat.iter().enumerate() {
+        let reprice = pool_reprice(pools);
+        let warm = fchain.solve_fleet_bounded(scenario, budget, &initial, true, &reprice);
+        for (t, w) in tree_steps[j].iter().zip(&warm) {
+            assert_eq!(t.outcome.evaluation, w.outcome.evaluation);
+        }
+    }
+
+    let mut group = c.benchmark_group(format!(
+        "fleet/scenario_tree_k{TREE_PATHS}_e{EPOCHS}_n{CANDIDATES}"
+    ));
+    group.bench_function(BenchmarkId::from_parameter("flat_per_path"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (fchain, pools) in &flat {
+                let reprice = pool_reprice(pools);
+                total += fchain
+                    .solve_fleet_bounded(scenario, budget, &initial, true, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("shared_prefix_tree"), |b| {
+        b.iter(|| {
+            black_box(
+                chain
+                    .solve_tree_fleet_bounded(
+                        scenario,
+                        budget,
+                        &tree,
+                        &initial,
+                        true,
+                        &tree_reprice,
+                    )
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = mv_bench::shapes::fast_config();
-    targets = bench_placement_flip_probe, bench_k_path_hedged_sweep
+    targets = bench_placement_flip_probe, bench_k_path_hedged_sweep, bench_scenario_tree_vs_flat
 }
 criterion_main!(benches);

@@ -64,7 +64,7 @@ fn bench_epoch_transition(c: &mut Criterion) {
                 charged[k] = pool[k].carried();
             }
             let p = SelectionProblem::new(model.clone(), charged);
-            let ev = IncrementalEvaluator::with_selection(&p, &selection);
+            let mut ev = IncrementalEvaluator::with_selection(&p, &selection);
             black_box(ev.snapshot().time.value())
         })
     });

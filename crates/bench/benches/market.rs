@@ -24,16 +24,19 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mv_select::epoch::EpochChain;
+use mv_select::epoch::{EpochChain, EpochTree, EpochTreeNode};
 use mv_select::{IncrementalEvaluator, Scenario, SelectionProblem, SelectionSet};
 use mvcloud::cost::InterruptionRisk;
-use mvcloud::market::{MarketPath, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::market::{MarketPath, MarketScenario, PriceProcess, ScenarioTree, SpotMarket};
 use mvcloud::{CloudCostModel, ViewCharge};
 
 /// The streaming/churn hot-path shape (shared: `mv_bench::shapes`).
 const CANDIDATES: usize = mv_bench::shapes::HOT_CANDIDATES;
 const EPOCHS: usize = 8;
 const PATHS: usize = 8;
+
+/// The scenario-tree sweep width (the tentpole's acceptance shape).
+const TREE_PATHS: usize = 32;
 
 /// A volatile discounted spot market over the bench horizon.
 fn spot_market(seed: u64) -> MarketScenario {
@@ -107,7 +110,7 @@ fn bench_price_drift_handoff(c: &mut Criterion) {
                 })
                 .collect();
             let p = SelectionProblem::new(model.clone(), charged);
-            let ev = IncrementalEvaluator::with_selection(&p, &selection);
+            let mut ev = IncrementalEvaluator::with_selection(&p, &selection);
             black_box(ev.snapshot().time.value())
         })
     });
@@ -197,9 +200,111 @@ fn bench_k_path_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tree vs flat at K = 32: the tentpole's acceptance shape. The flat
+/// sweep solves every path as its own chain — 32 evaluator builds (one
+/// greedy fill each) plus 32 × 7 retargets. The scenario tree factors
+/// the sampled paths into a prefix forest (the spot process pins epoch
+/// 0, so all 32 share one root) and solves each *node* once: 1 build,
+/// one retarget per edge, a cheap fork per extra sibling. Identical
+/// outcomes are asserted before timing.
+fn bench_scenario_tree_vs_flat(c: &mut Criterion) {
+    let problem = mv_bench::shapes::hot_problem(61);
+    let market = spot_market(17);
+    let sampled: Vec<MarketPath> = (0..TREE_PATHS).map(|j| market.path(j)).collect();
+
+    // Flat reference: one chain + per-epoch risks per path.
+    let flat: Vec<(EpochChain, Vec<InterruptionRisk>)> = sampled
+        .iter()
+        .map(|p| {
+            let (models, risks) = compile_path(&problem, p);
+            (
+                EpochChain::new(models, problem.candidates().to_vec()),
+                risks,
+            )
+        })
+        .collect();
+
+    // Tree route: one repriced model + risk per *node*.
+    let stree = ScenarioTree::from_paths(&sampled);
+    assert!(
+        stree.len() < TREE_PATHS * EPOCHS,
+        "fixture must actually share prefixes"
+    );
+    let base = problem.model().context();
+    let nodes: Vec<EpochTreeNode> = stree
+        .nodes()
+        .iter()
+        .map(|n| {
+            let mut ctx = base.clone();
+            ctx.pricing = n.quote.reprice(&base.pricing);
+            ctx.instance = ctx
+                .pricing
+                .compute
+                .instance(&base.instance.name)
+                .expect("bench instance is in the catalog")
+                .clone();
+            EpochTreeNode {
+                parent: n.parent,
+                epoch: n.epoch,
+                model: CloudCostModel::new(ctx),
+            }
+        })
+        .collect();
+    let node_risks: Vec<InterruptionRisk> = stree
+        .nodes()
+        .iter()
+        .map(|n| InterruptionRisk::new(n.quote.interruption))
+        .collect();
+    let leaves: Vec<usize> = (0..TREE_PATHS).map(|j| stree.leaf_of(j)).collect();
+    let tree = EpochTree::new(nodes, leaves);
+    let chain = EpochChain::new(
+        vec![problem.model().clone(); EPOCHS],
+        problem.candidates().to_vec(),
+    );
+    let scenario = Scenario::tradeoff_normalized(0.5);
+    let budget = 2 * CANDIDATES + 8;
+
+    // Sanity: tree and flat must price identically before we time them.
+    let tree_reprice = |node: usize, _k: usize, v: &ViewCharge| node_risks[node].adjust(v);
+    let tree_steps = chain.solve_tree_bounded(scenario, budget, &tree, &tree_reprice);
+    for (j, (fchain, risks)) in flat.iter().enumerate() {
+        let reprice = |e: usize, _k: usize, v: &ViewCharge| risks[e].adjust(v);
+        let warm = fchain.solve_repriced_bounded(scenario, budget, &reprice);
+        for (t, w) in tree_steps[j].iter().zip(&warm) {
+            assert_eq!(t.outcome.evaluation, w.outcome.evaluation);
+        }
+    }
+
+    let mut group = c.benchmark_group(format!(
+        "market/scenario_tree_k{TREE_PATHS}_e{EPOCHS}_n{CANDIDATES}"
+    ));
+    group.bench_function(BenchmarkId::from_parameter("flat_per_path"), |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (fchain, risks) in &flat {
+                let reprice = |e: usize, _k: usize, v: &ViewCharge| risks[e].adjust(v);
+                total += fchain
+                    .solve_repriced_bounded(scenario, budget, &reprice)
+                    .len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("shared_prefix_tree"), |b| {
+        b.iter(|| {
+            black_box(
+                chain
+                    .solve_tree_bounded(scenario, budget, &tree, &tree_reprice)
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = mv_bench::shapes::fast_config();
-    targets = bench_price_drift_handoff, bench_k_path_sweep
+    targets = bench_price_drift_handoff, bench_k_path_sweep, bench_scenario_tree_vs_flat
 }
 criterion_main!(benches);

@@ -82,6 +82,53 @@ fn bench_probe(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dirty-delta snapshot against the full fold it replaced: after
+/// one flip, `snapshot()` folds only the O(deg) dirty blocks while
+/// `snapshot_cold()` re-marks everything and pays the full O(n + m)
+/// pass. At n = 2 000 / m = 50 000 the delta case must be measurably
+/// faster — that gap is the dirty-tracking payoff every tree-node
+/// probe compounds on.
+fn bench_snapshot_delta(c: &mut Criterion) {
+    let problem = shapes::scale_problem(&shapes::scale_shape());
+    let (n, m) = (problem.len(), problem.model().context().workload.len());
+    let probes: Vec<usize> = (0..n).filter(|k| k % 7 != 0).collect();
+    let mut group = c.benchmark_group(format!("scale/snapshot_delta_n{n}_m{m}"));
+
+    group.bench_function(BenchmarkId::from_parameter("dirty_delta"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        for k in (0..n).step_by(7) {
+            ev.flip(k);
+        }
+        ev.snapshot();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            let k = probes[i];
+            ev.flip(k);
+            let t = ev.snapshot().time.value();
+            ev.unflip(k);
+            black_box(t)
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("cold_full_fold"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        for k in (0..n).step_by(7) {
+            ev.flip(k);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            let k = probes[i];
+            ev.flip(k);
+            let t = ev.snapshot_cold().time.value();
+            ev.unflip(k);
+            black_box(t)
+        })
+    });
+    group.finish();
+}
+
 fn bench_churn(c: &mut Criterion) {
     let problem = shapes::scale_problem(&shapes::scale_shape());
     let n = problem.len();
@@ -134,6 +181,6 @@ fn bench_solve(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = mv_bench::shapes::fast_config_samples(10);
-    targets = bench_probe, bench_churn, bench_solve
+    targets = bench_probe, bench_snapshot_delta, bench_churn, bench_solve
 }
 criterion_main!(benches);

@@ -88,12 +88,12 @@ fn print_usage() {
            mvcloud-cli market [--epochs N] [--paths K] [--seed S] [--volatility V]\n\
                               [--spot-mean M] [--bid B] [--cut-epoch E] [--cut-factor F]\n\
                               [--decay R] [--queries N] [--rows N] [--commitment]\n\
-                              (--budget X | --time-limit H | --alpha A)\n\
+                              [--flat] (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli fleet [--epochs N] [--paths K] [--seed S] [--spot-mean M]\n\
                              [--volatility V] [--crunch-share S] [--persistence R]\n\
                              [--crunch-hazard H] [--crunch-factor F] [--reserved-rate R]\n\
                              [--pin spot|reserved] [--queries N] [--rows N]\n\
-                             [--commitment] [--no-compare]\n\
+                             [--commitment] [--no-compare] [--flat]\n\
                              (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli calibrate [--domain sales|ssb] [--queries N] [--rows N]\n\
                                  [--frequency F] [--seed S] [--epochs N] [--scale GB]\n\
@@ -143,6 +143,8 @@ fn print_usage() {
            --cut-factor F   the cut's compute factor             [default 0.8]\n\
            --decay R        linear storage-rate decline/epoch    [default 0]\n\
            --commitment     price each path vs a reservation\n\
+           --flat           solve each path as its own chain instead of\n\
+                            the shared-prefix scenario tree (reference loop)\n\
          emits the per-epoch quantile timeline as JSON\n\
          \n\
          fleet flags (plus advise's workload/scenario flags):\n\
@@ -159,6 +161,8 @@ fn print_usage() {
            --pin P           pin every view: spot|reserved (pure fleet)\n\
            --commitment      price the reserved pool's reservation\n\
            --no-compare      skip the pure-spot/pure-reserved comparison\n\
+           --flat            solve each path as its own chain instead of\n\
+                             the shared-prefix scenario tree (reference loop)\n\
          emits the per-epoch hedge/quantile timeline as JSON\n\
          \n\
          calibrate flags (plus the scenario flags):\n\
@@ -624,6 +628,7 @@ fn cmd_market(args: &[String]) -> Result<(), String> {
 
     let mut args: Vec<String> = args.to_vec();
     let commitment_flag = extract_switch(&mut args, "--commitment");
+    let flat = extract_switch(&mut args, "--flat");
     let flags = parse_flags(&args)?;
     flags.expect_known(
         &[
@@ -700,6 +705,7 @@ fn cmd_market(args: &[String]) -> Result<(), String> {
         market,
         paths,
         commitment: commitment_flag.then(CommitmentPlan::aws_small_1yr),
+        flat,
         ..MarketConfig::default()
     };
     let report = advisor
@@ -717,6 +723,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let mut args: Vec<String> = args.to_vec();
     let commitment_flag = extract_switch(&mut args, "--commitment");
     let no_compare = extract_switch(&mut args, "--no-compare");
+    let flat = extract_switch(&mut args, "--flat");
     let flags = parse_flags(&args)?;
     flags.expect_known(
         &[
@@ -799,6 +806,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         paths,
         fleet,
         compare_pure: !no_compare,
+        flat,
         ..FleetConfig::default()
     };
     let report = advisor
@@ -867,12 +875,17 @@ fn fleet_json(report: &mvcloud::FleetReport, scenario: Scenario, paths: usize) -
     };
     let moves: usize = report.paths.iter().map(|p| p.moves).sum();
     format!(
-        "{{\n  \"scenario\":{},\n  \"fleet\":{},\n  \"paths\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+        "{{\n  \"scenario\":{},\n  \"fleet\":{},\n  \"paths\":{},\n  \
+         \"distinct_solves\":{},\n  \"tree_nodes\":{},\n  \"epochs\":[\n{}\n  ],\n  \
          \"total_cost\":{},\n  \"hedge_ratio\":{},\n  \"plan_stability\":{:.4},\n  \
          \"placement_moves_per_path\":{:.2},\n  \"comparison\":{},\n  \"commitment\":{}\n}}",
         json_str(scenario.label()),
         json_str(&report.fleet),
         paths,
+        report.distinct_solves,
+        report
+            .tree_nodes
+            .map_or("null".to_string(), |n| n.to_string()),
         epochs.join(",\n"),
         q(&report.total_cost),
         q(&report.hedge_ratio),
@@ -921,11 +934,16 @@ fn market_json(report: &mvcloud::MarketReport, scenario: Scenario, paths: usize)
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"scenario\":{},\n  \"paths\":{},\n  \"epochs\":[\n{}\n  ],\n  \
+        "{{\n  \"scenario\":{},\n  \"paths\":{},\n  \
+         \"distinct_solves\":{},\n  \"tree_nodes\":{},\n  \"epochs\":[\n{}\n  ],\n  \
          \"total_cost\":{},\n  \"total_time_hours\":{},\n  \
          \"plan_stability\":{:.4},\n  \"commitment\":{}\n}}",
         json_str(scenario.label()),
         paths,
+        report.distinct_solves,
+        report
+            .tree_nodes
+            .map_or("null".to_string(), |n| n.to_string()),
         epochs.join(",\n"),
         q(&report.total_cost),
         q(&report.total_time_hours),

@@ -41,15 +41,15 @@ use std::collections::HashMap;
 
 use mv_cost::{CloudCostModel, InterruptionRisk, PoolCharge, SelectionSet, ViewCharge};
 use mv_lattice::WorkloadEvolution;
-use mv_market::{MarketPath, MarketScenario};
+use mv_market::{EpochQuote, MarketPath, MarketScenario, ScenarioTree};
 use mv_pricing::{FleetPlan, Placement};
-use mv_select::epoch::{EpochChain, EpochStep};
+use mv_select::epoch::{EpochChain, EpochStep, EpochTree, EpochTreeNode};
 use mv_select::Scenario;
 use mv_units::{Hours, Money};
 use serde::Serialize;
 
 use crate::market::{Quantiles, SpotCommitmentReport};
-use crate::{Advisor, AdvisorError, HorizonConfig};
+use crate::{Advisor, AdvisorError};
 
 /// Shape of a mixed-fleet Monte-Carlo solve.
 #[derive(Debug, Clone)]
@@ -66,11 +66,15 @@ pub struct FleetConfig {
     /// all-reserved and report the three-way comparison (three chain
     /// solves per path instead of one).
     pub compare_pure: bool,
+    /// Use the flat per-path reference loop instead of the scenario
+    /// tree. Results are bit-identical either way (pinned by
+    /// `tests/tree_identity.rs`); the tree is the default hot path.
+    pub flat: bool,
 }
 
 impl Default for FleetConfig {
     /// 16 paths over a year of constant prices, a rebalancing hedged
-    /// fleet, pure comparators on.
+    /// fleet, pure comparators on, scenario-tree solving.
     fn default() -> Self {
         FleetConfig {
             market: MarketScenario::constant(12, 42),
@@ -78,6 +82,7 @@ impl Default for FleetConfig {
             evolution: WorkloadEvolution::fixed(),
             fleet: FleetPlan::hedged("hedged"),
             compare_pure: true,
+            flat: false,
         }
     }
 }
@@ -183,6 +188,15 @@ pub struct FleetReport {
     /// the reserved pool carries a plan — the same arithmetic as
     /// `solve_market`'s report ([`SpotCommitmentReport::from_path_bills`]).
     pub commitment: Option<SpotCommitmentReport>,
+    /// Distinct full-horizon solves actually performed for the K
+    /// requested paths of the *hedged* fleet: distinct scenario-tree
+    /// leaves (tree mode) or distinct quote sequences after hash dedup
+    /// (flat mode); 1 when the fleet never sees the market at all.
+    pub distinct_solves: usize,
+    /// Scenario-tree node count — the number of epoch-solves the tree
+    /// route paid. `None` when the flat reference path (or the
+    /// market-insulated shortcut) was used.
+    pub tree_nodes: Option<usize>,
 }
 
 impl FleetReport {
@@ -245,70 +259,81 @@ impl Advisor {
         evolution: &WorkloadEvolution,
         fleet: &FleetPlan,
     ) -> Vec<CloudCostModel> {
-        let models = match fleet.primary {
-            Placement::Spot => self.market_epoch_models(path, evolution),
-            Placement::Reserved => self.epoch_models(&HorizonConfig {
-                epochs: path.quotes.len(),
-                evolution: *evolution,
-                commitment: None,
-            }),
-        };
-        let terms = fleet.terms(fleet.primary);
-        if terms.is_parity() {
-            return models;
-        }
-        models
-            .into_iter()
-            .map(|model| {
-                let mut ctx = model.context().clone();
-                ctx.pricing = ctx
-                    .pricing
-                    .scale_rates(terms.rate_factor, terms.storage_factor, 1.0);
-                ctx.instance = ctx
-                    .pricing
-                    .compute
-                    .instance(&self.config().instance)
-                    .expect("advisor instance validated at build")
-                    .clone();
-                CloudCostModel::new(ctx)
-            })
+        self.market_base_models(path.quotes.len(), evolution)
+            .iter()
+            .zip(&path.quotes)
+            .map(|(base, quote)| self.fleet_quote_model(base, quote, fleet))
             .collect()
     }
 
+    /// One epoch's base model under the fleet's primary sheet for one
+    /// sampled quote — the per-node unit both the flat loop and the
+    /// scenario tree compile their models from.
+    fn fleet_quote_model(
+        &self,
+        base: &CloudCostModel,
+        quote: &EpochQuote,
+        fleet: &FleetPlan,
+    ) -> CloudCostModel {
+        let model = match fleet.primary {
+            Placement::Spot => self.quote_model(base, quote),
+            Placement::Reserved => base.clone(),
+        };
+        let terms = fleet.terms(fleet.primary);
+        if terms.is_parity() {
+            return model;
+        }
+        let mut ctx = model.context().clone();
+        ctx.pricing = ctx
+            .pricing
+            .scale_rates(terms.rate_factor, terms.storage_factor, 1.0);
+        ctx.instance = ctx
+            .pricing
+            .compute
+            .instance(&self.config().instance)
+            .expect("advisor instance validated at build")
+            .clone();
+        CloudCostModel::new(ctx)
+    }
+
+    /// The [`PoolCharge`] pair one sampled quote induces under a
+    /// fleet: how a view placed on either pool is effectively charged
+    /// against the primary sheet. The primary pool is always the exact
+    /// identity on rates; the spot pool carries the quote's
+    /// interruption risk.
+    fn quote_pool_charges(quote: &EpochQuote, fleet: &FleetPlan) -> [PoolCharge; 2] {
+        let spot_risk = InterruptionRisk::new(quote.interruption);
+        let reserved_rate = fleet.reserved.rate_factor;
+        let spot_rate = fleet.spot.rate_factor * quote.factors.compute;
+        let pool = |p: Placement| -> PoolCharge {
+            let risk = match p {
+                Placement::Reserved => InterruptionRisk::NONE,
+                Placement::Spot => spot_risk,
+            };
+            if p == fleet.primary {
+                // The primary pool *is* the sheet: exact
+                // identity on rates by construction.
+                return PoolCharge::new(1.0, 1.0, risk);
+            }
+            let (rate, storage) = match p {
+                Placement::Reserved => (reserved_rate, fleet.reserved.storage_factor),
+                Placement::Spot => (spot_rate, fleet.spot.storage_factor),
+            };
+            let (primary_rate, primary_storage) = match fleet.primary {
+                Placement::Reserved => (reserved_rate, fleet.reserved.storage_factor),
+                Placement::Spot => (spot_rate, fleet.spot.storage_factor),
+            };
+            PoolCharge::new(rate / primary_rate, storage / primary_storage, risk)
+        };
+        [pool(Placement::Reserved), pool(Placement::Spot)]
+    }
+
     /// The per-epoch [`PoolCharge`]s one sampled path induces under a
-    /// fleet: for each epoch, how a view placed on either pool is
-    /// effectively charged against the primary sheet. The primary pool
-    /// is always the exact identity on rates; the spot pool carries
-    /// the epoch's interruption risk.
+    /// fleet (one [`Advisor::quote_pool_charges`] pair per epoch).
     fn fleet_pool_charges(path: &MarketPath, fleet: &FleetPlan) -> Vec<[PoolCharge; 2]> {
         path.quotes
             .iter()
-            .map(|q| {
-                let spot_risk = InterruptionRisk::new(q.interruption);
-                let reserved_rate = fleet.reserved.rate_factor;
-                let spot_rate = fleet.spot.rate_factor * q.factors.compute;
-                let pool = |p: Placement| -> PoolCharge {
-                    let risk = match p {
-                        Placement::Reserved => InterruptionRisk::NONE,
-                        Placement::Spot => spot_risk,
-                    };
-                    if p == fleet.primary {
-                        // The primary pool *is* the sheet: exact
-                        // identity on rates by construction.
-                        return PoolCharge::new(1.0, 1.0, risk);
-                    }
-                    let (rate, storage) = match p {
-                        Placement::Reserved => (reserved_rate, fleet.reserved.storage_factor),
-                        Placement::Spot => (spot_rate, fleet.spot.storage_factor),
-                    };
-                    let (primary_rate, primary_storage) = match fleet.primary {
-                        Placement::Reserved => (reserved_rate, fleet.reserved.storage_factor),
-                        Placement::Spot => (spot_rate, fleet.spot.storage_factor),
-                    };
-                    PoolCharge::new(rate / primary_rate, storage / primary_storage, risk)
-                };
-                [pool(Placement::Reserved), pool(Placement::Spot)]
-            })
+            .map(|q| Self::quote_pool_charges(q, fleet))
             .collect()
     }
 
@@ -340,7 +365,8 @@ impl Advisor {
             }
         }
 
-        let solved = self.solve_fleet_variant(scenario, config, &config.fleet);
+        let (solved, distinct_solves, tree_nodes) =
+            self.solve_fleet_variant(scenario, config, &config.fleet);
         let comparison = config.compare_pure.then(|| {
             let hedged: Vec<f64> = solved
                 .iter()
@@ -348,6 +374,7 @@ impl Advisor {
                 .collect();
             let totals = |fleet: &FleetPlan| -> Vec<f64> {
                 self.solve_fleet_variant(scenario, config, fleet)
+                    .0
                     .iter()
                     .map(|s| s.summary.total_cost.to_dollars_f64())
                     .collect()
@@ -366,69 +393,173 @@ impl Advisor {
                 hedged_wins_share: wins as f64 / hedged.len() as f64,
             }
         });
-        Ok(self.render_fleet(config, solved, comparison))
+        Ok(self.render_fleet(config, solved, comparison, distinct_solves, tree_nodes))
     }
 
     /// Solves all `config.paths` paths under one fleet variant,
-    /// deduplicating when no path can differ from path 0: a
-    /// deterministic market quotes identically everywhere, and a
-    /// pinned all-reserved fleet under a reserved primary never sees
-    /// the market at all.
+    /// routing through the scenario tree by default. A pinned
+    /// all-reserved fleet under a reserved primary never sees the
+    /// market at all, so one solve covers every path regardless of its
+    /// quotes (a dedup neither the tree nor the quote-sequence hash
+    /// can discover — the quotes *differ*, they just don't matter).
+    /// Returns the solved paths plus the
+    /// (`distinct_solves`, `tree_nodes`) accounting pair.
     fn solve_fleet_variant(
         &self,
         scenario: Scenario,
         config: &FleetConfig,
         fleet: &FleetPlan,
-    ) -> Vec<SolvedFleetPath> {
+    ) -> (Vec<SolvedFleetPath>, usize, Option<usize>) {
+        let sampled: Vec<MarketPath> = (0..config.paths).map(|j| config.market.path(j)).collect();
         let insulated = fleet.primary == Placement::Reserved
             && fleet.pinned_pool() == Some(Placement::Reserved);
-        let distinct = if config.market.is_stochastic() && !insulated {
-            config.paths
-        } else {
-            1
-        };
-        let solved = self.solve_fleet_paths(scenario, config, fleet, distinct);
-        let mut paths = Vec::with_capacity(config.paths);
-        for j in 0..config.paths {
-            let mut p = solved[j.min(distinct - 1)].clone();
-            p.summary.path = j;
-            if j >= distinct {
-                // Quotes (or their effect) are path-independent here;
-                // interruption *events* are still Bernoulli-sampled per
-                // path, so re-derive the replica's own quotes for event
-                // reporting.
-                p.path = config.market.path(j);
-            }
-            paths.push(p);
+        if insulated {
+            let solved = self.solve_fleet_paths(scenario, config, fleet, &[0]);
+            let out = sampled
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    let mut s = solved[0].clone();
+                    s.summary.path = j;
+                    // Interruption *events* are still Bernoulli-sampled
+                    // per path — keep the replica's own quotes for
+                    // event reporting.
+                    s.path = p.clone();
+                    s
+                })
+                .collect();
+            return (out, 1, None);
         }
-        paths
+        if config.flat {
+            self.solve_fleet_flat(scenario, config, fleet, &sampled)
+        } else {
+            self.solve_fleet_tree(scenario, config, fleet, &sampled)
+        }
     }
 
-    /// Solves the first `distinct` paths, fanned out across threads in
-    /// contiguous chunks and merged in path order (identical results
-    /// for any thread count).
+    /// The scenario-tree hot path for one fleet variant: one
+    /// quote-repriced primary-sheet model and one [`PoolCharge`] pair
+    /// per tree *node*, solved jointly (selection + placement) in one
+    /// [`EpochChain::solve_tree_fleet`] pass. Bit-identical to
+    /// [`Advisor::solve_fleet_flat`].
+    fn solve_fleet_tree(
+        &self,
+        scenario: Scenario,
+        config: &FleetConfig,
+        fleet: &FleetPlan,
+        sampled: &[MarketPath],
+    ) -> (Vec<SolvedFleetPath>, usize, Option<usize>) {
+        let stree = ScenarioTree::from_paths(sampled);
+        let base = self.market_base_models(stree.epochs, &config.evolution);
+        let nodes: Vec<EpochTreeNode> = stree
+            .nodes()
+            .iter()
+            .map(|n| EpochTreeNode {
+                parent: n.parent,
+                epoch: n.epoch,
+                model: self.fleet_quote_model(&base[n.epoch], &n.quote, fleet),
+            })
+            .collect();
+        let leaves: Vec<usize> = (0..sampled.len()).map(|j| stree.leaf_of(j)).collect();
+        let tree = EpochTree::new(nodes, leaves);
+        let node_pools: Vec<[PoolCharge; 2]> = stree
+            .nodes()
+            .iter()
+            .map(|n| Self::quote_pool_charges(&n.quote, fleet))
+            .collect();
+        let pool_charges = self.problem().candidates().to_vec();
+        let initial: Vec<Placement> = match fleet.initial {
+            Some(p) => vec![p; pool_charges.len()],
+            None => pool_charges.iter().map(|c| c.placement).collect(),
+        };
+        let chain = EpochChain::new(base, pool_charges);
+        let reprice =
+            |node: usize, _k: usize, p: Placement, transition: &ViewCharge| -> ViewCharge {
+                node_pools[node][usize::from(p == Placement::Spot)].adjust(transition)
+            };
+        let per_path = chain.solve_tree_fleet(scenario, &tree, &initial, fleet.rebalance, &reprice);
+        let solved = sampled
+            .iter()
+            .zip(per_path)
+            .enumerate()
+            .map(|(j, (p, steps))| {
+                let pools = Self::fleet_pool_charges(p, fleet);
+                let summary = self.account_fleet_path(j, fleet, &chain, &steps, &pools);
+                SolvedFleetPath {
+                    summary,
+                    path: p.clone(),
+                }
+            })
+            .collect();
+        (solved, stree.distinct_leaves(), Some(stree.len()))
+    }
+
+    /// The flat per-path reference loop for one fleet variant: solve
+    /// one representative chain per *distinct quote sequence* (hash
+    /// dedup — a deterministic market collapses to one representative)
+    /// and replicate the result to the aliases.
+    fn solve_fleet_flat(
+        &self,
+        scenario: Scenario,
+        config: &FleetConfig,
+        fleet: &FleetPlan,
+        sampled: &[MarketPath],
+    ) -> (Vec<SolvedFleetPath>, usize, Option<usize>) {
+        let mut reps: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(sampled.len());
+        let mut seen: HashMap<Vec<[u64; 4]>, usize> = HashMap::new();
+        for (j, p) in sampled.iter().enumerate() {
+            let key: Vec<[u64; 4]> = p.quotes.iter().map(EpochQuote::solve_key).collect();
+            let slot = *seen.entry(key).or_insert_with(|| {
+                reps.push(j);
+                reps.len() - 1
+            });
+            rep_of.push(slot);
+        }
+        let solved_reps = self.solve_fleet_paths(scenario, config, fleet, &reps);
+        let solved = sampled
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let mut s = solved_reps[rep_of[j]].clone();
+                s.summary.path = j;
+                // Solve-relevant quote fields match the representative
+                // bit-for-bit; interruption *events* are Bernoulli
+                // -sampled per path, so keep the replica's own quotes
+                // for event reporting.
+                s.path = p.clone();
+                s
+            })
+            .collect();
+        (solved, reps.len(), None)
+    }
+
+    /// Solves the representative paths `reps`, fanned out across
+    /// threads in contiguous chunks and merged in order (identical
+    /// results for any thread count).
     fn solve_fleet_paths(
         &self,
         scenario: Scenario,
         config: &FleetConfig,
         fleet: &FleetPlan,
-        distinct: usize,
+        reps: &[usize],
     ) -> Vec<SolvedFleetPath> {
         let threads = std::thread::available_parallelism()
             .map_or(1, |t| t.get())
-            .min(distinct);
-        let solve =
-            |j: usize| -> SolvedFleetPath { self.solve_fleet_path(scenario, config, fleet, j) };
+            .min(reps.len());
+        let solve = |i: usize| -> SolvedFleetPath {
+            self.solve_fleet_path(scenario, config, fleet, reps[i])
+        };
         if threads <= 1 {
-            return (0..distinct).map(solve).collect();
+            return (0..reps.len()).map(solve).collect();
         }
-        let chunk = distinct.div_ceil(threads);
+        let chunk = reps.len().div_ceil(threads);
         let solve = &solve;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .filter_map(|t| {
                     let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(distinct);
+                    let hi = ((t + 1) * chunk).min(reps.len());
                     (lo < hi).then(|| scope.spawn(move |_| (lo..hi).map(solve).collect::<Vec<_>>()))
                 })
                 .collect();
@@ -579,6 +710,8 @@ impl Advisor {
         config: &FleetConfig,
         mut solved: Vec<SolvedFleetPath>,
         comparison: Option<FleetComparison>,
+        distinct_solves: usize,
+        tree_nodes: Option<usize>,
     ) -> FleetReport {
         let epochs = config.market.epochs;
         let labels: Vec<String> = self.candidates().iter().map(|m| m.label.clone()).collect();
@@ -685,6 +818,8 @@ impl Advisor {
             plan_stability: stability_sum / epochs as f64,
             comparison,
             commitment,
+            distinct_solves,
+            tree_nodes,
         }
     }
 }
@@ -792,6 +927,67 @@ mod tests {
         let csv = r1.timeline_csv();
         assert_eq!(csv.lines().count(), 7);
         assert!(csv.starts_with("epoch,cost_p10"));
+    }
+
+    #[test]
+    fn tree_route_is_bit_identical_to_the_flat_loop() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let tree_cfg = FleetConfig {
+            market: MarketScenario::constant(6, 11)
+                .with(PriceProcess::Spot(SpotMarket::discounted(0.4, 0.2)))
+                .with(PriceProcess::Correlated(
+                    CorrelatedHazard::bursty(0.3, 0.8, 0.6).with_crunch_compute(1.4),
+                )),
+            paths: 10,
+            ..FleetConfig::default()
+        };
+        let flat_cfg = FleetConfig {
+            flat: true,
+            ..tree_cfg.clone()
+        };
+        let tree = a.solve_fleet(scenario, &tree_cfg).unwrap();
+        let flat = a.solve_fleet(scenario, &flat_cfg).unwrap();
+        assert_eq!(tree.total_cost, flat.total_cost);
+        assert_eq!(tree.hedge_ratio, flat.hedge_ratio);
+        assert_eq!(tree.plan_stability, flat.plan_stability);
+        for (t, f) in tree.paths.iter().zip(&flat.paths) {
+            assert_eq!(t.total_cost, f.total_cost);
+            assert_eq!(t.billed_instance_hours, f.billed_instance_hours);
+            assert_eq!(t.reserved_hours, f.reserved_hours);
+            assert_eq!(t.spot_hours, f.spot_hours);
+            assert_eq!(t.selections, f.selections);
+            assert_eq!(t.placements, f.placements);
+            assert_eq!(t.moves, f.moves);
+            assert_eq!(t.interruptions, f.interruptions);
+        }
+        let (tc, fc) = (tree.comparison.unwrap(), flat.comparison.unwrap());
+        assert_eq!(tc.hedged, fc.hedged);
+        assert_eq!(tc.pure_spot, fc.pure_spot);
+        assert_eq!(tc.pure_reserved, fc.pure_reserved);
+        assert_eq!(tree.distinct_solves, flat.distinct_solves);
+        let nodes = tree.tree_nodes.expect("tree route reports its size");
+        assert!(nodes < tree.distinct_solves * 6, "no prefix shared");
+        assert!(flat.tree_nodes.is_none());
+    }
+
+    #[test]
+    fn insulated_fleet_pays_one_solve_even_on_a_volatile_market() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let mut config = FleetConfig {
+            market: MarketScenario::constant(4, 5)
+                .with(PriceProcess::Spot(SpotMarket::with_volatility(0.5))),
+            paths: 8,
+            compare_pure: false,
+            ..FleetConfig::default()
+        };
+        config.fleet = config.fleet.as_pure(Placement::Reserved);
+        let report = a.solve_fleet(scenario, &config).unwrap();
+        // The quotes differ across paths but never reach the solve.
+        assert_eq!(report.distinct_solves, 1);
+        assert!(report.tree_nodes.is_none());
+        assert_eq!(report.total_cost.spread(), 0.0);
     }
 
     #[test]

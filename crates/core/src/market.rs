@@ -13,22 +13,32 @@
 //! materialization/maintenance charge is inflated by its expected
 //! re-run count under interruption ([`InterruptionRisk`]), spliced into
 //! the live evaluator through the O(m) `retarget`/`update_charge`
-//! primitives — one evaluator per path for the whole horizon, never a
-//! per-epoch rebuild (asserted via
-//! `IncrementalEvaluator::build_count` in `tests/market_no_rebuild.rs`).
+//! primitives — never a per-epoch rebuild.
 //!
-//! Paths fan out across threads like the existing sweeps (contiguous
-//! chunks, results merged in path order, so the report is identical for
-//! any thread count). The result is a Monte-Carlo envelope rather than
-//! a single bill: per-epoch cost quantiles, plan stability (how often
-//! the selected set agrees across paths), and a reserved-vs-spot
-//! commitment comparison priced per path.
+//! The Monte-Carlo hot path goes further: sampled paths share long
+//! common quote-prefixes, so the default route factors the K paths
+//! into a [`ScenarioTree`] and solves the whole *forest* in one pass
+//! ([`EpochChain::solve_tree`]) — one evaluator build per root, one
+//! warm `retarget` + charge-splice per tree *edge*, one cheap
+//! evaluator fork per extra sibling at each split — instead of per
+//! path × epoch (asserted via the evaluator's build/retarget/fork
+//! counters in `tests/market_no_rebuild.rs`). A deterministic market
+//! degenerates to a single chain, reproducing the old "solve path 0
+//! once" dedup; tree-node work distributes across threads through a
+//! ready-queue. [`MarketConfig::flat`] keeps the flat per-path loop as
+//! the bit-identical reference (pinned by `tests/tree_identity.rs`);
+//! in flat mode coincidentally-identical quote sequences still
+//! hash-dedup onto one representative solve. Either way the result is
+//! a Monte-Carlo envelope rather than a single bill: per-epoch cost
+//! quantiles, plan stability (how often the selected set agrees across
+//! paths), and a reserved-vs-spot commitment comparison priced per
+//! path.
 
 // The price-dynamics vocabulary, re-exported so downstream users reach
 // everything through `mvcloud::market::*`.
 pub use mv_market::{
     AnnouncedCut, CorrelatedHazard, EpochQuote, MarketPath, MarketScenario, PriceFactors,
-    PriceProcess, PriceTrace, ProcessQuote, SpotMarket, StorageDecay,
+    PriceProcess, PriceTrace, ProcessQuote, ScenarioTree, SpotMarket, StorageDecay, TreeNode,
 };
 
 use std::collections::HashMap;
@@ -36,7 +46,7 @@ use std::collections::HashMap;
 use mv_cost::{CloudCostModel, InterruptionRisk, SelectionSet};
 use mv_lattice::WorkloadEvolution;
 use mv_pricing::CommitmentPlan;
-use mv_select::epoch::{EpochChain, EpochStep};
+use mv_select::epoch::{EpochChain, EpochStep, EpochTree, EpochTreeNode};
 use mv_select::Scenario;
 use mv_units::{Hours, Money};
 use serde::Serialize;
@@ -57,17 +67,23 @@ pub struct MarketConfig {
     /// Optional reserved-capacity plan to price each path's compute
     /// against (must target the advisor's instance type).
     pub commitment: Option<CommitmentPlan>,
+    /// Use the flat per-path reference loop instead of the scenario
+    /// tree. Results are bit-identical either way (pinned by
+    /// `tests/tree_identity.rs`); the tree is the default hot path,
+    /// the flat loop the baseline it is benchmarked against.
+    pub flat: bool,
 }
 
 impl Default for MarketConfig {
     /// 16 paths over a year of constant prices (seed 42), fixed
-    /// workload, no reservation.
+    /// workload, no reservation, scenario-tree solving.
     fn default() -> Self {
         MarketConfig {
             market: MarketScenario::constant(12, 42),
             paths: 16,
             evolution: WorkloadEvolution::fixed(),
             commitment: None,
+            flat: false,
         }
     }
 }
@@ -245,6 +261,15 @@ pub struct MarketReport {
     pub plan_stability: f64,
     /// Reserved-vs-spot comparison, when a plan was supplied.
     pub commitment: Option<SpotCommitmentReport>,
+    /// Distinct full-horizon solves actually performed for the K
+    /// requested paths: distinct scenario-tree leaves (tree mode) or
+    /// distinct quote sequences after hash dedup (flat mode). A
+    /// deterministic market reports 1 either way.
+    pub distinct_solves: usize,
+    /// Scenario-tree node count — the number of epoch-solves the tree
+    /// route paid (vs `distinct_solves × epochs` for the flat loop).
+    /// `None` when the flat reference path was used.
+    pub tree_nodes: Option<usize>,
 }
 
 impl MarketReport {
@@ -296,31 +321,44 @@ impl Advisor {
         path: &MarketPath,
         evolution: &WorkloadEvolution,
     ) -> Vec<CloudCostModel> {
-        let horizon = HorizonConfig {
-            epochs: path.quotes.len(),
+        self.market_base_models(path.quotes.len(), evolution)
+            .iter()
+            .zip(&path.quotes)
+            .map(|(model, quote)| self.quote_model(model, quote))
+            .collect()
+    }
+
+    /// The evolution-reweighted per-epoch models *before* any market
+    /// quote is applied — the shared base both the flat per-path loop
+    /// and the scenario tree re-price from.
+    pub(crate) fn market_base_models(
+        &self,
+        epochs: usize,
+        evolution: &WorkloadEvolution,
+    ) -> Vec<CloudCostModel> {
+        self.epoch_models(&HorizonConfig {
+            epochs,
             evolution: *evolution,
             commitment: None,
-        };
-        let base_pricing = &self.config().pricing;
-        self.epoch_models(&horizon)
-            .into_iter()
-            .zip(&path.quotes)
-            .map(|(model, quote)| {
-                let mut ctx = model.context().clone();
-                ctx.pricing = quote.reprice(base_pricing);
-                // The context embeds the *resolved* instance (Formula 4
-                // prices through `ctx.instance.hourly`), so the rented
-                // configuration must be re-resolved from the re-priced
-                // catalog or compute drift would never reach the bill.
-                ctx.instance = ctx
-                    .pricing
-                    .compute
-                    .instance(&self.config().instance)
-                    .expect("advisor instance validated at build")
-                    .clone();
-                CloudCostModel::new(ctx)
-            })
-            .collect()
+        })
+    }
+
+    /// One epoch's base model re-priced by a sampled quote. Unit quotes
+    /// reproduce the base model bit-for-bit.
+    pub(crate) fn quote_model(&self, base: &CloudCostModel, quote: &EpochQuote) -> CloudCostModel {
+        let mut ctx = base.context().clone();
+        ctx.pricing = quote.reprice(&self.config().pricing);
+        // The context embeds the *resolved* instance (Formula 4
+        // prices through `ctx.instance.hourly`), so the rented
+        // configuration must be re-resolved from the re-priced
+        // catalog or compute drift would never reach the bill.
+        ctx.instance = ctx
+            .pricing
+            .compute
+            .instance(&self.config().instance)
+            .expect("advisor instance validated at build")
+            .clone();
+        CloudCostModel::new(ctx)
     }
 
     /// Solves the horizon across `K` sampled price paths and reports
@@ -347,11 +385,13 @@ impl Advisor {
                 });
             }
         }
+        // Sample the full path set once: the tree factoring, the flat
+        // dedup, and the per-path event reporting all read from it.
+        let sampled: Vec<MarketPath> = (0..config.paths).map(|j| config.market.path(j)).collect();
         // A NaN volatility (or similar user-supplied process parameter)
         // poisons every sampled price; fail up front with the offending
         // metric named instead of summarizing garbage quantiles later.
-        let probe = config.market.path(0);
-        for q in &probe.quotes {
+        for q in &sampled[0].quotes {
             let f = &q.factors;
             if !(f.compute.is_finite() && f.storage.is_finite() && f.transfer.is_finite()) {
                 return Err(AdvisorError::NonFiniteMetric {
@@ -365,55 +405,136 @@ impl Advisor {
             }
         }
 
-        // A deterministic market makes every path identical: solve path
-        // 0 once and replicate, so "16 paths of constant prices" costs
-        // one chain solve (the quantiles then collapse, as they should).
-        let distinct = if config.market.is_stochastic() {
-            config.paths
+        let (solved, distinct_solves, tree_nodes) = if config.flat {
+            self.solve_market_flat(scenario, config, &sampled)
         } else {
-            1
+            self.solve_market_tree(scenario, config, &sampled)
         };
-        let solved = self.solve_market_paths(scenario, config, distinct);
-        let mut paths = Vec::with_capacity(config.paths);
-        for j in 0..config.paths {
-            let mut p = solved[j.min(distinct - 1)].clone();
-            p.summary.path = j;
-            if j >= distinct {
-                // Factors and probabilities are path-independent here
-                // (that is what allowed the dedup), but interruption
-                // *events* are Bernoulli-sampled per path — re-derive
-                // the replica's own quotes so event reporting matches
-                // what `MarketScenario::path(j)` returns.
-                p.path = config.market.path(j);
-            }
-            paths.push(p);
-        }
-        Ok(self.render_market(scenario, config, paths))
+        Ok(self.render_market(scenario, config, solved, distinct_solves, tree_nodes))
     }
 
-    /// Solves the first `distinct` paths, fanned out across threads in
-    /// contiguous chunks and merged in path order (identical results
-    /// for any thread count).
+    /// The scenario-tree hot path: factor the sampled paths into a
+    /// shared-prefix forest, compile one quote-repriced model and one
+    /// interruption risk per *node*, and let [`EpochChain::solve_tree`]
+    /// pay one solve per node — branching the warm evaluator at split
+    /// points — instead of one per path × epoch. Bit-identical to
+    /// [`Advisor::solve_market_flat`] (a node's search trajectory
+    /// depends only on its model, its effective charges and the
+    /// selection it inherits, all shared along the prefix).
+    fn solve_market_tree(
+        &self,
+        scenario: Scenario,
+        config: &MarketConfig,
+        sampled: &[MarketPath],
+    ) -> (Vec<SolvedPath>, usize, Option<usize>) {
+        let stree = ScenarioTree::from_paths(sampled);
+        let base = self.market_base_models(stree.epochs, &config.evolution);
+        let nodes: Vec<EpochTreeNode> = stree
+            .nodes()
+            .iter()
+            .map(|n| EpochTreeNode {
+                parent: n.parent,
+                epoch: n.epoch,
+                model: self.quote_model(&base[n.epoch], &n.quote),
+            })
+            .collect();
+        let leaves: Vec<usize> = (0..sampled.len()).map(|j| stree.leaf_of(j)).collect();
+        let tree = EpochTree::new(nodes, leaves);
+        let risks: Vec<InterruptionRisk> = stree
+            .nodes()
+            .iter()
+            .map(|n| InterruptionRisk::new(n.quote.interruption))
+            .collect();
+        let pool = self.problem().candidates().to_vec();
+        let chain = EpochChain::new(base, pool);
+        let per_path = chain.solve_tree(scenario, &tree, &|node, _k, transition| {
+            risks[node].adjust(transition)
+        });
+        let solved = sampled
+            .iter()
+            .zip(per_path)
+            .enumerate()
+            .map(|(j, (p, steps))| {
+                let path_risks: Vec<InterruptionRisk> = p
+                    .quotes
+                    .iter()
+                    .map(|q| InterruptionRisk::new(q.interruption))
+                    .collect();
+                let summary = self.account_path(j, &chain, &steps, &path_risks);
+                SolvedPath {
+                    summary,
+                    path: p.clone(),
+                    steps,
+                }
+            })
+            .collect();
+        (solved, stree.distinct_leaves(), Some(stree.len()))
+    }
+
+    /// The flat per-path reference loop: solve one representative chain
+    /// per *distinct quote sequence* and replicate the result to the
+    /// aliases. Hash-dedup generalizes the old all-or-nothing
+    /// "deterministic market solves path 0 once" shortcut —
+    /// coincidentally-identical stochastic paths collapse too.
+    fn solve_market_flat(
+        &self,
+        scenario: Scenario,
+        config: &MarketConfig,
+        sampled: &[MarketPath],
+    ) -> (Vec<SolvedPath>, usize, Option<usize>) {
+        let mut reps: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(sampled.len());
+        let mut seen: HashMap<Vec<[u64; 4]>, usize> = HashMap::new();
+        for (j, p) in sampled.iter().enumerate() {
+            let key: Vec<[u64; 4]> = p.quotes.iter().map(EpochQuote::solve_key).collect();
+            let slot = *seen.entry(key).or_insert_with(|| {
+                reps.push(j);
+                reps.len() - 1
+            });
+            rep_of.push(slot);
+        }
+        let solved_reps = self.solve_market_paths(scenario, config, &reps);
+        let solved = sampled
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let mut s = solved_reps[rep_of[j]].clone();
+                s.summary.path = j;
+                // The replica's factors and probabilities match its
+                // representative bit-for-bit (that is what the key
+                // means), but interruption *events* are Bernoulli
+                // -sampled per path — keep the replica's own quotes so
+                // event reporting matches `MarketScenario::path(j)`.
+                s.path = p.clone();
+                s
+            })
+            .collect();
+        (solved, reps.len(), None)
+    }
+
+    /// Solves the representative paths `reps`, fanned out across
+    /// threads in contiguous chunks and merged in order (identical
+    /// results for any thread count).
     fn solve_market_paths(
         &self,
         scenario: Scenario,
         config: &MarketConfig,
-        distinct: usize,
+        reps: &[usize],
     ) -> Vec<SolvedPath> {
         let threads = std::thread::available_parallelism()
             .map_or(1, |t| t.get())
-            .min(distinct);
-        let solve = |j: usize| -> SolvedPath { self.solve_market_path(scenario, config, j) };
+            .min(reps.len());
+        let solve = |i: usize| -> SolvedPath { self.solve_market_path(scenario, config, reps[i]) };
         if threads <= 1 {
-            return (0..distinct).map(solve).collect();
+            return (0..reps.len()).map(solve).collect();
         }
-        let chunk = distinct.div_ceil(threads);
+        let chunk = reps.len().div_ceil(threads);
         let solve = &solve;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .filter_map(|t| {
                     let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(distinct);
+                    let hi = ((t + 1) * chunk).min(reps.len());
                     (lo < hi).then(|| scope.spawn(move |_| (lo..hi).map(solve).collect::<Vec<_>>()))
                 })
                 .collect();
@@ -496,6 +617,8 @@ impl Advisor {
         _scenario: Scenario,
         config: &MarketConfig,
         mut solved: Vec<SolvedPath>,
+        distinct_solves: usize,
+        tree_nodes: Option<usize>,
     ) -> MarketReport {
         let epochs = config.market.epochs;
         let labels: Vec<String> = self.candidates().iter().map(|m| m.label.clone()).collect();
@@ -587,6 +710,8 @@ impl Advisor {
             total_time_hours: Quantiles::of(&total_times),
             plan_stability: stability_sum / epochs as f64,
             commitment,
+            distinct_solves,
+            tree_nodes,
         }
     }
 }
@@ -726,6 +851,70 @@ mod tests {
         // At a deep average spot discount the spot market usually beats
         // the (on-demand-anchored) reservation.
         assert!(cmp.saving.median < 0.0);
+    }
+
+    #[test]
+    fn tree_route_is_bit_identical_to_the_flat_loop() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let tree_cfg = MarketConfig {
+            market: MarketScenario::constant(6, 99)
+                .with(PriceProcess::Spot(SpotMarket::with_volatility(0.5))),
+            paths: 12,
+            commitment: Some(mv_pricing::CommitmentPlan::aws_small_1yr()),
+            ..MarketConfig::default()
+        };
+        let flat_cfg = MarketConfig {
+            flat: true,
+            ..tree_cfg.clone()
+        };
+        let tree = a.solve_market(scenario, &tree_cfg).unwrap();
+        let flat = a.solve_market(scenario, &flat_cfg).unwrap();
+        assert_eq!(tree.total_cost, flat.total_cost);
+        assert_eq!(tree.total_time_hours, flat.total_time_hours);
+        assert_eq!(tree.plan_stability, flat.plan_stability);
+        for (t, f) in tree.paths.iter().zip(&flat.paths) {
+            assert_eq!(t.total_cost, f.total_cost);
+            assert_eq!(t.billed_instance_hours, f.billed_instance_hours);
+            assert_eq!(t.compute_bill, f.compute_bill);
+            assert_eq!(t.selections, f.selections);
+            assert_eq!(t.switches, f.switches);
+            assert_eq!(t.interruptions, f.interruptions);
+        }
+        for (t, f) in tree.epochs.iter().zip(&flat.epochs) {
+            assert_eq!(t.charged_cost, f.charged_cost);
+            assert_eq!(t.modal_selection, f.modal_selection);
+        }
+        let (tc, fc) = (tree.commitment.unwrap(), flat.commitment.unwrap());
+        assert_eq!(tc.saving, fc.saving);
+        // Both modes report what they actually paid for.
+        assert_eq!(tree.distinct_solves, flat.distinct_solves);
+        let nodes = tree.tree_nodes.expect("tree route reports its size");
+        assert!(nodes < tree.distinct_solves * 6, "no prefix shared");
+        assert!(flat.tree_nodes.is_none());
+    }
+
+    #[test]
+    fn deterministic_market_pays_one_solve_in_both_modes() {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let tree_cfg = MarketConfig {
+            market: MarketScenario::constant(4, 7),
+            paths: 16,
+            ..MarketConfig::default()
+        };
+        let flat_cfg = MarketConfig {
+            flat: true,
+            ..tree_cfg.clone()
+        };
+        let tree = a.solve_market(scenario, &tree_cfg).unwrap();
+        let flat = a.solve_market(scenario, &flat_cfg).unwrap();
+        // The tree degenerates to a single 4-node chain; the flat loop
+        // hash-dedups all 16 identical paths onto one representative.
+        assert_eq!(tree.distinct_solves, 1);
+        assert_eq!(tree.tree_nodes, Some(4));
+        assert_eq!(flat.distinct_solves, 1);
+        assert_eq!(tree.total_cost, flat.total_cost);
     }
 
     #[test]

@@ -67,6 +67,54 @@ fn advise_succeeds_on_a_small_workload() {
 }
 
 #[test]
+fn market_flat_flag_switches_route_but_not_the_answer() {
+    let base = [
+        "market",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--epochs",
+        "3",
+        "--paths",
+        "4",
+        "--alpha",
+        "0.5",
+    ];
+    let tree = run(&base);
+    assert!(tree.status.success(), "market should exit 0");
+    let tree_out = String::from_utf8_lossy(&tree.stdout).to_string();
+    assert!(
+        tree_out.contains("\"distinct_solves\":"),
+        "tree JSON reports its dedup: {tree_out}"
+    );
+    assert!(
+        !tree_out.contains("\"tree_nodes\":null"),
+        "default route is the scenario tree: {tree_out}"
+    );
+
+    let mut flat_args = base.to_vec();
+    flat_args.push("--flat");
+    let flat = run(&flat_args);
+    assert!(flat.status.success(), "market --flat should exit 0");
+    let flat_out = String::from_utf8_lossy(&flat.stdout).to_string();
+    assert!(
+        flat_out.contains("\"tree_nodes\":null"),
+        "--flat skips the tree: {flat_out}"
+    );
+
+    // Same seed, same market: the routes must price identically, so
+    // everything past the route metadata is byte-identical JSON.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("\"tree_nodes\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&tree_out), strip(&flat_out));
+}
+
+#[test]
 fn calibrate_emits_a_reconciliation_report() {
     let out = run(&[
         "calibrate",

@@ -46,7 +46,7 @@ mod selection;
 pub use answers::AnswerProfile;
 pub use breakdown::CostBreakdown;
 pub use fit::{CalibratedParams, LinearFit, MeterSample, WorkKind};
-pub use model::CloudCostModel;
+pub use model::{CloudCostModel, TIME_FOLD_BLOCK};
 pub use mv_pricing::Placement;
 pub use params::{CostContext, QueryCharge, ViewCharge};
 pub use risk::{InterruptionRisk, PoolCharge, MAX_INTERRUPTION};

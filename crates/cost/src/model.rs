@@ -16,6 +16,11 @@ use mv_units::{Hours, Money};
 
 use crate::{CostBreakdown, CostContext, SelectionSet, ViewCharge};
 
+/// Block width of the canonical two-level processing-time fold shared by
+/// [`CloudCostModel::processing_time_with_views`] and the incremental
+/// evaluators that must reproduce it bit-for-bit.
+pub const TIME_FOLD_BLOCK: usize = 64;
+
 /// Evaluates the paper's cost formulas over a [`CostContext`].
 #[derive(Debug, Clone)]
 pub struct CloudCostModel {
@@ -103,17 +108,34 @@ impl CloudCostModel {
     }
 
     /// Formula 9 summed: `TprocessingQ = Σ t_iV` (frequency-weighted).
+    ///
+    /// The fold is *blocked*: per-query terms accumulate into
+    /// [`TIME_FOLD_BLOCK`]-wide partial sums (each folded from zero in
+    /// workload order) and the total folds the block sums in order. For
+    /// workloads of at most one block this is bitwise-identical to the
+    /// flat left fold (adding to an exact zero is the identity on
+    /// non-negative terms), so the paper's worked dollar figures are
+    /// unchanged — and incremental evaluators can cache the block sums
+    /// and refold only dirty blocks while staying bit-identical to this
+    /// definition.
     pub fn processing_time_with_views(
         &self,
         views: &[ViewCharge],
         selected: &SelectionSet,
     ) -> Hours {
-        self.ctx
-            .workload
-            .iter()
-            .enumerate()
-            .map(|(i, q)| self.query_time_with_views(i, views, selected) * q.frequency)
-            .sum()
+        let workload = &self.ctx.workload;
+        let mut total = Hours::ZERO;
+        let mut start = 0;
+        while start < workload.len() {
+            let end = (start + TIME_FOLD_BLOCK).min(workload.len());
+            let mut block = Hours::ZERO;
+            for (i, q) in workload[start..end].iter().enumerate() {
+                block += self.query_time_with_views(start + i, views, selected) * q.frequency;
+            }
+            total += block;
+            start = end;
+        }
+        total
     }
 
     /// Formula 7: total materialization time of the selected views.

@@ -27,6 +27,12 @@
 //!   across the stack, interruption hazards combine independently),
 //!   and [`EpochQuote::reprice`] turns a quote into a concrete
 //!   `PricingPolicy` through the pricing crate's `scale_rates` hooks.
+//! * [`tree`](ScenarioTree) — shared-prefix factoring of K sampled
+//!   paths into a scenario forest (one node per distinct quote-prefix,
+//!   keyed on solve-relevant quote bits, interruption *events*
+//!   excluded). Tree-aware Monte-Carlo solvers pay one solve per node
+//!   instead of per path × epoch; a deterministic market degenerates
+//!   to a single chain.
 //!
 //! # Reproducibility contract
 //!
@@ -43,12 +49,14 @@
 
 mod process;
 mod scenario;
+mod tree;
 
 pub use process::{
     AnnouncedCut, CorrelatedHazard, PriceFactors, PriceProcess, PriceTrace, ProcessQuote,
     SpotMarket, StorageDecay,
 };
 pub use scenario::{EpochQuote, MarketPath, MarketScenario};
+pub use tree::{ScenarioTree, TreeNode};
 
 /// Largest admissible interruption probability — the same constant
 /// `mv_cost::InterruptionRisk` clamps by (hosted in `mv-units`, the

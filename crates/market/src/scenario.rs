@@ -45,6 +45,22 @@ impl EpochQuote {
         interrupted: false,
     };
 
+    /// The solve-relevant identity of the quote: the three price-factor
+    /// bits plus the interruption-*probability* bits. The Bernoulli
+    /// `interrupted` event flag is excluded — it is reporting-only
+    /// (expected-cost charging uses the probability), so two quotes
+    /// with equal keys re-price and risk-adjust bit-identically. This
+    /// is the merge key of [`crate::ScenarioTree`] and of the flat
+    /// Monte-Carlo loop's path dedup.
+    pub fn solve_key(&self) -> [u64; 4] {
+        [
+            self.factors.compute.to_bits(),
+            self.factors.storage.to_bits(),
+            self.factors.transfer.to_bits(),
+            self.interruption.to_bits(),
+        ]
+    }
+
     /// Applies the quote to a base policy. A unit quote returns a
     /// bit-identical policy (every `scale_rates` hook clones on factor
     /// `1.0`).

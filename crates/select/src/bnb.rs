@@ -107,7 +107,7 @@ impl Search<'_, '_> {
     }
 
     /// `true` when the subtree rooted at `depth` cannot beat the incumbent.
-    fn prune(&self, _depth: usize, incumbent: &Evaluation) -> bool {
+    fn prune(&mut self, _depth: usize, incumbent: &Evaluation) -> bool {
         let problem = self.problem;
         let scenario = self.scenario;
         let ctx = problem.model().context();

@@ -310,7 +310,7 @@ impl EpochChain {
                 local_search::greedy_fill(&mut ev, scenario, &baseline);
             }
             let evaluation = local_search::improve(&mut ev, scenario, &baseline, max_moves);
-            steps.push(self.step(e, evaluation, baseline, &prev, scenario));
+            steps.push(self.step(model, e, evaluation, baseline, &prev, scenario));
             prev = steps.last().expect("just pushed").selection().clone();
         }
         steps
@@ -366,7 +366,7 @@ impl EpochChain {
                 local_search::greedy_fill(&mut ev, scenario, &baseline);
             }
             let evaluation = local_search::improve(&mut ev, scenario, &baseline, max_moves);
-            steps.push(self.step(e, evaluation, baseline, &prev, scenario));
+            steps.push(self.step(model, e, evaluation, baseline, &prev, scenario));
             prev = steps.last().expect("just pushed").selection().clone();
         }
         steps
@@ -409,7 +409,7 @@ impl EpochChain {
             let charged_problem = SelectionProblem::new(model.clone(), charged);
             let evaluation = charged_problem.evaluate(&solo.evaluation.selection);
             let baseline = charged_problem.baseline();
-            steps.push(self.step(e, evaluation, baseline, &prev, scenario));
+            steps.push(self.step(model, e, evaluation, baseline, &prev, scenario));
             prev = steps.last().expect("just pushed").selection().clone();
         }
         steps
@@ -516,6 +516,7 @@ impl EpochChain {
                 local_search::improve(&mut ev, scenario, &baseline, max_moves)
             };
             steps.push(self.step_with_placements(
+                model,
                 e,
                 evaluation,
                 baseline,
@@ -612,6 +613,7 @@ impl EpochChain {
                 local_search::improve(&mut ev, scenario, &baseline, max_moves)
             };
             steps.push(self.step_with_placements(
+                model,
                 e,
                 evaluation,
                 baseline,
@@ -975,12 +977,361 @@ impl EpochChain {
         }
     }
 
+    /// Solves a whole scenario *tree* of price trajectories in one
+    /// pass — the Monte-Carlo hot path. `tree` factors K sampled paths
+    /// into shared quote-prefixes (each [`EpochTreeNode`] carries the
+    /// quote-repriced costing model for its epoch); this solver visits
+    /// every node exactly once, warm-branching the incremental
+    /// evaluator at split points. The horizon work is one evaluator
+    /// build per *root* plus one [`IncrementalEvaluator::retarget`] +
+    /// charge-splice pass per *edge* — instead of per path × epoch as
+    /// the flat per-path loop ([`EpochChain::solve_repriced_bounded`])
+    /// pays — and one [`IncrementalEvaluator::fork`] per extra sibling
+    /// at each split (asserted in `tests/market_no_rebuild.rs`).
+    ///
+    /// `reprice(node, k, transition)` is the per-node analogue of the
+    /// flat solver's `reprice(epoch, k, transition)`; `transition` is
+    /// already the carry-aware charge. Returns one root→leaf
+    /// `Vec<EpochStep>` per entry of [`EpochTree::leaves`],
+    /// **bit-identical** to flat-solving each leaf's lineage as its own
+    /// chain: a node's search trajectory depends only on its model, its
+    /// effective charges and the selection it inherits — all shared
+    /// along the prefix — so solving the prefix once and forking is
+    /// exact, not approximate (pinned by the unit tests below and the
+    /// workspace-level `tests/tree_identity.rs` proptests).
+    ///
+    /// `threads > 1` drains ready nodes from a shared work queue (a
+    /// node becomes ready when its parent finishes); scheduling cannot
+    /// change results, only wall-clock.
+    pub fn solve_tree_threaded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        tree: &EpochTree,
+        threads: usize,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.validate_tree(tree);
+        let n = self.pool.len();
+        let solve = |idx: usize, inherited: Option<TreeState>| -> (EpochStep, TreeState) {
+            let node = &tree.nodes()[idx];
+            let (mut ev, current, prev) = match inherited {
+                None => {
+                    let current: Vec<ViewCharge> = self
+                        .pool
+                        .iter()
+                        .enumerate()
+                        .map(|(k, c)| reprice(idx, k, c))
+                        .collect();
+                    let ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+                        node.model.clone(),
+                        current.clone(),
+                    ));
+                    (ev, current, SelectionSet::empty(n))
+                }
+                Some(state) => {
+                    let TreeState {
+                        mut ev,
+                        mut current,
+                        prev,
+                    } = state;
+                    ev.retarget(node.model.clone());
+                    for (k, slot) in current.iter_mut().enumerate() {
+                        let transition: std::borrow::Cow<'_, ViewCharge> = if prev.contains(k) {
+                            std::borrow::Cow::Owned(self.pool[k].carried())
+                        } else {
+                            std::borrow::Cow::Borrowed(&self.pool[k])
+                        };
+                        let want = reprice(idx, k, transition.as_ref());
+                        if want != *slot {
+                            ev.update_charge(k, want.clone());
+                            *slot = want;
+                        }
+                    }
+                    (ev, current, prev)
+                }
+            };
+            let baseline = ev.problem().baseline();
+            if node.parent.is_none() {
+                local_search::greedy_fill(&mut ev, scenario, &baseline);
+            }
+            let evaluation = local_search::improve(&mut ev, scenario, &baseline, max_moves);
+            let step = self.step(
+                &node.model,
+                node.epoch,
+                evaluation,
+                baseline,
+                &prev,
+                scenario,
+            );
+            let next = step.selection().clone();
+            (
+                step,
+                TreeState {
+                    ev,
+                    current,
+                    prev: next,
+                },
+            )
+        };
+        let branch = |s: &TreeState| TreeState {
+            ev: s.ev.fork(),
+            current: s.current.clone(),
+            prev: s.prev.clone(),
+        };
+        let node_steps = run_tree(tree, threads, solve, branch);
+        collect_leaf_steps(tree, &node_steps)
+    }
+
+    /// [`EpochChain::solve_tree_threaded`] with the thread count picked
+    /// from the machine and the tree's width (a degenerate chain stays
+    /// serial inline).
+    pub fn solve_tree_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        tree: &EpochTree,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.solve_tree_threaded(scenario, max_moves, tree, auto_tree_threads(tree), reprice)
+    }
+
+    /// [`EpochChain::solve_tree_bounded`] with the default per-epoch
+    /// move budget — the tree counterpart of
+    /// [`EpochChain::solve_repriced`].
+    pub fn solve_tree<F>(
+        &self,
+        scenario: Scenario,
+        tree: &EpochTree,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.solve_tree_bounded(
+            scenario,
+            local_search::default_move_budget(self.pool.len()),
+            tree,
+            reprice,
+        )
+    }
+
+    /// The mixed-fleet scenario-tree solve — the tree counterpart of
+    /// [`EpochChain::solve_fleet_bounded`], with the same joint
+    /// selection + placement semantics per node and the same
+    /// one-solve-per-node accounting as
+    /// [`EpochChain::solve_tree_threaded`]. Placement state branches
+    /// with the evaluator, so sibling subtrees rebalance independently.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_tree_fleet_threaded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        tree: &EpochTree,
+        threads: usize,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.validate_tree(tree);
+        let n = self.pool.len();
+        assert_eq!(initial.len(), n, "initial placements must cover the pool");
+        let effective = |node: usize, k: usize, p: Placement, carried: bool| -> ViewCharge {
+            let transition = if carried {
+                self.pool[k].carried()
+            } else {
+                self.pool[k].clone()
+            };
+            let mut charge = reprice(node, k, p, &transition);
+            charge.placement = p;
+            charge
+        };
+        let solve =
+            |idx: usize, inherited: Option<TreeFleetState>| -> (EpochStep, TreeFleetState) {
+                let node = &tree.nodes()[idx];
+                let (mut ev, mut current, prev, mut placements) = match inherited {
+                    None => {
+                        let placements: Vec<Placement> = initial.to_vec();
+                        let current: Vec<ViewCharge> = (0..n)
+                            .map(|k| effective(idx, k, placements[k], false))
+                            .collect();
+                        let ev = IncrementalEvaluator::from_problem(SelectionProblem::new(
+                            node.model.clone(),
+                            current.clone(),
+                        ));
+                        (ev, current, SelectionSet::empty(n), placements)
+                    }
+                    Some(state) => {
+                        let TreeFleetState {
+                            mut ev,
+                            mut current,
+                            prev,
+                            placements,
+                        } = state;
+                        ev.retarget(node.model.clone());
+                        for (k, slot) in current.iter_mut().enumerate() {
+                            let want = effective(idx, k, placements[k], prev.contains(k));
+                            if want != *slot {
+                                ev.update_charge(k, want.clone());
+                                *slot = want;
+                            }
+                        }
+                        (ev, current, prev, placements)
+                    }
+                };
+                let baseline = ev.problem().baseline();
+                if node.parent.is_none() {
+                    local_search::greedy_fill(&mut ev, scenario, &baseline);
+                }
+                // Carried-ness during the search keys off the node's *entry*
+                // state, exactly as the flat fleet solver does per epoch.
+                let entry_place = placements.clone();
+                let evaluation = if rebalance {
+                    let entry_prev = prev.clone();
+                    let charge_for = |k: usize, p: Placement| -> ViewCharge {
+                        effective(idx, k, p, entry_prev.contains(k) && p == entry_place[k])
+                    };
+                    let ev_ = local_search::improve_joint(
+                        &mut ev,
+                        scenario,
+                        &baseline,
+                        max_moves,
+                        &mut placements,
+                        &charge_for,
+                    );
+                    current.clone_from_slice(ev.problem().candidates());
+                    ev_
+                } else {
+                    local_search::improve(&mut ev, scenario, &baseline, max_moves)
+                };
+                let step = self.step_with_placements(
+                    &node.model,
+                    node.epoch,
+                    evaluation,
+                    baseline,
+                    &prev,
+                    &entry_place,
+                    placements.clone(),
+                    scenario,
+                );
+                let next = step.selection().clone();
+                (
+                    step,
+                    TreeFleetState {
+                        ev,
+                        current,
+                        prev: next,
+                        placements,
+                    },
+                )
+            };
+        let branch = |s: &TreeFleetState| TreeFleetState {
+            ev: s.ev.fork(),
+            current: s.current.clone(),
+            prev: s.prev.clone(),
+            placements: s.placements.clone(),
+        };
+        let node_steps = run_tree(tree, threads, solve, branch);
+        collect_leaf_steps(tree, &node_steps)
+    }
+
+    /// [`EpochChain::solve_tree_fleet_threaded`] with the thread count
+    /// picked from the machine and the tree's width.
+    pub fn solve_tree_fleet_bounded<F>(
+        &self,
+        scenario: Scenario,
+        max_moves: usize,
+        tree: &EpochTree,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.solve_tree_fleet_threaded(
+            scenario,
+            max_moves,
+            tree,
+            auto_tree_threads(tree),
+            initial,
+            rebalance,
+            reprice,
+        )
+    }
+
+    /// [`EpochChain::solve_tree_fleet_bounded`] with the default
+    /// per-epoch move budget — the tree counterpart of
+    /// [`EpochChain::solve_fleet`].
+    pub fn solve_tree_fleet<F>(
+        &self,
+        scenario: Scenario,
+        tree: &EpochTree,
+        initial: &[Placement],
+        rebalance: bool,
+        reprice: &F,
+    ) -> Vec<Vec<EpochStep>>
+    where
+        F: Fn(usize, usize, Placement, &ViewCharge) -> ViewCharge + Sync,
+    {
+        self.solve_tree_fleet_bounded(
+            scenario,
+            local_search::default_move_budget(self.pool.len()),
+            tree,
+            initial,
+            rebalance,
+            reprice,
+        )
+    }
+
+    /// Validates a scenario tree against this chain: every node model
+    /// must cover the chain's query universe (that is what keeps the
+    /// branched evaluators' answer caches valid across
+    /// [`IncrementalEvaluator::retarget`]), node epochs must fit the
+    /// horizon, and every leaf must sit at the final epoch.
+    fn validate_tree(&self, tree: &EpochTree) {
+        let m = self.epochs[0].context().workload.len();
+        for (idx, node) in tree.nodes().iter().enumerate() {
+            assert!(
+                node.epoch < self.len(),
+                "tree node {idx} at epoch {} exceeds the {}-epoch horizon",
+                node.epoch,
+                self.len()
+            );
+            assert_eq!(
+                node.model.context().workload.len(),
+                m,
+                "tree node {idx} has a different workload length"
+            );
+        }
+        for &leaf in tree.leaves() {
+            assert_eq!(
+                tree.nodes()[leaf].epoch,
+                self.len() - 1,
+                "leaf {leaf} must sit at the final epoch"
+            );
+        }
+    }
+
     /// Assembles one epoch's step: transition accounting against the
     /// previous selection plus the full-price reference evaluation.
     /// Single-fleet solvers: every candidate keeps its pool charge's
     /// own placement, so the `moved` partition is always empty.
+    /// `model` is the epoch's *effective* costing model — the chain's
+    /// own epoch model on the flat solvers, the node's quote-repriced
+    /// model on the tree solvers.
     fn step(
         &self,
+        model: &CloudCostModel,
         epoch: usize,
         evaluation: Evaluation,
         baseline: Evaluation,
@@ -989,6 +1340,7 @@ impl EpochChain {
     ) -> EpochStep {
         let placements: Vec<Placement> = self.pool.iter().map(|c| c.placement).collect();
         self.step_with_placements(
+            model,
             epoch,
             evaluation,
             baseline,
@@ -1006,6 +1358,7 @@ impl EpochChain {
     #[allow(clippy::too_many_arguments)]
     fn step_with_placements(
         &self,
+        model: &CloudCostModel,
         epoch: usize,
         evaluation: Evaluation,
         baseline: Evaluation,
@@ -1040,7 +1393,7 @@ impl EpochChain {
         let full_price = Evaluation {
             time: evaluation.time,
             breakdown: CostBreakdown {
-                compute_materialization: self.epochs[epoch].compute_cost(full_materialization),
+                compute_materialization: model.compute_cost(full_materialization),
                 ..evaluation.breakdown
             },
             selection: selection.clone(),
@@ -1055,6 +1408,290 @@ impl EpochChain {
             placements,
         }
     }
+}
+
+/// One node of an [`EpochTree`]: a distinct price-prefix of some
+/// Monte-Carlo path, carrying its own (quote-repriced) costing model
+/// for the epoch it sits at.
+#[derive(Debug, Clone)]
+pub struct EpochTreeNode {
+    /// The previous epoch's node; `None` for a root (epoch-0 node).
+    pub parent: Option<usize>,
+    /// The epoch this node prices.
+    pub epoch: usize,
+    /// The node's effective costing model — same query universe as the
+    /// chain, pricing already repriced to the node's quote.
+    pub model: CloudCostModel,
+}
+
+/// A prefix forest over Monte-Carlo price paths, in solver terms: each
+/// node is one epoch-solve, each edge one warm evaluator transition.
+/// `mv-market`'s `ScenarioTree` compiles into this (the driver attaches
+/// the quote-repriced models); this crate stays market-agnostic.
+///
+/// Nodes are stored parent-before-child, so index order is a valid
+/// (serial) schedule and any parent-completes-first schedule yields the
+/// same results.
+#[derive(Debug, Clone)]
+pub struct EpochTree {
+    nodes: Vec<EpochTreeNode>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    leaves: Vec<usize>,
+    width: usize,
+}
+
+impl EpochTree {
+    /// Builds a tree from parent-linked nodes plus the leaf node each
+    /// requested path ends at (duplicates allowed: identical sampled
+    /// paths share a leaf).
+    ///
+    /// # Panics
+    /// Panics unless nodes are stored parent-before-child, roots sit at
+    /// epoch 0, every child sits one epoch below its parent, and every
+    /// leaf sits at one common final epoch.
+    pub fn new(nodes: Vec<EpochTreeNode>, leaves: Vec<usize>) -> EpochTree {
+        assert!(!nodes.is_empty(), "an epoch tree needs at least one node");
+        assert!(!leaves.is_empty(), "an epoch tree needs at least one leaf");
+        let mut children = vec![Vec::new(); nodes.len()];
+        let mut roots = Vec::new();
+        let mut per_epoch: Vec<usize> = Vec::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            match node.parent {
+                None => {
+                    assert_eq!(node.epoch, 0, "root node {idx} must sit at epoch 0");
+                    roots.push(idx);
+                }
+                Some(p) => {
+                    assert!(p < idx, "node {idx} must be stored after its parent {p}");
+                    assert_eq!(
+                        node.epoch,
+                        nodes[p].epoch + 1,
+                        "node {idx} must sit one epoch below its parent"
+                    );
+                    children[p].push(idx);
+                }
+            }
+            if node.epoch >= per_epoch.len() {
+                per_epoch.resize(node.epoch + 1, 0);
+            }
+            per_epoch[node.epoch] += 1;
+        }
+        for &l in &leaves {
+            assert!(l < nodes.len(), "leaf {l} out of {} nodes", nodes.len());
+        }
+        let last = nodes[leaves[0]].epoch;
+        for &l in &leaves {
+            assert_eq!(
+                nodes[l].epoch, last,
+                "every leaf must sit at the same final epoch"
+            );
+        }
+        let width = per_epoch.iter().copied().max().unwrap_or(1);
+        EpochTree {
+            nodes,
+            children,
+            roots,
+            leaves,
+            width,
+        }
+    }
+
+    /// Every node, parent-before-child.
+    pub fn nodes(&self) -> &[EpochTreeNode] {
+        &self.nodes
+    }
+
+    /// The children of node `idx`, ascending.
+    pub fn children(&self, idx: usize) -> &[usize] {
+        &self.children[idx]
+    }
+
+    /// The epoch-0 nodes — each costs one fresh evaluator build.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The leaf node of each requested path, in request order.
+    pub fn leaves(&self) -> &[usize] {
+        &self.leaves
+    }
+
+    /// Total node count — the number of epoch-solves a tree solve
+    /// performs (vs `paths × epochs` for the flat loop).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree has no nodes (never constructible via
+    /// [`EpochTree::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Edge count (nodes minus roots) — the number of warm
+    /// retarget+splice transitions a tree solve pays.
+    pub fn edges(&self) -> usize {
+        self.nodes.len() - self.roots.len()
+    }
+
+    /// The widest epoch's node count — the maximum useful worker count.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The root→leaf node chain ending at `leaf`, in epoch order.
+    pub fn lineage(&self, leaf: usize) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut at = Some(leaf);
+        while let Some(i) = at {
+            chain.push(i);
+            at = self.nodes[i].parent;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Per-branch solver state threaded through [`run_tree`] by the
+/// single-fleet tree solve.
+struct TreeState {
+    ev: IncrementalEvaluator<'static>,
+    current: Vec<ViewCharge>,
+    prev: SelectionSet,
+}
+
+/// [`TreeState`] plus the standing placement assignment, for the fleet
+/// tree solve.
+struct TreeFleetState {
+    ev: IncrementalEvaluator<'static>,
+    current: Vec<ViewCharge>,
+    prev: SelectionSet,
+    placements: Vec<Placement>,
+}
+
+/// Thread count for a tree solve: one worker per unit of maximum tree
+/// width, capped by the machine. A degenerate chain (width 1) stays
+/// serial inline, paying no scope setup.
+fn auto_tree_threads(tree: &EpochTree) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .min(tree.width())
+}
+
+/// Clones each leaf's root→leaf step chain out of the per-node results.
+fn collect_leaf_steps(tree: &EpochTree, node_steps: &[EpochStep]) -> Vec<Vec<EpochStep>> {
+    tree.leaves()
+        .iter()
+        .map(|&leaf| {
+            tree.lineage(leaf)
+                .into_iter()
+                .map(|i| node_steps[i].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Solves every tree node exactly once, parents before children,
+/// handing each node's post-solve state to its children: the last
+/// child takes it by move, earlier siblings get a `branch` fork.
+/// Returns one [`EpochStep`] per node, in node order.
+///
+/// With `threads <= 1` this is a plain forward pass (nodes are stored
+/// parent-before-child). Otherwise `threads` workers drain a shared
+/// ready queue under a mutex + condvar — a node enters the queue the
+/// moment its parent finishes. Results are schedule-independent: a
+/// node's inputs come only from its parent.
+fn run_tree<S, Solve, Branch>(
+    tree: &EpochTree,
+    threads: usize,
+    solve: Solve,
+    branch: Branch,
+) -> Vec<EpochStep>
+where
+    S: Send,
+    Solve: Fn(usize, Option<S>) -> (EpochStep, S) + Sync,
+    Branch: Fn(&S) -> S + Sync,
+{
+    let len = tree.len();
+    let mut inbox: Vec<Option<S>> = (0..len).map(|_| None).collect();
+    if threads <= 1 {
+        let mut steps = Vec::with_capacity(len);
+        for i in 0..len {
+            let (step, state) = solve(i, inbox[i].take());
+            steps.push(step);
+            if let Some((&last, rest)) = tree.children(i).split_last() {
+                for &c in rest {
+                    inbox[c] = Some(branch(&state));
+                }
+                inbox[last] = Some(state);
+            }
+        }
+        return steps;
+    }
+
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex};
+    struct Board<S> {
+        queue: VecDeque<usize>,
+        inbox: Vec<Option<S>>,
+        steps: Vec<Option<EpochStep>>,
+        done: usize,
+    }
+    let board = Mutex::new(Board {
+        queue: tree.roots().iter().copied().collect(),
+        inbox,
+        steps: (0..len).map(|_| None).collect(),
+        done: 0,
+    });
+    let ready = Condvar::new();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let (i, inherited) = {
+                    let mut b = board.lock().expect("tree board poisoned");
+                    loop {
+                        if b.done == len {
+                            return;
+                        }
+                        if let Some(i) = b.queue.pop_front() {
+                            let inherited = b.inbox[i].take();
+                            break (i, inherited);
+                        }
+                        b = ready.wait(b).expect("tree board poisoned");
+                    }
+                };
+                let (step, state) = solve(i, inherited);
+                // Fork outside the lock: sibling hand-offs are the
+                // expensive part of a split.
+                let kids = tree.children(i);
+                let mut ship: Vec<(usize, S)> = Vec::with_capacity(kids.len());
+                if let Some((&last, rest)) = kids.split_last() {
+                    for &c in rest {
+                        ship.push((c, branch(&state)));
+                    }
+                    ship.push((last, state));
+                }
+                let mut b = board.lock().expect("tree board poisoned");
+                b.steps[i] = Some(step);
+                b.done += 1;
+                for (c, s) in ship {
+                    b.inbox[c] = Some(s);
+                    b.queue.push_back(c);
+                }
+                drop(b);
+                ready.notify_all();
+            });
+        }
+    })
+    .expect("tree solve scope failed");
+    board
+        .into_inner()
+        .expect("tree board poisoned")
+        .steps
+        .into_iter()
+        .map(|s| s.expect("every tree node solved"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1517,5 +2154,267 @@ mod tests {
             vec![p.model().clone(), CloudCostModel::new(ctx)],
             p.candidates().to_vec(),
         );
+    }
+
+    /// Scales every query frequency of `model` by `1 + delta` — a
+    /// deterministic stand-in for a branch-specific price/drift quote.
+    fn perturbed(model: &CloudCostModel, delta: f64) -> CloudCostModel {
+        if delta == 0.0 {
+            return model.clone();
+        }
+        let mut ctx = model.context().clone();
+        for q in ctx.workload.iter_mut() {
+            q.frequency *= 1.0 + delta;
+        }
+        CloudCostModel::new(ctx)
+    }
+
+    /// A 3-leaf, 7-node tree over a 4-epoch drifting chain: paths share
+    /// epochs 0–1, split at epoch 2 (two branches), and branch B splits
+    /// again at epoch 3.
+    ///
+    /// ```text
+    ///   0 ── 1 ──┬── 2 ─── 4          leaves: [4, 5, 6]
+    ///            └── 3 ──┬─ 5
+    ///                    └─ 6
+    /// ```
+    fn branchy_tree(chain: &EpochChain) -> EpochTree {
+        let m = chain.epochs();
+        let node = |parent: Option<usize>, epoch: usize, delta: f64| EpochTreeNode {
+            parent,
+            epoch,
+            model: perturbed(&m[epoch], delta),
+        };
+        EpochTree::new(
+            vec![
+                node(None, 0, 0.0),
+                node(Some(0), 1, 0.0),
+                node(Some(1), 2, 0.0),
+                node(Some(1), 2, 0.35),
+                node(Some(2), 3, 0.0),
+                node(Some(3), 3, 0.35),
+                node(Some(3), 3, 0.7),
+            ],
+            vec![4, 5, 6],
+        )
+    }
+
+    /// The flat per-path reference for one leaf: its lineage solved as
+    /// a stand-alone chain with the node-indexed reprice mapped down to
+    /// epochs.
+    fn lineage_chain(
+        chain: &EpochChain,
+        tree: &EpochTree,
+        leaf: usize,
+    ) -> (EpochChain, Vec<usize>) {
+        let lineage = tree.lineage(leaf);
+        let models: Vec<CloudCostModel> = lineage
+            .iter()
+            .map(|&i| tree.nodes()[i].model.clone())
+            .collect();
+        (EpochChain::new(models, chain.pool().to_vec()), lineage)
+    }
+
+    fn assert_steps_eq(a: &[EpochStep], b: &[EpochStep], tag: &str) {
+        assert_eq!(a.len(), b.len(), "{tag}: length");
+        for (e, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.outcome.evaluation, y.outcome.evaluation,
+                "{tag} epoch {e}"
+            );
+            assert_eq!(x.outcome.baseline, y.outcome.baseline, "{tag} epoch {e}");
+            assert_eq!(x.full_price, y.full_price, "{tag} epoch {e}");
+            assert_eq!(x.added, y.added, "{tag} epoch {e}");
+            assert_eq!(x.kept, y.kept, "{tag} epoch {e}");
+            assert_eq!(x.dropped, y.dropped, "{tag} epoch {e}");
+            assert_eq!(x.moved, y.moved, "{tag} epoch {e}");
+            assert_eq!(x.placements, y.placements, "{tag} epoch {e}");
+        }
+    }
+
+    #[test]
+    fn tree_solve_is_bit_identical_to_flat_per_path_solves() {
+        let chain = drifting_chain(4);
+        let tree = branchy_tree(&chain);
+        // A per-node transform shaped like the market's interruption
+        // premium, keyed on the node's epoch so the flat reference can
+        // reproduce it exactly.
+        let attempts = |e: usize| 1.0 + 0.2 * e as f64;
+        let tree_reprice = |node: usize, _k: usize, c: &ViewCharge| -> ViewCharge {
+            let a = attempts(tree.nodes()[node].epoch);
+            ViewCharge {
+                materialization: c.materialization * a,
+                maintenance: c.maintenance * a,
+                ..c.clone()
+            }
+        };
+        for scenario in [
+            Scenario::tradeoff(0.02),
+            Scenario::tradeoff_normalized(0.5),
+            Scenario::time_limit(Hours::new(20.0)),
+        ] {
+            let solved = chain.solve_tree(scenario, &tree, &tree_reprice);
+            assert_eq!(solved.len(), tree.leaves().len());
+            for (j, &leaf) in tree.leaves().iter().enumerate() {
+                let (flat, _) = lineage_chain(&chain, &tree, leaf);
+                let reference = flat.solve_repriced(scenario, &|e, _k, c: &ViewCharge| {
+                    let a = attempts(e);
+                    ViewCharge {
+                        materialization: c.materialization * a,
+                        maintenance: c.maintenance * a,
+                        ..c.clone()
+                    }
+                });
+                assert_steps_eq(
+                    &solved[j],
+                    &reference,
+                    &format!("leaf {leaf} ({scenario:?})"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_fleet_solve_is_bit_identical_to_flat_per_path_solves() {
+        let chain = drifting_chain(4);
+        let tree = branchy_tree(&chain);
+        let n = chain.pool().len();
+        let initial = vec![Placement::Reserved; n];
+        // Spot factor keyed on the node's epoch (so the flat reference
+        // can reproduce it) with enough spread to force rebalancing.
+        let spot = |e: usize| [0.4, 0.5, 0.9, 0.45][e];
+        let tree_reprice = |node: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            match p {
+                Placement::Reserved => c.clone(),
+                Placement::Spot => {
+                    let f = spot(tree.nodes()[node].epoch);
+                    ViewCharge {
+                        materialization: c.materialization * f,
+                        maintenance: c.maintenance * f,
+                        ..c.clone()
+                    }
+                }
+            }
+        };
+        let flat_reprice = |e: usize, _k: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            match p {
+                Placement::Reserved => c.clone(),
+                Placement::Spot => ViewCharge {
+                    materialization: c.materialization * spot(e),
+                    maintenance: c.maintenance * spot(e),
+                    ..c.clone()
+                },
+            }
+        };
+        for scenario in [Scenario::tradeoff(0.02), Scenario::tradeoff_normalized(0.5)] {
+            for rebalance in [false, true] {
+                let solved =
+                    chain.solve_tree_fleet(scenario, &tree, &initial, rebalance, &tree_reprice);
+                for (j, &leaf) in tree.leaves().iter().enumerate() {
+                    let (flat, _) = lineage_chain(&chain, &tree, leaf);
+                    let reference = flat.solve_fleet(scenario, &initial, rebalance, &flat_reprice);
+                    assert_steps_eq(
+                        &solved[j],
+                        &reference,
+                        &format!("leaf {leaf} rebalance={rebalance} ({scenario:?})"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_solve_is_schedule_independent() {
+        // The work-queue path must match the serial inline path for any
+        // worker count (the 1-CPU CI box never exercises it otherwise).
+        let chain = drifting_chain(4);
+        let tree = branchy_tree(&chain);
+        let scenario = Scenario::tradeoff_normalized(0.5);
+        let budget = crate::local_search::default_move_budget(chain.pool().len());
+        let serial =
+            chain.solve_tree_threaded(scenario, budget, &tree, 1, &|_, _, c: &ViewCharge| {
+                c.clone()
+            });
+        for threads in [2, 4] {
+            let parallel = chain.solve_tree_threaded(
+                scenario,
+                budget,
+                &tree,
+                threads,
+                &|_, _, c: &ViewCharge| c.clone(),
+            );
+            for (j, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_steps_eq(s, p, &format!("leaf {j} threads={threads}"));
+            }
+        }
+        let n = chain.pool().len();
+        let initial = vec![Placement::Reserved; n];
+        let fleet = |_: usize, _: usize, p: Placement, c: &ViewCharge| -> ViewCharge {
+            match p {
+                Placement::Reserved => c.clone(),
+                Placement::Spot => ViewCharge {
+                    materialization: c.materialization * 0.4,
+                    maintenance: c.maintenance * 0.4,
+                    ..c.clone()
+                },
+            }
+        };
+        let serial_fleet =
+            chain.solve_tree_fleet_threaded(scenario, budget, &tree, 1, &initial, true, &fleet);
+        let parallel_fleet =
+            chain.solve_tree_fleet_threaded(scenario, budget, &tree, 4, &initial, true, &fleet);
+        for (j, (s, p)) in serial_fleet.iter().zip(&parallel_fleet).enumerate() {
+            assert_steps_eq(s, p, &format!("fleet leaf {j}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_chain_tree_reproduces_solve() {
+        // A deterministic market's tree is a single chain: the tree
+        // solve must be `solve` exactly, for every leaf alias.
+        let chain = drifting_chain(4);
+        let nodes: Vec<EpochTreeNode> = (0..4)
+            .map(|e| EpochTreeNode {
+                parent: (e > 0).then(|| e - 1),
+                epoch: e,
+                model: chain.epochs()[e].clone(),
+            })
+            .collect();
+        let tree = EpochTree::new(nodes, vec![3, 3, 3]);
+        assert_eq!(tree.edges(), 3);
+        assert_eq!(tree.width(), 1);
+        let scenario = Scenario::tradeoff(0.02);
+        let solved = chain.solve_tree(scenario, &tree, &|_, _, c: &ViewCharge| c.clone());
+        let reference = chain.solve(scenario);
+        for (j, steps) in solved.iter().enumerate() {
+            assert_steps_eq(steps, &reference, &format!("alias {j}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one epoch below its parent")]
+    fn tree_rejects_epoch_gaps() {
+        let chain = flat_chain(3);
+        let node = |parent: Option<usize>, epoch: usize| EpochTreeNode {
+            parent,
+            epoch,
+            model: chain.epochs()[epoch].clone(),
+        };
+        EpochTree::new(vec![node(None, 0), node(Some(0), 2)], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final epoch")]
+    fn tree_leaves_must_reach_the_horizon() {
+        let chain = flat_chain(3);
+        let node = |parent: Option<usize>, epoch: usize| EpochTreeNode {
+            parent,
+            epoch,
+            model: chain.epochs()[epoch].clone(),
+        };
+        let tree = EpochTree::new(vec![node(None, 0), node(Some(0), 1)], vec![1]);
+        chain.solve_tree(Scenario::tradeoff(0.02), &tree, &|_, _, c: &ViewCharge| {
+            c.clone()
+        });
     }
 }

@@ -37,12 +37,20 @@
 //! * the best/runner-up cache is four parallel arrays, not an
 //!   array-of-structs.
 //!
-//! [`IncrementalEvaluator::snapshot`] rebuilds a full [`Evaluation`] in
-//! O(n + m) from the cached per-query minima, summing in exactly the
-//! same order as [`SelectionProblem::evaluate`] (and assembling the
-//! breakdown through `CloudCostModel::breakdown_from_totals`, the same
-//! routine `with_views` uses), so snapshots are **bit-identical** to
-//! full re-evaluations — property-tested in `tests/evaluator_matches.rs`.
+//! # Dirty-delta snapshots
+//!
+//! [`IncrementalEvaluator::snapshot`] rebuilds a full [`Evaluation`]
+//! from the cached per-query minima through the canonical blocked
+//! processing-time fold (`mv_cost::TIME_FOLD_BLOCK`-wide partial sums):
+//! flips mark only the blocks whose best view changed, and a probe
+//! refolds just those blocks plus the O(m/B) block-sum total — O(deg)
+//! per probe where the flat fold was O(n + m)
+//! ([`IncrementalEvaluator::snapshot_cold`] keeps the full fold as the
+//! benchmark reference). Every fold runs in exactly the same order as
+//! [`SelectionProblem::evaluate`] (and the breakdown assembles through
+//! `CloudCostModel::compute_cost`, the same routine `with_views` uses),
+//! so snapshots are **bit-identical** to full re-evaluations —
+//! property-tested in `tests/evaluator_matches.rs`.
 //!
 //! # Dynamic candidates
 //!
@@ -71,7 +79,7 @@
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge};
+use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge, TIME_FOLD_BLOCK};
 use mv_units::{Gb, Hours, Money, Months};
 
 use crate::{Evaluation, SelectionProblem};
@@ -95,6 +103,18 @@ const COMPACT_MIN_DEAD: usize = 1024;
 /// counter to *assert* that a hot loop reuses its evaluator through
 /// `retarget`/`update_charge` instead of silently rebuilding per epoch.
 static BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`IncrementalEvaluator::retarget`] calls — one
+/// per epoch-boundary model swap. The scenario-tree solver performs
+/// exactly one retarget per tree *edge*, which
+/// `tests/market_no_rebuild.rs` asserts via deltas of this counter.
+static RETARGETS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of [`IncrementalEvaluator::fork`] calls — the
+/// clone-on-branch operations of the scenario-tree solver. A fork copies
+/// the warm caches instead of paying a full O(n·m) build, so it is
+/// deliberately *not* counted as a build.
+static FORKS: AtomicUsize = AtomicUsize::new(0);
 
 /// One view's slice of the CSR arena.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +175,19 @@ pub struct IncrementalEvaluator<'p> {
     /// (which are selection-independent; only the *size* each interval
     /// holds shifts by the selected views' total size).
     storage_intervals: Vec<(usize, Months)>,
+    /// Cached per-block partial sums of the canonical
+    /// [`TIME_FOLD_BLOCK`]-wide processing-time fold. A probe refolds
+    /// only the blocks whose per-query minima changed since the last
+    /// refresh, so `snapshot()` is O(selected + m/B + B·dirty) instead
+    /// of O(n + m).
+    block_time: Vec<Hours>,
+    /// Whether block `b` needs a refold (parallel to `block_time`).
+    block_dirty: Vec<bool>,
+    /// The dirty blocks, unordered (refolds are independent).
+    dirty_blocks: Vec<u32>,
+    /// Every block is stale (fresh build / retarget): refold them all
+    /// and ignore the dirty list.
+    all_dirty: bool,
 }
 
 impl<'p> IncrementalEvaluator<'p> {
@@ -178,6 +211,29 @@ impl<'p> IncrementalEvaluator<'p> {
     /// rebuild — the no-rebuild assertions of the market tests.
     pub fn build_count() -> usize {
         BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Total [`IncrementalEvaluator::retarget`] calls in this process so
+    /// far (monotone). The scenario-tree tests assert "one retarget per
+    /// tree edge" through deltas of this counter.
+    pub fn retarget_count() -> usize {
+        RETARGETS.load(Ordering::Relaxed)
+    }
+
+    /// Total [`IncrementalEvaluator::fork`] calls in this process so far
+    /// (monotone).
+    pub fn fork_count() -> usize {
+        FORKS.load(Ordering::Relaxed)
+    }
+
+    /// Clones the warm evaluator for a scenario-tree branch point: the
+    /// copy carries every cache (answer arena, top-k tables, per-query
+    /// minima, block sums) and continues independently. Counted in
+    /// [`IncrementalEvaluator::fork_count`], *not* in
+    /// [`IncrementalEvaluator::build_count`] — no O(n·m) rebuild happens.
+    pub fn fork(&self) -> Self {
+        FORKS.fetch_add(1, Ordering::Relaxed);
+        self.clone()
     }
 
     fn build(problem: Cow<'p, SelectionProblem>) -> Self {
@@ -208,6 +264,10 @@ impl<'p> IncrementalEvaluator<'p> {
             second_time: vec![Hours::ZERO; m],
             transfer,
             storage_intervals,
+            block_time: vec![Hours::ZERO; m.div_ceil(TIME_FOLD_BLOCK)],
+            block_dirty: vec![false; m.div_ceil(TIME_FOLD_BLOCK)],
+            dirty_blocks: Vec::new(),
+            all_dirty: true,
         };
         for k in 0..n {
             ev.push_span(k);
@@ -524,9 +584,12 @@ impl<'p> IncrementalEvaluator<'p> {
     /// the two selection-independent caches — the transfer cost and the
     /// storage-interval template — are recomputed, in O(m + inserts).
     pub fn retarget(&mut self, model: CloudCostModel) {
+        RETARGETS.fetch_add(1, Ordering::Relaxed);
         self.problem.to_mut().set_model(model);
         self.transfer = self.problem.model().transfer_cost();
         self.storage_intervals = storage_interval_template(&self.problem);
+        // Base times and frequencies may have changed under every block.
+        self.all_dirty = true;
     }
 
     /// The current selection.
@@ -556,6 +619,7 @@ impl<'p> IncrementalEvaluator<'p> {
                 self.second_time[i] = self.best_time[i];
                 self.best_view[i] = kk;
                 self.best_time[i] = t;
+                self.mark_time_dirty(i);
             } else if self.second_view[i] == NONE || t < self.second_time[i] {
                 self.second_view[i] = kk;
                 self.second_time[i] = t;
@@ -578,6 +642,7 @@ impl<'p> IncrementalEvaluator<'p> {
                 let (sv, st) = (self.second_view[i], self.second_time[i]);
                 self.best_view[i] = sv;
                 self.best_time[i] = st;
+                self.mark_time_dirty(i);
                 if sv == NONE {
                     self.second_view[i] = NONE;
                     self.second_time[i] = Hours::ZERO;
@@ -614,23 +679,77 @@ impl<'p> IncrementalEvaluator<'p> {
         }
     }
 
-    /// Frequency-weighted total processing time (Formula 9 summed),
-    /// recomputed from the per-query caches in workload order — the same
-    /// summation order as `processing_time_with_views`, so the result is
-    /// bit-identical. O(m).
-    pub fn processing_time(&self) -> Hours {
-        self.problem
-            .model()
-            .context()
-            .workload
-            .iter()
-            .enumerate()
-            .map(|(i, q)| self.query_time(i) * q.frequency)
-            .sum()
+    /// Marks query `i`'s time-fold block stale (its best selected view
+    /// changed). O(1).
+    fn mark_time_dirty(&mut self, i: usize) {
+        if self.all_dirty {
+            return;
+        }
+        let b = i / TIME_FOLD_BLOCK;
+        if !self.block_dirty[b] {
+            self.block_dirty[b] = true;
+            self.dirty_blocks.push(b as u32);
+        }
+    }
+
+    /// Refolds `block_time[b]` from the per-query caches, in workload
+    /// order from an exact zero — the same inner fold as
+    /// `CloudCostModel::processing_time_with_views`.
+    fn refold_block(&mut self, b: usize) {
+        let workload = &self.problem.model().context().workload;
+        let start = b * TIME_FOLD_BLOCK;
+        let end = (start + TIME_FOLD_BLOCK).min(workload.len());
+        let mut block = Hours::ZERO;
+        for (i, q) in workload.iter().enumerate().take(end).skip(start) {
+            let base = q.base_time;
+            let t = if self.best_view[i] == NONE {
+                base
+            } else {
+                base.min(self.best_time[i])
+            };
+            block += t * q.frequency;
+        }
+        self.block_time[b] = block;
+    }
+
+    /// Brings every stale block sum up to date.
+    fn refresh_time_blocks(&mut self) {
+        if self.all_dirty {
+            for b in 0..self.block_time.len() {
+                self.refold_block(b);
+            }
+            self.all_dirty = false;
+            for idx in 0..self.dirty_blocks.len() {
+                self.block_dirty[self.dirty_blocks[idx] as usize] = false;
+            }
+            self.dirty_blocks.clear();
+            return;
+        }
+        while let Some(b) = self.dirty_blocks.pop() {
+            self.block_dirty[b as usize] = false;
+            self.refold_block(b as usize);
+        }
+    }
+
+    /// Frequency-weighted total processing time (Formula 9 summed)
+    /// through the canonical blocked fold: stale block sums refold from
+    /// the per-query caches (each in workload order from an exact zero)
+    /// and the total folds the block sums in order — exactly the
+    /// arithmetic of `processing_time_with_views`, so the result is
+    /// bit-identical. O(m/B + B·dirty) per probe instead of O(m).
+    pub fn processing_time(&mut self) -> Hours {
+        self.refresh_time_blocks();
+        let mut total = Hours::ZERO;
+        for &block in &self.block_time {
+            total += block;
+        }
+        total
     }
 
     /// Full [`Evaluation`] of the current selection, agreeing exactly
-    /// with [`SelectionProblem::evaluate`]. O(n + m).
+    /// with [`SelectionProblem::evaluate`]. O(selected + m/B + B·dirty):
+    /// the processing-time total is a dirty-delta refold over the cached
+    /// block sums, not a full O(m) sweep.
     ///
     /// Exactness: the time total is summed in workload order and the
     /// per-candidate totals in candidate order — the same fold orders as
@@ -641,10 +760,10 @@ impl<'p> IncrementalEvaluator<'p> {
     /// precomputed template, so every `f64` operation matches
     /// `storage_cost_with_extra` bit for bit — without rebuilding (and
     /// re-allocating) a `StorageTimeline` per probe.
-    pub fn snapshot(&self) -> Evaluation {
+    pub fn snapshot(&mut self) -> Evaluation {
+        let time = self.processing_time();
         let model = self.problem.model();
         let candidates = self.problem.candidates();
-        let time = self.processing_time();
         // One fused pass over the selected candidates; each accumulator
         // folds in ascending candidate order from its zero, exactly like
         // the model's separate `.sum()` calls.
@@ -670,6 +789,15 @@ impl<'p> IncrementalEvaluator<'p> {
             },
             selection: self.selection.clone(),
         }
+    }
+
+    /// [`IncrementalEvaluator::snapshot`] with every block sum forced
+    /// stale first — the full O(n + m) fold the dirty-delta path
+    /// replaces. Exists as the benchmark reference (`--bench scale`
+    /// races the two) and as a self-check handle; results are identical.
+    pub fn snapshot_cold(&mut self) -> Evaluation {
+        self.all_dirty = true;
+        self.snapshot()
     }
 
     /// Storage cost of dataset + inserts + `extra` over the billing
@@ -738,7 +866,7 @@ mod tests {
     #[test]
     fn empty_matches_baseline() {
         let p = paper_like_problem();
-        let ev = IncrementalEvaluator::new(&p);
+        let mut ev = IncrementalEvaluator::new(&p);
         assert_eq!(ev.snapshot(), p.baseline());
     }
 
@@ -804,7 +932,7 @@ mod tests {
     fn with_selection_positions_correctly() {
         let p = paper_like_problem();
         let sel = SelectionSet::from_mask(0b0101, p.len());
-        let ev = IncrementalEvaluator::with_selection(&p, &sel);
+        let mut ev = IncrementalEvaluator::with_selection(&p, &sel);
         assert_eq!(ev.snapshot(), p.evaluate(&sel));
         assert!(ev.is_selected(0) && ev.is_selected(2));
         assert!(!ev.is_selected(1));

@@ -18,14 +18,14 @@ pub(crate) fn sweep_masks(
     problem: &SelectionProblem,
     lo: u64,
     hi: u64,
-    mut visit: impl FnMut(u64, &IncrementalEvaluator<'_>),
+    mut visit: impl FnMut(u64, &mut IncrementalEvaluator<'_>),
 ) {
     debug_assert!(lo < hi, "empty sweep range");
     let mut ev =
         IncrementalEvaluator::with_selection(problem, &SelectionSet::from_mask(lo, problem.len()));
     let mut mask = lo;
     loop {
-        visit(mask, &ev);
+        visit(mask, &mut ev);
         mask += 1;
         if mask >= hi {
             return;

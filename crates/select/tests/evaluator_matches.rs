@@ -57,7 +57,7 @@ proptest! {
         let problem = fixtures::random_problem(seed, n_queries, n_candidates);
         let mask = mask & ((1u64 << problem.len()) - 1);
         let sel = SelectionSet::from_mask(mask, problem.len());
-        let ev = IncrementalEvaluator::with_selection(&problem, &sel);
+        let mut ev = IncrementalEvaluator::with_selection(&problem, &sel);
         prop_assert_eq!(ev.snapshot(), problem.evaluate(&sel));
     }
 
@@ -323,7 +323,7 @@ proptest! {
         );
 
         let sel = SelectionSet::from_mask(mask, problem.len());
-        let ev = IncrementalEvaluator::with_selection(&problem, &sel);
+        let mut ev = IncrementalEvaluator::with_selection(&problem, &sel);
         prop_assert_eq!(ev.snapshot(), problem.evaluate(&sel));
     }
 }

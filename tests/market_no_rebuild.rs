@@ -1,30 +1,54 @@
-//! Acceptance: the sampled-path hot loop of `Advisor::solve_market`
-//! reuses evaluators via `retarget`/`update_charge` — no per-epoch
-//! rebuild.
+//! Acceptance: the Monte-Carlo hot path of `Advisor::solve_market` /
+//! `solve_fleet` pays *tree-shaped* work — one evaluator build per
+//! scenario-tree root, one warm `retarget` per tree edge, one
+//! evaluator fork per extra sibling at each split — instead of per
+//! path × epoch.
 //!
-//! `IncrementalEvaluator::build_count` counts every full O(n·m)
-//! evaluator construction process-wide. A K-path, E-epoch market solve
-//! must build exactly K evaluators (one per path's chain, at epoch 0);
-//! a per-epoch rebuild would show up as K·E. This file holds exactly
-//! one test so the counter delta cannot be perturbed by concurrent
-//! tests in the same process.
+//! `IncrementalEvaluator::{build_count, retarget_count, fork_count}`
+//! count those operations process-wide. This file holds exactly one
+//! test so the counter deltas cannot be perturbed by concurrent tests
+//! in the same process.
 
 use mvcloud::fleet::FleetConfig;
-use mvcloud::market::{CorrelatedHazard, MarketConfig, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::market::{
+    CorrelatedHazard, MarketConfig, MarketScenario, PriceProcess, ScenarioTree, SpotMarket,
+};
 use mvcloud::select::IncrementalEvaluator;
 use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario};
 
+/// The work a tree-aware solve must pay for this market: (evaluator
+/// builds = roots, retargets = edges, forks = Σ max(0, children − 1)).
+fn tree_shape(market: &MarketScenario, paths: usize) -> (usize, usize, usize) {
+    let sampled: Vec<_> = (0..paths).map(|j| market.path(j)).collect();
+    let tree = ScenarioTree::from_paths(&sampled);
+    let forks = tree
+        .nodes()
+        .iter()
+        .map(|n| n.children.len().saturating_sub(1))
+        .sum();
+    (tree.roots().len(), tree.edges(), forks)
+}
+
+/// Snapshot of the three process-wide evaluator counters.
+fn counters() -> (usize, usize, usize) {
+    (
+        IncrementalEvaluator::build_count(),
+        IncrementalEvaluator::retarget_count(),
+        IncrementalEvaluator::fork_count(),
+    )
+}
+
 #[test]
-fn k_path_market_solve_builds_one_evaluator_per_path() {
+fn market_solves_pay_tree_shaped_work() {
     const PATHS: usize = 16;
     const EPOCHS: usize = 6;
     let advisor =
         Advisor::build(sales_domain(1_000, 4, 5.0, 42), AdvisorConfig::default()).unwrap();
-    // A stochastic market, so all K paths are genuinely distinct solves
-    // (a deterministic market is deduplicated to one chain solve). The
-    // spot premium also re-risks charges at every boundary, so the loop
-    // really does splice per epoch — through update_charge, not
-    // rebuilds.
+    // A stochastic market, so paths genuinely diverge (while still
+    // sharing prefixes — the spot process pins epoch 0, so the forest
+    // is one tree). The spot premium also re-risks charges at every
+    // boundary, so the loop really does splice per transition —
+    // through update_charge, not rebuilds.
     let market = MarketScenario::constant(EPOCHS, 99)
         .with(PriceProcess::Spot(SpotMarket::discounted(0.5, 0.4)));
     let config = MarketConfig {
@@ -32,46 +56,89 @@ fn k_path_market_solve_builds_one_evaluator_per_path() {
         paths: PATHS,
         ..MarketConfig::default()
     };
+    let (roots, edges, forks) = tree_shape(&market, PATHS);
+    assert!(
+        roots + edges < PATHS * EPOCHS,
+        "fixture must actually share prefixes"
+    );
 
-    let before = IncrementalEvaluator::build_count();
+    let before = counters();
     let report = advisor
         .solve_market(Scenario::tradeoff_normalized(0.5), &config)
         .unwrap();
-    let built = IncrementalEvaluator::build_count() - before;
+    let after = counters();
 
     assert_eq!(report.paths.len(), PATHS);
     assert_eq!(report.epochs.len(), EPOCHS);
+    assert_eq!(report.tree_nodes, Some(roots + edges));
     assert_eq!(
-        built, PATHS,
-        "expected one evaluator build per sampled path; \
-         {built} builds for {PATHS} paths × {EPOCHS} epochs means the \
-         hot loop is rebuilding instead of retargeting"
+        after.0 - before.0,
+        roots,
+        "expected one evaluator build per tree root; more means the \
+         hot loop is rebuilding instead of branching the warm state"
+    );
+    assert_eq!(
+        after.1 - before.1,
+        edges,
+        "expected one retarget per tree edge ({edges}), not per \
+         path × epoch ({})",
+        PATHS * (EPOCHS - 1)
+    );
+    assert_eq!(
+        after.2 - before.2,
+        forks,
+        "expected one evaluator fork per extra sibling at each split"
+    );
+
+    // The flat reference loop pays per distinct path × epoch: one
+    // build per representative chain, one retarget per epoch boundary
+    // of each, and no forks at all.
+    let flat_config = MarketConfig {
+        flat: true,
+        ..config
+    };
+    let before = counters();
+    let flat_report = advisor
+        .solve_market(Scenario::tradeoff_normalized(0.5), &flat_config)
+        .unwrap();
+    let after = counters();
+    let distinct = flat_report.distinct_solves;
+    assert_eq!(after.0 - before.0, distinct);
+    assert_eq!(after.1 - before.1, distinct * (EPOCHS - 1));
+    assert_eq!(after.2 - before.2, 0);
+    assert!(
+        roots + edges < distinct * EPOCHS,
+        "the tree must pay fewer epoch-solves than the flat loop"
     );
 
     // The mixed-fleet case: joint selection + placement over a hedged
     // fleet with correlated crunch epochs. Placement flips are charge
-    // splices on the same warm evaluator, so the bound is identical —
-    // one build per path, no matter how many views move pools.
+    // splices on the same warm evaluator, so the bounds are identical
+    // tree-shaped work — no matter how many views move pools.
+    let fleet_market = market.with(PriceProcess::Correlated(
+        CorrelatedHazard::bursty(0.35, 0.8, 0.6).with_crunch_compute(1.5),
+    ));
     let fleet_config = FleetConfig {
-        market: market.with(PriceProcess::Correlated(
-            CorrelatedHazard::bursty(0.35, 0.8, 0.6).with_crunch_compute(1.5),
-        )),
+        market: fleet_market.clone(),
         paths: PATHS,
         compare_pure: false,
         ..FleetConfig::default()
     };
-    let before = IncrementalEvaluator::build_count();
+    let (roots, edges, forks) = tree_shape(&fleet_market, PATHS);
+    let before = counters();
     let fleet_report = advisor
         .solve_fleet(Scenario::tradeoff_normalized(0.5), &fleet_config)
         .unwrap();
-    let built = IncrementalEvaluator::build_count() - before;
+    let after = counters();
 
     assert_eq!(fleet_report.paths.len(), PATHS);
     assert_eq!(fleet_report.epochs.len(), EPOCHS);
+    assert_eq!(fleet_report.tree_nodes, Some(roots + edges));
     assert_eq!(
-        built, PATHS,
-        "expected one evaluator build per sampled fleet path; \
-         {built} builds for {PATHS} paths × {EPOCHS} epochs means \
-         placement moves are rebuilding instead of splicing"
+        after.0 - before.0,
+        roots,
+        "expected one evaluator build per fleet tree root"
     );
+    assert_eq!(after.1 - before.1, edges);
+    assert_eq!(after.2 - before.2, forks);
 }

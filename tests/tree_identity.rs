@@ -1,0 +1,177 @@
+//! Scenario-tree ≡ flat identity: the tree-routed Monte-Carlo solvers
+//! must reproduce the flat per-path reference loop **bit for bit**.
+//!
+//! The tree solves each shared quote-prefix once and branches the warm
+//! evaluator at split points; the flat loop solves every path as its
+//! own chain. A node's search trajectory depends only on its costing
+//! model, its effective charges and the selection it inherits — all
+//! shared along a prefix — so the two routes must agree exactly: same
+//! per-path bills, hours, selections and placements, same quantile
+//! envelopes, same plan stability, same commitment comparison. These
+//! properties drive both `Advisor::solve_market` (volatile spot
+//! markets) and `Advisor::solve_fleet` (hedged fleets under correlated
+//! interruption crunches) over random market shapes.
+
+use std::sync::OnceLock;
+
+use mvcloud::fleet::FleetConfig;
+use mvcloud::market::{CorrelatedHazard, MarketConfig, MarketScenario, PriceProcess, SpotMarket};
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario};
+use proptest::prelude::*;
+
+/// One measured advisor shared by every proptest case (building one is
+/// the expensive part; the properties only vary the solve).
+fn advisor() -> &'static Advisor {
+    static ADVISOR: OnceLock<Advisor> = OnceLock::new();
+    ADVISOR.get_or_init(|| {
+        Advisor::build(sales_domain(1_000, 4, 5.0, 42), AdvisorConfig::default()).unwrap()
+    })
+}
+
+/// A genuinely volatile market: a mean-reverting spot process with a
+/// random discount and volatility, optionally stacked with a bursty
+/// correlated-hazard regime (correlated interruption epochs).
+fn volatile_market(
+    epochs: usize,
+    seed: u64,
+    discount: f64,
+    volatility: f64,
+    hazard: Option<(f64, f64)>,
+) -> MarketScenario {
+    let mut market = MarketScenario::constant(epochs, seed).with(PriceProcess::Spot(
+        SpotMarket::discounted(discount, volatility),
+    ));
+    if let Some((calm_to_crunch, crunch_hazard)) = hazard {
+        market = market.with(PriceProcess::Correlated(
+            CorrelatedHazard::bursty(calm_to_crunch, 0.7, crunch_hazard).with_crunch_compute(1.3),
+        ));
+    }
+    market
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tree_market_solve_matches_flat_bit_for_bit(
+        epochs in 2usize..6,
+        paths in 2usize..14,
+        seed in 0u64..1_000,
+        discount in 0.3f64..0.9,
+        volatility in 0.1f64..0.7,
+        alpha in 0.1f64..0.9,
+    ) {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(alpha);
+        let tree_cfg = MarketConfig {
+            market: volatile_market(epochs, seed, discount, volatility, None),
+            paths,
+            commitment: Some(mvcloud::pricing::CommitmentPlan::aws_small_1yr()),
+            ..MarketConfig::default()
+        };
+        let flat_cfg = MarketConfig { flat: true, ..tree_cfg.clone() };
+        let tree = a.solve_market(scenario, &tree_cfg).unwrap();
+        let flat = a.solve_market(scenario, &flat_cfg).unwrap();
+
+        // Quantile envelopes.
+        prop_assert_eq!(tree.total_cost, flat.total_cost);
+        prop_assert_eq!(tree.total_time_hours, flat.total_time_hours);
+        prop_assert_eq!(tree.plan_stability, flat.plan_stability);
+        // Per-path bills and plans.
+        prop_assert_eq!(tree.paths.len(), flat.paths.len());
+        for (t, f) in tree.paths.iter().zip(&flat.paths) {
+            prop_assert_eq!(t.total_cost, f.total_cost);
+            prop_assert_eq!(t.total_time, f.total_time);
+            prop_assert_eq!(t.billed_instance_hours, f.billed_instance_hours);
+            prop_assert_eq!(t.compute_bill, f.compute_bill);
+            prop_assert_eq!(&t.epoch_costs, &f.epoch_costs);
+            prop_assert_eq!(&t.selections, &f.selections);
+            prop_assert_eq!(t.switches, f.switches);
+            prop_assert_eq!(t.interruptions, f.interruptions);
+        }
+        // Per-epoch envelope and modal plans.
+        for (t, f) in tree.epochs.iter().zip(&flat.epochs) {
+            prop_assert_eq!(t.charged_cost, f.charged_cost);
+            prop_assert_eq!(t.cumulative_cost, f.cumulative_cost);
+            prop_assert_eq!(t.time_hours, f.time_hours);
+            prop_assert_eq!(t.distinct_plans, f.distinct_plans);
+            prop_assert_eq!(t.modal_share, f.modal_share);
+            prop_assert_eq!(&t.modal_selection, &f.modal_selection);
+        }
+        // Commitment comparison prices identically.
+        let tc = tree.commitment.unwrap();
+        let fc = flat.commitment.unwrap();
+        prop_assert_eq!(tc.spot_compute, fc.spot_compute);
+        prop_assert_eq!(tc.reserved, fc.reserved);
+        prop_assert_eq!(tc.saving, fc.saving);
+        prop_assert_eq!(tc.reserved_wins_share, fc.reserved_wins_share);
+        // Both modes dedup to the same number of distinct solves, and
+        // the tree never pays more epoch-solves than the flat loop.
+        prop_assert_eq!(tree.distinct_solves, flat.distinct_solves);
+        let nodes = tree.tree_nodes.unwrap();
+        prop_assert!(nodes <= flat.distinct_solves * epochs);
+    }
+
+    #[test]
+    fn tree_fleet_solve_matches_flat_bit_for_bit(
+        epochs in 2usize..5,
+        paths in 2usize..10,
+        seed in 0u64..1_000,
+        discount in 0.3f64..0.8,
+        volatility in 0.0f64..0.5,
+        calm_to_crunch in 0.1f64..0.6,
+        crunch_hazard in 0.2f64..0.8,
+        rebalance in proptest::bool::ANY,
+        alpha in 0.2f64..0.8,
+    ) {
+        let a = advisor();
+        let scenario = Scenario::tradeoff_normalized(alpha);
+        let mut fleet = mvcloud::pricing::FleetPlan::hedged("hedged");
+        fleet.rebalance = rebalance;
+        let tree_cfg = FleetConfig {
+            market: volatile_market(
+                epochs, seed, discount, volatility,
+                Some((calm_to_crunch, crunch_hazard)),
+            ),
+            paths,
+            fleet,
+            compare_pure: false,
+            ..FleetConfig::default()
+        };
+        let flat_cfg = FleetConfig { flat: true, ..tree_cfg.clone() };
+        let tree = a.solve_fleet(scenario, &tree_cfg).unwrap();
+        let flat = a.solve_fleet(scenario, &flat_cfg).unwrap();
+
+        prop_assert_eq!(tree.total_cost, flat.total_cost);
+        prop_assert_eq!(tree.total_time_hours, flat.total_time_hours);
+        prop_assert_eq!(tree.hedge_ratio, flat.hedge_ratio);
+        prop_assert_eq!(tree.plan_stability, flat.plan_stability);
+        for (t, f) in tree.paths.iter().zip(&flat.paths) {
+            prop_assert_eq!(t.total_cost, f.total_cost);
+            prop_assert_eq!(t.total_time, f.total_time);
+            prop_assert_eq!(t.billed_instance_hours, f.billed_instance_hours);
+            prop_assert_eq!(t.reserved_hours, f.reserved_hours);
+            prop_assert_eq!(t.spot_hours, f.spot_hours);
+            prop_assert_eq!(t.spot_share, f.spot_share);
+            prop_assert_eq!(&t.epoch_costs, &f.epoch_costs);
+            prop_assert_eq!(&t.selections, &f.selections);
+            prop_assert_eq!(&t.placements, &f.placements);
+            prop_assert_eq!(t.switches, f.switches);
+            prop_assert_eq!(t.moves, f.moves);
+        }
+        for (t, f) in tree.epochs.iter().zip(&flat.epochs) {
+            prop_assert_eq!(t.charged_cost, f.charged_cost);
+            prop_assert_eq!(t.hedge_ratio, f.hedge_ratio);
+            prop_assert_eq!(t.modal_share, f.modal_share);
+            prop_assert_eq!(&t.modal_selection, &f.modal_selection);
+        }
+        prop_assert_eq!(tree.distinct_solves, flat.distinct_solves);
+        match tree.tree_nodes {
+            Some(nodes) => prop_assert!(nodes <= flat.distinct_solves * epochs),
+            // A non-rebalancing hedged fleet pins every view to its
+            // initial reserved placement and never sees the market:
+            // both routes short-circuit to a single solve.
+            None => prop_assert_eq!(tree.distinct_solves, 1),
+        }
+    }
+}
