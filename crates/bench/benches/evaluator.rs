@@ -120,9 +120,44 @@ fn bench_large_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The telemetry-off overhead guard: the same probe cycle as
+/// `evaluator/probe_all_*`, timed with the `mv_obs` registry verifiably
+/// disabled and then enabled. The off reading is the one the <5%
+/// regression acceptance compares against pre-instrumentation
+/// baselines; the on reading prices what `--metrics` costs.
+fn bench_probe_telemetry_overhead(c: &mut Criterion) {
+    let n = 16usize;
+    let problem = mv_bench::shapes::hot_problem_sized(17, n);
+    let probe_cycle = |ev: &mut IncrementalEvaluator| {
+        let mut acc = 0.0;
+        for k in 0..n {
+            ev.flip(k);
+            acc += ev.snapshot().time.value();
+            ev.unflip(k);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("evaluator/probe_telemetry_n16");
+    assert!(
+        !mv_obs::enabled(),
+        "the off reading must run with the registry disabled"
+    );
+    group.bench_function(BenchmarkId::from_parameter("off"), |b| {
+        let mut ev = IncrementalEvaluator::new(&problem);
+        b.iter(|| black_box(probe_cycle(&mut ev)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("on"), |b| {
+        let _on = mv_obs::EnableGuard::new();
+        let mut ev = IncrementalEvaluator::new(&problem);
+        b.iter(|| black_box(probe_cycle(&mut ev)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = mv_bench::shapes::fast_config();
-    targets = bench_single_flip_probes, bench_exhaustive_sweep, bench_large_sweep
+    targets = bench_single_flip_probes, bench_exhaustive_sweep, bench_large_sweep,
+        bench_probe_telemetry_overhead
 }
 criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! The telemetry registry's own cost, off and on.
+//!
+//! The `mv_obs` contract is *zero-cost-when-off*: every instrumentation
+//! site must collapse to one relaxed atomic load while the registry is
+//! disabled. The `obs/disabled/*` groups time exactly that path (1000
+//! sites per iteration, so per-site cost is the reading ÷ 1000); the
+//! `obs/enabled/*` groups time the recording path for scale — nobody
+//! promises *that* is free, only that you opted into it.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mv_obs::{Counter, Hist};
+
+const SITES: usize = 1000;
+
+fn instrumentation_sites() {
+    for i in 0..SITES {
+        mv_obs::inc(black_box(Counter::SearchProbes));
+        mv_obs::record(black_box(Hist::LnsDestroySize), i as u64);
+        mv_obs::span!("bench/site");
+        if mv_obs::enabled() {
+            mv_obs::event("bench_site", &[("i", i as f64)]);
+        }
+    }
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(
+        !mv_obs::enabled(),
+        "the disabled group must run with the registry off"
+    );
+    let mut group = c.benchmark_group("obs/disabled");
+    group.bench_function("counter_inc_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..SITES {
+                mv_obs::inc(black_box(Counter::SearchProbes));
+            }
+        })
+    });
+    group.bench_function("hist_record_x1000", |b| {
+        b.iter(|| {
+            for i in 0..SITES {
+                mv_obs::record(black_box(Hist::LnsDestroySize), i as u64);
+            }
+        })
+    });
+    group.bench_function("span_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..SITES {
+                mv_obs::span!("bench/span");
+            }
+        })
+    });
+    group.bench_function("mixed_site_x1000", |b| b.iter(instrumentation_sites));
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let _on = mv_obs::EnableGuard::new();
+    let mut group = c.benchmark_group("obs/enabled");
+    group.bench_function("counter_inc_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..SITES {
+                mv_obs::inc(black_box(Counter::SearchProbes));
+            }
+        })
+    });
+    group.bench_function("hist_record_x1000", |b| {
+        b.iter(|| {
+            for i in 0..SITES {
+                mv_obs::record(black_box(Hist::LnsDestroySize), i as u64);
+            }
+        })
+    });
+    group.bench_function("span_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..SITES {
+                mv_obs::span!("bench/span");
+            }
+        })
+    });
+    group.bench_function("event_x1000", |b| {
+        b.iter(|| {
+            for i in 0..SITES {
+                mv_obs::event("bench_event", &[("i", i as f64)]);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = mv_bench::shapes::fast_config();
+    targets = bench_disabled, bench_enabled
+}
+criterion_main!(benches);

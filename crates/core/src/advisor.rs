@@ -649,6 +649,7 @@ impl Advisor {
 
     /// Solves a scenario with the requested solver.
     pub fn solve(&self, scenario: Scenario, solver: SolverKind) -> Outcome {
+        mv_obs::span!("advisor/solve");
         mv_select::solve(&self.problem, scenario, solver)
     }
 

@@ -32,8 +32,13 @@
 //! mvcloud-cli excerpt
 //! ```
 //!
-//! `horizon` emits the per-epoch timeline as JSON (hand-rendered: the
-//! offline crate set has no serde_json).
+//! `horizon` emits the per-epoch timeline as JSON (rendered through
+//! [`mvcloud::json`]: the offline crate set has no serde_json).
+//!
+//! Every subcommand additionally accepts `--metrics <path|->`, which
+//! enables the [`mvcloud::obs`] telemetry registry for the run and
+//! emits the versioned snapshot JSON — `-` appends one compact line to
+//! stdout after the report, a path receives the pretty document.
 //!
 //! Argument parsing is deliberately dependency-free (the offline crate set
 //! has no CLI parser); flags are `--name value` pairs.
@@ -42,13 +47,29 @@ use std::env;
 use std::process::ExitCode;
 
 use mvcloud::engine::{csv, datagen, parse_query, SalesConfig};
+use mvcloud::json::{snapshot_json, Json};
 use mvcloud::pricing::presets;
 use mvcloud::report::summarize;
 use mvcloud::units::{Hours, Money};
-use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+use mvcloud::{obs, sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    // `--metrics <path|->` is peeled before dispatch so every
+    // subcommand supports it uniformly: presence turns the telemetry
+    // registry on for the whole run; the snapshot is emitted after the
+    // subcommand succeeds (`-` = one compact line on stdout after the
+    // report, a path = pretty-printed file).
+    let metrics = match extract_valued(&mut args, "--metrics") {
+        Ok(m) => m,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if metrics.is_some() {
+        obs::enable();
+    }
     let result = match args.first().map(String::as_str) {
         Some("advise") => cmd_advise(&args[1..]),
         Some("horizon") => cmd_horizon(&args[1..]),
@@ -64,6 +85,7 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown command {other:?} (try --help)")),
     };
+    let result = result.and_then(|()| emit_metrics(metrics.as_deref()));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -71,6 +93,35 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes a `--name value` pair from `args`, returning the value.
+fn extract_valued(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("flag {name} needs a value")),
+    }
+}
+
+/// Emits the process-lifetime telemetry snapshot requested by
+/// `--metrics`: `-` appends one compact JSON line to stdout (after the
+/// report, so `tail -n1` isolates it); anything else is a file path
+/// that receives the pretty-printed document.
+fn emit_metrics(target: Option<&str>) -> Result<(), String> {
+    let Some(target) = target else { return Ok(()) };
+    let doc = snapshot_json(&obs::Snapshot::capture());
+    if target == "-" {
+        println!("{}", doc.render());
+    } else {
+        std::fs::write(target, format!("{}\n", doc.render_pretty()))
+            .map_err(|e| format!("--metrics {target:?}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn print_usage() {
@@ -104,6 +155,11 @@ fn print_usage() {
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
+         \n\
+         every subcommand also accepts:\n\
+           --metrics PATH   enable telemetry; write the snapshot JSON to\n\
+                            PATH ('-' = one compact line on stdout after\n\
+                            the report)\n\
          \n\
          advise flags:\n\
            --queries N      workload size, 1-10 paper queries    [default 5]\n\
@@ -576,48 +632,77 @@ fn cmd_calibrate(args: &[String]) -> Result<(), String> {
 }
 
 /// Renders a calibration report's reconciliation timeline as JSON
-/// (hand-rendered, like [`horizon_json`]).
+/// (through the shared [`mvcloud::json`] writer, like [`horizon_json`]).
 fn calibrate_json(report: &mvcloud::CalibrationReport, scenario: Scenario) -> String {
-    let epochs: Vec<String> = report
-        .epochs
-        .iter()
-        .map(|e| {
-            format!(
-                "    {{\"epoch\":{},\"queries_via_views\":{},\"metered_gb\":{:.6},\
-                 \"measured_bill\":{:.6},\"planned_bill\":{:.6},\"fitted_bill\":{:.6},\
-                 \"synthetic_bill\":{:.6},\"planned_rel_error\":{:.6},\
-                 \"fitted_rel_error\":{:.6},\"synthetic_rel_error\":{:.6}}}",
-                e.epoch,
-                e.queries_via_views,
-                e.metered_gb,
-                e.measured_bill.to_dollars_f64(),
-                e.planned_bill.to_dollars_f64(),
-                e.fitted_bill.to_dollars_f64(),
-                e.synthetic_bill.to_dollars_f64(),
-                e.planned_rel_error,
-                e.fitted_rel_error,
-                e.synthetic_rel_error,
-            )
-        })
-        .collect();
+    let epochs = Json::Arr(
+        report
+            .epochs
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(e.epoch as u64)),
+                    ("queries_via_views", Json::UInt(e.queries_via_views as u64)),
+                    ("metered_gb", Json::Fixed(e.metered_gb, 6)),
+                    (
+                        "measured_bill",
+                        Json::Fixed(e.measured_bill.to_dollars_f64(), 6),
+                    ),
+                    (
+                        "planned_bill",
+                        Json::Fixed(e.planned_bill.to_dollars_f64(), 6),
+                    ),
+                    (
+                        "fitted_bill",
+                        Json::Fixed(e.fitted_bill.to_dollars_f64(), 6),
+                    ),
+                    (
+                        "synthetic_bill",
+                        Json::Fixed(e.synthetic_bill.to_dollars_f64(), 6),
+                    ),
+                    ("planned_rel_error", Json::Fixed(e.planned_rel_error, 6)),
+                    ("fitted_rel_error", Json::Fixed(e.fitted_rel_error, 6)),
+                    ("synthetic_rel_error", Json::Fixed(e.synthetic_rel_error, 6)),
+                ])
+            })
+            .collect(),
+    );
     let fitted = report.fitted_throughput();
-    format!(
-        "{{\n  \"scenario\":{},\n  \"epochs\":[\n{}\n  ],\n  \
-         \"fitted\":{{\"scan_gb_per_hour_per_unit\":{:.6},\"job_overhead_hours\":{:.6}}},\n  \
-         \"samples\":{},\n  \"holdout_epoch\":{},\n  \
-         \"holdout_fitted_rel_error\":{:.6},\n  \"holdout_synthetic_rel_error\":{:.6},\n  \
-         \"mean_planned_rel_error\":{:.6},\n  \"mean_fitted_rel_error\":{:.6}\n}}",
-        json_str(scenario.label()),
-        epochs.join(",\n"),
-        fitted.scan_gb_per_hour_per_unit,
-        fitted.job_overhead.value(),
-        report.samples,
-        report.holdout_epoch,
-        report.holdout_fitted_rel_error,
-        report.holdout_synthetic_rel_error,
-        report.mean_planned_rel_error,
-        report.mean_fitted_rel_error,
-    )
+    Json::obj(vec![
+        ("scenario", Json::str(scenario.label())),
+        ("epochs", epochs),
+        (
+            "fitted",
+            Json::obj(vec![
+                (
+                    "scan_gb_per_hour_per_unit",
+                    Json::Fixed(fitted.scan_gb_per_hour_per_unit, 6),
+                ),
+                (
+                    "job_overhead_hours",
+                    Json::Fixed(fitted.job_overhead.value(), 6),
+                ),
+            ]),
+        ),
+        ("samples", Json::UInt(report.samples as u64)),
+        ("holdout_epoch", Json::UInt(report.holdout_epoch as u64)),
+        (
+            "holdout_fitted_rel_error",
+            Json::Fixed(report.holdout_fitted_rel_error, 6),
+        ),
+        (
+            "holdout_synthetic_rel_error",
+            Json::Fixed(report.holdout_synthetic_rel_error, 6),
+        ),
+        (
+            "mean_planned_rel_error",
+            Json::Fixed(report.mean_planned_rel_error, 6),
+        ),
+        (
+            "mean_fitted_rel_error",
+            Json::Fixed(report.mean_fitted_rel_error, 6),
+        ),
+    ])
+    .render_pretty()
 }
 
 fn cmd_market(args: &[String]) -> Result<(), String> {
@@ -818,211 +903,198 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
 
 /// Renders one [`mvcloud::Quantiles`] as a JSON object — the ONE place
 /// the six-field schema lives; the market and fleet renderers share it.
-fn quantiles_json(q: &mvcloud::Quantiles) -> String {
-    format!(
-        "{{\"min\":{:.6},\"p10\":{:.6},\"median\":{:.6},\"p90\":{:.6},\"max\":{:.6},\"mean\":{:.6}}}",
-        q.min, q.p10, q.median, q.p90, q.max, q.mean
-    )
+fn quantiles_json(q: &mvcloud::Quantiles) -> Json {
+    Json::obj(vec![
+        ("min", Json::Fixed(q.min, 6)),
+        ("p10", Json::Fixed(q.p10, 6)),
+        ("median", Json::Fixed(q.median, 6)),
+        ("p90", Json::Fixed(q.p90, 6)),
+        ("max", Json::Fixed(q.max, 6)),
+        ("mean", Json::Fixed(q.mean, 6)),
+    ])
+}
+
+/// The shared `{plan,spot_compute,reserved,saving,reserved_wins_share}`
+/// commitment object of the market and fleet reports.
+fn spot_commitment_json(c: &mvcloud::SpotCommitmentReport) -> Json {
+    Json::obj(vec![
+        ("plan", Json::str(c.plan.clone())),
+        ("spot_compute", quantiles_json(&c.spot_compute)),
+        ("reserved", quantiles_json(&c.reserved)),
+        ("saving", quantiles_json(&c.saving)),
+        ("reserved_wins_share", Json::Fixed(c.reserved_wins_share, 4)),
+    ])
+}
+
+/// A JSON array of quoted names.
+fn str_list_json(names: &[String]) -> Json {
+    Json::Arr(names.iter().map(Json::str).collect())
 }
 
 /// Renders a fleet report's hedge/quantile timeline as JSON
-/// (hand-rendered, like [`market_json`]).
+/// (through the shared writer, like [`market_json`]).
 fn fleet_json(report: &mvcloud::FleetReport, scenario: Scenario, paths: usize) -> String {
     let q = quantiles_json;
-    let epochs: Vec<String> = report
-        .epochs
-        .iter()
-        .map(|e| {
-            let modal: Vec<String> = e.modal_selection.iter().map(|n| json_str(n)).collect();
-            format!(
-                "    {{\"epoch\":{},\"charged_cost\":{},\"cumulative_cost\":{},\
-                 \"hedge_ratio\":{},\"compute_factor\":{},\"interruption\":{},\
-                 \"distinct_plans\":{},\"modal_share\":{:.4},\"modal_selection\":[{}]}}",
-                e.epoch,
-                q(&e.charged_cost),
-                q(&e.cumulative_cost),
-                q(&e.hedge_ratio),
-                q(&e.compute_factor),
-                q(&e.interruption),
-                e.distinct_plans,
-                e.modal_share,
-                modal.join(","),
-            )
-        })
-        .collect();
-    let comparison = match &report.comparison {
-        Some(c) => format!(
-            "{{\"hedged\":{},\"pure_spot\":{},\"pure_reserved\":{},\
-             \"hedged_wins_share\":{:.4}}}",
-            q(&c.hedged),
-            q(&c.pure_spot),
-            q(&c.pure_reserved),
-            c.hedged_wins_share,
-        ),
-        None => "null".to_string(),
-    };
-    let commitment = match &report.commitment {
-        Some(c) => format!(
-            "{{\"plan\":{},\"spot_compute\":{},\"reserved\":{},\"saving\":{},\
-             \"reserved_wins_share\":{:.4}}}",
-            json_str(&c.plan),
-            q(&c.spot_compute),
-            q(&c.reserved),
-            q(&c.saving),
-            c.reserved_wins_share,
-        ),
-        None => "null".to_string(),
-    };
-    let moves: usize = report.paths.iter().map(|p| p.moves).sum();
-    format!(
-        "{{\n  \"scenario\":{},\n  \"fleet\":{},\n  \"paths\":{},\n  \
-         \"distinct_solves\":{},\n  \"tree_nodes\":{},\n  \"epochs\":[\n{}\n  ],\n  \
-         \"total_cost\":{},\n  \"hedge_ratio\":{},\n  \"plan_stability\":{:.4},\n  \
-         \"placement_moves_per_path\":{:.2},\n  \"comparison\":{},\n  \"commitment\":{}\n}}",
-        json_str(scenario.label()),
-        json_str(&report.fleet),
-        paths,
-        report.distinct_solves,
+    let epochs = Json::Arr(
         report
-            .tree_nodes
-            .map_or("null".to_string(), |n| n.to_string()),
-        epochs.join(",\n"),
-        q(&report.total_cost),
-        q(&report.hedge_ratio),
-        report.plan_stability,
-        moves as f64 / report.paths.len() as f64,
-        comparison,
-        commitment,
-    )
+            .epochs
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(e.epoch as u64)),
+                    ("charged_cost", q(&e.charged_cost)),
+                    ("cumulative_cost", q(&e.cumulative_cost)),
+                    ("hedge_ratio", q(&e.hedge_ratio)),
+                    ("compute_factor", q(&e.compute_factor)),
+                    ("interruption", q(&e.interruption)),
+                    ("distinct_plans", Json::UInt(e.distinct_plans as u64)),
+                    ("modal_share", Json::Fixed(e.modal_share, 4)),
+                    ("modal_selection", str_list_json(&e.modal_selection)),
+                ])
+            })
+            .collect(),
+    );
+    let comparison = Json::opt(report.comparison.as_ref().map(|c| {
+        Json::obj(vec![
+            ("hedged", q(&c.hedged)),
+            ("pure_spot", q(&c.pure_spot)),
+            ("pure_reserved", q(&c.pure_reserved)),
+            ("hedged_wins_share", Json::Fixed(c.hedged_wins_share, 4)),
+        ])
+    }));
+    let moves: usize = report.paths.iter().map(|p| p.moves).sum();
+    Json::obj(vec![
+        ("scenario", Json::str(scenario.label())),
+        ("fleet", Json::str(report.fleet.clone())),
+        ("paths", Json::UInt(paths as u64)),
+        ("distinct_solves", Json::UInt(report.distinct_solves as u64)),
+        (
+            "tree_nodes",
+            Json::opt(report.tree_nodes.map(|n| Json::UInt(n as u64))),
+        ),
+        ("epochs", epochs),
+        ("total_cost", q(&report.total_cost)),
+        ("hedge_ratio", q(&report.hedge_ratio)),
+        ("plan_stability", Json::Fixed(report.plan_stability, 4)),
+        (
+            "placement_moves_per_path",
+            Json::Fixed(moves as f64 / report.paths.len() as f64, 2),
+        ),
+        ("comparison", comparison),
+        (
+            "commitment",
+            Json::opt(report.commitment.as_ref().map(spot_commitment_json)),
+        ),
+    ])
+    .render_pretty()
 }
 
-/// Renders a market report's quantile timeline as JSON (hand-rendered,
-/// like [`horizon_json`]).
+/// Renders a market report's quantile timeline as JSON (through the
+/// shared writer, like [`horizon_json`]).
 fn market_json(report: &mvcloud::MarketReport, scenario: Scenario, paths: usize) -> String {
     let q = quantiles_json;
-    let epochs: Vec<String> = report
-        .epochs
-        .iter()
-        .map(|e| {
-            let modal: Vec<String> = e.modal_selection.iter().map(|n| json_str(n)).collect();
-            format!(
-                "    {{\"epoch\":{},\"charged_cost\":{},\"cumulative_cost\":{},\
-                 \"time_hours\":{},\"compute_factor\":{},\"interruption\":{},\
-                 \"distinct_plans\":{},\"modal_share\":{:.4},\"modal_selection\":[{}]}}",
-                e.epoch,
-                q(&e.charged_cost),
-                q(&e.cumulative_cost),
-                q(&e.time_hours),
-                q(&e.compute_factor),
-                q(&e.interruption),
-                e.distinct_plans,
-                e.modal_share,
-                modal.join(","),
-            )
-        })
-        .collect();
-    let commitment = match &report.commitment {
-        Some(c) => format!(
-            "{{\"plan\":{},\"spot_compute\":{},\"reserved\":{},\"saving\":{},\
-             \"reserved_wins_share\":{:.4}}}",
-            json_str(&c.plan),
-            q(&c.spot_compute),
-            q(&c.reserved),
-            q(&c.saving),
-            c.reserved_wins_share,
-        ),
-        None => "null".to_string(),
-    };
-    format!(
-        "{{\n  \"scenario\":{},\n  \"paths\":{},\n  \
-         \"distinct_solves\":{},\n  \"tree_nodes\":{},\n  \"epochs\":[\n{}\n  ],\n  \
-         \"total_cost\":{},\n  \"total_time_hours\":{},\n  \
-         \"plan_stability\":{:.4},\n  \"commitment\":{}\n}}",
-        json_str(scenario.label()),
-        paths,
-        report.distinct_solves,
+    let epochs = Json::Arr(
         report
-            .tree_nodes
-            .map_or("null".to_string(), |n| n.to_string()),
-        epochs.join(",\n"),
-        q(&report.total_cost),
-        q(&report.total_time_hours),
-        report.plan_stability,
-        commitment,
-    )
+            .epochs
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(e.epoch as u64)),
+                    ("charged_cost", q(&e.charged_cost)),
+                    ("cumulative_cost", q(&e.cumulative_cost)),
+                    ("time_hours", q(&e.time_hours)),
+                    ("compute_factor", q(&e.compute_factor)),
+                    ("interruption", q(&e.interruption)),
+                    ("distinct_plans", Json::UInt(e.distinct_plans as u64)),
+                    ("modal_share", Json::Fixed(e.modal_share, 4)),
+                    ("modal_selection", str_list_json(&e.modal_selection)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("scenario", Json::str(scenario.label())),
+        ("paths", Json::UInt(paths as u64)),
+        ("distinct_solves", Json::UInt(report.distinct_solves as u64)),
+        (
+            "tree_nodes",
+            Json::opt(report.tree_nodes.map(|n| Json::UInt(n as u64))),
+        ),
+        ("epochs", epochs),
+        ("total_cost", q(&report.total_cost)),
+        ("total_time_hours", q(&report.total_time_hours)),
+        ("plan_stability", Json::Fixed(report.plan_stability, 4)),
+        (
+            "commitment",
+            Json::opt(report.commitment.as_ref().map(spot_commitment_json)),
+        ),
+    ])
+    .render_pretty()
 }
 
 /// Renders a horizon report as JSON (the vendored serde is a no-op
-/// marker crate, so the timeline is emitted by hand).
+/// marker crate, so the timeline goes through [`mvcloud::json`]).
 fn horizon_json(report: &mvcloud::HorizonReport, scenario: Scenario, myopic: bool) -> String {
-    let str_list = |names: &[String]| -> String {
-        let quoted: Vec<String> = names.iter().map(|n| json_str(n)).collect();
-        format!("[{}]", quoted.join(","))
-    };
-    let epochs: Vec<String> = report
-        .epochs
-        .iter()
-        .map(|e| {
-            format!(
-                "    {{\"epoch\":{},\"selected\":{},\"added\":{},\"kept\":{},\"dropped\":{},\
-                 \"time_hours\":{:.6},\"charged_cost\":{:.6},\"full_price_cost\":{:.6},\
-                 \"cumulative_cost\":{:.6}}}",
-                e.epoch,
-                str_list(&e.selected),
-                str_list(&e.added),
-                str_list(&e.kept),
-                str_list(&e.dropped),
-                e.time_hours,
-                e.charged_cost.to_dollars_f64(),
-                e.full_price_cost.to_dollars_f64(),
-                e.cumulative_cost.to_dollars_f64(),
-            )
-        })
-        .collect();
-    let commitment = match &report.commitment {
-        Some(c) => format!(
-            "{{\"plan\":{},\"billed_instance_hours\":{:.6},\"on_demand\":{:.6},\
-             \"reserved\":{:.6},\"saving\":{:.6},\"reserved_wins\":{}}}",
-            json_str(&c.plan),
-            c.billed_instance_hours.value(),
-            c.on_demand.to_dollars_f64(),
-            c.reserved.to_dollars_f64(),
-            c.saving().to_dollars_f64(),
-            c.reserved_wins(),
+    let epochs = Json::Arr(
+        report
+            .epochs
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("epoch", Json::UInt(e.epoch as u64)),
+                    ("selected", str_list_json(&e.selected)),
+                    ("added", str_list_json(&e.added)),
+                    ("kept", str_list_json(&e.kept)),
+                    ("dropped", str_list_json(&e.dropped)),
+                    ("time_hours", Json::Fixed(e.time_hours, 6)),
+                    (
+                        "charged_cost",
+                        Json::Fixed(e.charged_cost.to_dollars_f64(), 6),
+                    ),
+                    (
+                        "full_price_cost",
+                        Json::Fixed(e.full_price_cost.to_dollars_f64(), 6),
+                    ),
+                    (
+                        "cumulative_cost",
+                        Json::Fixed(e.cumulative_cost.to_dollars_f64(), 6),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let commitment = Json::opt(report.commitment.as_ref().map(|c| {
+        Json::obj(vec![
+            ("plan", Json::str(c.plan.clone())),
+            (
+                "billed_instance_hours",
+                Json::Fixed(c.billed_instance_hours.value(), 6),
+            ),
+            ("on_demand", Json::Fixed(c.on_demand.to_dollars_f64(), 6)),
+            ("reserved", Json::Fixed(c.reserved.to_dollars_f64(), 6)),
+            ("saving", Json::Fixed(c.saving().to_dollars_f64(), 6)),
+            ("reserved_wins", Json::Bool(c.reserved_wins())),
+        ])
+    }));
+    Json::obj(vec![
+        ("scenario", Json::str(scenario.label())),
+        ("policy", Json::str(if myopic { "myopic" } else { "chain" })),
+        ("epochs", epochs),
+        (
+            "total_cost",
+            Json::Fixed(report.total_cost.to_dollars_f64(), 6),
         ),
-        None => "null".to_string(),
-    };
-    format!(
-        "{{\n  \"scenario\":{},\n  \"policy\":{},\n  \"epochs\":[\n{}\n  ],\n  \
-         \"total_cost\":{:.6},\n  \"total_time_hours\":{:.6},\n  \
-         \"billed_instance_hours\":{:.6},\n  \"commitment\":{}\n}}",
-        json_str(scenario.label()),
-        json_str(if myopic { "myopic" } else { "chain" }),
-        epochs.join(",\n"),
-        report.total_cost.to_dollars_f64(),
-        report.total_time.value(),
-        report.billed_instance_hours.value(),
-        commitment,
-    )
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+        (
+            "total_time_hours",
+            Json::Fixed(report.total_time.value(), 6),
+        ),
+        (
+            "billed_instance_hours",
+            Json::Fixed(report.billed_instance_hours.value(), 6),
+        ),
+        ("commitment", commitment),
+    ])
+    .render_pretty()
 }
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {

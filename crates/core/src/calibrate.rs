@@ -110,6 +110,9 @@ pub struct CalibrationReport {
     pub mean_planned_rel_error: f64,
     /// Mean fitted-vs-measured relative error across all epochs.
     pub mean_fitted_rel_error: f64,
+    /// Telemetry delta covering this calibration run, when [`mv_obs`]
+    /// was enabled at entry; `None` otherwise.
+    pub telemetry: Option<mv_obs::Snapshot>,
 }
 
 impl CalibrationReport {
@@ -200,6 +203,7 @@ impl Advisor {
             // epoch, so the loop cannot be scored.
             return Err(AdvisorError::EmptyHorizon);
         }
+        let telemetry_base = mv_obs::enabled().then(mv_obs::Snapshot::capture);
         let meter = CandidateMeter::new(self.domain(), self.config())?;
         let units = meter.units;
         let oracle = self.config().throughput;
@@ -224,6 +228,7 @@ impl Advisor {
         let mut samples: Vec<MeterSample> = Vec::new();
         let mut meters = Vec::with_capacity(steps.len());
         for (e, step) in steps.iter().enumerate() {
+            mv_obs::span!("calibrate/epoch");
             let added = step
                 .added
                 .iter()
@@ -263,11 +268,19 @@ impl Advisor {
             }
             if e != holdout {
                 for j in &jobs {
-                    samples.push(MeterSample::new(
-                        j.kind,
-                        j.gb,
-                        oracle_hours(&oracle, j, units)?,
-                    ));
+                    let hours = oracle_hours(&oracle, j, units)?;
+                    mv_obs::inc(mv_obs::Counter::CalibrateSamples);
+                    if mv_obs::enabled() {
+                        mv_obs::event(
+                            "calibration_sample",
+                            &[
+                                ("epoch", e as f64),
+                                ("gb", j.gb.value()),
+                                ("hours", hours.value()),
+                            ],
+                        );
+                    }
+                    samples.push(MeterSample::new(j.kind, j.gb, hours));
                 }
             }
             let views_gb = driver
@@ -326,6 +339,7 @@ impl Advisor {
             epochs.iter().map(f).sum::<f64>() / epochs.len() as f64
         };
         Ok(CalibrationReport {
+            telemetry: telemetry_base.map(|base| mv_obs::Snapshot::capture().since(&base)),
             holdout_epoch: holdout,
             holdout_fitted_rel_error: epochs[holdout].fitted_rel_error,
             holdout_synthetic_rel_error: epochs[holdout].synthetic_rel_error,

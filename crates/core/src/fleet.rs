@@ -197,6 +197,10 @@ pub struct FleetReport {
     /// route paid. `None` when the flat reference path (or the
     /// market-insulated shortcut) was used.
     pub tree_nodes: Option<usize>,
+    /// Telemetry delta covering this solve, when [`mv_obs`] was
+    /// enabled at entry; `None` otherwise (and never serialized by
+    /// the CLI report emitters — surfaced via `--metrics`).
+    pub telemetry: Option<mv_obs::Snapshot>,
 }
 
 impl FleetReport {
@@ -365,6 +369,7 @@ impl Advisor {
             }
         }
 
+        let telemetry_base = mv_obs::enabled().then(mv_obs::Snapshot::capture);
         let (solved, distinct_solves, tree_nodes) =
             self.solve_fleet_variant(scenario, config, &config.fleet);
         let comparison = config.compare_pure.then(|| {
@@ -393,7 +398,11 @@ impl Advisor {
                 hedged_wins_share: wins as f64 / hedged.len() as f64,
             }
         });
-        Ok(self.render_fleet(config, solved, comparison, distinct_solves, tree_nodes))
+        let mut report = self.render_fleet(config, solved, comparison, distinct_solves, tree_nodes);
+        if let Some(base) = telemetry_base {
+            report.telemetry = Some(mv_obs::Snapshot::capture().since(&base));
+        }
+        Ok(report)
     }
 
     /// Solves all `config.paths` paths under one fleet variant,
@@ -516,6 +525,10 @@ impl Advisor {
             });
             rep_of.push(slot);
         }
+        mv_obs::add(
+            mv_obs::Counter::FleetDedupHits,
+            (sampled.len() - reps.len()) as u64,
+        );
         let solved_reps = self.solve_fleet_paths(scenario, config, fleet, &reps);
         let solved = sampled
             .iter()
@@ -581,6 +594,8 @@ impl Advisor {
         fleet: &FleetPlan,
         j: usize,
     ) -> SolvedFleetPath {
+        mv_obs::span!("fleet/solve_path");
+        mv_obs::inc(mv_obs::Counter::FleetPathSolves);
         let path = config.market.path(j);
         let models = self.fleet_epoch_models(&path, &config.evolution, fleet);
         let pools = Self::fleet_pool_charges(&path, fleet);
@@ -820,6 +835,7 @@ impl Advisor {
             commitment,
             distinct_solves,
             tree_nodes,
+            telemetry: None,
         }
     }
 }

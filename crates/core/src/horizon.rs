@@ -94,6 +94,9 @@ pub struct HorizonReport {
     /// On-demand vs reserved pricing of those hours, when a plan was
     /// supplied.
     pub commitment: Option<CommitmentComparison>,
+    /// Telemetry delta covering this solve, when [`mv_obs`] was
+    /// enabled at entry; `None` otherwise.
+    pub telemetry: Option<mv_obs::Snapshot>,
 }
 
 impl HorizonReport {
@@ -172,9 +175,14 @@ impl Advisor {
         if horizon.epochs == 0 {
             return Err(AdvisorError::EmptyHorizon);
         }
+        let telemetry_base = mv_obs::enabled().then(mv_obs::Snapshot::capture);
         let chain = self.epoch_chain(horizon);
         let steps = chain.solve(scenario);
-        self.render_horizon(horizon, &chain, steps)
+        let mut report = self.render_horizon(horizon, &chain, steps)?;
+        if let Some(base) = telemetry_base {
+            report.telemetry = Some(mv_obs::Snapshot::capture().since(&base));
+        }
+        Ok(report)
     }
 
     /// The transition-blind comparator: every epoch re-solved from
@@ -189,9 +197,14 @@ impl Advisor {
         if horizon.epochs == 0 {
             return Err(AdvisorError::EmptyHorizon);
         }
+        let telemetry_base = mv_obs::enabled().then(mv_obs::Snapshot::capture);
         let chain = self.epoch_chain(horizon);
         let steps = chain.solve_myopic(scenario);
-        self.render_horizon(horizon, &chain, steps)
+        let mut report = self.render_horizon(horizon, &chain, steps)?;
+        if let Some(base) = telemetry_base {
+            report.telemetry = Some(mv_obs::Snapshot::capture().since(&base));
+        }
+        Ok(report)
     }
 
     /// Assembles a [`HorizonReport`] from solved chain steps: per-epoch
@@ -264,6 +277,7 @@ impl Advisor {
             total_time,
             billed_instance_hours: billed,
             commitment,
+            telemetry: None,
         })
     }
 

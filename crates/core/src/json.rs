@@ -1,0 +1,561 @@
+//! The one JSON emitter (and a minimal parser) for the CLI surface.
+//!
+//! The vendored serde is a no-op marker crate, so every report the CLI
+//! prints is rendered by hand. Before this module each subcommand
+//! rolled its own `format!` emitter; now they all build a [`Json`]
+//! value and render it through the same escaping-correct writer — as
+//! does the `--metrics` telemetry snapshot ([`snapshot_json`]).
+//!
+//! Two renderers:
+//! * [`Json::render`] — compact, single line.
+//! * [`Json::render_pretty`] — the report layout the CLI has always
+//!   printed: the root object gets one key per line (2-space indent),
+//!   arrays directly under a root key get one element per line
+//!   (4-space indent), and everything deeper stays compact.
+//!
+//! [`Json::parse`] is the inverse — enough of a reader for tests (and
+//! CI) to load a rendered report or metrics snapshot and assert on it.
+//! `parse(render(x))` loses only numeric formatting (fixed-precision
+//! renders come back as plain numbers).
+
+use std::fmt::Write as _;
+
+/// A JSON value, plus a fixed-precision number variant so renders can
+/// reproduce the CLI's historical `{:.6}`/`{:.4}` formatting exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integer, rendered without a decimal point.
+    Int(i64),
+    /// Unsigned integer (counter values exceed `i64` in theory).
+    UInt(u64),
+    /// Float rendered as `{:.prec$}` — non-finite values become `null`.
+    Fixed(f64, usize),
+    /// Float rendered naturally — non-finite values become `null`.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs (insertion order preserved).
+    pub fn obj(pairs: Vec<(impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `value` if present, else `null`.
+    pub fn opt(value: Option<Json>) -> Json {
+        value.unwrap_or(Json::Null)
+    }
+
+    // ---- rendering ----
+
+    /// Compact single-line render.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// The CLI's report layout (see module docs).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str("  ");
+                    write_str(&mut out, k);
+                    out.push(':');
+                    match v {
+                        Json::Arr(items) if !items.is_empty() => {
+                            out.push_str("[\n");
+                            for (j, item) in items.iter().enumerate() {
+                                out.push_str("    ");
+                                item.write_compact(&mut out);
+                                if j + 1 < items.len() {
+                                    out.push(',');
+                                }
+                                out.push('\n');
+                            }
+                            out.push_str("  ]");
+                        }
+                        other => other.write_compact(&mut out),
+                    }
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push('}');
+            }
+            other => other.write_compact(&mut out),
+        }
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Fixed(v, prec) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.prec$}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // ---- accessors (for parsed values) ----
+
+    /// Member `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            Json::Fixed(v, _) | Json::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as `u64` (must be a non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok(),
+            Json::UInt(u) => Some(u),
+            Json::Fixed(v, _) | Json::Num(v) => {
+                (v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64).then_some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    // ---- parsing ----
+
+    /// Parses a JSON document (numbers come back as [`Json::Num`] or
+    /// [`Json::Int`]; trailing garbage is an error).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Escapes and writes one JSON string (quotes, backslashes, control
+/// characters — the escaping every emitter now goes through).
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("invalid number {text:?}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape hex")?;
+                        *pos += 4;
+                        // Surrogate pairs are not emitted by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+                chunk_start = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Renders an [`mv_obs::Snapshot`] as the versioned `--metrics` JSON
+/// schema: counters and histograms keyed by name, spans as an array of
+/// `{path,count,total_ns,max_ns}`, and the bounded event tail.
+pub fn snapshot_json(snapshot: &mv_obs::Snapshot) -> Json {
+    let counters = Json::Obj(
+        snapshot
+            .counters
+            .iter()
+            .map(|&(name, v)| (name.to_string(), Json::UInt(v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snapshot
+            .histograms
+            .iter()
+            .map(|h| {
+                let buckets = Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(upper, n)| {
+                            Json::Arr(vec![upper.map_or(Json::Null, Json::UInt), Json::UInt(n)])
+                        })
+                        .collect(),
+                );
+                (
+                    h.name.to_string(),
+                    Json::obj(vec![
+                        ("count", Json::UInt(h.count)),
+                        ("sum", Json::UInt(h.sum)),
+                        ("buckets", buckets),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let spans = Json::Arr(
+        snapshot
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("path", Json::str(s.path.clone())),
+                    ("count", Json::UInt(s.count)),
+                    ("total_ns", Json::UInt(s.total_ns)),
+                    ("max_ns", Json::UInt(s.max_ns)),
+                ])
+            })
+            .collect(),
+    );
+    let events = Json::Arr(
+        snapshot
+            .events
+            .iter()
+            .map(|e| {
+                let fields = Json::Obj(
+                    e.fields
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::Num(v)))
+                        .collect(),
+                );
+                Json::obj(vec![
+                    ("seq", Json::UInt(e.seq)),
+                    ("kind", Json::str(e.kind)),
+                    ("fields", fields),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("version", Json::UInt(mv_obs::snapshot::SCHEMA_VERSION)),
+        ("counters", counters),
+        ("histograms", histograms),
+        ("spans", spans),
+        ("events", events),
+        ("events_seen", Json::UInt(snapshot.events_seen)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\rf\u{0007}g❦";
+        let rendered = Json::str(nasty).render();
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn fixed_precision_matches_historical_format() {
+        assert_eq!(Json::Fixed(1.5, 6).render(), "1.500000");
+        assert_eq!(Json::Fixed(0.25, 4).render(), "0.2500");
+        assert_eq!(Json::Fixed(f64::NAN, 6).render(), "null");
+        assert_eq!(Json::Fixed(f64::INFINITY, 6).render(), "null");
+    }
+
+    #[test]
+    fn pretty_layout_expands_root_keys_and_arrays() {
+        let doc = Json::obj(vec![
+            ("scenario", Json::str("s")),
+            (
+                "epochs",
+                Json::Arr(vec![
+                    Json::obj(vec![("epoch", Json::Int(0))]),
+                    Json::obj(vec![("epoch", Json::Int(1))]),
+                ]),
+            ),
+            ("commitment", Json::Null),
+        ]);
+        assert_eq!(
+            doc.render_pretty(),
+            "{\n  \"scenario\":\"s\",\n  \"epochs\":[\n    {\"epoch\":0},\n    \
+             {\"epoch\":1}\n  ],\n  \"commitment\":null\n}"
+        );
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_nesting() {
+        let doc = Json::parse(
+            "{\"a\": [1, -2.5, 1e3], \"b\": {\"c\": true, \"d\": null}, \"e\": 18446744073709551615}",
+        )
+        .unwrap();
+        let a = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(1000.0));
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(doc.get("b").unwrap().get("d").unwrap().is_null());
+        assert_eq!(doc.get("e").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+}

@@ -50,6 +50,7 @@ mod domain;
 mod error;
 pub mod fleet;
 pub mod horizon;
+pub mod json;
 pub mod market;
 pub mod report;
 pub mod scale;
@@ -74,6 +75,7 @@ pub use scale::scale_problem;
 pub use mv_cost as cost;
 pub use mv_engine as engine;
 pub use mv_lattice as lattice;
+pub use mv_obs as obs;
 pub use mv_pricing as pricing;
 pub use mv_select as select;
 pub use mv_units as units;

@@ -270,6 +270,10 @@ pub struct MarketReport {
     /// route paid (vs `distinct_solves × epochs` for the flat loop).
     /// `None` when the flat reference path was used.
     pub tree_nodes: Option<usize>,
+    /// Telemetry recorded during this solve — a
+    /// [`mv_obs::Snapshot::since`] delta over the solve window. `None`
+    /// unless telemetry was enabled when the solve started.
+    pub telemetry: Option<mv_obs::Snapshot>,
 }
 
 impl MarketReport {
@@ -405,12 +409,17 @@ impl Advisor {
             }
         }
 
+        let telemetry_base = mv_obs::enabled().then(mv_obs::Snapshot::capture);
         let (solved, distinct_solves, tree_nodes) = if config.flat {
             self.solve_market_flat(scenario, config, &sampled)
         } else {
             self.solve_market_tree(scenario, config, &sampled)
         };
-        Ok(self.render_market(scenario, config, solved, distinct_solves, tree_nodes))
+        let mut report = self.render_market(scenario, config, solved, distinct_solves, tree_nodes);
+        if let Some(base) = telemetry_base {
+            report.telemetry = Some(mv_obs::Snapshot::capture().since(&base));
+        }
+        Ok(report)
     }
 
     /// The scenario-tree hot path: factor the sampled paths into a
@@ -493,6 +502,10 @@ impl Advisor {
             });
             rep_of.push(slot);
         }
+        mv_obs::add(
+            mv_obs::Counter::MarketDedupHits,
+            (sampled.len() - reps.len()) as u64,
+        );
         let solved_reps = self.solve_market_paths(scenario, config, &reps);
         let solved = sampled
             .iter()
@@ -549,6 +562,8 @@ impl Advisor {
     /// Solves one sampled path: compile models, risk-adjust charges,
     /// run the warm-started chain, account the result.
     fn solve_market_path(&self, scenario: Scenario, config: &MarketConfig, j: usize) -> SolvedPath {
+        mv_obs::span!("market/solve_path");
+        mv_obs::inc(mv_obs::Counter::MarketPathSolves);
         let path = config.market.path(j);
         let models = self.market_epoch_models(&path, &config.evolution);
         let risks: Vec<InterruptionRisk> = path
@@ -712,6 +727,7 @@ impl Advisor {
             commitment,
             distinct_solves,
             tree_nodes,
+            telemetry: None,
         }
     }
 }

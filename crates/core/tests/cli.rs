@@ -138,3 +138,122 @@ fn calibrate_emits_a_reconciliation_report() {
         assert!(stdout.contains(field), "missing {field} in: {stdout}");
     }
 }
+
+/// `--metrics` acceptance: the telemetry snapshot a market run emits
+/// must reconcile *exactly* with the report's own solve accounting —
+/// tree mode pays one `solve_tree/node` span per scenario-tree node,
+/// flat mode one `market/solve_path` span per distinct quote sequence.
+#[test]
+fn market_metrics_reconcile_with_solve_accounting() {
+    use mvcloud::json::Json;
+
+    let dir = std::env::temp_dir().join(format!("mvcloud-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create metrics dir");
+    let base = [
+        "market",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--epochs",
+        "3",
+        "--paths",
+        "6",
+        "--alpha",
+        "0.5",
+    ];
+
+    let run_with_metrics = |extra: &[&str], file: &str| -> (Json, Json) {
+        let path = dir.join(file);
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--metrics", path.to_str().unwrap()]);
+        let out = run(&args);
+        assert!(out.status.success(), "market --metrics should exit 0");
+        let report = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("report JSON");
+        let raw = std::fs::read_to_string(&path).expect("metrics file written");
+        let metrics = Json::parse(&raw).expect("metrics JSON");
+        (report, metrics)
+    };
+    let span_count = |metrics: &Json, leaf: &str| -> u64 {
+        metrics
+            .get("spans")
+            .and_then(Json::as_array)
+            .expect("spans array")
+            .iter()
+            .filter(|s| {
+                let path = s.get("path").and_then(Json::as_str).expect("span path");
+                path == leaf || path.ends_with(&format!(" + {leaf}"))
+            })
+            .map(|s| s.get("count").and_then(Json::as_u64).expect("span count"))
+            .sum()
+    };
+    let counter = |metrics: &Json, name: &str| -> u64 {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    let (report, metrics) = run_with_metrics(&[], "tree.json");
+    assert_eq!(
+        metrics.get("version").and_then(Json::as_u64),
+        Some(1),
+        "versioned schema"
+    );
+    let tree_nodes = report
+        .get("tree_nodes")
+        .and_then(Json::as_u64)
+        .expect("tree route reports node count");
+    assert_eq!(
+        span_count(&metrics, "solve_tree/node"),
+        tree_nodes,
+        "one tree-solve span per scenario-tree node"
+    );
+    assert_eq!(counter(&metrics, "tree/node_solves"), tree_nodes);
+
+    let (report, metrics) = run_with_metrics(&["--flat"], "flat.json");
+    assert!(report.get("tree_nodes").unwrap().is_null());
+    let distinct = report
+        .get("distinct_solves")
+        .and_then(Json::as_u64)
+        .expect("flat route reports dedup");
+    assert_eq!(
+        span_count(&metrics, "market/solve_path"),
+        distinct,
+        "one path-solve span per distinct quote sequence"
+    );
+    assert_eq!(counter(&metrics, "market/path_solves"), distinct);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--metrics -` appends exactly one parseable compact JSON line after
+/// the report, on every subcommand.
+#[test]
+fn metrics_stdout_is_one_trailing_json_line() {
+    use mvcloud::json::Json;
+
+    let out = run(&[
+        "advise",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--alpha",
+        "0.5",
+        "--metrics",
+        "-",
+    ]);
+    assert!(out.status.success(), "advise --metrics - should exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let last = stdout.lines().last().expect("nonempty stdout");
+    let snapshot = Json::parse(last).expect("trailing line is the snapshot");
+    assert_eq!(snapshot.get("version").and_then(Json::as_u64), Some(1));
+    let counters = snapshot.get("counters").expect("counters object");
+    assert!(
+        matches!(counters, Json::Obj(pairs) if !pairs.is_empty()),
+        "an advising run must move at least one counter: {last}"
+    );
+}

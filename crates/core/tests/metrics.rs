@@ -1,0 +1,87 @@
+//! Schema round-trip for the `--metrics` surface: a captured
+//! [`mv_obs::Snapshot`] rendered through [`mvcloud::json::snapshot_json`]
+//! must parse back (compact *and* pretty) with every section intact
+//! and every value equal to what the snapshot's own accessors report.
+
+use mvcloud::json::{snapshot_json, Json};
+use mvcloud::obs;
+use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
+
+#[test]
+fn snapshot_json_round_trips_through_the_parser() {
+    let counters = obs::CounterGuard::scoped();
+
+    // Real solver work so every section is populated: counters, the
+    // dirty-blocks histogram, the advisor/solve span, and (via the
+    // local-search placement path) possibly events. Seed one event
+    // explicitly so the section is never empty.
+    obs::event("schema_probe", &[("answer", 42.0)]);
+    let advisor = Advisor::build(sales_domain(500, 3, 1.0, 42), AdvisorConfig::default()).unwrap();
+    let outcome = advisor.solve(Scenario::tradeoff_normalized(0.5), SolverKind::LocalSearch);
+    assert!(outcome.feasible());
+
+    let snapshot = obs::Snapshot::capture();
+    drop(counters);
+
+    for rendered in [
+        snapshot_json(&snapshot).render(),
+        snapshot_json(&snapshot).render_pretty(),
+    ] {
+        let doc = Json::parse(&rendered).expect("snapshot JSON parses");
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(1));
+
+        // Counters: same set of names, same values.
+        let Some(Json::Obj(counter_pairs)) = doc.get("counters") else {
+            panic!("counters must be an object");
+        };
+        assert!(!counter_pairs.is_empty(), "solver work moved counters");
+        for (name, value) in counter_pairs {
+            assert_eq!(
+                value.as_u64(),
+                Some(snapshot.counter(name)),
+                "counter {name} survives the round trip"
+            );
+        }
+        assert!(snapshot.counter("evaluator/build") >= 1);
+
+        // Histograms: count equals the sum over buckets.
+        let Some(Json::Obj(hists)) = doc.get("histograms") else {
+            panic!("histograms must be an object");
+        };
+        for (name, h) in hists {
+            let count = h.get("count").and_then(Json::as_u64).unwrap();
+            let bucket_total: u64 = h
+                .get("buckets")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|b| b.as_array().unwrap()[1].as_u64().unwrap())
+                .sum();
+            assert_eq!(count, bucket_total, "histogram {name} is consistent");
+        }
+
+        // Spans: the advisor/solve timer is present with its count.
+        let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+        let solve = spans
+            .iter()
+            .find(|s| s.get("path").and_then(Json::as_str) == Some("advisor/solve"))
+            .expect("advisor/solve span recorded");
+        assert_eq!(solve.get("count").and_then(Json::as_u64), Some(1));
+        assert!(solve.get("total_ns").and_then(Json::as_u64).unwrap() > 0);
+
+        // Events: the seeded probe survives with its field.
+        let events = doc.get("events").and_then(Json::as_array).unwrap();
+        let probe = events
+            .iter()
+            .find(|e| e.get("kind").and_then(Json::as_str) == Some("schema_probe"))
+            .expect("seeded event retained");
+        assert_eq!(
+            probe.get("fields").unwrap().get("answer").unwrap().as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            doc.get("events_seen").and_then(Json::as_u64),
+            Some(snapshot.events_seen)
+        );
+    }
+}

@@ -96,6 +96,8 @@ impl<'a> ReplayDriver<'a> {
         let view = MaterializedView::materialize_with_threads(def, self.base, self.threads)?;
         let build = *view.build_stats();
         self.catalog.register(view)?;
+        mv_obs::inc(mv_obs::Counter::EngineViewBuilds);
+        mv_obs::add(mv_obs::Counter::EngineBuildBytes, build.bytes_scanned);
         Ok(build)
     }
 
@@ -108,6 +110,11 @@ impl<'a> ReplayDriver<'a> {
     /// fallback).
     pub fn run_query(&self, query: &AggQuery) -> Result<QueryExecution, EngineError> {
         let (_, stats, via_view) = self.catalog.execute(query, self.base)?;
+        mv_obs::inc(mv_obs::Counter::EngineQueries);
+        if via_view.is_some() {
+            mv_obs::inc(mv_obs::Counter::EngineQueriesViaViews);
+        }
+        mv_obs::add(mv_obs::Counter::EngineScanBytes, stats.bytes_scanned);
         Ok(QueryExecution {
             name: query.name.clone(),
             stats,
@@ -126,6 +133,7 @@ impl<'a> ReplayDriver<'a> {
         queries: &[AggQuery],
         delta: Option<&Table>,
     ) -> Result<EpochReplay, EngineError> {
+        mv_obs::span!("engine/replay_epoch");
         let mut epoch = EpochReplay::default();
         for name in dropped {
             self.drop_view(name)?;
@@ -141,6 +149,14 @@ impl<'a> ReplayDriver<'a> {
         if let Some(d) = delta {
             if d.num_rows() > 0 {
                 epoch.refreshes = self.catalog.refresh_incremental_all(d)?;
+                mv_obs::add(
+                    mv_obs::Counter::EngineViewRefreshes,
+                    epoch.refreshes.len() as u64,
+                );
+                if mv_obs::enabled() {
+                    let bytes: u64 = epoch.refreshes.iter().map(|(_, s)| s.bytes_scanned).sum();
+                    mv_obs::add(mv_obs::Counter::EngineRefreshBytes, bytes);
+                }
             }
         }
         Ok(epoch)

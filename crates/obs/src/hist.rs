@@ -1,0 +1,101 @@
+//! Fixed-bucket histograms behind atomics.
+//!
+//! Buckets are powers of two: bucket `i` counts observations with
+//! `value <= 2^i` (bucket 0 additionally takes 0), and the last bucket
+//! is the overflow. Recording is a `leading_zeros` plus one relaxed
+//! `fetch_add` — no allocation, no locking — cheap enough for the
+//! evaluator's snapshot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every histogram the stack records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Hist {
+    /// Dirty time-blocks refreshed per `IncrementalEvaluator::snapshot`
+    /// (the "delta size" of the dirty-delta snapshot protocol).
+    SnapshotDirtyBlocks,
+    /// Views destroyed per LNS destroy/repair round.
+    LnsDestroySize,
+    /// Children per scenario-tree node with 2+ children (fork width).
+    TreeForkWidth,
+}
+
+/// Number of [`Hist`] variants.
+pub const COUNT: usize = 3;
+
+/// Buckets per histogram: upper bounds `2^0 .. 2^15`, then overflow.
+pub const BUCKETS: usize = 17;
+
+impl Hist {
+    pub const ALL: [Hist; COUNT] = [
+        Hist::SnapshotDirtyBlocks,
+        Hist::LnsDestroySize,
+        Hist::TreeForkWidth,
+    ];
+
+    /// Stable snapshot key, `subsystem/metric`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SnapshotDirtyBlocks => "evaluator/snapshot_dirty_blocks",
+            Hist::LnsDestroySize => "lns/destroy_size",
+            Hist::TreeForkWidth => "tree/fork_width",
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the overflow).
+    pub fn bucket_upper(i: usize) -> Option<u64> {
+        (i + 1 < BUCKETS).then(|| 1u64 << i)
+    }
+}
+
+static CELLS: [[AtomicU64; BUCKETS]; COUNT] =
+    [const { [const { AtomicU64::new(0) }; BUCKETS] }; COUNT];
+static SUMS: [AtomicU64; COUNT] = [const { AtomicU64::new(0) }; COUNT];
+
+/// Bucket index for `value`: smallest `i` with `value <= 2^i`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    // ceil(log2(value)) for value >= 2.
+    let b = 64 - (value - 1).leading_zeros() as usize;
+    b.min(BUCKETS - 1)
+}
+
+/// Records one observation — no-op while telemetry is disabled.
+#[inline(always)]
+pub fn record(h: Hist, value: u64) {
+    if crate::enabled() {
+        CELLS[h as usize][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        SUMS[h as usize].fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// Reads histogram `h`: per-bucket counts plus the running sum.
+pub fn read(h: Hist) -> ([u64; BUCKETS], u64) {
+    let mut buckets = [0u64; BUCKETS];
+    for (slot, cell) in buckets.iter_mut().zip(&CELLS[h as usize]) {
+        *slot = cell.load(Ordering::Relaxed);
+    }
+    (buckets, SUMS[h as usize].load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1 << 15), BUCKETS - 2);
+        assert_eq!(bucket_of((1 << 15) + 1), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+}

@@ -285,6 +285,7 @@ impl EpochChain {
         let mut prev = SelectionSet::empty(n);
         let mut steps = Vec::with_capacity(self.epochs.len());
         for (e, model) in self.epochs.iter().enumerate() {
+            mv_obs::span!("chain/epoch");
             if e > 0 {
                 // The whole epoch transition: an O(m) context switch
                 // plus one splice per candidate whose effective charge
@@ -476,6 +477,7 @@ impl EpochChain {
         let mut prev_placements = placements.clone();
         let mut steps = Vec::with_capacity(self.epochs.len());
         for (e, model) in self.epochs.iter().enumerate() {
+            mv_obs::span!("chain/epoch");
             if e > 0 {
                 ev.retarget(model.clone());
                 for (k, slot) in current.iter_mut().enumerate() {
@@ -1017,7 +1019,16 @@ impl EpochChain {
         self.validate_tree(tree);
         let n = self.pool.len();
         let solve = |idx: usize, inherited: Option<TreeState>| -> (EpochStep, TreeState) {
+            mv_obs::span!("solve_tree/node");
             let node = &tree.nodes()[idx];
+            mv_obs::inc(mv_obs::Counter::TreeNodeSolves);
+            if node.parent.is_none() {
+                mv_obs::inc(mv_obs::Counter::TreeRootSolves);
+            }
+            mv_obs::event(
+                "tree_node_solve",
+                &[("node", idx as f64), ("epoch", node.epoch as f64)],
+            );
             let (mut ev, current, prev) = match inherited {
                 None => {
                     let current: Vec<ViewCharge> = self
@@ -1157,7 +1168,16 @@ impl EpochChain {
         };
         let solve =
             |idx: usize, inherited: Option<TreeFleetState>| -> (EpochStep, TreeFleetState) {
+                mv_obs::span!("solve_tree/node");
                 let node = &tree.nodes()[idx];
+                mv_obs::inc(mv_obs::Counter::TreeNodeSolves);
+                if node.parent.is_none() {
+                    mv_obs::inc(mv_obs::Counter::TreeRootSolves);
+                }
+                mv_obs::event(
+                    "tree_node_solve",
+                    &[("node", idx as f64), ("epoch", node.epoch as f64)],
+                );
                 let (mut ev, mut current, prev, mut placements) = match inherited {
                     None => {
                         let placements: Vec<Placement> = initial.to_vec();
@@ -1382,6 +1402,19 @@ impl EpochChain {
         }
         let dropped: Vec<usize> = prev.ones().filter(|&k| !selection.contains(k)).collect();
         debug_assert!(epoch > 0 || (kept.is_empty() && dropped.is_empty()));
+        mv_obs::inc(mv_obs::Counter::ChainEpochSteps);
+        if mv_obs::enabled() {
+            mv_obs::event(
+                "epoch_transition",
+                &[
+                    ("epoch", epoch as f64),
+                    ("added", added.len() as f64),
+                    ("kept", kept.len() as f64),
+                    ("dropped", dropped.len() as f64),
+                    ("moved", moved.len() as f64),
+                ],
+            );
+        }
         // The full-price reference differs from the charged evaluation
         // only in the materialization component (carrying a view changes
         // nothing else), so it is derived — in the model's own fold
@@ -1614,6 +1647,15 @@ where
     Branch: Fn(&S) -> S + Sync,
 {
     let len = tree.len();
+    if mv_obs::enabled() {
+        // Branch-width telemetry (a width-w split pays w-1 forks).
+        for i in 0..len {
+            let width = tree.children(i).len();
+            if width >= 2 {
+                mv_obs::record(mv_obs::Hist::TreeForkWidth, width as u64);
+            }
+        }
+    }
     let mut inbox: Vec<Option<S>> = (0..len).map(|_| None).collect();
     if threads <= 1 {
         let mut steps = Vec::with_capacity(len);
@@ -2033,7 +2075,7 @@ mod tests {
         let factors: &[f64] = &[0.4, 0.4, 0.4];
         let attempts: &[f64] = &[1.0, 1.0, 1.0];
         let reprice = fleet_reprice(factors, attempts);
-        let before = crate::IncrementalEvaluator::build_count();
+        let counters = mv_obs::CounterGuard::scoped();
         let steps = chain.solve_fleet(
             Scenario::tradeoff(0.02),
             &vec![Placement::Reserved; n],
@@ -2041,10 +2083,11 @@ mod tests {
             &reprice,
         );
         assert_eq!(
-            crate::IncrementalEvaluator::build_count() - before,
+            counters.delta(mv_obs::Counter::EvaluatorBuild),
             1,
             "fleet chain must keep one evaluator for the whole horizon"
         );
+        drop(counters);
         for (e, s) in steps.iter().enumerate() {
             for k in s.selection().ones() {
                 assert_eq!(s.placements[k], Placement::Spot, "epoch {e} view {k}");

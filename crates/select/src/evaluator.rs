@@ -77,9 +77,9 @@
 //! add/remove/flip interleavings in `tests/evaluator_matches.rs`.
 
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mv_cost::{CloudCostModel, CostBreakdown, SelectionSet, ViewCharge, TIME_FOLD_BLOCK};
+use mv_obs::{Counter, Hist};
 use mv_units::{Gb, Hours, Money, Months};
 
 use crate::{Evaluation, SelectionProblem};
@@ -97,24 +97,13 @@ pub const ANSWER_TOP_K: usize = 8;
 /// never bother).
 const COMPACT_MIN_DEAD: usize = 1024;
 
-/// Process-wide count of full evaluator builds (every `new` /
-/// `from_problem` / `with_selection` construction — the O(n·m) work the
-/// warm-start machinery exists to avoid). Tests use deltas of this
-/// counter to *assert* that a hot loop reuses its evaluator through
-/// `retarget`/`update_charge` instead of silently rebuilding per epoch.
-static BUILDS: AtomicUsize = AtomicUsize::new(0);
-
-/// Process-wide count of [`IncrementalEvaluator::retarget`] calls — one
-/// per epoch-boundary model swap. The scenario-tree solver performs
-/// exactly one retarget per tree *edge*, which
-/// `tests/market_no_rebuild.rs` asserts via deltas of this counter.
-static RETARGETS: AtomicUsize = AtomicUsize::new(0);
-
-/// Process-wide count of [`IncrementalEvaluator::fork`] calls — the
-/// clone-on-branch operations of the scenario-tree solver. A fork copies
-/// the warm caches instead of paying a full O(n·m) build, so it is
-/// deliberately *not* counted as a build.
-static FORKS: AtomicUsize = AtomicUsize::new(0);
+// Build / retarget / fork accounting lives in the `mv-obs` registry
+// ([`Counter::EvaluatorBuild`] and friends) rather than in ad-hoc
+// process statics: counters only move while telemetry is enabled, and
+// delta-asserting tests scope their reads with `mv_obs::CounterGuard`
+// (which serializes those sections process-wide — the old always-on
+// statics made cross-test interleaving a latent hazard under threaded
+// `cargo test`).
 
 /// One view's slice of the CSR arena.
 #[derive(Debug, Clone, Copy)]
@@ -205,25 +194,27 @@ impl<'p> IncrementalEvaluator<'p> {
         IncrementalEvaluator::build(Cow::Owned(problem))
     }
 
-    /// Total evaluator builds in this process so far (monotone;
-    /// threads may interleave increments). Snapshot it around a hot
-    /// loop and compare deltas to prove the loop never paid a full
-    /// rebuild — the no-rebuild assertions of the market tests.
+    /// Total evaluator builds recorded by `mv-obs` so far (monotone
+    /// while telemetry is enabled; frozen otherwise). Delta-asserting
+    /// tests should scope reads with [`mv_obs::CounterGuard`] — it
+    /// enables telemetry and serializes concurrent delta sections —
+    /// and compare deltas to prove a hot loop never paid a full
+    /// rebuild (the no-rebuild assertions of the market tests).
     pub fn build_count() -> usize {
-        BUILDS.load(Ordering::Relaxed)
+        mv_obs::counter::get(Counter::EvaluatorBuild) as usize
     }
 
-    /// Total [`IncrementalEvaluator::retarget`] calls in this process so
-    /// far (monotone). The scenario-tree tests assert "one retarget per
-    /// tree edge" through deltas of this counter.
+    /// Total [`IncrementalEvaluator::retarget`] calls recorded by
+    /// `mv-obs` so far. The scenario-tree tests assert "one retarget
+    /// per tree edge" through guarded deltas of this counter.
     pub fn retarget_count() -> usize {
-        RETARGETS.load(Ordering::Relaxed)
+        mv_obs::counter::get(Counter::EvaluatorRetarget) as usize
     }
 
-    /// Total [`IncrementalEvaluator::fork`] calls in this process so far
-    /// (monotone).
+    /// Total [`IncrementalEvaluator::fork`] calls recorded by `mv-obs`
+    /// so far.
     pub fn fork_count() -> usize {
-        FORKS.load(Ordering::Relaxed)
+        mv_obs::counter::get(Counter::EvaluatorFork) as usize
     }
 
     /// Clones the warm evaluator for a scenario-tree branch point: the
@@ -232,12 +223,12 @@ impl<'p> IncrementalEvaluator<'p> {
     /// [`IncrementalEvaluator::fork_count`], *not* in
     /// [`IncrementalEvaluator::build_count`] — no O(n·m) rebuild happens.
     pub fn fork(&self) -> Self {
-        FORKS.fetch_add(1, Ordering::Relaxed);
+        mv_obs::inc(Counter::EvaluatorFork);
         self.clone()
     }
 
     fn build(problem: Cow<'p, SelectionProblem>) -> Self {
-        BUILDS.fetch_add(1, Ordering::Relaxed);
+        mv_obs::inc(Counter::EvaluatorBuild);
         let m = problem.model().context().workload.len();
         let n = problem.len();
         let total: usize = problem
@@ -517,8 +508,10 @@ impl<'p> IncrementalEvaluator<'p> {
     pub fn update_charge(&mut self, k: usize, charge: ViewCharge) -> ViewCharge {
         let n = self.spans.len();
         assert!(k < n, "candidate {k} out of {n}");
+        mv_obs::inc(Counter::EvaluatorUpdateCharge);
         let same_answers = self.problem.candidates()[k].profile == charge.profile;
         if same_answers {
+            mv_obs::inc(Counter::EvaluatorUpdateChargeFast);
             return self.problem.to_mut().replace_candidate(k, charge);
         }
         let was_selected = self.selection.contains(k);
@@ -584,7 +577,7 @@ impl<'p> IncrementalEvaluator<'p> {
     /// the two selection-independent caches — the transfer cost and the
     /// storage-interval template — are recomputed, in O(m + inserts).
     pub fn retarget(&mut self, model: CloudCostModel) {
-        RETARGETS.fetch_add(1, Ordering::Relaxed);
+        mv_obs::inc(Counter::EvaluatorRetarget);
         self.problem.to_mut().set_model(model);
         self.transfer = self.problem.model().transfer_cost();
         self.storage_intervals = storage_interval_template(&self.problem);
@@ -608,6 +601,7 @@ impl<'p> IncrementalEvaluator<'p> {
             !self.selection.contains(k),
             "candidate {k} already selected"
         );
+        mv_obs::inc(Counter::EvaluatorFlip);
         self.selection.set(k, true);
         let kk = k as u32;
         let span = self.spans[k];
@@ -633,6 +627,7 @@ impl<'p> IncrementalEvaluator<'p> {
     /// tables that come up empty).
     pub fn unflip(&mut self, k: usize) {
         assert!(self.selection.contains(k), "candidate {k} not selected");
+        mv_obs::inc(Counter::EvaluatorUnflip);
         self.selection.set(k, false);
         let kk = k as u32;
         let span = self.spans[k];
@@ -712,8 +707,17 @@ impl<'p> IncrementalEvaluator<'p> {
         self.block_time[b] = block;
     }
 
-    /// Brings every stale block sum up to date.
+    /// Brings every stale block sum up to date. Telemetry records the
+    /// dirty-delta size (blocks refolded) per refresh.
     fn refresh_time_blocks(&mut self) {
+        if mv_obs::enabled() {
+            let dirty = if self.all_dirty {
+                self.block_time.len()
+            } else {
+                self.dirty_blocks.len()
+            };
+            mv_obs::record(Hist::SnapshotDirtyBlocks, dirty as u64);
+        }
         if self.all_dirty {
             for b in 0..self.block_time.len() {
                 self.refold_block(b);
@@ -761,6 +765,7 @@ impl<'p> IncrementalEvaluator<'p> {
     /// `storage_cost_with_extra` bit for bit — without rebuilding (and
     /// re-allocating) a `StorageTimeline` per probe.
     pub fn snapshot(&mut self) -> Evaluation {
+        mv_obs::inc(Counter::EvaluatorSnapshot);
         let time = self.processing_time();
         let model = self.problem.model();
         let candidates = self.problem.candidates();

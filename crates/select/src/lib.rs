@@ -165,6 +165,27 @@
 //! (`crates/bench/benches/market.rs`, `fleet.rs`), compounding with the
 //! dirty-delta `snapshot()` that makes every node probe O(deg).
 //!
+//! # Telemetry
+//!
+//! Every hot path above reports into the [`mv_obs`] registry —
+//! off-by-default, one relaxed atomic load per site while disabled
+//! (guarded in `crates/bench/benches/obs.rs` and
+//! `evaluator/probe_telemetry_n16`). The instrumentation points:
+//!
+//! | site | counters | spans / histograms / events |
+//! |---|---|---|
+//! | [`IncrementalEvaluator`] build/retarget/fork | `evaluator/build`, `evaluator/retarget`, `evaluator/fork` | — |
+//! | [`IncrementalEvaluator`] flip/unflip/snapshot | `evaluator/flip`, `evaluator/unflip`, `evaluator/snapshot` | `evaluator/snapshot_dirty_blocks` histogram (dirty-delta width) |
+//! | [`IncrementalEvaluator::update_charge`] | `evaluator/update_charge`, `evaluator/update_charge_fast` | — |
+//! | [`local_search`] probe loops | `search/probes`; accepted moves: `search/flip_moves`, `search/swap_moves`, `search/place_moves` | `placement_move` event per accepted pool move |
+//! | [`lns`] refine rounds | `lns/rounds`, `lns/accepted`, `lns/rejected` | `lns/destroy_size` histogram, `lns_round` event |
+//! | [`EpochChain`] epoch loops | `chain/epoch_steps` | `chain/epoch` span, `epoch_transition` event (added/kept/dropped/moved) |
+//! | [`EpochTree`] node solves | `tree/node_solves`, `tree/root_solves` | `solve_tree/node` span (count ≡ tree nodes), `tree/fork_width` histogram, `tree_node_solve` event |
+//!
+//! Telemetry is *observational*: with the registry enabled, solver
+//! output stays bit-identical (`tests/obs_identity.rs`), and counters
+//! only move inside [`mv_obs::CounterGuard`]-style enabled windows.
+//!
 //! ```
 //! use mv_select::{fixtures, Scenario};
 //! use mv_units::Money;

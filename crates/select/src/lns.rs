@@ -218,7 +218,8 @@ pub fn refine(
         }
         pool.extend(rest);
         let candidate = greedy_fill_pool(ev, scenario, baseline, &pool);
-        if scenario.better(&candidate, &incumbent, baseline) {
+        let accepted = scenario.better(&candidate, &incumbent, baseline);
+        if accepted {
             incumbent = candidate;
         } else {
             // Roll the evaluator back to the incumbent flip-for-flip.
@@ -227,6 +228,23 @@ pub fn refine(
                     ev.toggle(k);
                 }
             }
+        }
+        mv_obs::inc(mv_obs::Counter::LnsRounds);
+        if mv_obs::enabled() {
+            mv_obs::inc(if accepted {
+                mv_obs::Counter::LnsAccepted
+            } else {
+                mv_obs::Counter::LnsRejected
+            });
+            mv_obs::record(mv_obs::Hist::LnsDestroySize, destroyed.len() as u64);
+            mv_obs::event(
+                "lns_round",
+                &[
+                    ("round", round as f64),
+                    ("destroyed", destroyed.len() as f64),
+                    ("accepted", f64::from(u8::from(accepted))),
+                ],
+            );
         }
     }
     incumbent

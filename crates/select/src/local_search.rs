@@ -123,6 +123,7 @@ pub fn greedy_fill(
             if ev.is_selected(k) {
                 continue;
             }
+            mv_obs::inc(mv_obs::Counter::SearchProbes);
             ev.flip(k);
             let e = ev.snapshot();
             ev.unflip(k);
@@ -212,6 +213,7 @@ fn improve_inner(
             moves.extend(unselected.iter().map(|&k| Move::FlipOnPlaced(k)));
         }
         let mut best: Option<(Move, Evaluation)> = None;
+        mv_obs::add(mv_obs::Counter::SearchProbes, moves.len() as u64);
         for mv in moves {
             let shared = joint.as_ref().map(|(p, f)| (&**p, *f));
             let undo = apply(ev, mv, shared);
@@ -229,6 +231,7 @@ fn improve_inner(
             Some((mv, e)) => {
                 let shared = joint.as_ref().map(|(p, f)| (&**p, *f));
                 apply(ev, mv, shared);
+                record_accepted(mv);
                 if let (Move::Place(k) | Move::FlipOnPlaced(k), Some((placements, _))) =
                     (mv, joint.as_mut())
                 {
@@ -240,6 +243,22 @@ fn improve_inner(
         }
     }
     current
+}
+
+/// Telemetry for one accepted improvement move: per-kind counters plus
+/// a trace event for the placement moves (the rare, interesting ones).
+fn record_accepted(mv: Move) {
+    if !mv_obs::enabled() {
+        return;
+    }
+    match mv {
+        Move::FlipOn(_) | Move::FlipOff(_) => mv_obs::inc(mv_obs::Counter::SearchFlipMoves),
+        Move::Swap { .. } => mv_obs::inc(mv_obs::Counter::SearchSwapMoves),
+        Move::Place(k) | Move::FlipOnPlaced(k) => {
+            mv_obs::inc(mv_obs::Counter::SearchPlaceMoves);
+            mv_obs::event("placement_move", &[("view", k as f64)]);
+        }
+    }
 }
 
 /// Default improvement budget for `n` candidates: enough rounds to turn
@@ -437,13 +456,14 @@ mod tests {
         };
         let mut ev = IncrementalEvaluator::from_problem(p.clone());
         let mut placements = vec![Placement::Reserved; p.len()];
-        let before = IncrementalEvaluator::build_count();
+        let counters = mv_obs::CounterGuard::scoped();
         let end = improve_joint(&mut ev, s, &baseline, 64, &mut placements, &charge_for);
         assert_eq!(
-            IncrementalEvaluator::build_count() - before,
+            counters.delta(mv_obs::Counter::EvaluatorBuild),
             0,
             "placement flips must splice, not rebuild"
         );
+        drop(counters);
         // Whatever got selected ended up on the half-price pool.
         let any_selected = end.selection.count_ones() > 0;
         assert!(any_selected);

@@ -4,37 +4,40 @@
 //! evaluator fork per extra sibling at each split — instead of per
 //! path × epoch.
 //!
-//! `IncrementalEvaluator::{build_count, retarget_count, fork_count}`
-//! count those operations process-wide. This file holds exactly one
-//! test so the counter deltas cannot be perturbed by concurrent tests
-//! in the same process.
+//! The evaluator reports those operations through the [`mv_obs`]
+//! counter registry. [`mv_obs::CounterGuard`] owns the delta sections:
+//! it serializes concurrent guard windows process-wide, enables
+//! telemetry for its lifetime, and baselines every counter — so the
+//! deltas below cannot interleave with another guarded test. This file
+//! still holds exactly one test: unguarded solver work elsewhere in
+//! the same process would count into an open guard window.
 
+use mv_obs::Counter;
 use mvcloud::fleet::FleetConfig;
 use mvcloud::market::{
     CorrelatedHazard, MarketConfig, MarketScenario, PriceProcess, ScenarioTree, SpotMarket,
 };
-use mvcloud::select::IncrementalEvaluator;
 use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario};
 
 /// The work a tree-aware solve must pay for this market: (evaluator
 /// builds = roots, retargets = edges, forks = Σ max(0, children − 1)).
-fn tree_shape(market: &MarketScenario, paths: usize) -> (usize, usize, usize) {
+fn tree_shape(market: &MarketScenario, paths: usize) -> (u64, u64, u64) {
     let sampled: Vec<_> = (0..paths).map(|j| market.path(j)).collect();
     let tree = ScenarioTree::from_paths(&sampled);
     let forks = tree
         .nodes()
         .iter()
-        .map(|n| n.children.len().saturating_sub(1))
+        .map(|n| n.children.len().saturating_sub(1) as u64)
         .sum();
-    (tree.roots().len(), tree.edges(), forks)
+    (tree.roots().len() as u64, tree.edges() as u64, forks)
 }
 
-/// Snapshot of the three process-wide evaluator counters.
-fn counters() -> (usize, usize, usize) {
+/// The three evaluator counter deltas since the guard's baseline.
+fn deltas(guard: &mv_obs::CounterGuard) -> (u64, u64, u64) {
     (
-        IncrementalEvaluator::build_count(),
-        IncrementalEvaluator::retarget_count(),
-        IncrementalEvaluator::fork_count(),
+        guard.delta(Counter::EvaluatorBuild),
+        guard.delta(Counter::EvaluatorRetarget),
+        guard.delta(Counter::EvaluatorFork),
     )
 }
 
@@ -58,35 +61,33 @@ fn market_solves_pay_tree_shaped_work() {
     };
     let (roots, edges, forks) = tree_shape(&market, PATHS);
     assert!(
-        roots + edges < PATHS * EPOCHS,
+        roots + edges < (PATHS * EPOCHS) as u64,
         "fixture must actually share prefixes"
     );
 
-    let before = counters();
+    let mut counters = mv_obs::CounterGuard::scoped();
     let report = advisor
         .solve_market(Scenario::tradeoff_normalized(0.5), &config)
         .unwrap();
-    let after = counters();
+    let (builds, retargets, forked) = deltas(&counters);
 
     assert_eq!(report.paths.len(), PATHS);
     assert_eq!(report.epochs.len(), EPOCHS);
-    assert_eq!(report.tree_nodes, Some(roots + edges));
+    assert_eq!(report.tree_nodes, Some((roots + edges) as usize));
     assert_eq!(
-        after.0 - before.0,
-        roots,
+        builds, roots,
         "expected one evaluator build per tree root; more means the \
          hot loop is rebuilding instead of branching the warm state"
     );
     assert_eq!(
-        after.1 - before.1,
+        retargets,
         edges,
         "expected one retarget per tree edge ({edges}), not per \
          path × epoch ({})",
         PATHS * (EPOCHS - 1)
     );
     assert_eq!(
-        after.2 - before.2,
-        forks,
+        forked, forks,
         "expected one evaluator fork per extra sibling at each split"
     );
 
@@ -97,17 +98,17 @@ fn market_solves_pay_tree_shaped_work() {
         flat: true,
         ..config
     };
-    let before = counters();
+    counters.rebase();
     let flat_report = advisor
         .solve_market(Scenario::tradeoff_normalized(0.5), &flat_config)
         .unwrap();
-    let after = counters();
-    let distinct = flat_report.distinct_solves;
-    assert_eq!(after.0 - before.0, distinct);
-    assert_eq!(after.1 - before.1, distinct * (EPOCHS - 1));
-    assert_eq!(after.2 - before.2, 0);
+    let (builds, retargets, forked) = deltas(&counters);
+    let distinct = flat_report.distinct_solves as u64;
+    assert_eq!(builds, distinct);
+    assert_eq!(retargets, distinct * (EPOCHS as u64 - 1));
+    assert_eq!(forked, 0);
     assert!(
-        roots + edges < distinct * EPOCHS,
+        roots + edges < distinct * EPOCHS as u64,
         "the tree must pay fewer epoch-solves than the flat loop"
     );
 
@@ -125,20 +126,25 @@ fn market_solves_pay_tree_shaped_work() {
         ..FleetConfig::default()
     };
     let (roots, edges, forks) = tree_shape(&fleet_market, PATHS);
-    let before = counters();
+    counters.rebase();
     let fleet_report = advisor
         .solve_fleet(Scenario::tradeoff_normalized(0.5), &fleet_config)
         .unwrap();
-    let after = counters();
+    let (builds, retargets, forked) = deltas(&counters);
 
     assert_eq!(fleet_report.paths.len(), PATHS);
     assert_eq!(fleet_report.epochs.len(), EPOCHS);
-    assert_eq!(fleet_report.tree_nodes, Some(roots + edges));
+    assert_eq!(fleet_report.tree_nodes, Some((roots + edges) as usize));
     assert_eq!(
-        after.0 - before.0,
-        roots,
+        builds, roots,
         "expected one evaluator build per fleet tree root"
     );
-    assert_eq!(after.1 - before.1, edges);
-    assert_eq!(after.2 - before.2, forks);
+    assert_eq!(retargets, edges);
+    assert_eq!(forked, forks);
+
+    // The report's own telemetry section reconciles with the guard:
+    // solve_fleet captured its delta over the same enabled window.
+    let telemetry = fleet_report.telemetry.expect("guard enabled telemetry");
+    assert_eq!(telemetry.counter("evaluator/build"), roots);
+    assert_eq!(telemetry.span_count("solve_tree/node"), roots + edges);
 }

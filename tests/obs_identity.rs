@@ -1,0 +1,52 @@
+//! Telemetry must be observational: running any solver with the
+//! `mv_obs` registry enabled must produce *bit-identical* results to
+//! the disabled run. Counters, spans and events may only read solver
+//! state, never steer it.
+
+use mv_select::{fixtures, Scenario, SolverKind};
+use mv_units::{Hours, Money};
+use proptest::prelude::*;
+
+fn scenarios_for(problem: &mv_select::SelectionProblem) -> Vec<Scenario> {
+    let baseline = problem.baseline();
+    vec![
+        Scenario::budget(baseline.cost() + Money::from_cents(40)),
+        Scenario::time_limit(Hours::new(baseline.time.value() * 0.4)),
+        Scenario::tradeoff_normalized(0.5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every solver tier returns the same selection, the same cost
+    /// breakdown, and the same time *to the bit* whether or not
+    /// telemetry is recording.
+    #[test]
+    fn enabled_telemetry_never_changes_solver_output(seed in 0u64..10_000, n in 2usize..10) {
+        let problem = fixtures::random_problem(seed, 3, n);
+        for solver in [
+            SolverKind::Greedy,
+            SolverKind::LocalSearch,
+            SolverKind::Lns,
+        ] {
+            for scenario in scenarios_for(&problem) {
+                let dark = mv_select::solve(&problem, scenario, solver);
+                let lit = {
+                    let _guard = mv_obs::EnableGuard::new();
+                    mv_select::solve(&problem, scenario, solver)
+                };
+                prop_assert_eq!(
+                    &dark.evaluation, &lit.evaluation,
+                    "telemetry changed {:?}/{:?}", solver, scenario
+                );
+                prop_assert_eq!(
+                    dark.evaluation.time.value().to_bits(),
+                    lit.evaluation.time.value().to_bits(),
+                    "time not bit-identical under {:?}/{:?}", solver, scenario
+                );
+                prop_assert_eq!(&dark.baseline, &lit.baseline);
+            }
+        }
+    }
+}
