@@ -27,6 +27,11 @@
 //!                       [--rate R | --factor F | --amplitude A] [--period P]
 //!                       [--synthetic-rate R] [--synthetic-overhead H]
 //!                       (--budget $X | --time-limit H | --alpha A)
+//! mvcloud-cli serve [--queries N] [--rows N] [--frequency F]
+//!                   [--provider P] [--instances K]
+//!                   [--catalog PATH] [--ingest CSV | --script FILE]
+//!                   [--drift T] [--moves N]
+//!                   (--budget $X | --time-limit H | --alpha A)
 //! mvcloud-cli sql "SELECT ... FROM sales ..." [--rows N]
 //! mvcloud-cli pricing
 //! mvcloud-cli excerpt
@@ -76,6 +81,7 @@ fn main() -> ExitCode {
         Some("market") => cmd_market(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("calibrate") => cmd_calibrate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("pricing") => cmd_pricing(),
         Some("excerpt") => cmd_excerpt(),
@@ -118,8 +124,13 @@ fn emit_metrics(target: Option<&str>) -> Result<(), String> {
     if target == "-" {
         println!("{}", doc.render());
     } else {
-        std::fs::write(target, format!("{}\n", doc.render_pretty()))
-            .map_err(|e| format!("--metrics {target:?}: {e}"))?;
+        // Atomic (temp + rename): a reader polling the snapshot file
+        // never observes a partially written document.
+        mvcloud::json::write_atomic(
+            std::path::Path::new(target),
+            &format!("{}\n", doc.render_pretty()),
+        )
+        .map_err(|e| format!("--metrics {target:?}: {e}"))?;
     }
     Ok(())
 }
@@ -152,6 +163,10 @@ fn print_usage() {
                                  [--rate R | --factor F | --amplitude A]\n\
                                  [--synthetic-rate R] [--synthetic-overhead H]\n\
                                  (--budget X | --time-limit H | --alpha A)\n\
+           mvcloud-cli serve [--queries N] [--rows N] [--frequency F]\n\
+                             [--provider P] [--instances K] [--catalog PATH]\n\
+                             [--ingest CSV | --script FILE] [--drift T] [--moves N]\n\
+                             (--budget X | --time-limit H | --alpha A)\n\
            mvcloud-cli sql \"SELECT sum(profit) FROM sales GROUP BY year\" [--rows N]\n\
            mvcloud-cli pricing          list provider presets\n\
            mvcloud-cli excerpt          print the paper's Table 1\n\
@@ -236,7 +251,26 @@ fn print_usage() {
            --synthetic-overhead H prior per-job overhead hours    [default 0]\n\
          replays the horizon plan through the engine, fits the throughput\n\
          law from the metered samples, and emits the per-epoch\n\
-         predicted-vs-metered reconciliation as JSON"
+         predicted-vs-metered reconciliation as JSON\n\
+         \n\
+         serve flags (plus the scenario flags):\n\
+           --queries N      workload size, 1-10 paper queries    [default 3]\n\
+           --rows N         generated fact rows                  [default 2000]\n\
+           --frequency F    per-period runs of each query        [default 1]\n\
+           --provider P     aws-2012|cumulus|stratus|flat-rate   [default aws-2012]\n\
+           --instances K    number of identical instances        [default 2]\n\
+           --catalog PATH   persistent candidate catalog; reloaded if it\n\
+                            exists (skipping measurement), spilled on exit\n\
+           --ingest CSV     event stream, one 'timestamp,query_id,query'\n\
+                            line per observed execution\n\
+           --script FILE    service script: ingest TS ID NAME | resolve |\n\
+                            spill | status | whatif K [K..] (one per line)\n\
+         runs the resident advisor: ingests traffic behind the catalog's\n\
+         high-water mark, re-solves warm (retarget, no rebuild) when the\n\
+         observed frequency mix drifts past --drift, and prints the\n\
+         service status JSON\n\
+           --drift T        L1 drift threshold in [0,2]          [default 0.25]\n\
+           --moves N        re-solve local-search move budget    [default 64]"
     );
 }
 
@@ -1095,6 +1129,211 @@ fn horizon_json(report: &mvcloud::HorizonReport, scenario: Scenario, myopic: boo
         ("commitment", commitment),
     ])
     .render_pretty()
+}
+
+/// The resident advisor loop: catalog-backed startup, scripted or CSV
+/// ingest behind the high-water mark, drift-triggered warm re-solves,
+/// and a final status document (plus a final catalog spill).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mvcloud::{AdvisorService, ServiceConfig};
+
+    let flags = parse_flags(args)?;
+    flags.expect_known(
+        &[
+            &[
+                "queries",
+                "rows",
+                "frequency",
+                "provider",
+                "instances",
+                "catalog",
+                "ingest",
+                "script",
+                "drift",
+                "moves",
+            ],
+            &SCENARIO_FLAGS[..],
+        ]
+        .concat(),
+    )?;
+    let queries: usize = flags.parse_num("queries", 3)?;
+    let rows: usize = flags.parse_num("rows", 2_000)?;
+    let frequency: f64 = flags.parse_num("frequency", 1.0)?;
+    let instances: u32 = flags.parse_num("instances", 2)?;
+    let drift: f64 = flags.parse_num("drift", 0.25)?;
+    let moves: usize = flags.parse_num("moves", 64)?;
+    if !(1..=10).contains(&queries) {
+        return Err("--queries must be 1..=10 (the paper's workload)".to_string());
+    }
+    if rows == 0 {
+        return Err("--rows must be ≥ 1".to_string());
+    }
+    if !(0.0..=2.0).contains(&drift) {
+        return Err("--drift must be in [0,2] (L1 distance of distributions)".to_string());
+    }
+    if flags.get("ingest").is_some() && flags.get("script").is_some() {
+        return Err("choose at most one of --ingest, --script".to_string());
+    }
+    let provider = flags.get("provider").unwrap_or("aws-2012");
+    let pricing = presets::all()
+        .into_iter()
+        .find(|p| p.name == provider)
+        .ok_or_else(|| format!("unknown provider {provider:?} (see `pricing`)"))?;
+    let instance = pricing
+        .compute
+        .catalog
+        .cheapest_with_units(1.0)
+        .ok_or("provider has no 1-unit instance")?
+        .name
+        .clone();
+    let advisor_config = AdvisorConfig {
+        pricing,
+        instance,
+        nb_instances: instances,
+        ..AdvisorConfig::default()
+    };
+    let service_config = ServiceConfig {
+        scenario: parse_scenario(&flags)?,
+        drift_threshold: drift,
+        resolve_moves: moves,
+    };
+
+    let catalog_path = flags.get("catalog").map(std::path::PathBuf::from);
+    let mut svc = match &catalog_path {
+        // Warm restart: reload the measured charges; never re-measure.
+        Some(path) if path.exists() => {
+            AdvisorService::open(path, advisor_config, service_config).map_err(|e| e.to_string())?
+        }
+        _ => {
+            let domain = sales_domain(rows, queries, frequency, 42);
+            let advisor = Advisor::build(domain, advisor_config).map_err(|e| e.to_string())?;
+            let svc = AdvisorService::from_advisor(&advisor, service_config)
+                .map_err(|e| e.to_string())?;
+            // Spill immediately so even a crash before the first event
+            // leaves a reloadable catalog on disk.
+            if let Some(path) = &catalog_path {
+                svc.spill(path).map_err(|e| e.to_string())?;
+            }
+            svc
+        }
+    };
+
+    if let Some(csv_path) = flags.get("ingest") {
+        let text =
+            std::fs::read_to_string(csv_path).map_err(|e| format!("--ingest {csv_path:?}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let event = parse_event_csv(line)
+                .map_err(|e| format!("--ingest {csv_path:?} line {}: {e}", lineno + 1))?;
+            // One batch per event: stream semantics, a drift check per
+            // observed execution.
+            let out = svc.ingest(&[event]).map_err(|e| e.to_string())?;
+            if out.resolved {
+                println!(
+                    "resolved after line {}: {} views selected",
+                    lineno + 1,
+                    svc.plan().num_selected()
+                );
+            }
+        }
+    } else if let Some(script_path) = flags.get("script") {
+        let text = std::fs::read_to_string(script_path)
+            .map_err(|e| format!("--script {script_path:?}: {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            run_script_line(&mut svc, line, catalog_path.as_deref())
+                .map_err(|e| format!("--script {script_path:?} line {}: {e}", lineno + 1))?;
+        }
+    }
+
+    if let Some(path) = &catalog_path {
+        svc.spill(path).map_err(|e| e.to_string())?;
+    }
+    println!("{}", svc.status_json().render_pretty());
+    Ok(())
+}
+
+/// Parses one `timestamp,query_id,query` CSV stream line.
+fn parse_event_csv(line: &str) -> Result<mvcloud::QueryEvent, String> {
+    let mut parts = line.splitn(3, ',');
+    let (Some(ts), Some(id), Some(name)) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(format!("expected 'timestamp,query_id,query', got {line:?}"));
+    };
+    Ok(mvcloud::QueryEvent {
+        timestamp: ts
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?,
+        query_id: id
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad query_id {id:?}"))?,
+        query: name.trim().to_string(),
+    })
+}
+
+/// Executes one `--script` command against the resident service.
+fn run_script_line(
+    svc: &mut mvcloud::AdvisorService,
+    line: &str,
+    catalog_path: Option<&std::path::Path>,
+) -> Result<(), String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    match words.as_slice() {
+        ["ingest", ts, id, name] => {
+            let event = mvcloud::QueryEvent {
+                timestamp: ts.parse().map_err(|_| format!("bad timestamp {ts:?}"))?,
+                query_id: id.parse().map_err(|_| format!("bad query_id {id:?}"))?,
+                query: (*name).to_string(),
+            };
+            let out = svc.ingest(&[event]).map_err(|e| e.to_string())?;
+            if out.resolved {
+                println!("resolved: {} views selected", svc.plan().num_selected());
+            }
+            Ok(())
+        }
+        ["resolve"] => {
+            svc.resolve().map_err(|e| e.to_string())?;
+            println!("resolved: {} views selected", svc.plan().num_selected());
+            Ok(())
+        }
+        ["spill"] => {
+            let path = catalog_path.ok_or("spill needs --catalog")?;
+            svc.spill(path).map_err(|e| e.to_string())
+        }
+        ["status"] => {
+            println!("{}", svc.status_json().render());
+            Ok(())
+        }
+        ["whatif", toggles @ ..] if !toggles.is_empty() => {
+            let ks: Vec<usize> = toggles
+                .iter()
+                .map(|t| t.parse().map_err(|_| format!("bad candidate index {t:?}")))
+                .collect::<Result<_, String>>()?;
+            let n = svc.catalog().candidates.len();
+            if let Some(k) = ks.iter().find(|&&k| k >= n) {
+                return Err(format!("candidate index {k} out of range (have {n})"));
+            }
+            let probe = svc.what_if_toggle(&ks);
+            println!(
+                "whatif {:?}: {} views, {:.4} h, ${:.2}",
+                ks,
+                probe.num_selected(),
+                probe.time.value(),
+                probe.cost().to_dollars_f64()
+            );
+            Ok(())
+        }
+        _ => Err(format!(
+            "unknown script command {line:?} (ingest TS ID NAME | resolve | spill | status | whatif K..)"
+        )),
+    }
 }
 
 fn cmd_sql(args: &[String]) -> Result<(), String> {

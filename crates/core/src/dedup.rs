@@ -1,0 +1,163 @@
+//! Shared quote-sequence dedup for the flat Monte-Carlo loops.
+//!
+//! The market and fleet `--flat` reference routes solve one
+//! representative chain per *distinct quote sequence* and replicate the
+//! result to the aliases. Both used to roll their own
+//! `HashMap<Vec<[u64;4]>, usize>` over [`EpochQuote::solve_key`]
+//! sequences; this module is the one implementation, structured so the
+//! collision-safety property is explicit and testable: items are
+//! *bucketed* on a cheap 64-bit fingerprint, but two items only ever
+//! merge after their **full keys** compare equal. A fingerprint
+//! collision therefore costs a linear probe of one bucket, never a
+//! wrong merge — pinned by the forced-collision test below, which runs
+//! the grouping with a constant fingerprint and asserts distinct
+//! sequences still come out distinct.
+
+use std::collections::HashMap;
+
+use mv_market::{EpochQuote, MarketPath};
+
+/// The outcome of grouping a slice by key: `reps[s]` is the index of
+/// group `s`'s representative (first occurrence, in input order), and
+/// `rep_of[j]` is the group of item `j`.
+pub(crate) struct DedupGroups {
+    /// Representative input index per group, in first-seen order.
+    pub reps: Vec<usize>,
+    /// Group slot of every input item (`rep_of.len() == items.len()`).
+    pub rep_of: Vec<usize>,
+}
+
+impl DedupGroups {
+    /// How many items were aliased onto an earlier representative.
+    pub fn duplicates(&self) -> usize {
+        self.rep_of.len() - self.reps.len()
+    }
+}
+
+/// Groups `items` by the full equality key `key`, bucketing on
+/// `fingerprint` first. The fingerprint only routes items into buckets;
+/// membership in a group is decided by full-key equality alone, so a
+/// colliding (even constant) fingerprint degrades performance, not
+/// correctness.
+pub(crate) fn group_by_key<T, K, F, H>(items: &[T], key: F, fingerprint: H) -> DedupGroups
+where
+    K: PartialEq,
+    F: Fn(&T) -> K,
+    H: Fn(&K) -> u64,
+{
+    let mut reps: Vec<usize> = Vec::new();
+    let mut rep_of: Vec<usize> = Vec::with_capacity(items.len());
+    let mut buckets: HashMap<u64, Vec<(K, usize)>> = HashMap::new();
+    for (j, item) in items.iter().enumerate() {
+        let k = key(item);
+        let bucket = buckets.entry(fingerprint(&k)).or_default();
+        let slot = match bucket.iter().find(|(existing, _)| *existing == k) {
+            Some((_, slot)) => *slot,
+            None => {
+                reps.push(j);
+                let slot = reps.len() - 1;
+                bucket.push((k, slot));
+                slot
+            }
+        };
+        rep_of.push(slot);
+    }
+    DedupGroups { reps, rep_of }
+}
+
+/// Groups sampled market paths by their epoch quote *sequences* (the
+/// solve-relevant fields of every [`EpochQuote`], via
+/// [`EpochQuote::solve_key`]; sampled interruption events are reporting
+/// -only and deliberately excluded). This is the dedup both flat loops
+/// ([`crate::Advisor::solve_market`] `--flat` and the fleet variant)
+/// key their representative solves on.
+pub(crate) fn quote_sequence_groups(sampled: &[MarketPath]) -> DedupGroups {
+    group_by_key(
+        sampled,
+        |p| -> Vec<[u64; 4]> { p.quotes.iter().map(EpochQuote::solve_key).collect() },
+        |key| fingerprint_words(key.iter().flat_map(|quad| quad.iter().copied())),
+    )
+}
+
+/// Order-sensitive 64-bit fingerprint of a word sequence (splitmix64
+/// finalizer folded over the words). Quality only affects bucket
+/// balance — see [`group_by_key`].
+fn fingerprint_words(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// The splitmix64 finalizer (Steele, Lea & Flood's mixing function).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_market::PriceFactors;
+
+    fn path(j: usize, computes: &[f64]) -> MarketPath {
+        MarketPath {
+            path: j,
+            quotes: computes
+                .iter()
+                .map(|&c| EpochQuote {
+                    factors: PriceFactors {
+                        compute: c,
+                        storage: 1.0,
+                        transfer: 1.0,
+                    },
+                    interruption: 0.0,
+                    interrupted: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_never_merges_distinct_keys() {
+        // Every item lands in ONE bucket; only full-key equality may
+        // merge. With hash-equality-alone dedup this degenerate
+        // fingerprint would alias all four sequences onto one solve.
+        let items: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![1, 2, 4], vec![1, 2, 3], vec![3, 2, 1]];
+        let groups = group_by_key(&items, |k| k.clone(), |_| 0);
+        assert_eq!(groups.reps, vec![0, 1, 3]);
+        assert_eq!(groups.rep_of, vec![0, 1, 0, 2]);
+        assert_eq!(groups.duplicates(), 1);
+    }
+
+    #[test]
+    fn quote_sequences_group_on_solve_fields_only() {
+        let a = path(0, &[1.0, 1.2]);
+        let b = path(1, &[1.0, 1.3]);
+        // Same factors as `a`, different sampled interruption event:
+        // solve-irrelevant by design, so it aliases onto `a`.
+        let mut c = path(2, &[1.0, 1.2]);
+        c.quotes[1].interrupted = true;
+        let groups = quote_sequence_groups(&[a, b, c]);
+        assert_eq!(groups.reps, vec![0, 1]);
+        assert_eq!(groups.rep_of, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn representatives_preserve_first_seen_order() {
+        let paths = vec![
+            path(0, &[2.0]),
+            path(1, &[1.0]),
+            path(2, &[2.0]),
+            path(3, &[1.0]),
+            path(4, &[3.0]),
+        ];
+        let groups = quote_sequence_groups(&paths);
+        assert_eq!(groups.reps, vec![0, 1, 4]);
+        assert_eq!(groups.rep_of, vec![0, 1, 0, 1, 2]);
+        assert_eq!(groups.duplicates(), 2);
+    }
+}

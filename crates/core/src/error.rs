@@ -57,6 +57,30 @@ pub enum AdvisorError {
     /// Calibration could not fit the throughput law (too few metered
     /// samples, or no spread in the metered work).
     CalibrationUnderdetermined,
+    /// A candidate-catalog spill or reload failed at the filesystem
+    /// level (the `io::Error` is carried as its display string so this
+    /// enum stays `Eq`).
+    CatalogIo {
+        /// The catalog path involved.
+        path: String,
+        /// The underlying I/O failure.
+        message: String,
+    },
+    /// A candidate-catalog file exists but does not parse back into a
+    /// catalog (truncated non-atomic write, wrong schema version, or
+    /// hand-edited damage).
+    CatalogCorrupt {
+        /// The catalog path involved.
+        path: String,
+        /// What failed to decode.
+        message: String,
+    },
+    /// A stream event names a query that is not in the catalog's
+    /// workload.
+    UnknownQuery {
+        /// The event's query name.
+        name: String,
+    },
 }
 
 impl fmt::Display for AdvisorError {
@@ -98,6 +122,15 @@ impl fmt::Display for AdvisorError {
                 f,
                 "calibration could not fit the throughput law: too few metered samples or no spread in metered work"
             ),
+            AdvisorError::CatalogIo { path, message } => {
+                write!(f, "catalog {path:?}: {message}")
+            }
+            AdvisorError::CatalogCorrupt { path, message } => {
+                write!(f, "catalog {path:?} is corrupt: {message}")
+            }
+            AdvisorError::UnknownQuery { name } => {
+                write!(f, "query {name:?} is not in the catalog workload")
+            }
         }
     }
 }

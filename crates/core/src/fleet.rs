@@ -504,9 +504,10 @@ impl Advisor {
     }
 
     /// The flat per-path reference loop for one fleet variant: solve
-    /// one representative chain per *distinct quote sequence* (hash
-    /// dedup — a deterministic market collapses to one representative)
-    /// and replicate the result to the aliases.
+    /// one representative chain per *distinct quote sequence*
+    /// (fingerprint-bucketed, full-key-verified grouping —
+    /// [`crate::dedup`]; a deterministic market collapses to one
+    /// representative) and replicate the result to the aliases.
     fn solve_fleet_flat(
         &self,
         scenario: Scenario,
@@ -514,21 +515,9 @@ impl Advisor {
         fleet: &FleetPlan,
         sampled: &[MarketPath],
     ) -> (Vec<SolvedFleetPath>, usize, Option<usize>) {
-        let mut reps: Vec<usize> = Vec::new();
-        let mut rep_of: Vec<usize> = Vec::with_capacity(sampled.len());
-        let mut seen: HashMap<Vec<[u64; 4]>, usize> = HashMap::new();
-        for (j, p) in sampled.iter().enumerate() {
-            let key: Vec<[u64; 4]> = p.quotes.iter().map(EpochQuote::solve_key).collect();
-            let slot = *seen.entry(key).or_insert_with(|| {
-                reps.push(j);
-                reps.len() - 1
-            });
-            rep_of.push(slot);
-        }
-        mv_obs::add(
-            mv_obs::Counter::FleetDedupHits,
-            (sampled.len() - reps.len()) as u64,
-        );
+        let groups = crate::dedup::quote_sequence_groups(sampled);
+        mv_obs::add(mv_obs::Counter::FleetDedupHits, groups.duplicates() as u64);
+        let (reps, rep_of) = (groups.reps, groups.rep_of);
         let solved_reps = self.solve_fleet_paths(scenario, config, fleet, &reps);
         let solved = sampled
             .iter()

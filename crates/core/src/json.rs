@@ -17,8 +17,26 @@
 //! CI) to load a rendered report or metrics snapshot and assert on it.
 //! `parse(render(x))` loses only numeric formatting (fixed-precision
 //! renders come back as plain numbers).
+//!
+//! # Non-finite floats
+//!
+//! JSON has no token for `NaN` or `±inf`, so the policy is explicit and
+//! symmetric: the renderers emit non-finite [`Json::Num`]/[`Json::Fixed`]
+//! values as `null` (a lossy but always-valid document), and the parser
+//! *rejects* any numeric literal that overflows `f64` to infinity (e.g.
+//! `1e999`) instead of silently materializing a non-finite value that a
+//! later render would degrade to `null`. A finite `f64` round-trips
+//! through `render` → `parse` bit-identically (Rust's `{}` float
+//! formatting is shortest-roundtrip), which is what lets the candidate
+//! catalog ([`crate::catalog`]) reload measured charges exactly.
+//!
+//! [`write_atomic`] is the shared durable-write primitive (temp file +
+//! rename) used by both the catalog spill and the CLI's `--metrics`
+//! emitter, so a crash mid-write never leaves a partial document at the
+//! destination path.
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// A JSON value, plus a fixed-precision number variant so renders can
 /// reproduce the CLI's historical `{:.6}`/`{:.4}` formatting exactly.
@@ -361,9 +379,16 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Ok(Json::UInt(u));
         }
     }
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|e| format!("invalid number {text:?}: {e}"))
+    let value: f64 = text
+        .parse()
+        .map_err(|e| format!("invalid number {text:?}: {e}"))?;
+    // JSON has no non-finite tokens; a literal that overflows f64 (e.g.
+    // `1e999` → inf) must be an error, not a silent infinity that the
+    // next render would degrade to `null` (see the module policy).
+    if !value.is_finite() {
+        return Err(format!("number {text:?} overflows f64 at byte {start}"));
+    }
+    Ok(Json::Num(value))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -495,6 +520,31 @@ pub fn snapshot_json(snapshot: &mv_obs::Snapshot) -> Json {
     ])
 }
 
+/// Durably replaces the file at `path` with `contents`: writes a
+/// sibling temp file, then renames it over the destination. Rename is
+/// atomic on POSIX filesystems, so a reader (or a restart after a
+/// mid-write crash) sees either the old document or the new one in
+/// full — never a truncated prefix. The temp file carries a
+/// `.tmp.<pid>` suffix beside the destination; a crash can strand one,
+/// which the next successful write of the same path replaces.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("no file name in {}", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no temp droppings behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +607,68 @@ mod tests {
         assert!(Json::parse("{} extra").is_err());
         assert!(Json::parse("{\"a\":}").is_err());
         assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_nonfinite_overflow() {
+        // `1e999` is a syntactically valid JSON number that overflows
+        // f64 to infinity; accepting it would smuggle a non-finite
+        // value past the render-side `null` policy.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("{\"a\": [0.5, 1e309]}").is_err());
+        // The largest finite f64 still parses.
+        let max = format!("{:e}", f64::MAX);
+        assert_eq!(Json::parse(&max).unwrap().as_f64(), Some(f64::MAX));
+    }
+
+    #[test]
+    fn nonfinite_renders_as_null_and_round_trips_to_null() {
+        // The documented policy end to end: a non-finite Num renders as
+        // `null`, and parsing that render yields Json::Null — never a
+        // non-finite number.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let rendered = Json::Num(v).render();
+            assert_eq!(rendered, "null");
+            assert!(Json::parse(&rendered).unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_identically() {
+        // Shortest-roundtrip `{}` formatting: render → parse is exact
+        // for finite f64, the invariant the candidate catalog's
+        // bit-identical reload rests on.
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            123456.789e-30,
+        ] {
+            let rendered = Json::Num(v).render();
+            let back = Json::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} vs {back:?}");
+        }
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_documents() {
+        let dir = std::env::temp_dir().join(format!("mvcloud-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No temp droppings after successful writes.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,6 +29,16 @@
 //! placement is searched jointly with the selection against correlated
 //! interruption epochs ([`Advisor::solve_fleet`], [`fleet`]):
 //!
+//! For long-running deployments the advisor also runs *resident*: the
+//! [`service`] module keeps the measured charges in a persistent
+//! [`catalog`] (atomic spill, bit-identical reload), ingests live query
+//! traffic behind a `(timestamp, query_id)` high-water mark, and
+//! re-solves warm — retarget only, never an evaluator rebuild — when
+//! the observed frequency mix drifts past a threshold
+//! ([`AdvisorService`]). Concurrent what-if probes run on evaluator
+//! forks with snapshot isolation. `mvcloud-cli serve` drives the loop
+//! from a CSV event stream or a script.
+//!
 //! ```
 //! use mvcloud::{sales_domain, Advisor, AdvisorConfig, Scenario, SolverKind};
 //! use mvcloud::units::Money;
@@ -46,6 +56,8 @@
 
 mod advisor;
 pub mod calibrate;
+pub mod catalog;
+mod dedup;
 mod domain;
 mod error;
 pub mod fleet;
@@ -54,6 +66,7 @@ pub mod json;
 pub mod market;
 pub mod report;
 pub mod scale;
+pub mod service;
 pub mod whatif;
 
 pub use advisor::{
@@ -61,6 +74,7 @@ pub use advisor::{
     StreamingConfig, StreamingReport,
 };
 pub use calibrate::{CalibrationConfig, CalibrationReport, EpochCalibration};
+pub use catalog::{CandidateCatalog, HighWaterMark};
 pub use domain::{sales_domain, ssb_domain, Domain};
 pub use error::AdvisorError;
 pub use fleet::{FleetComparison, FleetConfig, FleetEpochReport, FleetPathSummary, FleetReport};
@@ -70,6 +84,7 @@ pub use market::{
     SpotCommitmentReport,
 };
 pub use scale::scale_problem;
+pub use service::{AdvisorService, IngestOutcome, QueryEvent, ServiceConfig};
 
 // Re-export the sub-crates under stable names.
 pub use mv_cost as cost;

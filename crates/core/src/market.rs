@@ -482,7 +482,8 @@ impl Advisor {
 
     /// The flat per-path reference loop: solve one representative chain
     /// per *distinct quote sequence* and replicate the result to the
-    /// aliases. Hash-dedup generalizes the old all-or-nothing
+    /// aliases (fingerprint-bucketed, full-key-verified grouping —
+    /// [`crate::dedup`]). This generalizes the old all-or-nothing
     /// "deterministic market solves path 0 once" shortcut —
     /// coincidentally-identical stochastic paths collapse too.
     fn solve_market_flat(
@@ -491,21 +492,9 @@ impl Advisor {
         config: &MarketConfig,
         sampled: &[MarketPath],
     ) -> (Vec<SolvedPath>, usize, Option<usize>) {
-        let mut reps: Vec<usize> = Vec::new();
-        let mut rep_of: Vec<usize> = Vec::with_capacity(sampled.len());
-        let mut seen: HashMap<Vec<[u64; 4]>, usize> = HashMap::new();
-        for (j, p) in sampled.iter().enumerate() {
-            let key: Vec<[u64; 4]> = p.quotes.iter().map(EpochQuote::solve_key).collect();
-            let slot = *seen.entry(key).or_insert_with(|| {
-                reps.push(j);
-                reps.len() - 1
-            });
-            rep_of.push(slot);
-        }
-        mv_obs::add(
-            mv_obs::Counter::MarketDedupHits,
-            (sampled.len() - reps.len()) as u64,
-        );
+        let groups = crate::dedup::quote_sequence_groups(sampled);
+        mv_obs::add(mv_obs::Counter::MarketDedupHits, groups.duplicates() as u64);
+        let (reps, rep_of) = (groups.reps, groups.rep_of);
         let solved_reps = self.solve_market_paths(scenario, config, &reps);
         let solved = sampled
             .iter()

@@ -229,6 +229,114 @@ fn market_metrics_reconcile_with_solve_accounting() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `serve --script` smoke: a scripted ingest drives exactly one drift
+/// re-solve, and the status document reconciles with the telemetry
+/// snapshot — resolves == `service/drift_resolves` == warm retargets,
+/// with exactly one evaluator build for the whole service lifetime. A
+/// second run reloads the spilled catalog instead of re-measuring.
+#[test]
+fn serve_script_reconciles_with_metrics() {
+    use mvcloud::json::Json;
+
+    let dir = std::env::temp_dir().join(format!("mvcloud-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create serve dir");
+    let script = dir.join("script.txt");
+    let catalog = dir.join("catalog.json");
+    let metrics = dir.join("metrics.json");
+    // Skewed traffic on a uniform 3-query workload: the first accepted
+    // event already drifts L1 = 4/3 past the 0.25 default and
+    // re-solves; the duplicate line is skipped as a replay.
+    std::fs::write(
+        &script,
+        "ingest 1 1 Q1\ningest 1 1 Q1\ningest 1 2 Q1\nwhatif 0\n",
+    )
+    .expect("write script");
+
+    let out = run(&[
+        "serve",
+        "--rows",
+        "500",
+        "--queries",
+        "3",
+        "--alpha",
+        "0.5",
+        "--script",
+        script.to_str().unwrap(),
+        "--catalog",
+        catalog.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "serve --script should exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The status document is the only output block starting a line
+    // with '{' (progress lines are prose).
+    let doc_start = stdout.find("\n{").map(|i| i + 1).unwrap_or(0);
+    let status = Json::parse(&stdout[doc_start..]).expect("status JSON");
+    let snapshot =
+        Json::parse(&std::fs::read_to_string(&metrics).expect("metrics file")).expect("snapshot");
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    let resolves = status
+        .get("resolves")
+        .and_then(Json::as_u64)
+        .expect("resolves");
+    assert_eq!(resolves, 1, "the skew must re-solve exactly once");
+    assert_eq!(counter("service/drift_resolves"), resolves);
+    assert_eq!(
+        counter("evaluator/retarget"),
+        resolves,
+        "every re-solve is one warm retarget"
+    );
+    assert_eq!(
+        counter("evaluator/build"),
+        1,
+        "the service builds its evaluator exactly once"
+    );
+    assert_eq!(status.get("accepted").and_then(Json::as_u64), Some(2));
+    assert_eq!(status.get("replayed").and_then(Json::as_u64), Some(1));
+    assert_eq!(counter("service/ingest_events"), 2);
+    assert_eq!(counter("service/ingest_duplicates"), 1);
+    assert_eq!(counter("service/what_ifs"), 1);
+    assert!(counter("catalog/spills") >= 1);
+
+    // Warm restart: the catalog is on disk, so the second run reloads
+    // instead of measuring and reproduces the same resident plan.
+    let plan_before = status.get("plan").expect("plan").render();
+    let out = run(&[
+        "serve",
+        "--alpha",
+        "0.5",
+        "--catalog",
+        catalog.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "serve restart should exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let status = Json::parse(&stdout).expect("restart status JSON");
+    assert_eq!(
+        status.get("plan").expect("plan").render(),
+        plan_before,
+        "a reloaded service reproduces the resident plan report"
+    );
+    let snapshot =
+        Json::parse(&std::fs::read_to_string(&metrics).expect("metrics file")).expect("snapshot");
+    let reloads = snapshot
+        .get("counters")
+        .and_then(|c| c.get("catalog/reloads"))
+        .and_then(Json::as_u64);
+    assert_eq!(reloads, Some(1), "restart reloads, never re-measures");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--metrics -` appends exactly one parseable compact JSON line after
 /// the report, on every subcommand.
 #[test]

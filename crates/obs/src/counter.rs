@@ -50,10 +50,18 @@ pub enum Counter {
     EngineViewRefreshes,
     // mv-core: calibration
     CalibrateSamples,
+    // mv-core: AdvisorService stream loop
+    ServiceIngestEvents,
+    ServiceIngestDuplicates,
+    ServiceDriftResolves,
+    ServiceWhatIfs,
+    // mv-core: persistent candidate catalog
+    CatalogSpills,
+    CatalogReloads,
 }
 
 /// Number of [`Counter`] variants (length of the backing array).
-pub const COUNT: usize = 30;
+pub const COUNT: usize = 36;
 
 impl Counter {
     /// All variants, in declaration order (index == discriminant).
@@ -88,6 +96,12 @@ impl Counter {
         Counter::EngineViewBuilds,
         Counter::EngineViewRefreshes,
         Counter::CalibrateSamples,
+        Counter::ServiceIngestEvents,
+        Counter::ServiceIngestDuplicates,
+        Counter::ServiceDriftResolves,
+        Counter::ServiceWhatIfs,
+        Counter::CatalogSpills,
+        Counter::CatalogReloads,
     ];
 
     /// Stable snapshot key, `subsystem/metric`.
@@ -123,6 +137,12 @@ impl Counter {
             Counter::EngineViewBuilds => "engine/view_builds",
             Counter::EngineViewRefreshes => "engine/view_refreshes",
             Counter::CalibrateSamples => "calibrate/samples",
+            Counter::ServiceIngestEvents => "service/ingest_events",
+            Counter::ServiceIngestDuplicates => "service/ingest_duplicates",
+            Counter::ServiceDriftResolves => "service/drift_resolves",
+            Counter::ServiceWhatIfs => "service/what_ifs",
+            Counter::CatalogSpills => "catalog/spills",
+            Counter::CatalogReloads => "catalog/reloads",
         }
     }
 }

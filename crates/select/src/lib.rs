@@ -160,6 +160,14 @@
 //! through [`EpochChain::solve_repriced`] / [`EpochChain::solve_fleet`]
 //! on its own chain (proptest-pinned in `tests/tree_identity.rs` at the
 //! driver layer); ready nodes are work-stolen across crossbeam threads.
+//!
+//! The same two warm primitives carry the resident advisor service
+//! (`mvcloud::service`): a long-lived evaluator built **once** from the
+//! persistent candidate catalog, [`IncrementalEvaluator::retarget`]ed
+//! on every drift-triggered re-solve as live traffic shifts the
+//! workload frequencies (counter-pinned rebuild-free), and
+//! [`IncrementalEvaluator::fork`]ed per concurrent what-if probe for
+//! snapshot isolation over the copy-on-write problem.
 //! At K = 32 sampled paths the tree sweep beats the flat loop ≈ 1.2×
 //! on a volatile spot market and ≈ 1.5× on a crunchy hedged fleet
 //! (`crates/bench/benches/market.rs`, `fleet.rs`), compounding with the
